@@ -1,0 +1,59 @@
+//! Criterion bench: dense vs sparse attention kernels across sequence
+//! lengths (the software-side complexity crossover behind Fig. 7b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lat_core::fused::{fused_attention_row, unfused_attention_row};
+use lat_core::sparse::{SparseAttention, SparseAttentionConfig};
+use lat_model::attention::{AttentionOp, DenseAttention};
+use lat_tensor::rng::SplitMix64;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_attention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attention");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(10);
+
+    for &n in &[64usize, 128, 256, 512] {
+        let d = 64;
+        let mut rng = SplitMix64::new(n as u64);
+        let q = rng.gaussian_matrix(n, d, 1.0);
+        let k = rng.gaussian_matrix(n, d, 1.0);
+        let v = rng.gaussian_matrix(n, d, 1.0);
+
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+            b.iter(|| DenseAttention.attend(black_box(&q), &k, &v).expect("attend"))
+        });
+        let sparse = SparseAttention::new(SparseAttentionConfig::paper_default());
+        group.bench_with_input(BenchmarkId::new("sparse_k30_1bit", n), &n, |b, _| {
+            b.iter(|| sparse.attend(black_box(&q), &k, &v).expect("attend"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fused_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_kernel");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(20);
+
+    let d = 64;
+    let k = 30;
+    let mut rng = SplitMix64::new(9);
+    let ks = rng.gaussian_matrix(k, d, 1.0);
+    let q: Vec<f32> = (0..d).map(|_| rng.next_gaussian()).collect();
+    let mask = vec![false; k];
+
+    group.bench_function("fused", |b| {
+        b.iter(|| fused_attention_row(black_box(&q), &ks, &mask, 1).expect("fused"))
+    });
+    group.bench_function("unfused", |b| {
+        b.iter(|| unfused_attention_row(black_box(&q), &ks, &mask, 1).expect("unfused"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attention, bench_fused_kernel);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench: DAG scheduling and the HBM channel model (host-side
+//! analysis costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lat_core::dag::TaskDag;
+use lat_hwsim::hbm::HbmModel;
+use lat_model::config::ModelConfig;
+use lat_model::graph::AttentionMode;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_dag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    let dag = TaskDag::encoder_multihead(
+        &ModelConfig::bert_base(),
+        177,
+        AttentionMode::paper_sparse(),
+    );
+    group.bench_function("multihead_priorities", |b| {
+        b.iter(|| black_box(&dag).priorities())
+    });
+    for units in [2usize, 12] {
+        group.bench_with_input(
+            BenchmarkId::new("list_schedule", units),
+            &units,
+            |b, &u| b.iter(|| black_box(&dag).list_schedule(u)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_hbm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hbm");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    let model = HbmModel::u280();
+    let buffers: Vec<u64> = (0..512).map(|i| 1000 + (i * 37) % 5000).collect();
+    group.bench_function("round_robin_makespan_512", |b| {
+        b.iter(|| model.round_robin_makespan(black_box(&buffers)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dag, bench_hbm);
+criterion_main!(benches);

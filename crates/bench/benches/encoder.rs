@@ -1,0 +1,37 @@
+//! Criterion bench: full encoder forward pass with dense vs sparse
+//! attention (tiny configuration — the software reference path, not the
+//! simulated hardware).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lat_core::sparse::{SparseAttention, SparseAttentionConfig};
+use lat_model::attention::DenseAttention;
+use lat_model::config::ModelConfig;
+use lat_model::encoder::Encoder;
+use lat_tensor::rng::SplitMix64;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_encoder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoder_forward");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(10);
+
+    let cfg = ModelConfig::tiny();
+    let mut rng = SplitMix64::new(5);
+    let enc = Encoder::random(&cfg, &mut rng);
+    for &n in &[32usize, 128] {
+        let x = rng.gaussian_matrix(n, cfg.hidden_dim, 1.0);
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+            b.iter(|| enc.forward(black_box(&x), &DenseAttention).expect("forward"))
+        });
+        let sparse = SparseAttention::new(SparseAttentionConfig::paper_default().with_k(16));
+        group.bench_with_input(BenchmarkId::new("sparse_k16", n), &n, |b, _| {
+            b.iter(|| enc.forward(black_box(&x), &sparse).expect("forward"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoder);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: throughput of the FPGA accelerator *simulator* itself
+//! (how fast whole batches can be evaluated analytically — relevant for
+//! design-space exploration loops).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lat_core::pipeline::SchedulingPolicy;
+use lat_hwsim::accelerator::AcceleratorDesign;
+use lat_hwsim::spec::FpgaSpec;
+use lat_model::config::ModelConfig;
+use lat_model::graph::AttentionMode;
+use lat_workloads::datasets::DatasetSpec;
+use lat_tensor::rng::SplitMix64;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_design_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hwsim");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    group.bench_function("design_construction", |b| {
+        b.iter(|| {
+            AcceleratorDesign::new(
+                black_box(&ModelConfig::bert_base()),
+                AttentionMode::paper_sparse(),
+                FpgaSpec::alveo_u280(),
+                177,
+            )
+        })
+    });
+
+    let design = AcceleratorDesign::new(
+        &ModelConfig::bert_base(),
+        AttentionMode::paper_sparse(),
+        FpgaSpec::alveo_u280(),
+        177,
+    );
+    let mut rng = SplitMix64::new(6);
+    for &batch_size in &[16usize, 64] {
+        let batch = DatasetSpec::squad_v1().sample_batch(&mut rng, batch_size);
+        group.bench_with_input(
+            BenchmarkId::new("run_batch", batch_size),
+            &batch,
+            |b, batch| {
+                b.iter(|| design.run_batch(black_box(batch), SchedulingPolicy::LengthAware))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_design_construction);
+criterion_main!(benches);

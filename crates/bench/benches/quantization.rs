@@ -1,0 +1,72 @@
+//! Criterion bench: quantization and LUT score computation (the At-Sel
+//! unit's software model) at the paper's bit-widths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lat_core::topk::{top_k_heap, top_k_merge_network};
+use lat_tensor::lut::ProductLut;
+use lat_tensor::quant::{BitWidth, QuantizedMatrix};
+use lat_tensor::rng::SplitMix64;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_quantize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantize");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(20);
+
+    let mut rng = SplitMix64::new(1);
+    let m = rng.gaussian_matrix(256, 64, 1.0);
+    for bits in BitWidth::all() {
+        group.bench_with_input(
+            BenchmarkId::new("quantize_256x64", bits.to_string()),
+            &bits,
+            |b, &bits| b.iter(|| QuantizedMatrix::quantize(black_box(&m), bits)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_lut_scores(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lut_scores");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(10);
+
+    let mut rng = SplitMix64::new(2);
+    let q_m = rng.gaussian_matrix(128, 64, 1.0);
+    let k_m = rng.gaussian_matrix(128, 64, 1.0);
+    for bits in [BitWidth::One, BitWidth::Four] {
+        let q = QuantizedMatrix::quantize(&q_m, bits);
+        let k = QuantizedMatrix::quantize(&k_m, bits);
+        let lut = ProductLut::new(bits);
+        group.bench_with_input(
+            BenchmarkId::new("scores_128x128x64", bits.to_string()),
+            &bits,
+            |b, _| b.iter(|| lut.score_matrix(black_box(&q), &k).expect("scores")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(30);
+
+    let mut rng = SplitMix64::new(3);
+    for &n in &[128usize, 512, 1024] {
+        let scores: Vec<i32> = (0..n).map(|_| rng.next_u64() as i32 % 1000).collect();
+        group.bench_with_input(BenchmarkId::new("heap_k30", n), &n, |b, _| {
+            b.iter(|| top_k_heap(black_box(&scores), 30))
+        });
+        group.bench_with_input(BenchmarkId::new("merge_network_k30", n), &n, |b, _| {
+            b.iter(|| top_k_merge_network(black_box(&scores), 30))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantize, bench_lut_scores, bench_topk);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench: Algorithm 1 stage allocation and the length-aware
+//! pipeline scheduler (the costs a host would pay per batch at runtime).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lat_core::pipeline::{schedule_batch, LinearStageTiming, SchedulingPolicy};
+use lat_core::stage_alloc::{allocate_stages, ResourceModel};
+use lat_model::config::ModelConfig;
+use lat_model::graph::{AttentionMode, OperatorGraph};
+use lat_tensor::rng::SplitMix64;
+use lat_workloads::datasets::DatasetSpec;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_stage_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stage_allocation");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    let graph = OperatorGraph::encoder(&ModelConfig::bert_base());
+    group.bench_function("algorithm1_bert_base", |b| {
+        b.iter(|| {
+            let mut alloc = allocate_stages(
+                black_box(&graph),
+                177,
+                AttentionMode::paper_sparse(),
+                ResourceModel::default(),
+            );
+            alloc.balance_to_budget(&graph, 177, AttentionMode::paper_sparse());
+            alloc
+        })
+    });
+    group.finish();
+}
+
+fn bench_pipeline_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_scheduling");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    let timing = LinearStageTiming::new(vec![10.0, 12.0, 9.0], vec![0, 0, 0]);
+    let mut rng = SplitMix64::new(4);
+    let dataset = DatasetSpec::squad_v1();
+    for &batch_size in &[16usize, 64, 256] {
+        let lengths = dataset.sample_batch(&mut rng, batch_size);
+        for policy in [
+            SchedulingPolicy::LengthAware,
+            SchedulingPolicy::PadToMax,
+            SchedulingPolicy::MicroBatch { size: 4 },
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(policy.to_string(), batch_size),
+                &lengths,
+                |b, lengths| {
+                    b.iter(|| schedule_batch(black_box(lengths), 12, &timing, policy))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stage_allocation, bench_pipeline_scheduling);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Ablation: the paper's quantized Top-k sparse attention vs the §2
+//! related-work alternatives at *equal per-query budget* — fixed windowed+
+//! global attention (Big Bird-style) and random key sampling — on the
+//! synthetic retrieval task.
+//!
+//! The paper's critique of fixed patterns ("requires a pre-determined
+//! attention mask that lacks generality") shows up directly: the retrieval
+//! task's evidence lands at arbitrary positions, which a positional window
+//! cannot cover, while content-based Top-k selection finds it.
+
+use lat_bench::tables;
+use lat_core::baselines::{RandomSamplingAttention, WindowedAttention};
+use lat_core::sparse::{SparseAttention, SparseAttentionConfig};
+use lat_model::attention::DenseAttention;
+use lat_workloads::accuracy::evaluate_on_dataset;
+use lat_workloads::datasets::DatasetSpec;
+use lat_workloads::task::{TaskConfig, TaskGenerator};
+
+const TRIALS: usize = 150;
+
+fn main() {
+    println!("Ablation — sparse-attention operators at equal budget (task accuracy, {TRIALS} trials)\n");
+    let generator = TaskGenerator::new(TaskConfig::default(), 0xBA5E);
+    let mut rows = Vec::new();
+
+    for dataset in DatasetSpec::paper_datasets() {
+        let seed = 0x000B_A5E0 + dataset.name.len() as u64;
+        let dense = evaluate_on_dataset(&DenseAttention, &generator, &dataset, TRIALS, seed)
+            .expect("dense eval")
+            .accuracy;
+        for k in [10usize, 30] {
+            let ours = SparseAttention::new(SparseAttentionConfig::paper_default().with_k(k));
+            let windowed = WindowedAttention::with_budget(k);
+            let random = RandomSamplingAttention { k, seed: 77 };
+            let a_ours = evaluate_on_dataset(&ours, &generator, &dataset, TRIALS, seed)
+                .expect("ours eval")
+                .accuracy;
+            let a_win = evaluate_on_dataset(&windowed, &generator, &dataset, TRIALS, seed)
+                .expect("windowed eval")
+                .accuracy;
+            let a_rand = evaluate_on_dataset(&random, &generator, &dataset, TRIALS, seed)
+                .expect("random eval")
+                .accuracy;
+            rows.push(vec![
+                dataset.name.clone(),
+                k.to_string(),
+                format!("{:.1}%", 100.0 * dense),
+                format!("{:.1}%", 100.0 * a_ours),
+                format!("{:.1}%", 100.0 * a_win),
+                format!("{:.1}%", 100.0 * a_rand),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        tables::render(
+            &[
+                "dataset",
+                "budget k",
+                "dense",
+                "quantized top-k (ours)",
+                "windowed+global",
+                "random sampling",
+            ],
+            &rows,
+        )
+    );
+    println!("(equal per-query key budget; content-based selection vs fixed/random patterns)");
+    println!("note: at k=10 the 1-bit ranking's magnitude blindness lets sign-matched decoys");
+    println!("crowd out evidence, so even unbiased random sampling can win — at the paper's");
+    println!("operating point (k=30) content-based top-k dominates both baselines.");
+}

@@ -1,0 +1,69 @@
+//! Ablation: design-space exploration over the resource-model knobs
+//! (§5.2's "exploit the design space" step) — PE granularity, per-stage
+//! DSP budget and allocation tuning length, evaluated on an RTE workload.
+
+use lat_bench::tables;
+use lat_hwsim::dse::{explore, DseGrid};
+use lat_hwsim::spec::FpgaSpec;
+use lat_model::config::ModelConfig;
+use lat_model::graph::AttentionMode;
+use lat_tensor::rng::SplitMix64;
+use lat_workloads::datasets::DatasetSpec;
+
+fn main() {
+    println!("Ablation — design-space exploration (BERT-base on RTE batches of 16)\n");
+    let cfg = ModelConfig::bert_base();
+    let mut rng = SplitMix64::new(0xD5E);
+    let workload = DatasetSpec::rte().sample_batches(&mut rng, 16, 3);
+
+    let grid = DseGrid {
+        dsp_per_instance: vec![8, 16, 32],
+        stage_budgets: vec![600, 1000, 1500],
+        tuning_lengths: vec![68, 177, 400],
+    };
+    let points = explore(
+        &cfg,
+        AttentionMode::paper_sparse(),
+        &FpgaSpec::alveo_u280(),
+        &workload,
+        &grid,
+    );
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.dsp_per_instance.to_string(),
+                p.stage_budget.to_string(),
+                p.tuning_length.to_string(),
+                p.num_stages.to_string(),
+                format!("{:.3}", p.seconds * 1e3),
+                format!("{:.1}%", 100.0 * p.utilization),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        tables::render(
+            &[
+                "DSP/instance",
+                "stage budget",
+                "tuned length",
+                "stages",
+                "batch latency (ms)",
+                "utilization",
+            ],
+            &rows,
+        )
+    );
+    let best = &points[0];
+    let worst = points.last().expect("non-empty grid");
+    println!(
+        "best: {} DSP/instance, budget {}, tuned at {} → {:.3} ms ({:.2}x better than worst)",
+        best.dsp_per_instance,
+        best.stage_budget,
+        best.tuning_length,
+        best.seconds * 1e3,
+        worst.seconds / best.seconds
+    );
+}

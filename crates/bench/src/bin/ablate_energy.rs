@@ -1,0 +1,68 @@
+//! Ablation: cross-platform *energy per batch* (the quantity behind
+//! Table 2's GOP/J column) across the hardware-evaluation scenarios.
+
+use lat_bench::scenarios::{geomean, Scenario, DEFAULT_BATCHES};
+use lat_bench::tables;
+use lat_core::pipeline::SchedulingPolicy;
+use lat_hwsim::accelerator::AcceleratorDesign;
+use lat_hwsim::spec::FpgaSpec;
+use lat_model::graph::AttentionMode;
+use lat_platforms::Platform;
+
+fn main() {
+    println!("Ablation — energy per batch (batch 16, Joules)\n");
+    let platforms = Platform::all_presets();
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+
+    for sc in Scenario::hardware_eval() {
+        let design = AcceleratorDesign::new(
+            &sc.model,
+            AttentionMode::paper_sparse(),
+            FpgaSpec::alveo_u280(),
+            sc.dataset.avg_len,
+        );
+        let batches = sc.sample_batches(DEFAULT_BATCHES);
+        let mut e = [0.0f64; 4]; // cpu, tx2, gpu, ours
+        for batch in &batches {
+            for (i, p) in platforms.iter().enumerate() {
+                e[i] += p.batch_energy_j(&sc.model, batch);
+            }
+            e[3] += design
+                .run_batch(batch, SchedulingPolicy::LengthAware)
+                .energy_j;
+        }
+        for x in &mut e {
+            *x /= batches.len() as f64;
+        }
+        ratios.push(e[2] / e[3]); // GPU vs ours
+        rows.push(vec![
+            sc.label(),
+            format!("{:.1}", e[0]),
+            format!("{:.2}", e[1]),
+            format!("{:.2}", e[2]),
+            format!("{:.3}", e[3]),
+            format!("{:.0}x", e[0] / e[3]),
+            format!("{:.1}x", e[2] / e[3]),
+        ]);
+    }
+    println!(
+        "{}",
+        tables::render(
+            &[
+                "scenario",
+                "CPU (J)",
+                "TX2 (J)",
+                "RTX 6000 (J)",
+                "FPGA ours (J)",
+                "vs CPU",
+                "vs GPU",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "geomean energy advantage over RTX 6000: {:.1}x  (paper: >4x energy efficiency vs CUBLAS GPU)",
+        geomean(&ratios)
+    );
+}

@@ -1,0 +1,75 @@
+//! Fig. 1(c): time-consumption breakdown of one encoder at sequence length
+//! 128 (the paper measures TensorRT on WikiText-2; we profile the RTX 6000
+//! platform model, whose attention/GEMM efficiency split reproduces the
+//! same picture).
+//!
+//! Prints each operator's share of encoder time, grouped into the paper's
+//! two categories: the self-attention workflow and "other".
+
+use lat_bench::tables;
+use lat_model::config::ModelConfig;
+use lat_model::graph::{AttentionMode, OperatorGraph};
+use lat_platforms::{Platform, PlatformKind};
+
+fn main() {
+    const SEQ_LEN: usize = 128;
+    println!("Fig. 1(c) — encoder operator time breakdown (BERT-base, n = {SEQ_LEN})\n");
+
+    let cfg = ModelConfig::bert_base();
+    let graph = OperatorGraph::encoder(&cfg);
+    let gpu = Platform::preset(PlatformKind::RtxQuadro6000);
+    let scale = gpu.length_efficiency(SEQ_LEN);
+
+    // Per-operator time on the GPU profile: FLOPs / effective rate, with
+    // the attention workflow at attention efficiency and the rest at GEMM
+    // efficiency.
+    let times: Vec<(String, f64, bool)> = graph
+        .operators()
+        .iter()
+        .map(|op| {
+            let fl = graph.flops(op.kind, SEQ_LEN, AttentionMode::Dense) as f64;
+            let eff = if op.kind.is_attention() {
+                gpu.attention_efficiency
+            } else {
+                gpu.gemm_efficiency
+            };
+            let t = fl / (gpu.peak_flops * eff * scale);
+            (op.kind.label().to_string(), t, op.kind.is_attention())
+        })
+        .collect();
+
+    let total: f64 = times.iter().map(|(_, t, _)| t).sum();
+    let rows: Vec<Vec<String>> = times
+        .iter()
+        .map(|(label, t, attn)| {
+            vec![
+                label.clone(),
+                if *attn { "self-attention".into() } else { "other".into() },
+                format!("{:.2}", t * 1e6),
+                tables::pct(t / total),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        tables::render(&["operator", "group", "time (us)", "share"], &rows)
+    );
+
+    let attn_time: f64 = times.iter().filter(|(_, _, a)| *a).map(|(_, t, _)| t).sum();
+    println!(
+        "encoder total: {:.1} us;  self-attention workflow share: {}  (paper: ~60% incl. its linear transforms)",
+        total * 1e6,
+        tables::pct(attn_time / total)
+    );
+    // The paper's Fig. 1(b) draws the QKV/output linear transforms inside
+    // the self-attention box; with those included:
+    let attn_incl: f64 = times
+        .iter()
+        .filter(|(l, _, a)| *a || l.contains("QKV") || l.contains("Out-"))
+        .map(|(_, t, _)| t)
+        .sum();
+    println!(
+        "self-attention share incl. QKV/output linear transforms: {}",
+        tables::pct(attn_incl / total)
+    );
+}

@@ -1,0 +1,66 @@
+//! Fig. 2(a) Stage-2 sub-stage pipeline: candidate load (2.1) → fused
+//! score kernel (2.2) → `S·V` output (2.3), pipelined at query-row
+//! granularity with double buffers between sub-stages.
+//!
+//! Prints per-sub-stage cycle costs, the steady-state beat, and the
+//! speedup of the intra-layer pipeline across sequence lengths — plus the
+//! interaction with the Fig. 4 unroll factor.
+
+use lat_bench::tables;
+use lat_hwsim::substage::{pipelined_cycles, sequential_cycles, SubStageCosts};
+
+fn main() {
+    println!("Fig. 2(a) — Stage 2 (At-Comp) intra-layer sub-stage pipeline\n");
+
+    let d = 64;
+    let k = 30;
+    println!("per-row sub-stage costs (d = {d}, k = {k}):");
+    let mut rows = Vec::new();
+    for unroll in [1u32, 2, 4, 8] {
+        let c = SubStageCosts::for_row(d, k, unroll, 64);
+        rows.push(vec![
+            unroll.to_string(),
+            c.load.to_string(),
+            c.score.to_string(),
+            c.apply.to_string(),
+            c.bottleneck().to_string(),
+            format!("{:.2}x", c.serial() as f64 / c.bottleneck() as f64),
+        ]);
+    }
+    println!(
+        "{}",
+        tables::render(
+            &[
+                "unroll p",
+                "2.1 load",
+                "2.2 fused score",
+                "2.3 S·V",
+                "beat (bottleneck)",
+                "pipeline gain bound",
+            ],
+            &rows,
+        )
+    );
+
+    println!("whole-sequence makespan (unroll 2):");
+    let c = SubStageCosts::for_row(d, k, 2, 64);
+    let mut rows = Vec::new();
+    for n in [32usize, 128, 512, 821] {
+        let pipe = pipelined_cycles(c, n);
+        let seq = sequential_cycles(c, n);
+        rows.push(vec![
+            n.to_string(),
+            pipe.to_string(),
+            seq.to_string(),
+            format!("{:.2}x", seq as f64 / pipe as f64),
+        ]);
+    }
+    println!(
+        "{}",
+        tables::render(
+            &["rows (seq len)", "pipelined cyc", "sequential cyc", "speedup"],
+            &rows,
+        )
+    );
+    println!("(double buffers between 2.1/2.2/2.3 let consecutive query rows overlap)");
+}

@@ -1,0 +1,104 @@
+//! Fig. 7(a): end-to-end cross-platform throughput comparison.
+//!
+//! For each scenario (BERT-base × SQuAD/RTE/MRPC, BERT-large × SQuAD),
+//! batches of 16 sequences are drawn from the dataset's length
+//! distribution and executed on:
+//!
+//! - CPU (Xeon Gold 5218), Jetson TX2 and RTX 6000 — analytical platform
+//!   models, padded dense execution;
+//! - FPGA baseline — the simulated accelerator with dense attention and
+//!   pad-to-max scheduling (no co-design);
+//! - FPGA length-aware — the full co-design (1-bit Top-30 sparse attention
+//!   + length-aware dynamic pipelining).
+//!
+//! Prints per-scenario speedups normalized to the CPU, plus the geomean
+//! row the paper quotes (80.2× / 41.3× / 2.6× / 3.1× for CPU / TX2 /
+//! RTX 6000 / FPGA-baseline respectively).
+
+use lat_bench::scenarios::{geomean, Scenario, DEFAULT_BATCHES, HARNESS_SEED};
+use lat_bench::tables;
+use lat_core::pipeline::SchedulingPolicy;
+use lat_hwsim::accelerator::AcceleratorDesign;
+use lat_hwsim::spec::FpgaSpec;
+use lat_model::graph::AttentionMode;
+use lat_platforms::Platform;
+
+fn main() {
+    println!("Fig. 7(a) — end-to-end cross-platform throughput (seed {HARNESS_SEED:#x})\n");
+    let platforms = Platform::all_presets();
+    let mut rows = Vec::new();
+    let mut per_platform_speedups: Vec<Vec<f64>> = vec![Vec::new(); 5];
+
+    for sc in Scenario::hardware_eval() {
+        let batches = sc.sample_batches(DEFAULT_BATCHES);
+        let ours = AcceleratorDesign::new(
+            &sc.model,
+            AttentionMode::paper_sparse(),
+            FpgaSpec::alveo_u280(),
+            sc.dataset.avg_len,
+        );
+        // The dense baseline pads everything to the dataset maximum, so its
+        // stage allocation is tuned for that padded length.
+        let baseline = AcceleratorDesign::new(
+            &sc.model,
+            AttentionMode::Dense,
+            FpgaSpec::alveo_u280(),
+            sc.dataset.max_len,
+        );
+
+        // Mean batch latency per platform.
+        let mut t = [0.0f64; 5]; // cpu, tx2, gpu, fpga-base, fpga-ours
+        for batch in &batches {
+            for (i, p) in platforms.iter().enumerate() {
+                t[i] += p.batch_seconds(&sc.model, batch);
+            }
+            t[3] += baseline
+                .run_batch(batch, SchedulingPolicy::PadToMax)
+                .seconds;
+            t[4] += ours
+                .run_batch(batch, SchedulingPolicy::LengthAware)
+                .seconds;
+        }
+        for x in &mut t {
+            *x /= batches.len() as f64;
+        }
+
+        // Speedup normalized to CPU (CPU = 1.0), as the figure plots.
+        let cpu = t[0];
+        let mut row = vec![sc.label()];
+        for (i, &ti) in t.iter().enumerate() {
+            let s = cpu / ti;
+            row.push(tables::speedup(s));
+            per_platform_speedups[i].push(t[i] / t[4]); // FPGA-ours vs this
+        }
+        rows.push(row);
+    }
+
+    println!(
+        "{}",
+        tables::render(
+            &[
+                "scenario",
+                "CPU",
+                "Jetson TX2",
+                "RTX 6000",
+                "FPGA baseline",
+                "FPGA length-aware",
+            ],
+            &rows,
+        )
+    );
+
+    println!("Geomean speedup of FPGA length-aware over each platform:");
+    let names = ["CPU", "Jetson TX2", "RTX 6000", "FPGA baseline"];
+    let paper = [80.2, 41.3, 2.6, 3.1];
+    for (i, name) in names.iter().enumerate() {
+        let g = geomean(&per_platform_speedups[i]);
+        println!(
+            "  vs {:14} {:>8}   (paper: {:.1}x)",
+            name,
+            tables::speedup(g),
+            paper[i]
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Table 2: throughput and energy-efficiency comparison.
+//!
+//! The "Ours FPGA" row is measured by the simulator (BERT-base across the
+//! three datasets, batch 16, Top-30, length-aware scheduling, equivalent-
+//! throughput accounting); the GPU/FPGA/ASIC comparators are the published
+//! numbers the paper quotes, kept as constants in `lat_hwsim::energy`.
+
+use lat_bench::scenarios::{geomean, Scenario, DEFAULT_BATCHES};
+use lat_bench::tables;
+use lat_core::pipeline::SchedulingPolicy;
+use lat_core::sparse::{SparseAttention, SparseAttentionConfig};
+use lat_hwsim::accelerator::AcceleratorDesign;
+use lat_hwsim::energy::{literature_rows, ours_row};
+use lat_hwsim::spec::FpgaSpec;
+use lat_model::attention::DenseAttention;
+use lat_model::graph::AttentionMode;
+use lat_workloads::accuracy::evaluate_on_dataset;
+use lat_workloads::task::{TaskConfig, TaskGenerator};
+
+fn main() {
+    println!("Table 2 — energy efficiency & throughput comparison\n");
+
+    // Measure "Ours": equivalent GOPS and GOP/J over the BERT-base
+    // hardware-evaluation scenarios.
+    let mut gops = Vec::new();
+    let mut eff = Vec::new();
+    for sc in Scenario::hardware_eval()
+        .into_iter()
+        .filter(|s| s.model.name == "BERT-base")
+    {
+        let design = AcceleratorDesign::new(
+            &sc.model,
+            AttentionMode::paper_sparse(),
+            FpgaSpec::alveo_u280(),
+            sc.dataset.avg_len,
+        );
+        for batch in sc.sample_batches(DEFAULT_BATCHES) {
+            let r = design.run_batch(&batch, SchedulingPolicy::LengthAware);
+            gops.push(r.equivalent_gops());
+            eff.push(r.equivalent_gop_per_j());
+        }
+    }
+    let ours_gops = geomean(&gops);
+    let ours_eff = geomean(&eff);
+
+    // Measure the average accuracy drop at Top-30 on the synthetic task.
+    let generator = TaskGenerator::new(TaskConfig::default(), 0x7AB2);
+    let mut drops = Vec::new();
+    for (i, sc) in Scenario::accuracy_eval().iter().enumerate() {
+        let seed = 0x7AB2_0000 + i as u64;
+        let dense = evaluate_on_dataset(&DenseAttention, &generator, &sc.dataset, 100, seed)
+            .expect("dense eval")
+            .accuracy;
+        let sparse_op = SparseAttention::new(SparseAttentionConfig::paper_default());
+        let sparse = evaluate_on_dataset(&sparse_op, &generator, &sc.dataset, 100, seed)
+            .expect("sparse eval")
+            .accuracy;
+        drops.push(((dense - sparse) * 100.0).max(0.0));
+    }
+    let mean_drop = drops.iter().sum::<f64>() / drops.len() as f64;
+
+    let mut rows_data = literature_rows();
+    rows_data.insert(2, ours_row(ours_gops, ours_eff, mean_drop));
+
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}{}", r.work, if r.measured { " (measured)" } else { "" }),
+                format!("{:.0}", r.throughput_gops),
+                r.gop_per_j
+                    .map(|x| format!("{x:.0}"))
+                    .unwrap_or_else(|| "N/A".into()),
+                r.accuracy_drop_pct
+                    .map(|x| format!("{x:.1}"))
+                    .unwrap_or_else(|| "N/A".into()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        tables::render(
+            &["Work/platform", "Throughput (GOPS)", "Energy eff. (GOP/J)", "Acc. drop (%)"],
+            &rows,
+        )
+    );
+    let gpu_eff = 8.0;
+    println!(
+        "ours vs GPU RTX 6000 energy efficiency: {:.1}x  (paper: >4x vs CUBLAS-optimized GPU)",
+        ours_eff / gpu_eff
+    );
+    println!("(paper's 'Ours FPGA' row: 3600 GOPS, 102 GOP/J, 1.8% drop)");
+}

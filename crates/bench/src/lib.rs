@@ -1,0 +1,23 @@
+//! # lat-bench
+//!
+//! Harnesses regenerating every table and figure of the paper's evaluation
+//! (§5). Each `fig*`/`table*` binary prints the corresponding figure's data
+//! series or table rows; the Criterion benches in `benches/` measure the
+//! software kernels themselves.
+//!
+//! | Target | Paper artifact |
+//! |---|---|
+//! | `fig1_breakdown` | Fig. 1(c) encoder time breakdown |
+//! | `fig4_fusion` | Fig. 4 loop-fusion cycle comparison |
+//! | `fig5_schedule` | Fig. 5 length-aware timing diagram |
+//! | `fig6_accuracy` | Fig. 6 accuracy vs Top-k |
+//! | `fig7a_end2end` | Fig. 7(a) end-to-end cross-platform speedup |
+//! | `fig7b_attention` | Fig. 7(b) attention cross-platform speedup |
+//! | `table1_models` | Table 1 model & dataset statistics |
+//! | `table2_energy` | Table 2 throughput & energy efficiency |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scenarios;
+pub mod tables;

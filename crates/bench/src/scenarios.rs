@@ -1,0 +1,138 @@
+//! The evaluation scenarios of §5.2: model × dataset combinations, with
+//! deterministic batch sampling shared by every figure harness.
+
+use lat_model::config::ModelConfig;
+use lat_tensor::rng::SplitMix64;
+use lat_workloads::datasets::DatasetSpec;
+
+/// The paper's batch size for hardware evaluation.
+pub const BATCH_SIZE: usize = 16;
+
+/// Default number of batches each harness averages over.
+pub const DEFAULT_BATCHES: usize = 8;
+
+/// Root seed for all figure harnesses (printed by each binary).
+pub const HARNESS_SEED: u64 = 0xDAC2_2022;
+
+/// One model × dataset evaluation point.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The model under evaluation.
+    pub model: ModelConfig,
+    /// The dataset providing the length distribution.
+    pub dataset: DatasetSpec,
+}
+
+impl Scenario {
+    /// Display label, e.g. `BERT-base / SQuAD v1.1`.
+    pub fn label(&self) -> String {
+        format!("{} / {}", self.model.name, self.dataset.name)
+    }
+
+    /// The four hardware-evaluation scenarios of Fig. 7: BERT-base on
+    /// SQuAD v1.1 / RTE / MRPC and BERT-large on SQuAD v1.1.
+    pub fn hardware_eval() -> Vec<Scenario> {
+        vec![
+            Scenario {
+                model: ModelConfig::bert_base(),
+                dataset: DatasetSpec::squad_v1(),
+            },
+            Scenario {
+                model: ModelConfig::bert_base(),
+                dataset: DatasetSpec::rte(),
+            },
+            Scenario {
+                model: ModelConfig::bert_base(),
+                dataset: DatasetSpec::mrpc(),
+            },
+            Scenario {
+                model: ModelConfig::bert_large(),
+                dataset: DatasetSpec::squad_v1(),
+            },
+        ]
+    }
+
+    /// The ten accuracy-evaluation combinations of Fig. 6 (four models ×
+    /// three datasets, BERT-large only on SQuAD).
+    pub fn accuracy_eval() -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for model in [
+            ModelConfig::bert_base(),
+            ModelConfig::bert_large(),
+            ModelConfig::distilbert(),
+            ModelConfig::roberta(),
+        ] {
+            for dataset in DatasetSpec::paper_datasets() {
+                if model.name == "BERT-large" && dataset.name != "SQuAD v1.1" {
+                    continue;
+                }
+                out.push(Scenario {
+                    model: model.clone(),
+                    dataset,
+                });
+            }
+        }
+        out
+    }
+
+    /// Samples `n_batches` deterministic batches of [`BATCH_SIZE`] lengths.
+    pub fn sample_batches(&self, n_batches: usize) -> Vec<Vec<usize>> {
+        let mut rng = SplitMix64::new(HARNESS_SEED ^ hash_label(&self.label()));
+        self.dataset.sample_batches(&mut rng, BATCH_SIZE, n_batches)
+    }
+}
+
+fn hash_label(s: &str) -> u64 {
+    s.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        })
+}
+
+/// Geometric mean of strictly positive values; 0 if empty.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|&x| x.max(1e-300).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardware_eval_has_four_scenarios() {
+        let s = Scenario::hardware_eval();
+        assert_eq!(s.len(), 4);
+        assert!(s[3].label().contains("BERT-large"));
+    }
+
+    #[test]
+    fn accuracy_eval_has_ten_combos() {
+        assert_eq!(Scenario::accuracy_eval().len(), 10);
+    }
+
+    #[test]
+    fn batches_are_deterministic_and_sized() {
+        let sc = &Scenario::hardware_eval()[0];
+        let a = sc.sample_batches(3);
+        let b = sc.sample_batches(3);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|batch| batch.len() == BATCH_SIZE));
+    }
+
+    #[test]
+    fn different_scenarios_get_different_batches() {
+        let s = Scenario::hardware_eval();
+        assert_ne!(s[0].sample_batches(1), s[1].sample_batches(1));
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,93 @@
+//! Plain-text table rendering shared by the figure/table binaries.
+
+/// Renders a table with a header row, a separator and aligned columns.
+///
+/// # Example
+///
+/// ```
+/// use lat_bench::tables::render;
+///
+/// let t = render(
+///     &["platform", "speedup"],
+///     &[vec!["CPU".into(), "1.0".into()], vec!["FPGA".into(), "80.2".into()]],
+/// );
+/// assert!(t.contains("platform"));
+/// assert!(t.contains("80.2"));
+/// ```
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a speedup factor as the paper prints them (`80.2x`).
+pub fn speedup(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}x")
+    } else {
+        format!("{x:.1}x")
+    }
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let t = render(
+            &["a", "long-header"],
+            &[vec!["xxxxx".into(), "1".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with('-'));
+        // Second column starts at the same offset in header and body.
+        let h_off = lines[0].find("long-header").unwrap();
+        let b_off = lines[2].find('1').unwrap();
+        assert_eq!(h_off, b_off);
+    }
+
+    #[test]
+    fn speedup_formats() {
+        assert_eq!(speedup(80.23), "80.2x");
+        assert_eq!(speedup(1073.0), "1073x");
+        assert_eq!(speedup(2.61), "2.6x");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.802), "80.2%");
+    }
+}

@@ -1,0 +1,232 @@
+//! Sparse-attention *baselines* from the related work (§2), for
+//! like-for-like comparison against the paper's quantized Top-k operator:
+//!
+//! - [`WindowedAttention`] — fixed-pattern sparse attention in the
+//!   Big Bird / Longformer style: every query attends to a local window
+//!   plus a few designated global tokens. The paper's critique: "such
+//!   design requires a pre-determined attention mask that lacks
+//!   generality".
+//! - [`RandomSamplingAttention`] — each query attends to a random subset
+//!   of keys (the degenerate approximation floor: any useful pre-selection
+//!   must beat it at equal budget).
+//!
+//! Both implement [`AttentionOp`] with the same per-query budget `k` as
+//! [`crate::sparse::SparseAttention`], so accuracy comparisons at equal
+//! compute are one-liners (see the `ablate_baselines` bench binary).
+
+use lat_model::attention::AttentionOp;
+use lat_model::ModelError;
+use lat_tensor::rng::SplitMix64;
+use lat_tensor::{ops, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Fixed-pattern windowed + global sparse attention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowedAttention {
+    /// Local window half-width: query `i` attends to `i−w ..= i+w`.
+    pub half_window: usize,
+    /// Number of leading global tokens every query also attends to
+    /// (and which attend everywhere — the summary tokens of §2).
+    pub global_tokens: usize,
+}
+
+impl WindowedAttention {
+    /// A configuration whose per-query budget matches Top-`k` selection:
+    /// `2·half_window + 1 + global_tokens ≈ k`.
+    pub fn with_budget(k: usize) -> Self {
+        let global_tokens = (k / 8).max(1);
+        let half_window = k.saturating_sub(global_tokens + 1) / 2;
+        Self {
+            half_window,
+            global_tokens,
+        }
+    }
+
+    /// The (maximum) number of keys one query attends to.
+    pub fn budget(&self) -> usize {
+        2 * self.half_window + 1 + self.global_tokens
+    }
+
+    /// The fixed candidate set for query `i` of a length-`n` sequence.
+    pub fn candidates(&self, i: usize, n: usize) -> Vec<usize> {
+        let mut set: Vec<usize> = (0..self.global_tokens.min(n)).collect();
+        let lo = i.saturating_sub(self.half_window);
+        let hi = (i + self.half_window).min(n.saturating_sub(1));
+        for j in lo..=hi {
+            if !set.contains(&j) {
+                set.push(j);
+            }
+        }
+        set.sort_unstable();
+        set
+    }
+}
+
+impl AttentionOp for WindowedAttention {
+    fn attend(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Result<Matrix, ModelError> {
+        attend_with_candidates(q, k, v, |i, n| self.candidates(i, n))
+    }
+
+    fn name(&self) -> &'static str {
+        "windowed-global"
+    }
+}
+
+/// Random-subset sparse attention (seeded, deterministic per instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RandomSamplingAttention {
+    /// Keys sampled per query.
+    pub k: usize,
+    /// Seed of the sampling stream.
+    pub seed: u64,
+}
+
+impl AttentionOp for RandomSamplingAttention {
+    fn attend(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Result<Matrix, ModelError> {
+        // One deterministic stream per call; each row forks its own
+        // sub-stream so row results don't depend on row order.
+        attend_with_candidates(q, k, v, |i, n| {
+            let mut rng = SplitMix64::new(self.seed ^ ((i as u64 + 1) * 0x9E37));
+            let mut idx = rng.sample_indices(n, self.k.min(n));
+            idx.sort_unstable();
+            idx
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "random-sampling"
+    }
+}
+
+/// Shared skeleton: exact softmax attention restricted to a per-row
+/// candidate set.
+fn attend_with_candidates(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    candidates: impl Fn(usize, usize) -> Vec<usize>,
+) -> Result<Matrix, ModelError> {
+    if k.rows() != v.rows() {
+        return Err(ModelError::InvalidInput(format!(
+            "K has {} rows but V has {}",
+            k.rows(),
+            v.rows()
+        )));
+    }
+    let n_keys = k.rows();
+    let scale = 1.0 / (q.cols() as f32).sqrt();
+    let mut out = Matrix::zeros(q.rows(), v.cols());
+    for i in 0..q.rows() {
+        let cands = candidates(i, n_keys);
+        if cands.is_empty() {
+            continue;
+        }
+        let ks = k.gather_rows(&cands);
+        let vs = v.gather_rows(&cands);
+        let qi = Matrix::from_vec(1, q.cols(), q.row(i).to_vec()).expect("row width matches");
+        let scores = qi.matmul_transposed(&ks)?.scaled(scale);
+        let probs = ops::softmax_rows(&scores);
+        let z = probs.matmul(&vs)?;
+        out.row_mut(i).copy_from_slice(z.row(0));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lat_model::attention::DenseAttention;
+
+    #[test]
+    fn windowed_budget_matches_k() {
+        for k in [10usize, 30, 50] {
+            let w = WindowedAttention::with_budget(k);
+            let b = w.budget();
+            assert!(
+                (b as i64 - k as i64).unsigned_abs() <= 2,
+                "budget {b} too far from k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_candidates_contain_self_and_globals() {
+        let w = WindowedAttention {
+            half_window: 2,
+            global_tokens: 2,
+        };
+        let c = w.candidates(10, 40);
+        assert!(c.contains(&10), "self missing");
+        assert!(c.contains(&0) && c.contains(&1), "globals missing");
+        assert!(c.contains(&8) && c.contains(&12), "window edge missing");
+        assert!(!c.contains(&13) && !c.contains(&7));
+    }
+
+    #[test]
+    fn windowed_candidates_clamp_at_edges() {
+        let w = WindowedAttention {
+            half_window: 3,
+            global_tokens: 1,
+        };
+        let c = w.candidates(0, 5);
+        assert!(c.iter().all(|&j| j < 5));
+        assert!(c.contains(&0) && c.contains(&3));
+    }
+
+    #[test]
+    fn full_window_equals_dense() {
+        let mut rng = SplitMix64::new(55);
+        let q = rng.gaussian_matrix(8, 8, 1.0);
+        let k = rng.gaussian_matrix(8, 8, 1.0);
+        let v = rng.gaussian_matrix(8, 8, 1.0);
+        let w = WindowedAttention {
+            half_window: 8,
+            global_tokens: 0,
+        };
+        let a = w.attend(&q, &k, &v).unwrap();
+        let b = DenseAttention.attend(&q, &k, &v).unwrap();
+        assert!(a.mse(&b).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn random_sampling_full_budget_equals_dense() {
+        let mut rng = SplitMix64::new(56);
+        let q = rng.gaussian_matrix(6, 8, 1.0);
+        let k = rng.gaussian_matrix(6, 8, 1.0);
+        let v = rng.gaussian_matrix(6, 8, 1.0);
+        let r = RandomSamplingAttention { k: 6, seed: 1 };
+        let a = r.attend(&q, &k, &v).unwrap();
+        let b = DenseAttention.attend(&q, &k, &v).unwrap();
+        assert!(a.mse(&b).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn random_sampling_is_deterministic_per_seed() {
+        let mut rng = SplitMix64::new(57);
+        let q = rng.gaussian_matrix(20, 8, 1.0);
+        let k = rng.gaussian_matrix(20, 8, 1.0);
+        let v = rng.gaussian_matrix(20, 8, 1.0);
+        let r = RandomSamplingAttention { k: 5, seed: 9 };
+        assert_eq!(r.attend(&q, &k, &v).unwrap(), r.attend(&q, &k, &v).unwrap());
+        let r2 = RandomSamplingAttention { k: 5, seed: 10 };
+        assert_ne!(r.attend(&q, &k, &v).unwrap(), r2.attend(&q, &k, &v).unwrap());
+    }
+
+    #[test]
+    fn operators_are_object_safe_and_named() {
+        let ops: Vec<Box<dyn AttentionOp>> = vec![
+            Box::new(WindowedAttention::with_budget(10)),
+            Box::new(RandomSamplingAttention { k: 4, seed: 0 }),
+        ];
+        assert_eq!(ops[0].name(), "windowed-global");
+        assert_eq!(ops[1].name(), "random-sampling");
+    }
+
+    #[test]
+    fn mismatched_kv_rejected() {
+        let q = Matrix::zeros(3, 4);
+        let k = Matrix::zeros(3, 4);
+        let v = Matrix::zeros(2, 4);
+        assert!(WindowedAttention::with_budget(5).attend(&q, &k, &v).is_err());
+    }
+}

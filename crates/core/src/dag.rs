@@ -1,0 +1,444 @@
+//! Generic operator-DAG scheduling (the full-generality form of
+//! Algorithm 1's priority machinery).
+//!
+//! The encoder chain in [`crate::stage_alloc`] is the production path; this
+//! module handles arbitrary operator DAGs — in particular the *multi-head*
+//! encoder graph, where the per-head attention branches run in parallel
+//! between the QKV projection and the output projection (Fig. 2(a) shows
+//! head₁/head₂ hardware operating side by side).
+//!
+//! Provided here:
+//!
+//! - [`TaskDag`]: a weighted DAG with cycle detection;
+//! - Eq. 1 critical-path priorities over arbitrary DAGs;
+//! - priority **list scheduling** onto `m` identical execution units — the
+//!   intra-stage analogue of the coarse pipeline: once Algorithm 1 fixes
+//!   the stage boundaries, the operators inside a stage are issued to the
+//!   stage's parallel hardware units in priority order.
+
+use lat_model::config::ModelConfig;
+use lat_model::graph::{AttentionMode, OpKind, OperatorGraph};
+use serde::{Deserialize, Serialize};
+
+/// One node of a task DAG.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DagNode {
+    /// Display name.
+    pub name: String,
+    /// Execution weight (cycles or FLOPs — any consistent unit).
+    pub weight: u64,
+}
+
+/// A weighted directed acyclic graph of operators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskDag {
+    nodes: Vec<DagNode>,
+    edges: Vec<(usize, usize)>,
+}
+
+/// Error returned when a [`TaskDag`] is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// An edge references a node index that does not exist.
+    BadEdge(usize, usize),
+    /// The graph contains a cycle.
+    Cyclic,
+}
+
+impl std::fmt::Display for DagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagError::BadEdge(a, b) => write!(f, "edge ({a}, {b}) references a missing node"),
+            DagError::Cyclic => write!(f, "graph contains a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+impl TaskDag {
+    /// Builds a DAG, validating edges and acyclicity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::BadEdge`] for out-of-range endpoints and
+    /// [`DagError::Cyclic`] if a topological order does not exist.
+    pub fn new(nodes: Vec<DagNode>, edges: Vec<(usize, usize)>) -> Result<Self, DagError> {
+        let n = nodes.len();
+        for &(a, b) in &edges {
+            if a >= n || b >= n {
+                return Err(DagError::BadEdge(a, b));
+            }
+        }
+        let dag = Self { nodes, edges };
+        dag.topological_order().ok_or(DagError::Cyclic)?;
+        Ok(dag)
+    }
+
+    /// The nodes.
+    pub fn nodes(&self) -> &[DagNode] {
+        &self.nodes
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Builds the multi-head encoder DAG for `cfg` at sequence length `s`:
+    /// the per-head attention pipeline is split into `num_heads` parallel
+    /// branches, each carrying `1/h` of the corresponding operator weight.
+    pub fn encoder_multihead(cfg: &ModelConfig, s: usize, mode: AttentionMode) -> Self {
+        let graph = OperatorGraph::encoder(cfg);
+        let h = cfg.num_heads;
+        let w = |kind: OpKind| graph.flops(kind, s, mode);
+        let mut nodes = Vec::new();
+        let mut edges = Vec::new();
+
+        let qkv = nodes.len();
+        nodes.push(DagNode {
+            name: "QKV-Linear".into(),
+            weight: w(OpKind::QkvLinear),
+        });
+
+        let mut head_tails = Vec::with_capacity(h);
+        let per_head = [
+            OpKind::AttnScores,
+            OpKind::Scale,
+            OpKind::Mask,
+            OpKind::Softmax,
+            OpKind::AttnApply,
+        ];
+        for head in 0..h {
+            let mut prev = qkv;
+            for kind in per_head {
+                let id = nodes.len();
+                nodes.push(DagNode {
+                    name: format!("{}[h{head}]", kind.label()),
+                    weight: (w(kind) / h as u64).max(1),
+                });
+                edges.push((prev, id));
+                prev = id;
+            }
+            head_tails.push(prev);
+        }
+
+        let tail_kinds = [
+            OpKind::OutLinear,
+            OpKind::AddNorm1,
+            OpKind::Ffn1,
+            OpKind::Gelu,
+            OpKind::Ffn2,
+            OpKind::AddNorm2,
+        ];
+        let mut prev_tail: Option<usize> = None;
+        for kind in tail_kinds {
+            let id = nodes.len();
+            nodes.push(DagNode {
+                name: kind.label().into(),
+                weight: w(kind),
+            });
+            match prev_tail {
+                None => {
+                    for &t in &head_tails {
+                        edges.push((t, id));
+                    }
+                }
+                Some(p) => edges.push((p, id)),
+            }
+            prev_tail = Some(id);
+        }
+
+        Self { nodes, edges }
+    }
+
+    /// Direct successors of node `id`.
+    pub fn successors(&self, id: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|&&(a, _)| a == id)
+            .map(|&(_, b)| b)
+            .collect()
+    }
+
+    /// Direct predecessors of node `id`.
+    pub fn predecessors(&self, id: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|&&(_, b)| b == id)
+            .map(|&(a, _)| a)
+            .collect()
+    }
+
+    /// Kahn topological order; `None` if cyclic.
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        for &(_, b) in &self.edges {
+            indeg[b] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(&id) = queue.first() {
+            queue.remove(0);
+            order.push(id);
+            for succ in self.successors(id) {
+                indeg[succ] -= 1;
+                if indeg[succ] == 0 {
+                    queue.push(succ);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Eq. 1 critical-path priorities:
+    /// `P(v) = W(v) + max_{u ∈ Succ(v)} P(u)`.
+    pub fn priorities(&self) -> Vec<u64> {
+        let order = self.topological_order().expect("validated acyclic");
+        let mut p = vec![0u64; self.nodes.len()];
+        for &id in order.iter().rev() {
+            let succ_max = self.successors(id).into_iter().map(|j| p[j]).max().unwrap_or(0);
+            p[id] = self.nodes[id].weight + succ_max;
+        }
+        p
+    }
+
+    /// Length of the critical path (max priority over source nodes).
+    pub fn critical_path(&self) -> u64 {
+        self.priorities().into_iter().max().unwrap_or(0)
+    }
+
+    /// Total weight of all nodes.
+    pub fn total_weight(&self) -> u64 {
+        self.nodes.iter().map(|n| n.weight).sum()
+    }
+
+    /// Priority list scheduling onto `units` identical execution units:
+    /// ready nodes are issued in decreasing Eq. 1 priority to the earliest-
+    /// free unit. Returns the schedule with per-node start/end times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units == 0`.
+    pub fn list_schedule(&self, units: usize) -> DagSchedule {
+        assert!(units > 0, "need at least one execution unit");
+        let n = self.nodes.len();
+        let prio = self.priorities();
+        let mut indeg = vec![0usize; n];
+        for &(_, b) in &self.edges {
+            indeg[b] += 1;
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut unit_free = vec![0u64; units];
+        let mut node_done = vec![0u64; n];
+        let mut starts = vec![0u64; n];
+        let mut assigned_unit = vec![0usize; n];
+        let mut scheduled = 0usize;
+
+        while scheduled < n {
+            // Highest-priority ready node (ties by id).
+            ready.sort_by(|&a, &b| prio[b].cmp(&prio[a]).then(a.cmp(&b)));
+            let id = ready.remove(0);
+            // Earliest-free unit, respecting predecessors.
+            let ready_at = self
+                .predecessors(id)
+                .into_iter()
+                .map(|p| node_done[p])
+                .max()
+                .unwrap_or(0);
+            let (unit, &free) = unit_free
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &f)| f)
+                .expect("units > 0");
+            let start = free.max(ready_at);
+            let end = start + self.nodes[id].weight;
+            unit_free[unit] = end;
+            node_done[id] = end;
+            starts[id] = start;
+            assigned_unit[id] = unit;
+            scheduled += 1;
+            for succ in self.successors(id) {
+                indeg[succ] -= 1;
+                if indeg[succ] == 0 {
+                    ready.push(succ);
+                }
+            }
+        }
+
+        let makespan = node_done.iter().copied().max().unwrap_or(0);
+        DagSchedule {
+            starts,
+            ends: node_done,
+            units: assigned_unit,
+            makespan,
+        }
+    }
+}
+
+/// Result of [`TaskDag::list_schedule`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagSchedule {
+    /// Start time per node.
+    pub starts: Vec<u64>,
+    /// End time per node.
+    pub ends: Vec<u64>,
+    /// Execution unit per node.
+    pub units: Vec<usize>,
+    /// Completion time of the whole DAG.
+    pub makespan: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> TaskDag {
+        // a → {b, c} → d with weights 1, 2, 3, 4.
+        TaskDag::new(
+            vec![
+                DagNode { name: "a".into(), weight: 1 },
+                DagNode { name: "b".into(), weight: 2 },
+                DagNode { name: "c".into(), weight: 3 },
+                DagNode { name: "d".into(), weight: 4 },
+            ],
+            vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+        )
+        .expect("valid dag")
+    }
+
+    #[test]
+    fn rejects_bad_edges_and_cycles() {
+        let nodes = vec![
+            DagNode { name: "a".into(), weight: 1 },
+            DagNode { name: "b".into(), weight: 1 },
+        ];
+        assert_eq!(
+            TaskDag::new(nodes.clone(), vec![(0, 5)]).unwrap_err(),
+            DagError::BadEdge(0, 5)
+        );
+        assert_eq!(
+            TaskDag::new(nodes, vec![(0, 1), (1, 0)]).unwrap_err(),
+            DagError::Cyclic
+        );
+    }
+
+    #[test]
+    fn diamond_priorities_follow_eq1() {
+        let d = diamond();
+        let p = d.priorities();
+        // P(d)=4; P(b)=2+4=6; P(c)=3+4=7; P(a)=1+max(6,7)=8.
+        assert_eq!(p, vec![8, 6, 7, 4]);
+        assert_eq!(d.critical_path(), 8);
+    }
+
+    #[test]
+    fn list_schedule_single_unit_is_serial() {
+        let d = diamond();
+        let s = d.list_schedule(1);
+        assert_eq!(s.makespan, d.total_weight());
+    }
+
+    #[test]
+    fn list_schedule_two_units_overlaps_branches() {
+        let d = diamond();
+        let s = d.list_schedule(2);
+        // a(1) then b,c in parallel (max 3) then d(4) = 8 = critical path.
+        assert_eq!(s.makespan, 8);
+        assert!(s.makespan >= d.critical_path());
+    }
+
+    #[test]
+    fn schedule_respects_dependencies() {
+        let cfg = ModelConfig::tiny();
+        let dag = TaskDag::encoder_multihead(&cfg, 64, AttentionMode::paper_sparse());
+        for units in [1usize, 2, 4, 8] {
+            let s = dag.list_schedule(units);
+            for &(a, b) in dag.edges() {
+                assert!(s.ends[a] <= s.starts[b], "edge ({a},{b}) violated");
+            }
+            assert!(s.makespan >= dag.critical_path());
+        }
+    }
+
+    #[test]
+    fn more_units_never_hurt() {
+        let cfg = ModelConfig::bert_base();
+        let dag = TaskDag::encoder_multihead(&cfg, 177, AttentionMode::paper_sparse());
+        let mut prev = u64::MAX;
+        for units in [1usize, 2, 4, 12] {
+            let m = dag.list_schedule(units).makespan;
+            assert!(m <= prev, "units={units}: {m} > {prev}");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn multihead_dag_shape() {
+        let cfg = ModelConfig::tiny(); // 4 heads
+        let dag = TaskDag::encoder_multihead(&cfg, 64, AttentionMode::Dense);
+        // 1 QKV + 4 heads × 5 ops + 6 tail ops.
+        assert_eq!(dag.len(), 1 + 4 * 5 + 6);
+        // QKV has one successor per head.
+        assert_eq!(dag.successors(0).len(), 4);
+        // OutLinear (first tail node) has one predecessor per head.
+        let out_linear = 1 + 4 * 5;
+        assert_eq!(dag.predecessors(out_linear).len(), 4);
+    }
+
+    #[test]
+    fn multihead_total_weight_close_to_chain() {
+        // Splitting per head preserves total work (up to per-head rounding).
+        let cfg = ModelConfig::bert_base();
+        let graph = OperatorGraph::encoder(&cfg);
+        let mode = AttentionMode::paper_sparse();
+        let dag = TaskDag::encoder_multihead(&cfg, 177, mode);
+        let chain = graph.total_flops(177, mode);
+        let ratio = dag.total_weight() as f64 / chain as f64;
+        assert!((0.99..1.01).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn head_parallelism_shortens_critical_path() {
+        // The multi-head DAG's critical path is shorter than the serial
+        // chain's total work — the parallelism Fig. 2(a)'s replicated head
+        // hardware exploits.
+        let cfg = ModelConfig::bert_base();
+        let mode = AttentionMode::Dense;
+        let dag = TaskDag::encoder_multihead(&cfg, 177, mode);
+        assert!(dag.critical_path() < dag.total_weight());
+    }
+
+    #[test]
+    fn chain_priorities_match_stage_alloc() {
+        // A chain built as a TaskDag reproduces stage_alloc::priorities.
+        let cfg = ModelConfig::bert_base();
+        let graph = OperatorGraph::encoder(&cfg);
+        let mode = AttentionMode::paper_sparse();
+        let nodes: Vec<DagNode> = graph
+            .operators()
+            .iter()
+            .map(|o| DagNode {
+                name: o.kind.label().into(),
+                weight: graph.flops(o.kind, 177, mode),
+            })
+            .collect();
+        let edges: Vec<(usize, usize)> = (0..nodes.len() - 1).map(|i| (i, i + 1)).collect();
+        let dag = TaskDag::new(nodes, edges).expect("chain is acyclic");
+        assert_eq!(
+            dag.priorities(),
+            crate::stage_alloc::priorities(&graph, 177, mode)
+        );
+    }
+}

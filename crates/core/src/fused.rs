@@ -1,0 +1,390 @@
+//! The fused attention kernel of Fig. 4.
+//!
+//! Stage 2.2 of the accelerator fuses the operators *exact score MAC →
+//! `1/√d` scale → mask → exponentiation* into a single `II=1` loop nest:
+//!
+//! ```text
+//! for i in 1..=Ks.dim2:          // reduction over the head dimension
+//!   for j in 1..=Ks.dim1:        // over the selected candidates
+//!     S[j] += Qrow[i] * Ks[j][i]
+//!     if i == Ks.dim2:           // last reduction step only
+//!       S[j] *= 1/sqrt(d); S[j] = mask(S[j]); S[j] = exp(S[j])
+//! ```
+//!
+//! The epilogue (scale/mask/exp) rides on the final reduction iteration, so
+//! fusing removes three full passes over the score vector. This module
+//! provides both the fused computation (numerically identical to the
+//! unfused reference) and its cycle count under a `p`-way unrolled,
+//! II=1 pipeline — the model the Fig. 4 bench and `lat-hwsim` charge.
+
+use lat_model::ModelError;
+use lat_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Result of running the fused kernel on one query row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedRowOutput {
+    /// Exponentiated, scaled, masked scores for each candidate.
+    pub exp_scores: Vec<f32>,
+    /// Sum of the exponentiated scores (the softmax denominator Stage 2.3
+    /// divides by).
+    pub sum: f32,
+    /// Cycles the II=1 hardware loop takes (see [`fused_cycles`]).
+    pub cycles: u64,
+}
+
+/// Runs the fused score/scale/mask/exp loop for one query row against the
+/// gathered candidate matrix `ks` (`k × d`).
+///
+/// `masked[j] = true` marks candidate `j` as masked out (its exp score
+/// becomes 0, as `exp(-inf)`); pass an all-false slice when no mask applies.
+/// `unroll` is the spatial unroll factor `p` of the inner loop.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidInput`] if dimensions are inconsistent or
+/// `unroll == 0`.
+///
+/// # Example
+///
+/// ```
+/// use lat_core::fused::fused_attention_row;
+/// use lat_tensor::Matrix;
+///
+/// # fn main() -> Result<(), lat_model::ModelError> {
+/// let ks = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]])?;
+/// let out = fused_attention_row(&[1.0, 0.0], &ks, &[false, false], 1)?;
+/// assert_eq!(out.exp_scores.len(), 2);
+/// assert!(out.sum > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fused_attention_row(
+    q_row: &[f32],
+    ks: &Matrix,
+    masked: &[bool],
+    unroll: usize,
+) -> Result<FusedRowOutput, ModelError> {
+    if ks.cols() != q_row.len() {
+        return Err(ModelError::InvalidInput(format!(
+            "query width {} != candidate width {}",
+            q_row.len(),
+            ks.cols()
+        )));
+    }
+    if masked.len() != ks.rows() {
+        return Err(ModelError::InvalidInput(format!(
+            "mask length {} != candidate count {}",
+            masked.len(),
+            ks.rows()
+        )));
+    }
+    if unroll == 0 {
+        return Err(ModelError::InvalidInput("unroll factor must be >= 1".into()));
+    }
+    let d = q_row.len();
+    let k = ks.rows();
+    let scale = 1.0 / (d as f32).sqrt();
+
+    let mut scores = vec![0.0f32; k];
+    // The Fig. 4 loop nest: outer over the reduction dim, inner over
+    // candidates, epilogue fused into the last outer iteration.
+    for i in 0..d {
+        for (j, s) in scores.iter_mut().enumerate() {
+            *s += q_row[i] * ks[(j, i)];
+            if i == d - 1 {
+                *s *= scale;
+                if masked[j] {
+                    *s = f32::NEG_INFINITY;
+                }
+                *s = s.exp(); // exp(-inf) = 0 for masked lanes
+            }
+        }
+    }
+    let sum: f32 = scores.iter().sum();
+    Ok(FusedRowOutput {
+        exp_scores: scores,
+        sum,
+        cycles: fused_cycles(d, k, unroll),
+    })
+}
+
+/// Unfused reference: separate score / scale / mask / exp passes. Produces
+/// numerically identical output to [`fused_attention_row`] (modulo fp
+/// associativity, which the loop orders here preserve exactly) and the
+/// larger [`unfused_cycles`] count.
+///
+/// # Errors
+///
+/// As for [`fused_attention_row`].
+pub fn unfused_attention_row(
+    q_row: &[f32],
+    ks: &Matrix,
+    masked: &[bool],
+    unroll: usize,
+) -> Result<FusedRowOutput, ModelError> {
+    if ks.cols() != q_row.len() {
+        return Err(ModelError::InvalidInput(format!(
+            "query width {} != candidate width {}",
+            q_row.len(),
+            ks.cols()
+        )));
+    }
+    if masked.len() != ks.rows() {
+        return Err(ModelError::InvalidInput(format!(
+            "mask length {} != candidate count {}",
+            masked.len(),
+            ks.rows()
+        )));
+    }
+    if unroll == 0 {
+        return Err(ModelError::InvalidInput("unroll factor must be >= 1".into()));
+    }
+    let d = q_row.len();
+    let k = ks.rows();
+    // Pass 1: MACs, same i-then-j order as the fused kernel.
+    let mut scores = vec![0.0f32; k];
+    for i in 0..d {
+        for (j, s) in scores.iter_mut().enumerate() {
+            *s += q_row[i] * ks[(j, i)];
+        }
+    }
+    // Pass 2: scale.
+    let scale = 1.0 / (d as f32).sqrt();
+    for s in scores.iter_mut() {
+        *s *= scale;
+    }
+    // Pass 3: mask.
+    for (s, &m) in scores.iter_mut().zip(masked) {
+        if m {
+            *s = f32::NEG_INFINITY;
+        }
+    }
+    // Pass 4: exp.
+    for s in scores.iter_mut() {
+        *s = s.exp();
+    }
+    let sum: f32 = scores.iter().sum();
+    Ok(FusedRowOutput {
+        exp_scores: scores,
+        sum,
+        cycles: unfused_cycles(d, k, unroll),
+    })
+}
+
+/// Cycle count of the fused II=1 loop: `d · ceil(k/p)` beats (the epilogue
+/// rides along on the last reduction step, costing nothing extra), plus a
+/// fixed pipeline-fill latency.
+pub fn fused_cycles(d: usize, k: usize, unroll: usize) -> u64 {
+    let beats = d as u64 * k.div_ceil(unroll) as u64;
+    beats + PIPELINE_FILL
+}
+
+/// Cycle count of the unfused version: the MAC loop plus three further
+/// passes over the score vector (scale, mask, exp), each `ceil(k/p)` beats
+/// with its own pipeline fill — the traffic Fig. 4's fusion eliminates.
+pub fn unfused_cycles(d: usize, k: usize, unroll: usize) -> u64 {
+    let per_pass = k.div_ceil(unroll) as u64;
+    let mac = d as u64 * per_pass + PIPELINE_FILL;
+    mac + 3 * (per_pass + PIPELINE_FILL)
+}
+
+/// Fixed pipeline fill/drain latency charged per loop launch (deep fp
+/// adder/multiplier pipelines on the FPGA fabric).
+pub const PIPELINE_FILL: u64 = 12;
+
+/// Runs the fused kernel for the same query position across `h` heads in
+/// one launch (Fig. 2(a) Stage 2.2 shows head₁/head₂ sharing the fused
+/// pipeline; the heads' loop nests are concatenated so the pipeline fill
+/// is paid once instead of `h` times).
+///
+/// `per_head` pairs each head's query row with its gathered candidate
+/// matrix; all heads use an unmasked epilogue here (the pre-selection
+/// already removed non-candidates).
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidInput`] on any dimension mismatch or
+/// `unroll == 0`.
+pub fn fused_heads(
+    per_head: &[(&[f32], &Matrix)],
+    unroll: usize,
+) -> Result<Vec<FusedRowOutput>, ModelError> {
+    if unroll == 0 {
+        return Err(ModelError::InvalidInput("unroll factor must be >= 1".into()));
+    }
+    let mut outputs = Vec::with_capacity(per_head.len());
+    for (q_row, ks) in per_head {
+        let mask = vec![false; ks.rows()];
+        let mut out = fused_attention_row(q_row, ks, &mask, unroll)?;
+        // Head fusion: the per-launch fill is charged once for the whole
+        // group (corrected below), so strip it from the per-head count.
+        out.cycles -= PIPELINE_FILL;
+        outputs.push(out);
+    }
+    if let Some(first) = outputs.first_mut() {
+        first.cycles += PIPELINE_FILL;
+    }
+    Ok(outputs)
+}
+
+/// Total cycles of [`fused_heads`] versus launching each head separately.
+pub fn head_fusion_gain(h: usize, d: usize, k: usize, unroll: usize) -> FusionGain {
+    let beats = (d as u64) * (k as u64).div_ceil(unroll.max(1) as u64);
+    FusionGain {
+        fused: h as u64 * beats + PIPELINE_FILL,
+        unfused: h as u64 * (beats + PIPELINE_FILL),
+    }
+}
+
+/// Relative speedup of fused over unfused execution for given dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FusionGain {
+    /// Fused kernel cycles.
+    pub fused: u64,
+    /// Unfused (4-pass) cycles.
+    pub unfused: u64,
+}
+
+impl FusionGain {
+    /// Computes the gain for head dimension `d`, `k` candidates, unroll `p`.
+    pub fn compute(d: usize, k: usize, unroll: usize) -> Self {
+        Self {
+            fused: fused_cycles(d, k, unroll),
+            unfused: unfused_cycles(d, k, unroll),
+        }
+    }
+
+    /// `unfused / fused` ratio.
+    pub fn speedup(&self) -> f64 {
+        self.unfused as f64 / self.fused.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lat_tensor::rng::SplitMix64;
+
+    #[test]
+    fn fused_equals_unfused_numerically() {
+        let mut rng = SplitMix64::new(51);
+        let d = 16;
+        let k = 10;
+        let ks = rng.gaussian_matrix(k, d, 1.0);
+        let q: Vec<f32> = (0..d).map(|_| rng.next_gaussian()).collect();
+        let mask = vec![false; k];
+        let f = fused_attention_row(&q, &ks, &mask, 2).unwrap();
+        let u = unfused_attention_row(&q, &ks, &mask, 2).unwrap();
+        for (a, b) in f.exp_scores.iter().zip(&u.exp_scores) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+        assert!((f.sum - u.sum).abs() < 1e-4);
+    }
+
+    #[test]
+    fn masked_lanes_contribute_zero() {
+        let ks = Matrix::identity(3);
+        let q = [1.0, 1.0, 1.0];
+        let mask = [false, true, false];
+        let out = fused_attention_row(&q, &ks, &mask, 1).unwrap();
+        assert_eq!(out.exp_scores[1], 0.0);
+        assert!(out.exp_scores[0] > 0.0);
+    }
+
+    #[test]
+    fn fused_is_cheaper_in_cycles() {
+        for (d, k, p) in [(64usize, 30usize, 1usize), (64, 30, 4), (16, 8, 2)] {
+            let g = FusionGain::compute(d, k, p);
+            assert!(g.fused < g.unfused, "d={d} k={k} p={p}");
+            assert!(g.speedup() > 1.0);
+        }
+    }
+
+    #[test]
+    fn cycle_model_formulas() {
+        // d=4, k=6, p=2: beats = 4*3 = 12, +fill.
+        assert_eq!(fused_cycles(4, 6, 2), 12 + PIPELINE_FILL);
+        // unfused adds 3 passes of 3 beats + fills.
+        assert_eq!(unfused_cycles(4, 6, 2), 12 + PIPELINE_FILL + 3 * (3 + PIPELINE_FILL));
+    }
+
+    #[test]
+    fn unroll_reduces_cycles() {
+        assert!(fused_cycles(64, 32, 4) < fused_cycles(64, 32, 1));
+        // Perfect 4x on the beat component.
+        let c1 = fused_cycles(64, 32, 1) - PIPELINE_FILL;
+        let c4 = fused_cycles(64, 32, 4) - PIPELINE_FILL;
+        assert_eq!(c1, 4 * c4);
+    }
+
+    #[test]
+    fn dimension_validation() {
+        let ks = Matrix::zeros(3, 4);
+        assert!(fused_attention_row(&[0.0; 5], &ks, &[false; 3], 1).is_err());
+        assert!(fused_attention_row(&[0.0; 4], &ks, &[false; 2], 1).is_err());
+        assert!(fused_attention_row(&[0.0; 4], &ks, &[false; 3], 0).is_err());
+        assert!(unfused_attention_row(&[0.0; 5], &ks, &[false; 3], 1).is_err());
+        assert!(unfused_attention_row(&[0.0; 4], &ks, &[false; 2], 1).is_err());
+        assert!(unfused_attention_row(&[0.0; 4], &ks, &[false; 3], 0).is_err());
+    }
+
+    #[test]
+    fn sum_matches_score_total() {
+        let mut rng = SplitMix64::new(52);
+        let ks = rng.gaussian_matrix(5, 8, 1.0);
+        let q: Vec<f32> = (0..8).map(|_| rng.next_gaussian()).collect();
+        let out = fused_attention_row(&q, &ks, &[false; 5], 1).unwrap();
+        let manual: f32 = out.exp_scores.iter().sum();
+        assert!((out.sum - manual).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_masked_gives_zero_sum() {
+        let ks = Matrix::identity(2);
+        let out = fused_attention_row(&[1.0, 0.0], &ks, &[true, true], 1).unwrap();
+        assert_eq!(out.sum, 0.0);
+    }
+
+    #[test]
+    fn fused_heads_match_individual_launches() {
+        let mut rng = SplitMix64::new(53);
+        let d = 16;
+        let k = 8;
+        let ks1 = rng.gaussian_matrix(k, d, 1.0);
+        let ks2 = rng.gaussian_matrix(k, d, 1.0);
+        let q1: Vec<f32> = (0..d).map(|_| rng.next_gaussian()).collect();
+        let q2: Vec<f32> = (0..d).map(|_| rng.next_gaussian()).collect();
+        let grouped = fused_heads(&[(&q1, &ks1), (&q2, &ks2)], 1).unwrap();
+        let solo1 = fused_attention_row(&q1, &ks1, &[false; 8], 1).unwrap();
+        let solo2 = fused_attention_row(&q2, &ks2, &[false; 8], 1).unwrap();
+        assert_eq!(grouped[0].exp_scores, solo1.exp_scores);
+        assert_eq!(grouped[1].exp_scores, solo2.exp_scores);
+        // One fill total instead of two.
+        let grouped_cycles: u64 = grouped.iter().map(|o| o.cycles).sum();
+        assert_eq!(grouped_cycles + PIPELINE_FILL, solo1.cycles + solo2.cycles);
+    }
+
+    #[test]
+    fn head_fusion_gain_saves_fills() {
+        let g = head_fusion_gain(12, 64, 30, 2);
+        assert_eq!(g.unfused - g.fused, 11 * PIPELINE_FILL);
+        assert!(g.speedup() > 1.0);
+    }
+
+    #[test]
+    fn fused_heads_rejects_zero_unroll() {
+        let ks = Matrix::identity(2);
+        let q = [1.0f32, 0.0];
+        assert!(fused_heads(&[(&q[..], &ks)], 0).is_err());
+    }
+
+    #[test]
+    fn fusion_gain_grows_with_relative_epilogue_weight() {
+        // Small d (short reduction) makes the extra passes relatively more
+        // expensive, so fusion helps more.
+        let small_d = FusionGain::compute(8, 30, 1).speedup();
+        let large_d = FusionGain::compute(256, 30, 1).speedup();
+        assert!(small_d > large_d);
+    }
+}

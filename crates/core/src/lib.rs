@@ -1,0 +1,55 @@
+//! # lat-core
+//!
+//! The primary contribution of the DAC'22 paper *"A Length Adaptive
+//! Algorithm-Hardware Co-design of Transformer on FPGA Through Sparse
+//! Attention and Dynamic Pipelining"*, as a pure-Rust library:
+//!
+//! 1. **Sparse attention** (§3): [`preselect`] quantizes Q/K to 1 or 4 bits
+//!    and ranks candidate keys with a LUT integer matmul; [`topk`] selects
+//!    the Top-k per query row (heap reference + the hardware's merge-sort
+//!    network model); [`sparse::SparseAttention`] then computes *exact*
+//!    attention over only the selected candidates, dropping complexity from
+//!    `O(n²)` to `O(n·k)`. [`fused`] provides the Fig. 4 fused kernel that
+//!    folds scale/mask/exp into the score loop.
+//! 2. **Stage allocation** (§4.2, Algorithm 1): [`stage_alloc`] partitions
+//!    the encoder operator graph into coarse-grained pipeline stages by
+//!    critical-path priority under a DSP budget, with per-operator
+//!    parallelism rate-matching.
+//! 3. **Length-aware dynamic pipelining** (§4.2): [`pipeline`] schedules a
+//!    batch of variable-length sequences through the coarse stages in
+//!    decreasing-length order, eliminating pipeline bubbles; padding and
+//!    micro-batching baselines are provided for comparison.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lat_core::sparse::{SparseAttention, SparseAttentionConfig};
+//! use lat_model::attention::{AttentionOp, DenseAttention};
+//! use lat_tensor::rng::SplitMix64;
+//!
+//! # fn main() -> Result<(), lat_model::ModelError> {
+//! let mut rng = SplitMix64::new(1);
+//! let q = rng.gaussian_matrix(64, 32, 1.0);
+//! let k = rng.gaussian_matrix(64, 32, 1.0);
+//! let v = rng.gaussian_matrix(64, 32, 1.0);
+//!
+//! let sparse = SparseAttention::new(SparseAttentionConfig::paper_default());
+//! let approx = sparse.attend(&q, &k, &v)?;
+//! let exact = DenseAttention.attend(&q, &k, &v)?;
+//! assert_eq!(approx.shape(), exact.shape());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod dag;
+pub mod fused;
+pub mod pipeline;
+pub mod preselect;
+pub mod runtime;
+pub mod sparse;
+pub mod stage_alloc;
+pub mod topk;

@@ -1,0 +1,420 @@
+//! Candidate pre-selection via Q/K quantization (§3.2, Fig. 3 steps 2–4).
+//!
+//! The full-precision `Q` and `K` are quantized to 1 or 4 bits; the
+//! approximate score matrix `Q'·K'ᵀ` is computed through the LUT integer
+//! multiplier; each query row keeps its Top-k highest-scoring key indices.
+//! Because quantization and `exp` are monotone, the approximate ranking
+//! tracks the exact attention-score ranking, and only the retained
+//! candidates proceed to exact attention.
+
+use crate::topk;
+use lat_model::ModelError;
+use lat_tensor::lut::ProductLut;
+use lat_tensor::quant::{BitWidth, QuantizedMatrix};
+use lat_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the pre-selection pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PreselectConfig {
+    /// Quantization bit-width for Q and K (1-bit in the paper's accuracy
+    /// evaluation, 4-bit in the Fig. 3 walk-through).
+    pub bits: BitWidth,
+    /// Number of candidates to keep per query row.
+    pub k: usize,
+}
+
+impl PreselectConfig {
+    /// The paper's §5.1 configuration: 1-bit sign quantization, Top-30.
+    pub fn paper_default() -> Self {
+        Self {
+            bits: BitWidth::One,
+            k: 30,
+        }
+    }
+
+    /// Fig. 3 walk-through configuration: 4-bit, Top-2.
+    pub fn fig3() -> Self {
+        Self {
+            bits: BitWidth::Four,
+            k: 2,
+        }
+    }
+}
+
+/// Result of pre-selection: the per-row candidate index lists plus the raw
+/// approximate scores (exposed for diagnostics and the worked example).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Preselection {
+    /// `candidates[i]` = indices of the keys query row `i` will attend to,
+    /// sorted by descending approximate score.
+    pub candidates: Vec<Vec<usize>>,
+    /// Row-major `n×m` integer approximate score matrix `Q'·K'ᵀ`.
+    pub approx_scores: Vec<i32>,
+    /// Number of key rows `m` (the row stride of `approx_scores`).
+    pub num_keys: usize,
+}
+
+impl Preselection {
+    /// The approximate score of query `i` against key `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn score(&self, i: usize, j: usize) -> i32 {
+        assert!(j < self.num_keys, "key index {j} out of range");
+        self.approx_scores[i * self.num_keys + j]
+    }
+
+    /// Average number of candidates per row (≤ k; < k only for short rows).
+    pub fn mean_candidates(&self) -> f64 {
+        if self.candidates.is_empty() {
+            return 0.0;
+        }
+        self.candidates.iter().map(|c| c.len()).sum::<usize>() as f64
+            / self.candidates.len() as f64
+    }
+}
+
+/// Runs quantized candidate pre-selection for `q` against `k_mat`.
+///
+/// This is the software-exact model of the Stage 1 At-Sel hardware: bits
+/// selector (quantization) → LUT distance → merge-sort Top-k.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidInput`] if `q` and `k_mat` have different
+/// widths (head dimensions).
+///
+/// # Example
+///
+/// ```
+/// use lat_core::preselect::{preselect, PreselectConfig};
+/// use lat_tensor::Matrix;
+///
+/// # fn main() -> Result<(), lat_model::ModelError> {
+/// let q = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]])?;
+/// let k = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[-1.0, 0.0]])?;
+/// let sel = preselect(&q, &k, PreselectConfig::fig3())?;
+/// assert_eq!(sel.candidates.len(), 2);
+/// assert_eq!(sel.candidates[0][0], 0); // q0 is most aligned with k0
+/// # Ok(())
+/// # }
+/// ```
+pub fn preselect(
+    q: &Matrix,
+    k_mat: &Matrix,
+    cfg: PreselectConfig,
+) -> Result<Preselection, ModelError> {
+    if q.cols() != k_mat.cols() {
+        return Err(ModelError::InvalidInput(format!(
+            "Q width {} != K width {}",
+            q.cols(),
+            k_mat.cols()
+        )));
+    }
+    let qq = QuantizedMatrix::quantize(q, cfg.bits);
+    let qk = QuantizedMatrix::quantize(k_mat, cfg.bits);
+    let lut = ProductLut::new(cfg.bits);
+    let approx_scores = lut
+        .score_matrix(&qq, &qk)
+        .map_err(ModelError::from)?;
+    let m = k_mat.rows();
+    let candidates = (0..q.rows())
+        .map(|i| topk::top_k_merge_network(&approx_scores[i * m..(i + 1) * m], cfg.k))
+        .collect();
+    Ok(Preselection {
+        candidates,
+        approx_scores,
+        num_keys: m,
+    })
+}
+
+/// Measures how well pre-selection recovers the *exact* top-k attention
+/// candidates: mean recall over all query rows, plus the mean retained
+/// softmax mass (the fraction of exact attention probability that falls on
+/// the kept candidates).
+///
+/// # Errors
+///
+/// Returns [`ModelError`] on shape mismatch.
+pub fn preselect_fidelity(
+    q: &Matrix,
+    k_mat: &Matrix,
+    cfg: PreselectConfig,
+) -> Result<PreselectFidelity, ModelError> {
+    let sel = preselect(q, k_mat, cfg)?;
+    let exact = q.matmul_transposed(k_mat).map_err(ModelError::from)?;
+    let scale = 1.0 / (q.cols() as f32).sqrt();
+    let mut recall_sum = 0.0f64;
+    let mut mass_sum = 0.0f64;
+    let n = q.rows().max(1);
+    for i in 0..q.rows() {
+        let row = exact.row(i);
+        let reference = topk::top_k_f32(row, cfg.k);
+        recall_sum += topk::recall(&sel.candidates[i], &reference);
+
+        // Retained softmax mass.
+        let mut probs: Vec<f32> = row.iter().map(|&s| s * scale).collect();
+        lat_tensor::ops::softmax_in_place(&mut probs);
+        let kept: f32 = sel.candidates[i].iter().map(|&j| probs[j]).sum();
+        mass_sum += kept as f64;
+    }
+    Ok(PreselectFidelity {
+        mean_recall: recall_sum / n as f64,
+        mean_retained_mass: mass_sum / n as f64,
+    })
+}
+
+/// Fidelity metrics of a pre-selection configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PreselectFidelity {
+    /// Mean fraction of the exact top-k candidate set recovered.
+    pub mean_recall: f64,
+    /// Mean exact-softmax probability mass carried by the kept candidates.
+    pub mean_retained_mass: f64,
+}
+
+/// Head-shared candidate pre-selection (SpAtten-style token-level ablation):
+/// the approximate scores of all heads are *summed* per (query, key) pair
+/// and a single candidate set per query row is selected, shared by every
+/// head.
+///
+/// Compared to per-head selection this loses per-head specialization but
+/// means Stage 2.1 gathers each key/value row once instead of once per
+/// head — an `h×` reduction in candidate-load traffic. The ablation bench
+/// quantifies the accuracy side of that trade.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidInput`] if the slices are empty, have
+/// unequal element counts, or any head's Q/K widths disagree.
+pub fn preselect_shared_across_heads(
+    q_heads: &[Matrix],
+    k_heads: &[Matrix],
+    cfg: PreselectConfig,
+) -> Result<Preselection, ModelError> {
+    if q_heads.is_empty() || q_heads.len() != k_heads.len() {
+        return Err(ModelError::InvalidInput(format!(
+            "need matching non-empty head lists, got {} and {}",
+            q_heads.len(),
+            k_heads.len()
+        )));
+    }
+    let n = q_heads[0].rows();
+    let m = k_heads[0].rows();
+    let mut summed = vec![0i64; n * m];
+    for (q, k) in q_heads.iter().zip(k_heads) {
+        if q.rows() != n || k.rows() != m {
+            return Err(ModelError::InvalidInput(
+                "all heads must share sequence dimensions".into(),
+            ));
+        }
+        let sel = preselect(q, k, cfg)?;
+        for (acc, &s) in summed.iter_mut().zip(&sel.approx_scores) {
+            *acc += s as i64;
+        }
+    }
+    // Saturate back into i32 for the shared ranking (head counts are small
+    // enough that this never saturates in practice).
+    let approx_scores: Vec<i32> = summed
+        .iter()
+        .map(|&s| s.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+        .collect();
+    let candidates = (0..n)
+        .map(|i| topk::top_k_merge_network(&approx_scores[i * m..(i + 1) * m], cfg.k))
+        .collect();
+    Ok(Preselection {
+        candidates,
+        approx_scores,
+        num_keys: m,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lat_tensor::rng::SplitMix64;
+
+    #[test]
+    fn rejects_width_mismatch() {
+        let q = Matrix::zeros(2, 4);
+        let k = Matrix::zeros(3, 5);
+        assert!(preselect(&q, &k, PreselectConfig::paper_default()).is_err());
+    }
+
+    #[test]
+    fn candidate_counts_clamped_by_keys() {
+        let mut rng = SplitMix64::new(31);
+        let q = rng.gaussian_matrix(4, 8, 1.0);
+        let k = rng.gaussian_matrix(5, 8, 1.0);
+        let sel = preselect(&q, &k, PreselectConfig { bits: BitWidth::Four, k: 30 }).unwrap();
+        for c in &sel.candidates {
+            assert_eq!(c.len(), 5); // k clamps to number of keys
+        }
+        assert_eq!(sel.mean_candidates(), 5.0);
+    }
+
+    #[test]
+    fn fig3_example_selects_top2() {
+        // The Fig. 3 matrices: q picks k1 and k3 (0-indexed: 0 and 2).
+        let q = Matrix::from_rows(&[&[0.3, 0.7, 1.2, 0.5]]).unwrap();
+        let k = Matrix::from_rows(&[
+            &[0.7, -0.5, 0.3, 0.4],
+            &[0.4, 0.1, -0.3, 0.4],
+            &[0.4, 0.4, 0.4, 0.1],
+            &[-0.2, -0.3, -0.6, 0.1],
+        ])
+        .unwrap();
+        // Exact scores: qk1=1.17? close to paper's example (0.3*0.7-0.7*0.5+1.2*0.3+0.5*0.4=0.42-... ) —
+        // the paper's exact numbers aren't recoverable from the figure; what we
+        // verify is agreement between the 4-bit pre-selection and the exact top-2.
+        let exact = q.matmul_transposed(&k).unwrap();
+        let reference = topk::top_k_f32(exact.row(0), 2);
+        let sel = preselect(&q, &k, PreselectConfig::fig3()).unwrap();
+        assert_eq!(sel.candidates[0].len(), 2);
+        assert_eq!(
+            topk::recall(&sel.candidates[0], &reference),
+            1.0,
+            "4-bit preselect must recover the exact top-2 on the toy example"
+        );
+    }
+
+    #[test]
+    fn four_bit_recall_high_on_random_data() {
+        let mut rng = SplitMix64::new(32);
+        let q = rng.gaussian_matrix(32, 64, 1.0);
+        let k = rng.gaussian_matrix(128, 64, 1.0);
+        let fid = preselect_fidelity(
+            &q,
+            &k,
+            PreselectConfig { bits: BitWidth::Four, k: 30 },
+        )
+        .unwrap();
+        // On i.i.d. Gaussian data attention is maximally diffuse, so the
+        // retained-mass floor is much lower than on real (concentrated)
+        // attention; the workload crate tests the concentrated regime.
+        assert!(fid.mean_recall > 0.80, "4-bit recall {}", fid.mean_recall);
+        assert!(fid.mean_retained_mass > 0.50, "mass {}", fid.mean_retained_mass);
+    }
+
+    #[test]
+    fn one_bit_retains_most_mass_at_k30() {
+        // 1-bit is coarser but with k=30 of 128 keys still captures most of
+        // the softmax mass — the mechanism behind the <2% accuracy drop.
+        let mut rng = SplitMix64::new(33);
+        let q = rng.gaussian_matrix(32, 64, 1.0);
+        let k = rng.gaussian_matrix(128, 64, 1.0);
+        let fid = preselect_fidelity(&q, &k, PreselectConfig::paper_default()).unwrap();
+        // 1-bit on diffuse Gaussian scores: still comfortably above the
+        // 30/128 ≈ 0.23 random-candidate baseline.
+        assert!(fid.mean_retained_mass > 0.35, "mass {}", fid.mean_retained_mass);
+    }
+
+    #[test]
+    fn wider_bits_never_hurt_recall() {
+        let mut rng = SplitMix64::new(34);
+        let q = rng.gaussian_matrix(16, 32, 1.0);
+        let k = rng.gaussian_matrix(96, 32, 1.0);
+        let r1 = preselect_fidelity(&q, &k, PreselectConfig { bits: BitWidth::One, k: 20 })
+            .unwrap()
+            .mean_recall;
+        let r4 = preselect_fidelity(&q, &k, PreselectConfig { bits: BitWidth::Four, k: 20 })
+            .unwrap()
+            .mean_recall;
+        let r8 = preselect_fidelity(&q, &k, PreselectConfig { bits: BitWidth::Eight, k: 20 })
+            .unwrap()
+            .mean_recall;
+        assert!(r4 >= r1 - 0.05, "4-bit {r4} vs 1-bit {r1}");
+        assert!(r8 >= r4 - 0.02, "8-bit {r8} vs 4-bit {r4}");
+        assert!(r8 > 0.95, "8-bit should be near-exact, got {r8}");
+    }
+
+    #[test]
+    fn larger_k_improves_retained_mass() {
+        let mut rng = SplitMix64::new(35);
+        let q = rng.gaussian_matrix(16, 32, 1.0);
+        let k = rng.gaussian_matrix(128, 32, 1.0);
+        let mut prev = 0.0;
+        for kk in [10usize, 20, 30, 50] {
+            let fid =
+                preselect_fidelity(&q, &k, PreselectConfig { bits: BitWidth::One, k: kk })
+                    .unwrap();
+            assert!(
+                fid.mean_retained_mass >= prev - 1e-9,
+                "mass not monotone at k={kk}"
+            );
+            prev = fid.mean_retained_mass;
+        }
+    }
+
+    #[test]
+    fn shared_selection_is_single_set_per_row() {
+        let mut rng = SplitMix64::new(37);
+        let q_heads: Vec<Matrix> = (0..4).map(|_| rng.gaussian_matrix(10, 8, 1.0)).collect();
+        let k_heads: Vec<Matrix> = (0..4).map(|_| rng.gaussian_matrix(20, 8, 1.0)).collect();
+        let cfg = PreselectConfig { bits: BitWidth::Four, k: 5 };
+        let shared = preselect_shared_across_heads(&q_heads, &k_heads, cfg).unwrap();
+        assert_eq!(shared.candidates.len(), 10);
+        assert!(shared.candidates.iter().all(|c| c.len() == 5));
+    }
+
+    #[test]
+    fn shared_selection_single_head_equals_per_head() {
+        let mut rng = SplitMix64::new(38);
+        let q = rng.gaussian_matrix(6, 8, 1.0);
+        let k = rng.gaussian_matrix(12, 8, 1.0);
+        let cfg = PreselectConfig { bits: BitWidth::Four, k: 4 };
+        let shared =
+            preselect_shared_across_heads(std::slice::from_ref(&q), std::slice::from_ref(&k), cfg)
+                .unwrap();
+        let per_head = preselect(&q, &k, cfg).unwrap();
+        assert_eq!(shared.candidates, per_head.candidates);
+    }
+
+    #[test]
+    fn shared_selection_validates_inputs() {
+        let m = Matrix::zeros(4, 8);
+        let cfg = PreselectConfig::paper_default();
+        assert!(preselect_shared_across_heads(&[], &[], cfg).is_err());
+        assert!(
+            preselect_shared_across_heads(std::slice::from_ref(&m), &[m.clone(), m.clone()], cfg)
+                .is_err()
+        );
+        let short = Matrix::zeros(3, 8);
+        assert!(preselect_shared_across_heads(&[m.clone(), short], &[m.clone(), m], cfg).is_err());
+    }
+
+    #[test]
+    fn shared_selection_tracks_summed_exact_scores() {
+        // With 8-bit quantization the shared ranking should agree with the
+        // ranking of summed exact scores.
+        let mut rng = SplitMix64::new(39);
+        let q_heads: Vec<Matrix> = (0..3).map(|_| rng.gaussian_matrix(4, 16, 1.0)).collect();
+        let k_heads: Vec<Matrix> = (0..3).map(|_| rng.gaussian_matrix(24, 16, 1.0)).collect();
+        let cfg = PreselectConfig { bits: BitWidth::Eight, k: 6 };
+        let shared = preselect_shared_across_heads(&q_heads, &k_heads, cfg).unwrap();
+
+        for row in 0..4 {
+            let mut exact_sum = vec![0.0f32; 24];
+            for (q, k) in q_heads.iter().zip(&k_heads) {
+                let s = q.matmul_transposed(k).unwrap();
+                for (acc, &v) in exact_sum.iter_mut().zip(s.row(row)) {
+                    *acc += v;
+                }
+            }
+            let reference = topk::top_k_f32(&exact_sum, 6);
+            let r = topk::recall(&shared.candidates[row], &reference);
+            assert!(r >= 0.5, "row {row} recall {r}");
+        }
+    }
+
+    #[test]
+    fn score_accessor_matches_matrix_layout() {
+        let mut rng = SplitMix64::new(36);
+        let q = rng.gaussian_matrix(3, 8, 1.0);
+        let k = rng.gaussian_matrix(4, 8, 1.0);
+        let sel = preselect(&q, &k, PreselectConfig::fig3()).unwrap();
+        assert_eq!(sel.score(2, 3), sel.approx_scores[2 * 4 + 3]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Software batch runtime: the algorithm-side counterpart of the
+//! length-aware hardware pipeline.
+//!
+//! §4.2: "The batch inputs are sorted and processed according to the
+//! decreasing order of length". [`BatchRunner`] reproduces that flow in
+//! software: it sorts a batch of variable-length sequences by decreasing
+//! length, runs each through the encoder with the configured attention
+//! operator — **no padding anywhere** — and returns outputs in the
+//! caller's original order together with work accounting.
+
+use crate::sparse::{SparseAttention, SparseAttentionConfig};
+use lat_model::attention::DenseAttention;
+use lat_model::encoder::Encoder;
+use lat_model::ModelError;
+use lat_tensor::Matrix;
+
+/// Which attention operator the runner uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunnerAttention {
+    /// Dense `O(n²)` reference.
+    Dense,
+    /// The paper's sparse operator with the given configuration.
+    Sparse(SparseAttentionConfig),
+}
+
+/// Output of a batch run.
+#[derive(Debug, Clone)]
+pub struct BatchOutput {
+    /// Encoder outputs, in the same order as the inputs.
+    pub outputs: Vec<Matrix>,
+    /// Total tokens processed (no padding is ever added).
+    pub tokens: u64,
+    /// The decreasing-length processing order used (indices into the
+    /// original batch).
+    pub processing_order: Vec<usize>,
+}
+
+/// Runs batches of variable-length sequences through an encoder in
+/// decreasing-length order.
+///
+/// # Example
+///
+/// ```
+/// use lat_core::runtime::{BatchRunner, RunnerAttention};
+/// use lat_core::sparse::SparseAttentionConfig;
+/// use lat_model::{config::ModelConfig, encoder::Encoder};
+/// use lat_tensor::rng::SplitMix64;
+///
+/// # fn main() -> Result<(), lat_model::ModelError> {
+/// let cfg = ModelConfig::tiny();
+/// let mut rng = SplitMix64::new(1);
+/// let encoder = Encoder::random(&cfg, &mut rng);
+/// let runner = BatchRunner::new(
+///     encoder,
+///     RunnerAttention::Sparse(SparseAttentionConfig::paper_default()),
+/// );
+/// let batch = vec![
+///     rng.gaussian_matrix(40, cfg.hidden_dim, 1.0),
+///     rng.gaussian_matrix(25, cfg.hidden_dim, 1.0),
+/// ];
+/// let out = runner.run(&batch)?;
+/// assert_eq!(out.outputs.len(), 2);
+/// assert_eq!(out.outputs[1].rows(), 25); // original order preserved
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchRunner {
+    encoder: Encoder,
+    attention: RunnerAttention,
+}
+
+impl BatchRunner {
+    /// Creates a runner over `encoder` using `attention`.
+    pub fn new(encoder: Encoder, attention: RunnerAttention) -> Self {
+        Self { encoder, attention }
+    }
+
+    /// The encoder in use.
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// Runs a batch; inputs may have any (per-sequence) number of rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if any sequence has the wrong hidden width or
+    /// an operator fails.
+    pub fn run(&self, batch: &[Matrix]) -> Result<BatchOutput, ModelError> {
+        // Decreasing-length processing order (stable on ties).
+        let mut order: Vec<usize> = (0..batch.len()).collect();
+        order.sort_by(|&a, &b| batch[b].rows().cmp(&batch[a].rows()).then(a.cmp(&b)));
+
+        let mut outputs: Vec<Option<Matrix>> = vec![None; batch.len()];
+        let mut tokens = 0u64;
+        for &idx in &order {
+            let x = &batch[idx];
+            tokens += x.rows() as u64;
+            let out = match self.attention {
+                RunnerAttention::Dense => self.encoder.forward(x, &DenseAttention)?,
+                RunnerAttention::Sparse(cfg) => {
+                    self.encoder.forward(x, &SparseAttention::new(cfg))?
+                }
+            };
+            outputs[idx] = Some(out);
+        }
+        Ok(BatchOutput {
+            outputs: outputs
+                .into_iter()
+                .map(|o| o.expect("every index visited exactly once"))
+                .collect(),
+            tokens,
+            processing_order: order,
+        })
+    }
+
+    /// Mean-pooled sentence embeddings for a batch (classification heads
+    /// consume these).
+    ///
+    /// # Errors
+    ///
+    /// As for [`BatchRunner::run`].
+    pub fn encode_pooled_batch(&self, batch: &[Matrix]) -> Result<Vec<Vec<f32>>, ModelError> {
+        let out = self.run(batch)?;
+        Ok(out
+            .outputs
+            .iter()
+            .map(|m| {
+                let n = m.rows().max(1) as f32;
+                let mut pooled = vec![0.0f32; m.cols()];
+                for i in 0..m.rows() {
+                    for (acc, &v) in pooled.iter_mut().zip(m.row(i)) {
+                        *acc += v / n;
+                    }
+                }
+                pooled
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lat_model::config::ModelConfig;
+    use lat_tensor::rng::SplitMix64;
+
+    fn setup(seed: u64) -> (ModelConfig, BatchRunner, SplitMix64) {
+        let cfg = ModelConfig::tiny();
+        let mut rng = SplitMix64::new(seed);
+        let encoder = Encoder::random(&cfg, &mut rng);
+        let runner = BatchRunner::new(
+            encoder,
+            RunnerAttention::Sparse(SparseAttentionConfig::paper_default().with_k(16)),
+        );
+        (cfg, runner, rng)
+    }
+
+    #[test]
+    fn outputs_restored_to_input_order() {
+        let (cfg, runner, mut rng) = setup(101);
+        let batch: Vec<Matrix> = [10usize, 30, 20]
+            .iter()
+            .map(|&n| rng.gaussian_matrix(n, cfg.hidden_dim, 1.0))
+            .collect();
+        let out = runner.run(&batch).unwrap();
+        assert_eq!(out.outputs[0].rows(), 10);
+        assert_eq!(out.outputs[1].rows(), 30);
+        assert_eq!(out.outputs[2].rows(), 20);
+        assert_eq!(out.processing_order, vec![1, 2, 0]);
+        assert_eq!(out.tokens, 60);
+    }
+
+    #[test]
+    fn matches_unbatched_forward() {
+        let (cfg, runner, mut rng) = setup(102);
+        let x = rng.gaussian_matrix(18, cfg.hidden_dim, 1.0);
+        let batched = runner.run(std::slice::from_ref(&x)).unwrap();
+        let direct = runner
+            .encoder()
+            .forward(
+                &x,
+                &SparseAttention::new(SparseAttentionConfig::paper_default().with_k(16)),
+            )
+            .unwrap();
+        assert_eq!(batched.outputs[0], direct);
+    }
+
+    #[test]
+    fn dense_and_sparse_runners_agree_at_full_k() {
+        let cfg = ModelConfig::tiny();
+        let mut rng = SplitMix64::new(103);
+        let encoder = Encoder::random(&cfg, &mut rng);
+        let x = rng.gaussian_matrix(12, cfg.hidden_dim, 1.0);
+        let dense = BatchRunner::new(encoder.clone(), RunnerAttention::Dense)
+            .run(std::slice::from_ref(&x))
+            .unwrap();
+        let sparse = BatchRunner::new(
+            encoder,
+            RunnerAttention::Sparse(SparseAttentionConfig {
+                bits: lat_tensor::quant::BitWidth::Eight,
+                k: 12,
+            causal: false,
+        }),
+        )
+        .run(std::slice::from_ref(&x))
+        .unwrap();
+        let mse = dense.outputs[0].mse(&sparse.outputs[0]).unwrap();
+        assert!(mse < 1e-6, "mse {mse}");
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (_, runner, _) = setup(104);
+        let out = runner.run(&[]).unwrap();
+        assert!(out.outputs.is_empty());
+        assert_eq!(out.tokens, 0);
+    }
+
+    #[test]
+    fn pooled_batch_shapes() {
+        let (cfg, runner, mut rng) = setup(105);
+        let batch: Vec<Matrix> = [8usize, 16]
+            .iter()
+            .map(|&n| rng.gaussian_matrix(n, cfg.hidden_dim, 1.0))
+            .collect();
+        let pooled = runner.encode_pooled_batch(&batch).unwrap();
+        assert_eq!(pooled.len(), 2);
+        assert!(pooled.iter().all(|p| p.len() == cfg.hidden_dim));
+    }
+
+    #[test]
+    fn ties_processed_stably() {
+        let (cfg, runner, mut rng) = setup(106);
+        let batch: Vec<Matrix> = [20usize, 20, 20]
+            .iter()
+            .map(|&n| rng.gaussian_matrix(n, cfg.hidden_dim, 1.0))
+            .collect();
+        let out = runner.run(&batch).unwrap();
+        assert_eq!(out.processing_order, vec![0, 1, 2]);
+    }
+}

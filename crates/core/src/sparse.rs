@@ -1,0 +1,431 @@
+//! The sparse attention operator (§3, Fig. 3 steps 2–6).
+//!
+//! Pipeline per head:
+//!
+//! 1. Quantize `Q`, `K` to `bits` (1-bit sign or 4-bit affine).
+//! 2. Approximate scores via the LUT integer matmul (step 2).
+//! 3. Top-k candidate selection per query row (steps 3–4).
+//! 4. *Exact* full-precision `q·Kₛᵀ/√d` over the selected candidates only
+//!    (step 5).
+//! 5. Softmax over the candidates and `Z = S·Vₛ/ΣS` (step 6).
+//!
+//! Complexity drops from `O(n²·d)` to `O(n·k·d)` while the retained scores
+//! are computed at full precision — quantization only influences *which*
+//! scores survive, never their values.
+
+use crate::preselect::{preselect, PreselectConfig};
+use lat_model::attention::AttentionOp;
+use lat_model::ModelError;
+use lat_tensor::quant::BitWidth;
+use lat_tensor::{ops, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the sparse attention operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SparseAttentionConfig {
+    /// Pre-selection quantization width.
+    pub bits: BitWidth,
+    /// Candidates retained per query row.
+    pub k: usize,
+    /// Causal masking: query `i` may only attend to keys `j ≤ i`
+    /// (decoder-style). Masked candidates are dropped *before* the Top-k
+    /// selection, so the retained set is all-valid.
+    pub causal: bool,
+}
+
+impl SparseAttentionConfig {
+    /// The paper's evaluation sweet spot: 1-bit pre-selection, Top-30,
+    /// bidirectional (encoder) attention.
+    pub fn paper_default() -> Self {
+        Self {
+            bits: BitWidth::One,
+            k: 30,
+            causal: false,
+        }
+    }
+
+    /// Builder-style override of `k`.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Builder-style override of the bit-width.
+    pub fn with_bits(mut self, bits: BitWidth) -> Self {
+        self.bits = bits;
+        self
+    }
+
+    /// Builder-style causal-masking toggle.
+    pub fn with_causal(mut self, causal: bool) -> Self {
+        self.causal = causal;
+        self
+    }
+
+    fn preselect_config(&self) -> PreselectConfig {
+        PreselectConfig {
+            bits: self.bits,
+            k: self.k,
+        }
+    }
+}
+
+impl Default for SparseAttentionConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The paper's quantization-based sparse attention operator.
+///
+/// Implements [`AttentionOp`], so it drops into
+/// [`lat_model::encoder::Encoder::forward`] wherever the dense baseline is
+/// used.
+///
+/// # Example
+///
+/// ```
+/// use lat_core::sparse::{SparseAttention, SparseAttentionConfig};
+/// use lat_model::attention::AttentionOp;
+/// use lat_tensor::rng::SplitMix64;
+///
+/// # fn main() -> Result<(), lat_model::ModelError> {
+/// let mut rng = SplitMix64::new(5);
+/// let q = rng.gaussian_matrix(40, 16, 1.0);
+/// let op = SparseAttention::new(SparseAttentionConfig::paper_default().with_k(8));
+/// let z = op.attend(&q, &q, &q)?;
+/// assert_eq!(z.shape(), (40, 16));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SparseAttention {
+    cfg: SparseAttentionConfig,
+}
+
+impl SparseAttention {
+    /// Creates the operator from a configuration.
+    pub fn new(cfg: SparseAttentionConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The operator configuration.
+    pub fn config(&self) -> SparseAttentionConfig {
+        self.cfg
+    }
+
+    /// Full sparse attention with per-row candidate lists exposed —
+    /// the entry point the FPGA pipeline simulator uses, since Stage 1
+    /// (pre-selection) and Stage 2 (exact attention) run in different
+    /// pipeline stages with an HBM buffer in between.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] on operand shape mismatch.
+    pub fn attend_with_details(
+        &self,
+        q: &Matrix,
+        k: &Matrix,
+        v: &Matrix,
+    ) -> Result<SparseAttentionOutput, ModelError> {
+        if k.rows() != v.rows() {
+            return Err(ModelError::InvalidInput(format!(
+                "K has {} rows but V has {}",
+                k.rows(),
+                v.rows()
+            )));
+        }
+        let mut sel = preselect(q, k, self.cfg.preselect_config())?;
+        if self.cfg.causal {
+            // Drop future positions, then refill up to k from the ranked
+            // remainder (the merge-sort output is fully ordered, so the
+            // next-best valid candidates follow naturally).
+            let m = sel.num_keys;
+            let k_keep = self.cfg.k;
+            sel.candidates = (0..q.rows())
+                .map(|i| {
+                    crate::topk::top_k_merge_network(&sel.approx_scores[i * m..(i + 1) * m], m)
+                        .into_iter()
+                        .filter(|&j| j <= i)
+                        .take(k_keep)
+                        .collect()
+                })
+                .collect();
+        }
+        let sel = sel;
+        let scale = 1.0 / (q.cols() as f32).sqrt();
+        let mut out = Matrix::zeros(q.rows(), v.cols());
+        let mut exact_macs: u64 = 0;
+        for i in 0..q.rows() {
+            let cands = &sel.candidates[i];
+            if cands.is_empty() {
+                continue;
+            }
+            // Stage 2.1: gather the selected K/V rows.
+            let ks = k.gather_rows(cands);
+            let vs = v.gather_rows(cands);
+            // Stage 2.2 (steps 5–6.1): exact scores + scale + exp.
+            let qi = Matrix::from_vec(1, q.cols(), q.row(i).to_vec())
+                .expect("row buffer matches width");
+            let scores = qi.matmul_transposed(&ks)?.scaled(scale);
+            let expd = ops::exp_rows(&scores);
+            // Stage 2.3 (step 6.2): Z_i = S_i · V_s / Σ S_i.
+            let sum: f32 = expd.row(0).iter().sum();
+            let z = expd.matmul(&vs)?;
+            let inv = if sum > 0.0 { 1.0 / sum } else { 0.0 };
+            for (dst, &src) in out.row_mut(i).iter_mut().zip(z.row(0)) {
+                *dst = src * inv;
+            }
+            exact_macs += (cands.len() * q.cols()) as u64 // scores
+                + (cands.len() * v.cols()) as u64; // S·V
+        }
+        Ok(SparseAttentionOutput {
+            output: out,
+            candidates: sel.candidates,
+            exact_macs,
+        })
+    }
+
+    /// MAC count of dense attention on the same shapes, for the complexity-
+    /// reduction reports (`scores` + `S·V`).
+    pub fn dense_macs(n: usize, m: usize, d: usize) -> u64 {
+        (n * m * d) as u64 * 2
+    }
+}
+
+impl AttentionOp for SparseAttention {
+    fn attend(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Result<Matrix, ModelError> {
+        Ok(self.attend_with_details(q, k, v)?.output)
+    }
+
+    fn name(&self) -> &'static str {
+        "sparse-topk"
+    }
+}
+
+/// Output of [`SparseAttention::attend_with_details`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseAttentionOutput {
+    /// The attention output matrix (`n × d_v`).
+    pub output: Matrix,
+    /// Per-query-row candidate key indices actually attended.
+    pub candidates: Vec<Vec<usize>>,
+    /// Exact-path multiply-accumulate count actually spent.
+    pub exact_macs: u64,
+}
+
+impl SparseAttentionOutput {
+    /// Complexity reduction versus dense attention on the same shapes
+    /// (1 − sparse/dense), in `[0, 1)`.
+    pub fn complexity_reduction(&self, n: usize, m: usize, d: usize) -> f64 {
+        let dense = SparseAttention::dense_macs(n, m, d);
+        if dense == 0 {
+            return 0.0;
+        }
+        1.0 - self.exact_macs as f64 / dense as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lat_model::attention::DenseAttention;
+    use lat_tensor::rng::SplitMix64;
+
+    fn random_qkv(seed: u64, n: usize, d: usize) -> (Matrix, Matrix, Matrix) {
+        let mut rng = SplitMix64::new(seed);
+        (
+            rng.gaussian_matrix(n, d, 1.0),
+            rng.gaussian_matrix(n, d, 1.0),
+            rng.gaussian_matrix(n, d, 1.0),
+        )
+    }
+
+    #[test]
+    fn equals_dense_when_k_covers_all_keys() {
+        // With k ≥ n every candidate survives and the exact path computes
+        // full softmax attention — bitwise-equivalent math up to fp ordering.
+        let (q, k, v) = random_qkv(41, 12, 8);
+        let sparse = SparseAttention::new(SparseAttentionConfig {
+            bits: BitWidth::Eight,
+            k: 12,
+            causal: false,
+        });
+        let a = sparse.attend(&q, &k, &v).unwrap();
+        let b = DenseAttention.attend(&q, &k, &v).unwrap();
+        let mse = a.mse(&b).unwrap();
+        assert!(mse < 1e-8, "mse = {mse}");
+    }
+
+    #[test]
+    fn close_to_dense_at_moderate_k() {
+        let (q, k, v) = random_qkv(42, 64, 16);
+        let sparse = SparseAttention::new(SparseAttentionConfig {
+            bits: BitWidth::Four,
+            k: 32,
+            causal: false,
+        });
+        let a = sparse.attend(&q, &k, &v).unwrap();
+        let b = DenseAttention.attend(&q, &k, &v).unwrap();
+        // Cosine similarity per row should be high.
+        for i in 0..a.rows() {
+            let cs = ops::cosine_similarity(a.row(i), b.row(i));
+            assert!(cs > 0.9, "row {i} cosine {cs}");
+        }
+    }
+
+    #[test]
+    fn error_decreases_with_k() {
+        let (q, k, v) = random_qkv(43, 64, 16);
+        let dense = DenseAttention.attend(&q, &k, &v).unwrap();
+        let mut prev = f32::INFINITY;
+        for kk in [8usize, 16, 32, 64] {
+            let sparse = SparseAttention::new(SparseAttentionConfig {
+                bits: BitWidth::Eight,
+                k: kk,
+            causal: false,
+        });
+            let out = sparse.attend(&q, &k, &v).unwrap();
+            let mse = out.mse(&dense).unwrap();
+            assert!(
+                mse <= prev * 1.5 + 1e-9,
+                "error should broadly decrease with k: k={kk} mse={mse} prev={prev}"
+            );
+            prev = mse;
+        }
+        assert!(prev < 1e-8, "k=n must be exact");
+    }
+
+    #[test]
+    fn complexity_reduction_exceeds_80_percent() {
+        // §5.1: with Top-30 the attention computation complexity is reduced
+        // by more than 80% on average (sequences ≥ ~150 tokens).
+        let (q, k, v) = random_qkv(44, 177, 32);
+        let sparse = SparseAttention::new(SparseAttentionConfig::paper_default());
+        let out = sparse.attend_with_details(&q, &k, &v).unwrap();
+        let red = out.complexity_reduction(177, 177, 32);
+        assert!(red > 0.8, "complexity reduction only {red:.3}");
+    }
+
+    #[test]
+    fn candidates_respect_k() {
+        let (q, k, v) = random_qkv(45, 50, 8);
+        let sparse = SparseAttention::new(SparseAttentionConfig {
+            bits: BitWidth::One,
+            k: 7,
+            causal: false,
+        });
+        let out = sparse.attend_with_details(&q, &k, &v).unwrap();
+        assert!(out.candidates.iter().all(|c| c.len() == 7));
+    }
+
+    #[test]
+    fn kv_mismatch_rejected() {
+        let q = Matrix::zeros(4, 8);
+        let k = Matrix::zeros(4, 8);
+        let v = Matrix::zeros(5, 8);
+        let sparse = SparseAttention::default();
+        assert!(sparse.attend(&q, &k, &v).is_err());
+    }
+
+    #[test]
+    fn rows_are_convex_combinations_of_values() {
+        // Attention outputs are softmax-weighted averages of selected V
+        // rows, so each output element is within [min, max] of V's column.
+        let (q, k, v) = random_qkv(46, 30, 8);
+        let sparse = SparseAttention::new(SparseAttentionConfig::paper_default().with_k(5));
+        let out = sparse.attend(&q, &k, &v).unwrap();
+        for j in 0..v.cols() {
+            let col = v.col(j);
+            let lo = col.iter().cloned().fold(f32::INFINITY, f32::min);
+            let hi = col.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            for i in 0..out.rows() {
+                let x = out[(i, j)];
+                assert!(x >= lo - 1e-4 && x <= hi + 1e-4, "({i},{j}) = {x} ∉ [{lo},{hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn operator_name_and_default() {
+        assert_eq!(SparseAttention::default().name(), "sparse-topk");
+        assert_eq!(
+            SparseAttention::default().config(),
+            SparseAttentionConfig::paper_default()
+        );
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let cfg = SparseAttentionConfig::paper_default()
+            .with_k(12)
+            .with_bits(BitWidth::Four);
+        assert_eq!(cfg.k, 12);
+        assert_eq!(cfg.bits, BitWidth::Four);
+    }
+
+    #[test]
+    fn causal_candidates_never_look_ahead() {
+        let (q, k, v) = random_qkv(48, 40, 8);
+        let sparse = SparseAttention::new(
+            SparseAttentionConfig::paper_default().with_k(6).with_causal(true),
+        );
+        let out = sparse.attend_with_details(&q, &k, &v).unwrap();
+        for (i, cands) in out.candidates.iter().enumerate() {
+            assert!(cands.iter().all(|&j| j <= i), "row {i} attends ahead: {cands:?}");
+            // Rows with at least k history keep exactly k candidates.
+            if i + 1 >= 6 {
+                assert_eq!(cands.len(), 6, "row {i} under-filled");
+            } else {
+                assert_eq!(cands.len(), i + 1);
+            }
+        }
+        // Row 0 can only attend to itself.
+        assert_eq!(out.candidates[0], vec![0]);
+    }
+
+    #[test]
+    fn causal_matches_dense_causal_at_full_k() {
+        use lat_tensor::ops;
+        let (q, k, v) = random_qkv(49, 16, 8);
+        let sparse = SparseAttention::new(SparseAttentionConfig {
+            bits: BitWidth::Eight,
+            k: 16,
+            causal: true,
+        });
+        let got = sparse.attend(&q, &k, &v).unwrap();
+        // Dense causal reference.
+        let scale = 1.0 / (8f32).sqrt();
+        let scores = q.matmul_transposed(&k).unwrap().scaled(scale);
+        let masked = ops::mask_causal(&scores, f32::NEG_INFINITY);
+        let probs = ops::softmax_rows(&masked);
+        let expect = probs.matmul(&v).unwrap();
+        let mse = got.mse(&expect).unwrap();
+        assert!(mse < 1e-8, "causal mse {mse}");
+    }
+
+    #[test]
+    fn works_inside_full_encoder() {
+        use lat_model::config::ModelConfig;
+        use lat_model::encoder::Encoder;
+        let cfg = ModelConfig::tiny();
+        let mut rng = SplitMix64::new(47);
+        let enc = Encoder::random(&cfg, &mut rng);
+        let x = rng.gaussian_matrix(24, cfg.hidden_dim, 1.0);
+        let dense = enc.forward(&x, &DenseAttention).unwrap();
+        let sparse_op = SparseAttention::new(SparseAttentionConfig {
+            bits: BitWidth::Four,
+            k: 16,
+            causal: false,
+        });
+        let sparse = enc.forward(&x, &sparse_op).unwrap();
+        assert_eq!(dense.shape(), sparse.shape());
+        // Outputs stay close through two full encoder layers.
+        let mut sim = 0.0;
+        for i in 0..dense.rows() {
+            sim += ops::cosine_similarity(dense.row(i), sparse.row(i));
+        }
+        sim /= dense.rows() as f32;
+        assert!(sim > 0.9, "mean cosine through encoder = {sim}");
+    }
+}

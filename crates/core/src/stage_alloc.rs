@@ -1,0 +1,587 @@
+//! Encoder coarse-grained stage allocation — Algorithm 1 of the paper.
+//!
+//! Algorithm 1 takes the encoder operator graph `G = (V, E)`, the operator
+//! weights `W(v, s_avg)` (arithmetic complexity at the average sequence
+//! length) and critical-path priorities `P(v, s_avg)` (Eq. 1), and greedily
+//! packs operators into coarse pipeline stages:
+//!
+//! - operators are visited in decreasing priority (for the encoder chain
+//!   this equals dataflow order);
+//! - within a stage, per-operator parallelism is *rate-matched*:
+//!   `N(v) = ceil(W(v) / W_ref)` with `W_ref` the smallest DSP-bearing
+//!   weight in the stage, so every operator sustains the same token rate;
+//! - when the rate-matched stage no longer fits the per-stage DSP budget,
+//!   the current operator opens a new stage.
+//!
+//! After partitioning, [`StageAllocation::balance_to_budget`] applies the
+//! paper's replication step (`R(G_k, s_i)`): all parallelisms are scaled up
+//! by the largest uniform factor that still fits the full chip, which is
+//! how the design "fully utilize\[s\] the resources of a certain FPGA chip".
+
+use lat_model::graph::{AttentionMode, OpKind, OperatorGraph};
+use serde::{Deserialize, Serialize};
+
+/// Resource model for Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceModel {
+    /// DSP slices one parallel GEMM/MAC instance occupies.
+    pub dsp_per_instance: u32,
+    /// DSP budget one coarse stage may occupy during partitioning.
+    pub dsp_budget_per_stage: u32,
+    /// Total chip DSP budget (Alveo U280 SLR0 = 3000).
+    pub dsp_total: u32,
+    /// Parallel lanes available to elementwise/LUT operators (these consume
+    /// LUT/FF fabric, not DSPs, so they are not budget-constrained here).
+    pub elementwise_lanes: u32,
+}
+
+impl Default for ResourceModel {
+    fn default() -> Self {
+        Self {
+            dsp_per_instance: 16,
+            dsp_budget_per_stage: 1000,
+            dsp_total: 3000,
+            elementwise_lanes: 64,
+        }
+    }
+}
+
+impl ResourceModel {
+    /// Whether `kind` consumes DSP slices (matrix-multiply-class operators)
+    /// as opposed to LUT/FF fabric (elementwise, softmax, normalization).
+    pub fn uses_dsp(kind: OpKind) -> bool {
+        use OpKind::*;
+        matches!(kind, QkvLinear | AttnScores | AttnApply | OutLinear | Ffn1 | Ffn2)
+    }
+}
+
+/// MACs operator `kind` performs *on the DSP datapath* at length `s`.
+///
+/// Under sparse attention the `AttnScores` operator's quantized
+/// pre-selection pass runs on the LUT bit-selector fabric (XNOR/popcount
+/// for 1-bit, table lookups for 4-bit), so only the exact top-k score
+/// computation is charged to DSPs — this is what keeps every stage `O(n)`
+/// on the DSP path, the precondition of the length-aware scheduler.
+pub fn dsp_macs(graph: &OperatorGraph, kind: OpKind, s: usize, mode: AttentionMode) -> u64 {
+    match (kind, mode) {
+        (OpKind::AttnScores, AttentionMode::Sparse { .. }) => {
+            let a = mode.attended(s) as u64;
+            s as u64 * a * graph.hidden_dim() as u64
+        }
+        _ => graph.flops(kind, s, mode) / 2,
+    }
+}
+
+/// Bit-operations the LUT pre-selection fabric performs for `kind` at
+/// length `s` (zero for everything except sparse `AttnScores`).
+pub fn lut_bitops(graph: &OperatorGraph, kind: OpKind, s: usize, mode: AttentionMode) -> u64 {
+    match (kind, mode) {
+        (OpKind::AttnScores, AttentionMode::Sparse { preselect_bits, .. }) => {
+            (s as u64) * (s as u64) * graph.hidden_dim() as u64 * preselect_bits as u64
+        }
+        _ => 0,
+    }
+}
+
+/// One coarse-grained pipeline stage produced by Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Operators assigned to this stage, in dataflow order.
+    pub ops: Vec<OpKind>,
+    /// Rate-matched parallelism `N(v)` per operator (same order as `ops`).
+    pub parallelism: Vec<u32>,
+    /// DSP slices this stage occupies.
+    pub dsp: u32,
+}
+
+impl Stage {
+    /// Latency in cycles for this stage to process one sequence of length
+    /// `s` under `mode`: the slowest operator bounds the stage (operators
+    /// within a stage are pipelined, so the stage rate equals the slowest
+    /// member's rate).
+    pub fn latency_cycles(
+        &self,
+        graph: &OperatorGraph,
+        s: usize,
+        mode: AttentionMode,
+        res: &ResourceModel,
+    ) -> u64 {
+        self.ops
+            .iter()
+            .zip(&self.parallelism)
+            .map(|(&kind, &n)| {
+                if ResourceModel::uses_dsp(kind) {
+                    // Each instance performs dsp_per_instance MACs/cycle;
+                    // the LUT pre-selection fabric (wide bit-parallel) runs
+                    // concurrently, so the operator is bounded by the
+                    // slower of the two paths.
+                    let dsp_cycles = dsp_macs(graph, kind, s, mode)
+                        .div_ceil((n as u64 * res.dsp_per_instance as u64).max(1));
+                    let lut_cycles = lut_bitops(graph, kind, s, mode)
+                        .div_ceil(res.elementwise_lanes as u64 * 64);
+                    dsp_cycles.max(lut_cycles)
+                } else {
+                    (graph.flops(kind, s, mode) / 2)
+                        .div_ceil(res.elementwise_lanes as u64)
+                }
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The complete stage partition of one encoder layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageAllocation {
+    stages: Vec<Stage>,
+    res: ResourceModel,
+}
+
+impl StageAllocation {
+    /// The stages in pipeline order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Number of coarse stages.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The resource model used during allocation.
+    pub fn resource_model(&self) -> &ResourceModel {
+        &self.res
+    }
+
+    /// Total DSP slices across all stages.
+    pub fn total_dsp(&self) -> u32 {
+        self.stages.iter().map(|s| s.dsp).sum()
+    }
+
+    /// Per-stage latencies for a sequence of length `s`.
+    pub fn stage_latencies(
+        &self,
+        graph: &OperatorGraph,
+        s: usize,
+        mode: AttentionMode,
+    ) -> Vec<u64> {
+        self.stages
+            .iter()
+            .map(|st| st.latency_cycles(graph, s, mode, &self.res))
+            .collect()
+    }
+
+    /// The paper's replication/adjustment step (`N(v_i, s_i)` and
+    /// `R(G_k, s_i)`): redistributes the *whole chip's* DSP lanes across all
+    /// DSP-bearing operators proportionally to their work at `s_avg`, so
+    /// that every operator — and therefore every stage — sustains the same
+    /// token rate and the chip is fully utilized. Every DSP operator keeps
+    /// at least one instance. Returns the total DSP count after balancing.
+    pub fn balance_to_budget(
+        &mut self,
+        graph: &OperatorGraph,
+        s_avg: usize,
+        mode: AttentionMode,
+    ) -> u32 {
+        let lanes_total = (self.res.dsp_total / self.res.dsp_per_instance).max(1) as u64;
+        let weights: Vec<Vec<u64>> = self
+            .stages
+            .iter()
+            .map(|st| {
+                st.ops
+                    .iter()
+                    .map(|&k| {
+                        if ResourceModel::uses_dsp(k) {
+                            dsp_macs(graph, k, s_avg, mode)
+                        } else {
+                            0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let total_work: u64 = weights.iter().flatten().sum::<u64>().max(1);
+        for (st, ws) in self.stages.iter_mut().zip(&weights) {
+            let mut dsp = 0u32;
+            for ((n, &k), &w) in st.parallelism.iter_mut().zip(&st.ops).zip(ws) {
+                if ResourceModel::uses_dsp(k) {
+                    let share = (w as u128 * lanes_total as u128 / total_work as u128) as u64;
+                    *n = share.max(1).min(u32::MAX as u64) as u32;
+                    dsp = dsp.saturating_add(*n * self.res.dsp_per_instance);
+                } else {
+                    *n = 1;
+                }
+            }
+            st.dsp = dsp;
+        }
+        self.total_dsp()
+    }
+
+    /// Pipeline throughput bound: the slowest stage's latency at length `s`
+    /// (the coarse pipeline's initiation interval).
+    pub fn bottleneck_latency(
+        &self,
+        graph: &OperatorGraph,
+        s: usize,
+        mode: AttentionMode,
+    ) -> u64 {
+        self.stage_latencies(graph, s, mode)
+            .into_iter()
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Critical-path priorities `P(v, s_avg)` per Eq. 1:
+/// `P(v) = W(v) + max_{u ∈ Succ(v)} P(u)`, `P(sink) = W(sink)`.
+pub fn priorities(graph: &OperatorGraph, s_avg: usize, mode: AttentionMode) -> Vec<u64> {
+    let n = graph.len();
+    let mut p = vec![0u64; n];
+    // Operators are stored in topological order; walk backwards.
+    for id in (0..n).rev() {
+        let w = graph.flops(graph.operators()[id].kind, s_avg, mode);
+        let succ_max = graph
+            .successors(id)
+            .into_iter()
+            .map(|j| p[j])
+            .max()
+            .unwrap_or(0);
+        p[id] = w + succ_max;
+    }
+    p
+}
+
+/// Runs Algorithm 1: partitions the encoder graph into coarse stages.
+///
+/// # Example
+///
+/// ```
+/// use lat_core::stage_alloc::{allocate_stages, ResourceModel};
+/// use lat_model::config::ModelConfig;
+/// use lat_model::graph::{AttentionMode, OperatorGraph};
+///
+/// let cfg = ModelConfig::bert_base();
+/// let graph = OperatorGraph::encoder(&cfg);
+/// let alloc = allocate_stages(
+///     &graph,
+///     177, // SQuAD average length
+///     AttentionMode::paper_sparse(),
+///     ResourceModel::default(),
+/// );
+/// assert!(alloc.num_stages() >= 2);
+/// ```
+pub fn allocate_stages(
+    graph: &OperatorGraph,
+    s_avg: usize,
+    mode: AttentionMode,
+    res: ResourceModel,
+) -> StageAllocation {
+    let prio = priorities(graph, s_avg, mode);
+    // Visit operators in decreasing priority; stable on ties by id so the
+    // dataflow order is preserved (required: stages must be contiguous).
+    let mut order: Vec<usize> = (0..graph.len()).collect();
+    order.sort_by(|&a, &b| prio[b].cmp(&prio[a]).then(a.cmp(&b)));
+
+    let mut stages: Vec<Vec<OpKind>> = Vec::new();
+    let mut current: Vec<OpKind> = Vec::new();
+    for id in order {
+        let kind = graph.operators()[id].kind;
+        let mut tentative = current.clone();
+        tentative.push(kind);
+        let (_, dsp) = rate_match(graph, &tentative, s_avg, mode, &res);
+        if dsp <= res.dsp_budget_per_stage || current.is_empty() {
+            current = tentative;
+        } else {
+            stages.push(std::mem::take(&mut current));
+            current.push(kind);
+        }
+    }
+    if !current.is_empty() {
+        stages.push(current);
+    }
+
+    let stages = stages
+        .into_iter()
+        .map(|ops| {
+            let (parallelism, dsp) = rate_match(graph, &ops, s_avg, mode, &res);
+            Stage {
+                ops,
+                parallelism,
+                dsp,
+            }
+        })
+        .collect();
+    StageAllocation { stages, res }
+}
+
+/// Rate-matching inner step of Algorithm 1: `N(v) = ceil(W(v)/W_ref)` over
+/// the DSP-bearing operators of a tentative stage (elementwise operators
+/// stream at fabric rate with `N = 1`). Returns the parallelism vector and
+/// the stage's DSP usage.
+fn rate_match(
+    graph: &OperatorGraph,
+    ops: &[OpKind],
+    s_avg: usize,
+    mode: AttentionMode,
+    res: &ResourceModel,
+) -> (Vec<u32>, u32) {
+    let w_ref = ops
+        .iter()
+        .filter(|&&k| ResourceModel::uses_dsp(k))
+        .map(|&k| graph.flops(k, s_avg, mode))
+        .min()
+        .unwrap_or(1)
+        .max(1);
+    let mut parallelism = Vec::with_capacity(ops.len());
+    let mut dsp = 0u32;
+    for &k in ops {
+        if ResourceModel::uses_dsp(k) {
+            let w = graph.flops(k, s_avg, mode);
+            let n = w.div_ceil(w_ref).min(u32::MAX as u64) as u32;
+            parallelism.push(n);
+            dsp = dsp.saturating_add(n.saturating_mul(res.dsp_per_instance));
+        } else {
+            parallelism.push(1);
+        }
+    }
+    (parallelism, dsp)
+}
+
+/// A naive equal-count split of the operator chain into `k` stages — the
+/// ablation baseline against Algorithm 1.
+pub fn naive_split(graph: &OperatorGraph, k: usize, res: ResourceModel) -> StageAllocation {
+    let n = graph.len();
+    let k = k.clamp(1, n.max(1));
+    let per = n.div_ceil(k);
+    let mut stages = Vec::new();
+    let mut ops: Vec<OpKind> = Vec::new();
+    for (i, op) in graph.operators().iter().enumerate() {
+        ops.push(op.kind);
+        if ops.len() == per || i + 1 == n {
+            stages.push(std::mem::take(&mut ops));
+        }
+    }
+    // Naive baseline: the chip's DSP lanes are split *uniformly* across the
+    // DSP-bearing operators instead of proportionally to their work.
+    let num_dsp_ops = graph
+        .operators()
+        .iter()
+        .filter(|o| ResourceModel::uses_dsp(o.kind))
+        .count()
+        .max(1) as u32;
+    let lanes_each = (res.dsp_total / res.dsp_per_instance / num_dsp_ops).max(1);
+    let stages = stages
+        .into_iter()
+        .map(|ops| {
+            let parallelism: Vec<u32> = ops
+                .iter()
+                .map(|&k| if ResourceModel::uses_dsp(k) { lanes_each } else { 1 })
+                .collect();
+            let dsp = ops
+                .iter()
+                .filter(|&&k| ResourceModel::uses_dsp(k))
+                .count() as u32
+                * lanes_each
+                * res.dsp_per_instance;
+            Stage {
+                ops,
+                parallelism,
+                dsp,
+            }
+        })
+        .collect();
+    StageAllocation { stages, res }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lat_model::config::ModelConfig;
+
+    fn setup() -> (OperatorGraph, AttentionMode) {
+        let cfg = ModelConfig::bert_base();
+        (OperatorGraph::encoder(&cfg), AttentionMode::paper_sparse())
+    }
+
+    #[test]
+    fn priorities_decrease_along_the_chain() {
+        let (g, mode) = setup();
+        let p = priorities(&g, 177, mode);
+        for w in p.windows(2) {
+            assert!(w[0] > w[1], "priorities must strictly decrease: {w:?}");
+        }
+    }
+
+    #[test]
+    fn priority_of_source_is_total_work() {
+        let (g, mode) = setup();
+        let p = priorities(&g, 128, mode);
+        assert_eq!(p[0], g.total_flops(128, mode));
+    }
+
+    #[test]
+    fn allocation_covers_all_ops_once_in_order() {
+        let (g, mode) = setup();
+        let alloc = allocate_stages(&g, 177, mode, ResourceModel::default());
+        let flat: Vec<OpKind> = alloc
+            .stages()
+            .iter()
+            .flat_map(|s| s.ops.iter().copied())
+            .collect();
+        let expect: Vec<OpKind> = g.operators().iter().map(|o| o.kind).collect();
+        assert_eq!(flat, expect, "stages must partition the chain in order");
+    }
+
+    #[test]
+    fn produces_a_plausible_number_of_coarse_stages() {
+        let (g, mode) = setup();
+        let alloc = allocate_stages(&g, 177, mode, ResourceModel::default());
+        assert!(
+            (2..=6).contains(&alloc.num_stages()),
+            "got {} stages",
+            alloc.num_stages()
+        );
+    }
+
+    #[test]
+    fn every_stage_respects_budget_or_is_singleton() {
+        let (g, mode) = setup();
+        let res = ResourceModel::default();
+        let alloc = allocate_stages(&g, 177, mode, res);
+        for st in alloc.stages() {
+            assert!(
+                st.dsp <= res.dsp_budget_per_stage || st.ops.len() == 1,
+                "stage {:?} uses {} DSP",
+                st.ops,
+                st.dsp
+            );
+        }
+    }
+
+    #[test]
+    fn rate_matching_gives_more_parallelism_to_heavier_ops() {
+        let (g, mode) = setup();
+        let alloc = allocate_stages(&g, 177, mode, ResourceModel::default());
+        for st in alloc.stages() {
+            let dsp_ops: Vec<(OpKind, u32)> = st
+                .ops
+                .iter()
+                .zip(&st.parallelism)
+                .filter(|(k, _)| ResourceModel::uses_dsp(**k))
+                .map(|(&k, &n)| (k, n))
+                .collect();
+            for (a, na) in &dsp_ops {
+                for (b, nb) in &dsp_ops {
+                    let wa = g.flops(*a, 177, mode);
+                    let wb = g.flops(*b, 177, mode);
+                    if wa > wb {
+                        assert!(na >= nb, "{a} (W={wa}) got {na} < {b} (W={wb}) {nb}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stage_latency_positive_and_length_monotone() {
+        let (g, mode) = setup();
+        let alloc = allocate_stages(&g, 177, mode, ResourceModel::default());
+        for st in alloc.stages() {
+            let l100 = st.latency_cycles(&g, 100, mode, alloc.resource_model());
+            let l200 = st.latency_cycles(&g, 200, mode, alloc.resource_model());
+            assert!(l100 > 0);
+            assert!(l200 > l100, "latency must grow with length");
+        }
+    }
+
+    #[test]
+    fn sparse_stage_latency_is_linear_in_length() {
+        // The §4.2 precondition: all operators O(n) under sparse attention.
+        let (g, mode) = setup();
+        let alloc = allocate_stages(&g, 177, mode, ResourceModel::default());
+        for st in alloc.stages() {
+            let l100 = st.latency_cycles(&g, 100, mode, alloc.resource_model()) as f64;
+            let l400 = st.latency_cycles(&g, 400, mode, alloc.resource_model()) as f64;
+            let ratio = l400 / l100;
+            assert!(
+                ratio < 4.6,
+                "stage {:?} scales superlinearly: x4 length -> x{ratio:.2}",
+                st.ops
+            );
+        }
+    }
+
+    #[test]
+    fn balance_to_budget_fills_the_chip() {
+        let (g, mode) = setup();
+        let mut alloc = allocate_stages(&g, 177, mode, ResourceModel::default());
+        let total = alloc.balance_to_budget(&g, 177, mode);
+        let budget = alloc.resource_model().dsp_total;
+        // Rounding can land slightly over/under; stay within one instance
+        // per DSP op of the target.
+        let slack = 6 * alloc.resource_model().dsp_per_instance;
+        assert!(total <= budget + slack, "total {total} vs budget {budget}");
+        assert!(total >= budget - slack, "chip underutilized: {total}/{budget}");
+        // Balancing twice is a fixed point.
+        let again = alloc.balance_to_budget(&g, 177, mode);
+        assert_eq!(total, again);
+    }
+
+    #[test]
+    fn balancing_reduces_bottleneck_latency() {
+        let (g, mode) = setup();
+        let mut alloc = allocate_stages(&g, 177, mode, ResourceModel::default());
+        let before = alloc.bottleneck_latency(&g, 177, mode);
+        alloc.balance_to_budget(&g, 177, mode);
+        let after = alloc.bottleneck_latency(&g, 177, mode);
+        assert!(after < before, "balancing should cut latency: {after} !< {before}");
+    }
+
+    #[test]
+    fn balanced_stages_have_similar_latency() {
+        // Proportional allocation equalizes operator rates, so stage
+        // latencies should be within a small factor of each other.
+        let (g, mode) = setup();
+        let mut alloc = allocate_stages(&g, 177, mode, ResourceModel::default());
+        alloc.balance_to_budget(&g, 177, mode);
+        let lats = alloc.stage_latencies(&g, 177, mode);
+        let max = *lats.iter().max().unwrap() as f64;
+        let min = *lats.iter().min().unwrap() as f64;
+        assert!(max / min < 4.0, "stage imbalance {max}/{min}");
+    }
+
+    #[test]
+    fn algorithm1_beats_naive_split() {
+        let (g, mode) = setup();
+        let res = ResourceModel::default();
+        let mut smart = allocate_stages(&g, 177, mode, res);
+        smart.balance_to_budget(&g, 177, mode);
+        // Naive baseline: same chip, uniform lane split across operators.
+        let naive = naive_split(&g, smart.num_stages(), res);
+        let smart_bound = smart.bottleneck_latency(&g, 177, mode);
+        let naive_bound = naive.bottleneck_latency(&g, 177, mode);
+        assert!(
+            smart_bound < naive_bound,
+            "Algorithm 1 bottleneck {smart_bound} !< naive {naive_bound}"
+        );
+    }
+
+    #[test]
+    fn naive_split_partitions_everything() {
+        let (g, _) = setup();
+        for k in [1usize, 2, 3, 5, 12, 20] {
+            let alloc = naive_split(&g, k, ResourceModel::default());
+            let count: usize = alloc.stages().iter().map(|s| s.ops.len()).sum();
+            assert_eq!(count, g.len());
+            assert!(alloc.num_stages() <= k.max(1));
+        }
+    }
+
+    #[test]
+    fn dense_mode_also_allocates() {
+        let (g, _) = setup();
+        let alloc = allocate_stages(&g, 128, AttentionMode::Dense, ResourceModel::default());
+        assert!(alloc.num_stages() >= 2);
+        assert!(alloc.bottleneck_latency(&g, 128, AttentionMode::Dense) > 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Top-k selection: heap-based software reference and the hardware's
+//! merge-sort network model (§4.1 cites a high-throughput II=1 scalable
+//! merge-sort unit for candidate ranking).
+//!
+//! Both selectors break score ties by *smaller index first*, so software and
+//! hardware produce bit-identical candidate sets — a property the tests
+//! rely on for cross-checking the simulator against the reference.
+
+use std::cmp::Ordering;
+
+/// A scored candidate (key index + approximate attention score).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Index of the key row.
+    pub index: usize,
+    /// Integer score from the quantized pre-selection pass.
+    pub score: i32,
+}
+
+impl Candidate {
+    /// Ordering used everywhere: higher score first; ties → smaller index.
+    fn ranking_cmp(&self, other: &Self) -> Ordering {
+        other
+            .score
+            .cmp(&self.score)
+            .then_with(|| self.index.cmp(&other.index))
+    }
+}
+
+/// Selects the indices of the `k` largest scores using a bounded
+/// binary-heap pass — the `O(n log k)` software reference.
+///
+/// Returns *at most* `k` indices sorted by descending score (ties by
+/// ascending index). If `k >= scores.len()` all indices are returned.
+///
+/// # Example
+///
+/// ```
+/// use lat_core::topk::top_k_heap;
+///
+/// let idx = top_k_heap(&[5, 1, 9, 7], 2);
+/// assert_eq!(idx, vec![2, 3]);
+/// ```
+pub fn top_k_heap(scores: &[i32], k: usize) -> Vec<usize> {
+    let mut cands: Vec<Candidate> = scores
+        .iter()
+        .enumerate()
+        .map(|(index, &score)| Candidate { index, score })
+        .collect();
+    let k = k.min(cands.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    // select_nth + sort of the head is O(n + k log k) and fully
+    // deterministic under our total order.
+    cands.select_nth_unstable_by(k - 1, Candidate::ranking_cmp);
+    let mut head: Vec<Candidate> = cands[..k].to_vec();
+    head.sort_by(Candidate::ranking_cmp);
+    head.into_iter().map(|c| c.index).collect()
+}
+
+/// Software model of the hardware merge-sort network: a full bottom-up
+/// merge sort over index/score pairs, after which the first `k` entries are
+/// taken. This mirrors the streaming sorter the At-Sel unit uses and is the
+/// structure the cycle model in `lat-hwsim` charges for.
+///
+/// Produces exactly the same output as [`top_k_heap`].
+pub fn top_k_merge_network(scores: &[i32], k: usize) -> Vec<usize> {
+    let mut cands: Vec<Candidate> = scores
+        .iter()
+        .enumerate()
+        .map(|(index, &score)| Candidate { index, score })
+        .collect();
+    merge_sort(&mut cands);
+    cands.truncate(k.min(scores.len()));
+    cands.into_iter().map(|c| c.index).collect()
+}
+
+/// Bottom-up (iterative) merge sort, the shape a streaming hardware sorter
+/// implements: `ceil(log2 n)` merge passes over the full array.
+fn merge_sort(xs: &mut Vec<Candidate>) {
+    let n = xs.len();
+    if n < 2 {
+        return;
+    }
+    let mut buf = xs.clone();
+    let mut width = 1usize;
+    while width < n {
+        let mut lo = 0usize;
+        while lo < n {
+            let mid = (lo + width).min(n);
+            let hi = (lo + 2 * width).min(n);
+            merge(&xs[lo..mid], &xs[mid..hi], &mut buf[lo..hi]);
+            lo = hi;
+        }
+        std::mem::swap(xs, &mut buf);
+        width *= 2;
+    }
+}
+
+fn merge(a: &[Candidate], b: &[Candidate], out: &mut [Candidate]) {
+    let (mut i, mut j) = (0usize, 0usize);
+    for slot in out.iter_mut() {
+        let take_a = if i >= a.len() {
+            false
+        } else if j >= b.len() {
+            true
+        } else {
+            a[i].ranking_cmp(&b[j]) != Ordering::Greater
+        };
+        if take_a {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+/// Number of merge passes the hardware sorter performs for `n` elements —
+/// the latency driver in the cycle model (`ceil(log2 n)`, 0 for n ≤ 1).
+pub fn merge_passes(n: usize) -> u32 {
+    if n < 2 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// Fraction of the reference set that a candidate set recovered
+/// (`|candidates ∩ reference| / |reference|`); 1.0 when the reference is
+/// empty. This is the *recall* metric used throughout the accuracy
+/// evaluation to measure pre-selection fidelity.
+pub fn recall(candidates: &[usize], reference: &[usize]) -> f64 {
+    if reference.is_empty() {
+        return 1.0;
+    }
+    let hits = reference
+        .iter()
+        .filter(|r| candidates.contains(r))
+        .count();
+    hits as f64 / reference.len() as f64
+}
+
+/// Top-k over float scores (used to derive the *exact* attention reference
+/// set); same tie-breaking rule, NaNs rank last.
+pub fn top_k_f32(scores: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        // NaNs rank strictly last; otherwise descending score, ties by index.
+        match (scores[a].is_nan(), scores[b].is_nan()) {
+            (true, true) => a.cmp(&b),
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.cmp(&b)),
+        }
+    });
+    idx.truncate(k.min(scores.len()));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lat_tensor::rng::SplitMix64;
+
+    #[test]
+    fn heap_selects_largest() {
+        assert_eq!(top_k_heap(&[1, 9, 3, 7], 2), vec![1, 3]);
+    }
+
+    #[test]
+    fn heap_k_zero_and_oversized() {
+        assert!(top_k_heap(&[1, 2], 0).is_empty());
+        assert_eq!(top_k_heap(&[3, 1, 2], 10), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn ties_break_by_smaller_index() {
+        assert_eq!(top_k_heap(&[5, 5, 5], 2), vec![0, 1]);
+        assert_eq!(top_k_merge_network(&[5, 5, 5], 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn merge_network_equals_heap_on_random_inputs() {
+        let mut rng = SplitMix64::new(99);
+        for trial in 0..50 {
+            let n = rng.next_range(1, 200);
+            let scores: Vec<i32> = (0..n).map(|_| rng.next_u64() as i32 % 100).collect();
+            let k = rng.next_range(0, n);
+            assert_eq!(
+                top_k_heap(&scores, k),
+                top_k_merge_network(&scores, k),
+                "trial {trial} n={n} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_network_is_fully_sorted_prefix() {
+        let scores = vec![4, -1, 8, 0, 8, 3];
+        let all = top_k_merge_network(&scores, 6);
+        // Scores in descending order along the returned indices.
+        for w in all.windows(2) {
+            assert!(scores[w[0]] >= scores[w[1]]);
+        }
+    }
+
+    #[test]
+    fn merge_passes_counts() {
+        assert_eq!(merge_passes(0), 0);
+        assert_eq!(merge_passes(1), 0);
+        assert_eq!(merge_passes(2), 1);
+        assert_eq!(merge_passes(3), 2);
+        assert_eq!(merge_passes(4), 2);
+        assert_eq!(merge_passes(5), 3);
+        assert_eq!(merge_passes(1024), 10);
+    }
+
+    #[test]
+    fn recall_metrics() {
+        assert_eq!(recall(&[1, 2, 3], &[2, 3]), 1.0);
+        assert_eq!(recall(&[1, 2], &[2, 9]), 0.5);
+        assert_eq!(recall(&[], &[]), 1.0);
+        assert_eq!(recall(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn top_k_f32_matches_integer_behaviour() {
+        let f = [1.5f32, 9.0, 3.25, 7.0];
+        assert_eq!(top_k_f32(&f, 2), vec![1, 3]);
+        // NaN ranks last.
+        let with_nan = [f32::NAN, 1.0, 2.0];
+        let got = top_k_f32(&with_nan, 2);
+        assert_eq!(got, vec![2, 1]);
+    }
+
+    #[test]
+    fn negative_scores_handled() {
+        assert_eq!(top_k_heap(&[-5, -1, -9], 1), vec![1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(top_k_heap(&[], 3).is_empty());
+        assert!(top_k_merge_network(&[], 3).is_empty());
+    }
+}

@@ -1,0 +1,221 @@
+//! Design-space exploration (§5.2: "We exploit the design space to
+//! maximize the hardware throughput and CTC ratio for the hardware
+//! design").
+//!
+//! The explorable knobs are the [`ResourceModel`] parameters — PE
+//! granularity (DSPs per parallel instance), the per-stage DSP budget that
+//! controls how Algorithm 1 cuts the operator chain — and the sequence
+//! length the allocation is tuned at. Every candidate design is evaluated
+//! by simulating the reference workload end-to-end; the result is the full
+//! sweep plus the latency-optimal point.
+
+use crate::accelerator::AcceleratorDesign;
+use crate::spec::FpgaSpec;
+use lat_core::pipeline::SchedulingPolicy;
+use lat_core::stage_alloc::ResourceModel;
+use lat_model::config::ModelConfig;
+use lat_model::graph::AttentionMode;
+use serde::{Deserialize, Serialize};
+
+/// The candidate grid to sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DseGrid {
+    /// Candidate DSPs per parallel instance (PE granularity).
+    pub dsp_per_instance: Vec<u32>,
+    /// Candidate per-stage DSP budgets for the partitioning phase.
+    pub stage_budgets: Vec<u32>,
+    /// Candidate tuning lengths for the allocation.
+    pub tuning_lengths: Vec<usize>,
+}
+
+impl Default for DseGrid {
+    fn default() -> Self {
+        Self {
+            dsp_per_instance: vec![8, 16, 32],
+            stage_budgets: vec![600, 1000, 1500],
+            tuning_lengths: vec![68, 177, 256],
+        }
+    }
+}
+
+/// One evaluated design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DsePoint {
+    /// DSPs per instance used.
+    pub dsp_per_instance: u32,
+    /// Per-stage DSP budget used during partitioning.
+    pub stage_budget: u32,
+    /// Length the allocation was tuned at.
+    pub tuning_length: usize,
+    /// Number of coarse stages the partition produced.
+    pub num_stages: usize,
+    /// Mean batch latency on the reference workload, in seconds.
+    pub seconds: f64,
+    /// Mean stage utilization.
+    pub utilization: f64,
+}
+
+/// Sweeps the grid, simulating every candidate on `workload` (a set of
+/// batches of true lengths) and returning all points sorted by latency
+/// (best first).
+pub fn explore(
+    cfg: &ModelConfig,
+    mode: AttentionMode,
+    spec: &FpgaSpec,
+    workload: &[Vec<usize>],
+    grid: &DseGrid,
+) -> Vec<DsePoint> {
+    let mut points = Vec::new();
+    for &dpi in &grid.dsp_per_instance {
+        for &budget in &grid.stage_budgets {
+            for &tune in &grid.tuning_lengths {
+                let res = ResourceModel {
+                    dsp_per_instance: dpi,
+                    dsp_budget_per_stage: budget,
+                    dsp_total: spec.dsp_total,
+                    ..ResourceModel::default()
+                };
+                let design =
+                    AcceleratorDesign::with_resources(cfg, mode, mode, spec.clone(), tune, res);
+                let mut seconds = 0.0;
+                let mut util = 0.0;
+                for batch in workload {
+                    let r = design.run_batch(batch, SchedulingPolicy::LengthAware);
+                    seconds += r.seconds;
+                    util += r.mean_utilization();
+                }
+                let n = workload.len().max(1) as f64;
+                points.push(DsePoint {
+                    dsp_per_instance: dpi,
+                    stage_budget: budget,
+                    tuning_length: tune,
+                    num_stages: design.allocation().num_stages(),
+                    seconds: seconds / n,
+                    utilization: util / n,
+                });
+            }
+        }
+    }
+    points.sort_by(|a, b| a.seconds.partial_cmp(&b.seconds).expect("finite latencies"));
+    points
+}
+
+/// Convenience: the latency-optimal point of [`explore`].
+///
+/// # Panics
+///
+/// Panics if the grid is empty.
+pub fn best(
+    cfg: &ModelConfig,
+    mode: AttentionMode,
+    spec: &FpgaSpec,
+    workload: &[Vec<usize>],
+    grid: &DseGrid,
+) -> DsePoint {
+    explore(cfg, mode, spec, workload, grid)
+        .into_iter()
+        .next()
+        .expect("non-empty DSE grid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lat_tensor::rng::SplitMix64;
+    use lat_workloads::datasets::DatasetSpec;
+
+    fn workload() -> Vec<Vec<usize>> {
+        let mut rng = SplitMix64::new(91);
+        DatasetSpec::rte().sample_batches(&mut rng, 16, 2)
+    }
+
+    #[test]
+    fn explore_covers_the_grid() {
+        let grid = DseGrid {
+            dsp_per_instance: vec![16, 32],
+            stage_budgets: vec![800, 1200],
+            tuning_lengths: vec![68],
+        };
+        let points = explore(
+            &ModelConfig::bert_base(),
+            AttentionMode::paper_sparse(),
+            &FpgaSpec::alveo_u280(),
+            &workload(),
+            &grid,
+        );
+        assert_eq!(points.len(), 4);
+        // Sorted best-first.
+        for w in points.windows(2) {
+            assert!(w[0].seconds <= w[1].seconds);
+        }
+    }
+
+    #[test]
+    fn best_is_minimum() {
+        let grid = DseGrid {
+            dsp_per_instance: vec![8, 16],
+            stage_budgets: vec![1000],
+            tuning_lengths: vec![68, 177],
+        };
+        let cfg = ModelConfig::bert_base();
+        let all = explore(
+            &cfg,
+            AttentionMode::paper_sparse(),
+            &FpgaSpec::alveo_u280(),
+            &workload(),
+            &grid,
+        );
+        let b = best(
+            &cfg,
+            AttentionMode::paper_sparse(),
+            &FpgaSpec::alveo_u280(),
+            &workload(),
+            &grid,
+        );
+        assert_eq!(b, all[0]);
+    }
+
+    #[test]
+    fn all_points_are_valid_designs() {
+        let grid = DseGrid::default();
+        let points = explore(
+            &ModelConfig::bert_base(),
+            AttentionMode::paper_sparse(),
+            &FpgaSpec::alveo_u280(),
+            &workload()[..1],
+            &grid,
+        );
+        for p in &points {
+            assert!(p.seconds > 0.0);
+            assert!(p.num_stages >= 1);
+            assert!((0.0..=1.0).contains(&p.utilization));
+        }
+    }
+
+    #[test]
+    fn tuning_at_workload_average_is_competitive() {
+        // Tuning the allocation at the workload's own average length
+        // should be at least as good as tuning far away from it.
+        let cfg = ModelConfig::bert_base();
+        let spec = FpgaSpec::alveo_u280();
+        let wl = workload(); // RTE, avg 68
+        let grid_near = DseGrid {
+            dsp_per_instance: vec![16],
+            stage_budgets: vec![1000],
+            tuning_lengths: vec![68],
+        };
+        let grid_far = DseGrid {
+            dsp_per_instance: vec![16],
+            stage_budgets: vec![1000],
+            tuning_lengths: vec![821],
+        };
+        let near = best(&cfg, AttentionMode::paper_sparse(), &spec, &wl, &grid_near);
+        let far = best(&cfg, AttentionMode::paper_sparse(), &spec, &wl, &grid_far);
+        assert!(
+            near.seconds <= far.seconds * 1.05,
+            "near {:.4} vs far {:.4}",
+            near.seconds,
+            far.seconds
+        );
+    }
+}

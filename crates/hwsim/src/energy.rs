@@ -1,0 +1,118 @@
+//! Energy accounting for Table 2 (throughput / energy-efficiency
+//! comparison).
+//!
+//! Only the "Ours FPGA" row of Table 2 is *measured* (from the simulator);
+//! the GPU/ASIC comparators are the published numbers quoted by the paper,
+//! collected here as constants so the table harness reproduces the exact
+//! comparison.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EfficiencyRow {
+    /// Work / platform label.
+    pub work: String,
+    /// Throughput in GOPS.
+    pub throughput_gops: f64,
+    /// Energy efficiency in GOP/J (`None` where the paper reports N/A).
+    pub gop_per_j: Option<f64>,
+    /// Average accuracy drop in percentage points.
+    pub accuracy_drop_pct: Option<f64>,
+    /// Whether the number is measured by this repository (true) or quoted
+    /// from the literature (false).
+    pub measured: bool,
+}
+
+/// The literature rows of Table 2, as printed in the paper.
+pub fn literature_rows() -> Vec<EfficiencyRow> {
+    vec![
+        EfficiencyRow {
+            work: "GPU RTX 6000".into(),
+            throughput_gops: 1380.0,
+            gop_per_j: Some(8.0),
+            accuracy_drop_pct: Some(1.8),
+            measured: false,
+        },
+        EfficiencyRow {
+            work: "GPU V100: E.T.".into(),
+            throughput_gops: 7550.0,
+            gop_per_j: Some(25.0),
+            accuracy_drop_pct: Some(2.1),
+            measured: false,
+        },
+        EfficiencyRow {
+            work: "FPGA design [37]".into(),
+            throughput_gops: 76.0,
+            gop_per_j: None,
+            accuracy_drop_pct: Some(3.8),
+            measured: false,
+        },
+        EfficiencyRow {
+            work: "ASIC: A3".into(),
+            throughput_gops: 221.0,
+            gop_per_j: Some(269.0),
+            accuracy_drop_pct: Some(1.6),
+            measured: false,
+        },
+        EfficiencyRow {
+            work: "ASIC: SpAtten".into(),
+            throughput_gops: 360.0,
+            gop_per_j: Some(382.0),
+            accuracy_drop_pct: Some(1.1),
+            measured: false,
+        },
+    ]
+}
+
+/// Builds the "Ours FPGA" row from simulator measurements.
+pub fn ours_row(throughput_gops: f64, gop_per_j: f64, accuracy_drop_pct: f64) -> EfficiencyRow {
+    EfficiencyRow {
+        work: "Ours FPGA".into(),
+        throughput_gops,
+        gop_per_j: Some(gop_per_j),
+        accuracy_drop_pct: Some(accuracy_drop_pct),
+        measured: true,
+    }
+}
+
+/// Energy in joules for a run at `power_w` lasting `seconds`.
+pub fn energy_j(power_w: f64, seconds: f64) -> f64 {
+    power_w * seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literature_matches_paper_table2() {
+        let rows = literature_rows();
+        assert_eq!(rows.len(), 5);
+        let gpu = &rows[0];
+        assert_eq!(gpu.throughput_gops, 1380.0);
+        assert_eq!(gpu.gop_per_j, Some(8.0));
+        let spatten = rows.iter().find(|r| r.work.contains("SpAtten")).unwrap();
+        assert_eq!(spatten.gop_per_j, Some(382.0));
+        assert!(rows.iter().all(|r| !r.measured));
+    }
+
+    #[test]
+    fn fpga37_has_no_energy_number() {
+        let rows = literature_rows();
+        let fpga37 = rows.iter().find(|r| r.work.contains("[37]")).unwrap();
+        assert_eq!(fpga37.gop_per_j, None);
+    }
+
+    #[test]
+    fn ours_row_is_measured() {
+        let r = ours_row(3600.0, 102.0, 1.8);
+        assert!(r.measured);
+        assert_eq!(r.gop_per_j, Some(102.0));
+    }
+
+    #[test]
+    fn energy_product() {
+        assert_eq!(energy_j(35.0, 2.0), 70.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! HBM pseudo-channel model (Fig. 2(a): "HBM (PC0-31)").
+//!
+//! The Alveo U280 exposes its two HBM stacks as 32 pseudo-channels of
+//! ~14.4 GB/s each (460 GB/s aggregate). A kernel only reaches the
+//! aggregate figure if its buffers are spread across many channels; this
+//! module models per-channel bandwidth, round-robin buffer placement and
+//! the resulting transfer makespans, which the design's inter-stage
+//! buffering relies on (§4.1 stores top-k results back to HBM across
+//! channels).
+
+use serde::{Deserialize, Serialize};
+
+/// The HBM subsystem: pseudo-channel count and per-channel bandwidth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HbmModel {
+    /// Number of pseudo-channels (32 on the U280).
+    pub channels: u32,
+    /// Bytes per clock cycle each channel sustains.
+    pub bytes_per_cycle_per_channel: f64,
+}
+
+impl HbmModel {
+    /// The U280 HBM at a 200 MHz kernel clock: 460 GB/s aggregate over 32
+    /// pseudo-channels ⇒ 2300 B/cycle total, 71.875 B/cycle per channel.
+    pub fn u280() -> Self {
+        Self {
+            channels: 32,
+            bytes_per_cycle_per_channel: 2300.0 / 32.0,
+        }
+    }
+
+    /// Aggregate bytes per cycle when `used` channels are active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `used == 0` or `used > self.channels`.
+    pub fn aggregate_bytes_per_cycle(&self, used: u32) -> f64 {
+        assert!(used > 0 && used <= self.channels, "bad channel count {used}");
+        self.bytes_per_cycle_per_channel * used as f64
+    }
+
+    /// Cycles to move `bytes` using `used` channels with an ideal split.
+    pub fn transfer_cycles(&self, bytes: u64, used: u32) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        (bytes as f64 / self.aggregate_bytes_per_cycle(used)).ceil() as u64
+    }
+
+    /// Round-robin placement of whole buffers onto channels: buffer `i`
+    /// goes to channel `i % channels`. Returns per-channel total bytes.
+    pub fn place_round_robin(&self, buffers: &[u64]) -> Vec<u64> {
+        let mut per_channel = vec![0u64; self.channels as usize];
+        for (i, &b) in buffers.iter().enumerate() {
+            per_channel[i % self.channels as usize] += b;
+        }
+        per_channel
+    }
+
+    /// Makespan (cycles) of transferring a set of whole buffers placed
+    /// round-robin: the busiest channel bounds the transfer.
+    pub fn round_robin_makespan(&self, buffers: &[u64]) -> u64 {
+        let per_channel = self.place_round_robin(buffers);
+        per_channel
+            .into_iter()
+            .map(|bytes| {
+                (bytes as f64 / self.bytes_per_cycle_per_channel).ceil() as u64
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Efficiency of a round-robin placement versus the ideal byte-level
+    /// stripe, in `(0, 1]`.
+    pub fn round_robin_efficiency(&self, buffers: &[u64]) -> f64 {
+        let total: u64 = buffers.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let ideal = self.transfer_cycles(total, self.channels);
+        let actual = self.round_robin_makespan(buffers);
+        ideal as f64 / actual.max(1) as f64
+    }
+}
+
+impl Default for HbmModel {
+    fn default() -> Self {
+        Self::u280()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u280_aggregate_bandwidth() {
+        let h = HbmModel::u280();
+        assert!((h.aggregate_bytes_per_cycle(32) - 2300.0).abs() < 1e-9);
+        assert!((h.aggregate_bytes_per_cycle(1) - 71.875).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad channel count")]
+    fn zero_channels_rejected() {
+        let _ = HbmModel::u280().aggregate_bytes_per_cycle(0);
+    }
+
+    #[test]
+    fn single_channel_is_32x_slower() {
+        let h = HbmModel::u280();
+        let full = h.transfer_cycles(2_300_000, 32);
+        let single = h.transfer_cycles(2_300_000, 1);
+        assert_eq!(full, 1000);
+        assert_eq!(single, 32_000);
+    }
+
+    #[test]
+    fn round_robin_places_cyclically() {
+        let h = HbmModel {
+            channels: 4,
+            bytes_per_cycle_per_channel: 10.0,
+        };
+        let per = h.place_round_robin(&[1, 2, 3, 4, 5]);
+        assert_eq!(per, vec![1 + 5, 2, 3, 4]);
+    }
+
+    #[test]
+    fn balanced_buffers_reach_full_efficiency() {
+        let h = HbmModel::u280();
+        let buffers = vec![71_875u64; 32]; // one equal buffer per channel
+        assert!((h.round_robin_efficiency(&buffers) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn one_giant_buffer_is_inefficient() {
+        // A single unsplit buffer uses one channel only: ~1/32 efficiency.
+        let h = HbmModel::u280();
+        let eff = h.round_robin_efficiency(&[10_000_000]);
+        assert!(eff < 0.05, "efficiency {eff}");
+    }
+
+    #[test]
+    fn makespan_bounded_by_busiest_channel() {
+        let h = HbmModel {
+            channels: 2,
+            bytes_per_cycle_per_channel: 100.0,
+        };
+        // Channel 0 gets 1000+3000, channel 1 gets 2000.
+        assert_eq!(h.round_robin_makespan(&[1000, 2000, 3000]), 40);
+    }
+
+    #[test]
+    fn zero_bytes_zero_cycles() {
+        let h = HbmModel::u280();
+        assert_eq!(h.transfer_cycles(0, 32), 0);
+        assert_eq!(h.round_robin_makespan(&[]), 0);
+        assert_eq!(h.round_robin_efficiency(&[]), 1.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Run reports produced by the accelerator simulator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Result of simulating one batch through the accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FpgaRunReport {
+    /// Scheduling policy used (display string).
+    pub policy: String,
+    /// Total makespan in clock cycles.
+    pub makespan_cycles: u64,
+    /// Makespan in seconds at the design clock.
+    pub seconds: f64,
+    /// Number of sequences processed.
+    pub sequences: usize,
+    /// Total real (unpadded) tokens processed.
+    pub tokens: u64,
+    /// Ops actually executed on the datapath (sparse, unpadded).
+    pub actual_ops: u64,
+    /// Dense-equivalent ops of the same workload padded to the batch
+    /// maximum — the accounting CPUs/GPUs are billed at, used for the
+    /// paper's "equivalent throughput" comparisons.
+    pub padded_dense_ops: u64,
+    /// Per-stage utilization over the makespan, in `[0, 1]`.
+    pub stage_utilization: Vec<f64>,
+    /// Energy consumed in joules.
+    pub energy_j: f64,
+}
+
+impl FpgaRunReport {
+    /// Sequences per second.
+    pub fn seqs_per_s(&self) -> f64 {
+        self.sequences as f64 / self.seconds.max(1e-12)
+    }
+
+    /// Real tokens per second.
+    pub fn tokens_per_s(&self) -> f64 {
+        self.tokens as f64 / self.seconds.max(1e-12)
+    }
+
+    /// Actual datapath throughput in GOPS.
+    pub fn actual_gops(&self) -> f64 {
+        self.actual_ops as f64 / self.seconds.max(1e-12) / 1e9
+    }
+
+    /// Padded-dense-equivalent throughput in GOPS (the paper's headline
+    /// "3.6 TOPS equivalent" metric — what a padded dense platform would
+    /// have to sustain to match this latency).
+    pub fn equivalent_gops(&self) -> f64 {
+        self.padded_dense_ops as f64 / self.seconds.max(1e-12) / 1e9
+    }
+
+    /// Energy efficiency in equivalent GOP/J.
+    pub fn equivalent_gop_per_j(&self) -> f64 {
+        self.padded_dense_ops as f64 / 1e9 / self.energy_j.max(1e-12)
+    }
+
+    /// Mean stage utilization.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.stage_utilization.is_empty() {
+            return 0.0;
+        }
+        self.stage_utilization.iter().sum::<f64>() / self.stage_utilization.len() as f64
+    }
+}
+
+impl fmt::Display for FpgaRunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[{}] {} seqs, {} tokens in {:.3} ms",
+            self.policy,
+            self.sequences,
+            self.tokens,
+            self.seconds * 1e3
+        )?;
+        writeln!(
+            f,
+            "  throughput: {:.1} seq/s, {:.0} tok/s, {:.0} GOPS actual, {:.0} GOPS equivalent",
+            self.seqs_per_s(),
+            self.tokens_per_s(),
+            self.actual_gops(),
+            self.equivalent_gops()
+        )?;
+        write!(
+            f,
+            "  energy: {:.3} J ({:.1} GOP/J equiv), mean stage utilization {:.1}%",
+            self.energy_j,
+            self.equivalent_gop_per_j(),
+            self.mean_utilization() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FpgaRunReport {
+        FpgaRunReport {
+            policy: "length-aware".into(),
+            makespan_cycles: 200_000_000,
+            seconds: 1.0,
+            sequences: 100,
+            tokens: 17_700,
+            actual_ops: 2_000_000_000_000,
+            padded_dense_ops: 3_600_000_000_000,
+            stage_utilization: vec![0.9, 1.0, 0.8],
+            energy_j: 35.0,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = sample();
+        assert!((r.seqs_per_s() - 100.0).abs() < 1e-9);
+        assert!((r.actual_gops() - 2000.0).abs() < 1e-6);
+        assert!((r.equivalent_gops() - 3600.0).abs() < 1e-6);
+        assert!((r.equivalent_gop_per_j() - 3600.0 / 35.0).abs() < 1e-6);
+        assert!((r.mean_utilization() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = sample().to_string();
+        assert!(s.contains("length-aware"));
+        assert!(s.contains("GOP/J"));
+    }
+
+    #[test]
+    fn zero_seconds_guarded() {
+        let mut r = sample();
+        r.seconds = 0.0;
+        assert!(r.seqs_per_s().is_finite());
+        assert!(r.actual_gops().is_finite());
+    }
+}

@@ -1,0 +1,201 @@
+//! Roofline / computation-to-communication (CTC) analysis.
+//!
+//! The paper's §4 argues the FPGA's large on-chip memory lets the design
+//! reach a better CTC ratio and "push the hardware design to the
+//! computation roof". This module quantifies that: per-operator arithmetic
+//! intensity, the chip's roofline (peak ops vs HBM bandwidth), and whether
+//! each stage of a design is compute- or memory-bound.
+
+use crate::accelerator::AcceleratorDesign;
+use crate::spec::FpgaSpec;
+use lat_model::graph::{AttentionMode, OpKind, OperatorGraph};
+use serde::{Deserialize, Serialize};
+
+/// Which roof bounds an operator or stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bound {
+    /// Limited by the arithmetic peak (good: the design goal).
+    Compute,
+    /// Limited by HBM bandwidth.
+    Memory,
+}
+
+impl std::fmt::Display for Bound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Bound::Compute => write!(f, "compute-bound"),
+            Bound::Memory => write!(f, "memory-bound"),
+        }
+    }
+}
+
+/// Roofline analysis of one operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpRoofline {
+    /// The operator.
+    pub kind: OpKind,
+    /// Ops per byte of worst-case (no-reuse) off-chip traffic.
+    pub intensity: f64,
+    /// Which roof binds at that intensity.
+    pub bound: Bound,
+    /// Attainable ops/s under the roofline.
+    pub attainable_ops_per_s: f64,
+}
+
+/// The machine balance point of a chip: ops per byte at which compute and
+/// memory roofs intersect.
+pub fn machine_balance(spec: &FpgaSpec) -> f64 {
+    spec.peak_ops_per_s() / spec.hbm_bytes_per_s
+}
+
+/// Roofline classification of every encoder operator at sequence length
+/// `s` under `mode`, assuming *no* on-chip reuse (worst case — on-chip
+/// buffering only improves intensity).
+pub fn operator_rooflines(
+    graph: &OperatorGraph,
+    spec: &FpgaSpec,
+    s: usize,
+    mode: AttentionMode,
+) -> Vec<OpRoofline> {
+    let balance = machine_balance(spec);
+    OpKind::all()
+        .into_iter()
+        .map(|kind| {
+            let ops = graph.flops(kind, s, mode) as f64;
+            let bytes = graph.memory_bytes(kind, s, mode, 1).max(1) as f64;
+            let intensity = ops / bytes;
+            let bound = if intensity >= balance {
+                Bound::Compute
+            } else {
+                Bound::Memory
+            };
+            let attainable = spec
+                .peak_ops_per_s()
+                .min(intensity * spec.hbm_bytes_per_s);
+            OpRoofline {
+                kind,
+                intensity,
+                bound,
+                attainable_ops_per_s: attainable,
+            }
+        })
+        .collect()
+}
+
+/// Per-stage CTC report for a placed design at length `s` with `batch`
+/// sequences amortizing the weight traffic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageCtc {
+    /// Stage index.
+    pub stage: usize,
+    /// Compute cycles per sequence.
+    pub compute_cycles: u64,
+    /// HBM cycles per sequence.
+    pub memory_cycles: u64,
+    /// Compute-to-communication cycle ratio (`> 1` ⇒ compute-bound under
+    /// overlap).
+    pub ctc: f64,
+    /// The binding roof.
+    pub bound: Bound,
+}
+
+/// Computes the per-stage CTC profile of `design` for length `s`.
+pub fn stage_ctc(design: &AcceleratorDesign, s: usize, batch: usize) -> Vec<StageCtc> {
+    (0..design.allocation().num_stages())
+        .map(|stage| {
+            let compute = design.stage_compute_cycles(stage, s);
+            let memory = design.stage_memory_cycles(stage, s, batch);
+            let ctc = compute as f64 / memory.max(1) as f64;
+            StageCtc {
+                stage,
+                compute_cycles: compute,
+                memory_cycles: memory,
+                ctc,
+                bound: if compute >= memory {
+                    Bound::Compute
+                } else {
+                    Bound::Memory
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lat_model::config::ModelConfig;
+
+    #[test]
+    fn u280_balance_point() {
+        // 1.2e12 ops/s over 460e9 B/s ≈ 2.6 ops/byte.
+        let b = machine_balance(&FpgaSpec::alveo_u280());
+        assert!((b - 1.2e12 / 460e9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gemm_operators_are_compute_bound() {
+        let graph = OperatorGraph::encoder(&ModelConfig::bert_base());
+        let roofs = operator_rooflines(&graph, &FpgaSpec::alveo_u280(), 177, AttentionMode::Dense);
+        for r in &roofs {
+            match r.kind {
+                OpKind::QkvLinear | OpKind::Ffn1 | OpKind::Ffn2 => {
+                    assert_eq!(r.bound, Bound::Compute, "{} should be compute-bound", r.kind)
+                }
+                OpKind::Scale | OpKind::Mask => {
+                    assert_eq!(r.bound, Bound::Memory, "{} should be memory-bound", r.kind)
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn attainable_never_exceeds_peak() {
+        let graph = OperatorGraph::encoder(&ModelConfig::bert_base());
+        let spec = FpgaSpec::alveo_u280();
+        for mode in [AttentionMode::Dense, AttentionMode::paper_sparse()] {
+            for r in operator_rooflines(&graph, &spec, 256, mode) {
+                assert!(r.attainable_ops_per_s <= spec.peak_ops_per_s() + 1.0);
+                assert!(r.attainable_ops_per_s > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn placed_design_is_compute_bound_with_batching() {
+        // The paper's CTC claim: with weights amortized over a batch of 16,
+        // every coarse stage is compute-bound.
+        let design = AcceleratorDesign::new(
+            &ModelConfig::bert_base(),
+            AttentionMode::paper_sparse(),
+            FpgaSpec::alveo_u280(),
+            177,
+        );
+        for c in stage_ctc(&design, 177, 16) {
+            assert_eq!(c.bound, Bound::Compute, "stage {} memory-bound", c.stage);
+            assert!(c.ctc > 1.0);
+        }
+    }
+
+    #[test]
+    fn tiny_batch_worsens_ctc() {
+        let design = AcceleratorDesign::new(
+            &ModelConfig::bert_base(),
+            AttentionMode::paper_sparse(),
+            FpgaSpec::alveo_u280(),
+            177,
+        );
+        let big = stage_ctc(&design, 177, 16);
+        let small = stage_ctc(&design, 177, 1);
+        for (b, s) in big.iter().zip(&small) {
+            assert!(s.ctc <= b.ctc, "stage {}: batching should raise CTC", b.stage);
+        }
+    }
+
+    #[test]
+    fn bound_display() {
+        assert_eq!(Bound::Compute.to_string(), "compute-bound");
+        assert_eq!(Bound::Memory.to_string(), "memory-bound");
+    }
+}

@@ -1,0 +1,126 @@
+//! FPGA chip specification (resource + power envelope).
+
+use serde::{Deserialize, Serialize};
+
+/// Resource and power envelope of the target FPGA.
+///
+/// The default is the paper's platform: Xilinx Alveo U280 with the design
+/// constrained to SLR0 (the only SLR wired to the HBM stacks), at the
+/// 200 MHz the paper reports as the attainable design frequency.
+///
+/// # Example
+///
+/// ```
+/// use lat_hwsim::spec::FpgaSpec;
+///
+/// let u280 = FpgaSpec::alveo_u280();
+/// assert_eq!(u280.dsp_total, 3000);
+/// // Peak 8-bit fixed-point throughput: 2 ops/MAC × 3000 DSP × 200 MHz.
+/// assert!((u280.peak_ops_per_s() - 1.2e12).abs() < 1e9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FpgaSpec {
+    /// Human-readable platform name.
+    pub name: String,
+    /// Design clock in Hz.
+    pub clock_hz: u64,
+    /// DSP slices available to the design.
+    pub dsp_total: u32,
+    /// Peak HBM bandwidth in bytes/s.
+    pub hbm_bytes_per_s: f64,
+    /// On-chip memory capacity in bytes (BRAM + URAM).
+    pub onchip_bytes: u64,
+    /// Static (always-on) power in watts.
+    pub static_power_w: f64,
+    /// Dynamic power per active DSP slice in watts.
+    pub dynamic_power_per_dsp_w: f64,
+}
+
+impl FpgaSpec {
+    /// The paper's platform: Alveo U280, SLR0-constrained, 200 MHz.
+    pub fn alveo_u280() -> Self {
+        Self {
+            name: "Alveo U280 (SLR0)".to_string(),
+            clock_hz: 200_000_000,
+            dsp_total: 3000,
+            hbm_bytes_per_s: 460e9,
+            onchip_bytes: 35 * 1024 * 1024,
+            // Calibrated so a fully active design draws ≈35 W, matching the
+            // ~102 GOP/J at ~3.6 TOPS-equivalent the paper reports.
+            static_power_w: 10.0,
+            dynamic_power_per_dsp_w: 0.00833,
+        }
+    }
+
+    /// Peak 8-bit fixed-point throughput in ops/s (1 DSP = 1 MAC = 2 ops
+    /// per cycle).
+    pub fn peak_ops_per_s(&self) -> f64 {
+        2.0 * self.dsp_total as f64 * self.clock_hz as f64
+    }
+
+    /// HBM bytes transferable per clock cycle.
+    pub fn hbm_bytes_per_cycle(&self) -> f64 {
+        self.hbm_bytes_per_s / self.clock_hz as f64
+    }
+
+    /// Converts a cycle count to seconds at the design clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz as f64
+    }
+
+    /// Board power when `active_dsp` DSP slices are switching.
+    pub fn power_w(&self, active_dsp: u32) -> f64 {
+        self.static_power_w + self.dynamic_power_per_dsp_w * active_dsp as f64
+    }
+}
+
+impl Default for FpgaSpec {
+    fn default() -> Self {
+        Self::alveo_u280()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u280_matches_paper_constants() {
+        let s = FpgaSpec::alveo_u280();
+        assert_eq!(s.clock_hz, 200_000_000);
+        assert_eq!(s.dsp_total, 3000);
+        assert!((s.hbm_bytes_per_s - 460e9).abs() < 1.0);
+        assert_eq!(s.onchip_bytes, 35 * 1024 * 1024);
+    }
+
+    #[test]
+    fn peak_is_1_2_tops() {
+        let s = FpgaSpec::alveo_u280();
+        assert!((s.peak_ops_per_s() - 1.2e12).abs() / 1.2e12 < 1e-9);
+    }
+
+    #[test]
+    fn hbm_bytes_per_cycle() {
+        let s = FpgaSpec::alveo_u280();
+        assert!((s.hbm_bytes_per_cycle() - 2300.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn cycles_to_seconds_roundtrip() {
+        let s = FpgaSpec::alveo_u280();
+        assert!((s.cycles_to_seconds(200_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_chip_power_near_35w() {
+        let s = FpgaSpec::alveo_u280();
+        let p = s.power_w(s.dsp_total);
+        assert!((30.0..40.0).contains(&p), "power {p}");
+    }
+
+    #[test]
+    fn idle_power_is_static_only() {
+        let s = FpgaSpec::alveo_u280();
+        assert_eq!(s.power_w(0), s.static_power_w);
+    }
+}

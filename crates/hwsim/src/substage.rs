@@ -1,0 +1,156 @@
+//! Stage-2 (At-Comp) intra-layer sub-stage pipeline (Fig. 2(a)).
+//!
+//! The attention-computation stage is itself split into three sub-stages
+//! connected by double buffers and pipelined at *query-row* granularity:
+//!
+//! - **2.1** candidate load: gather the Top-k `Kₛ`/`Vₛ` rows selected by
+//!   Stage 1 (buffer reads + HBM index fetch);
+//! - **2.2** fused score kernel: exact `q·Kₛᵀ`, scale, mask, exp in one
+//!   II=1 loop (see `lat_core::fused`);
+//! - **2.3** output: `Z = S·Vₛ / ΣS`.
+//!
+//! With row-level pipelining the stage's steady-state rate is set by the
+//! slowest sub-stage rather than their sum — the "intra-layer
+//! coarse-grained pipeline to enhance hardware utilization" of §4.1.
+
+use crate::kernels;
+use serde::{Deserialize, Serialize};
+
+/// Cycle costs of the three Stage-2 sub-stages for one query row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubStageCosts {
+    /// Stage 2.1: candidate load cycles.
+    pub load: u64,
+    /// Stage 2.2: fused score kernel cycles.
+    pub score: u64,
+    /// Stage 2.3: `S·V` + normalize cycles.
+    pub apply: u64,
+}
+
+impl SubStageCosts {
+    /// Costs for one query row with `k` candidates of head dimension `d`,
+    /// `unroll`-way unrolled kernels and `lanes` MAC lanes in sub-stage
+    /// 2.3.
+    pub fn for_row(d: usize, k: usize, unroll: u32, lanes: u32) -> Self {
+        // 2.1 loads k rows of K and V (2·k·d bytes at one element/lane/cycle)
+        // plus the k index/value pairs.
+        let load = kernels::KERNEL_FILL
+            + (2 * k as u64 * d as u64).div_ceil(lanes.max(1) as u64)
+            + k as u64;
+        Self {
+            load,
+            score: kernels::fused_attention_row_cycles(d, k, unroll),
+            apply: kernels::attention_apply_row_cycles(k, d, lanes),
+        }
+    }
+
+    /// The slowest sub-stage (the pipeline's steady-state beat).
+    pub fn bottleneck(&self) -> u64 {
+        self.load.max(self.score).max(self.apply)
+    }
+
+    /// Total work if the sub-stages ran back-to-back per row.
+    pub fn serial(&self) -> u64 {
+        self.load + self.score + self.apply
+    }
+}
+
+/// Makespan of processing `rows` query rows through the pipelined
+/// sub-stages: fill with the first row's serial pass, then one bottleneck
+/// beat per remaining row.
+pub fn pipelined_cycles(costs: SubStageCosts, rows: usize) -> u64 {
+    if rows == 0 {
+        return 0;
+    }
+    costs.serial() + (rows as u64 - 1) * costs.bottleneck()
+}
+
+/// Makespan without sub-stage pipelining: every row pays the serial pass.
+pub fn sequential_cycles(costs: SubStageCosts, rows: usize) -> u64 {
+    rows as u64 * costs.serial()
+}
+
+/// Speedup of the intra-layer pipeline for a whole sequence.
+pub fn substage_pipeline_speedup(d: usize, k: usize, unroll: u32, lanes: u32, rows: usize) -> f64 {
+    let costs = SubStageCosts::for_row(d, k, unroll, lanes);
+    sequential_cycles(costs, rows) as f64 / pipelined_cycles(costs, rows).max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs() -> SubStageCosts {
+        SubStageCosts::for_row(64, 30, 2, 64)
+    }
+
+    #[test]
+    fn all_substages_positive() {
+        let c = costs();
+        assert!(c.load > 0 && c.score > 0 && c.apply > 0);
+        assert_eq!(c.serial(), c.load + c.score + c.apply);
+        assert!(c.bottleneck() <= c.serial());
+    }
+
+    #[test]
+    fn zero_rows_zero_cycles() {
+        assert_eq!(pipelined_cycles(costs(), 0), 0);
+        assert_eq!(sequential_cycles(costs(), 0), 0);
+    }
+
+    #[test]
+    fn single_row_has_no_pipeline_benefit() {
+        let c = costs();
+        assert_eq!(pipelined_cycles(c, 1), sequential_cycles(c, 1));
+    }
+
+    #[test]
+    fn pipelining_approaches_bottleneck_rate() {
+        let c = costs();
+        let n = 10_000;
+        let per_row = pipelined_cycles(c, n) as f64 / n as f64;
+        assert!(
+            (per_row - c.bottleneck() as f64).abs() / (c.bottleneck() as f64) < 0.01,
+            "steady-state rate {per_row} vs bottleneck {}",
+            c.bottleneck()
+        );
+    }
+
+    #[test]
+    fn speedup_grows_with_rows_and_saturates() {
+        let s10 = substage_pipeline_speedup(64, 30, 2, 64, 10);
+        let s100 = substage_pipeline_speedup(64, 30, 2, 64, 100);
+        let s10k = substage_pipeline_speedup(64, 30, 2, 64, 10_000);
+        assert!(s100 > s10);
+        assert!(s10k >= s100);
+        // Saturation bound: serial/bottleneck.
+        let c = costs();
+        let bound = c.serial() as f64 / c.bottleneck() as f64;
+        assert!(s10k <= bound + 1e-9);
+        assert!(s10k > bound * 0.98, "s10k {s10k} vs bound {bound}");
+    }
+
+    #[test]
+    fn score_substage_dominates_at_paper_shape() {
+        // At d = 64 per head with k = 30 and modest unroll, the fused
+        // score kernel is the bottleneck — the unit the paper spends its
+        // loop-fusion effort on.
+        let c = SubStageCosts::for_row(64, 30, 1, 64);
+        assert_eq!(c.bottleneck(), c.score);
+    }
+
+    #[test]
+    fn wider_unroll_shifts_bottleneck() {
+        // Enough unroll makes 2.2 cheap; some other sub-stage binds.
+        let c = SubStageCosts::for_row(64, 30, 32, 64);
+        assert!(c.bottleneck() != c.score || c.score <= c.load.max(c.apply) + 40);
+    }
+
+    #[test]
+    fn pipelined_never_slower() {
+        for rows in [1usize, 2, 7, 50] {
+            let c = costs();
+            assert!(pipelined_cycles(c, rows) <= sequential_cycles(c, rows));
+        }
+    }
+}

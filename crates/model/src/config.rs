@@ -1,0 +1,229 @@
+//! Model architecture configurations (paper Table 1).
+
+use crate::ModelError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Hyper-parameters of a BERT-family encoder stack.
+///
+/// The four presets reproduce Table 1 of the paper:
+///
+/// | Model | Layers | Hidden dim | Heads |
+/// |---|---|---|---|
+/// | DistilBERT | 6 | 768 | 12 |
+/// | BERT-base / RoBERTa | 12 | 768 | 12 |
+/// | BERT-large | 24 | 1024 | 16 |
+///
+/// # Example
+///
+/// ```
+/// use lat_model::config::ModelConfig;
+///
+/// let cfg = ModelConfig::bert_base();
+/// assert_eq!(cfg.layers, 12);
+/// assert_eq!(cfg.head_dim(), 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Human-readable model name.
+    pub name: String,
+    /// Number of stacked encoder layers.
+    pub layers: usize,
+    /// Hidden (embedding) dimension `d`.
+    pub hidden_dim: usize,
+    /// Number of attention heads `h`.
+    pub num_heads: usize,
+    /// Feed-forward inner dimension (4·d for all BERT variants).
+    pub ffn_dim: usize,
+    /// Maximum sequence length the model supports.
+    pub max_seq_len: usize,
+}
+
+impl ModelConfig {
+    /// Builds a configuration, validating internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] if any dimension is zero or the
+    /// hidden dimension is not divisible by the head count.
+    pub fn new(
+        name: impl Into<String>,
+        layers: usize,
+        hidden_dim: usize,
+        num_heads: usize,
+        ffn_dim: usize,
+        max_seq_len: usize,
+    ) -> Result<Self, ModelError> {
+        let cfg = Self {
+            name: name.into(),
+            layers,
+            hidden_dim,
+            num_heads,
+            ffn_dim,
+            max_seq_len,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.layers == 0 || self.hidden_dim == 0 || self.num_heads == 0 || self.ffn_dim == 0 {
+            return Err(ModelError::InvalidConfig(
+                "all dimensions must be non-zero".into(),
+            ));
+        }
+        if !self.hidden_dim.is_multiple_of(self.num_heads) {
+            return Err(ModelError::InvalidConfig(format!(
+                "hidden_dim {} not divisible by num_heads {}",
+                self.hidden_dim, self.num_heads
+            )));
+        }
+        if self.max_seq_len == 0 {
+            return Err(ModelError::InvalidConfig("max_seq_len must be > 0".into()));
+        }
+        Ok(())
+    }
+
+    /// DistilBERT: 6 layers, 768 hidden, 12 heads.
+    pub fn distilbert() -> Self {
+        Self::new("DistilBERT", 6, 768, 12, 3072, 512).expect("preset is valid")
+    }
+
+    /// BERT-base: 12 layers, 768 hidden, 12 heads.
+    pub fn bert_base() -> Self {
+        Self::new("BERT-base", 12, 768, 12, 3072, 512).expect("preset is valid")
+    }
+
+    /// RoBERTa-base: architecturally identical to BERT-base.
+    pub fn roberta() -> Self {
+        Self::new("RoBERTa", 12, 768, 12, 3072, 512).expect("preset is valid")
+    }
+
+    /// BERT-large: 24 layers, 1024 hidden, 16 heads.
+    pub fn bert_large() -> Self {
+        Self::new("BERT-large", 24, 1024, 16, 4096, 512).expect("preset is valid")
+    }
+
+    /// A deliberately small configuration for unit tests and examples
+    /// (2 layers, 64 hidden, 4 heads, 256 FFN).
+    pub fn tiny() -> Self {
+        Self::new("tiny", 2, 64, 4, 256, 128).expect("preset is valid")
+    }
+
+    /// All four paper presets, in Table 1 order.
+    pub fn paper_models() -> Vec<ModelConfig> {
+        vec![
+            Self::distilbert(),
+            Self::bert_base(),
+            Self::roberta(),
+            Self::bert_large(),
+        ]
+    }
+
+    /// Per-head dimension `d / h`.
+    pub fn head_dim(&self) -> usize {
+        self.hidden_dim / self.num_heads
+    }
+
+    /// Total parameter count of the encoder stack (weights + biases +
+    /// LayerNorm affine), excluding embeddings.
+    pub fn parameter_count(&self) -> usize {
+        let d = self.hidden_dim;
+        let f = self.ffn_dim;
+        // Per layer: 4 d×d projections + biases, 2 FFN mats + biases, 2 LN.
+        let per_layer = 4 * (d * d + d) + (d * f + f) + (f * d + d) + 2 * (2 * d);
+        self.layers * per_layer
+    }
+
+    /// FLOPs of one full encoder stack forward pass at sequence length `s`
+    /// with *dense* attention (the padding-free ideal; multiply-accumulate
+    /// counted as 2 FLOPs).
+    pub fn flops_dense(&self, s: usize) -> u64 {
+        crate::graph::OperatorGraph::encoder(self)
+            .total_flops_dense(s)
+            .saturating_mul(self.layers as u64)
+    }
+}
+
+impl fmt::Display for ModelConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (L={}, d={}, h={}, ffn={})",
+            self.name, self.layers, self.hidden_dim, self.num_heads, self.ffn_dim
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table1() {
+        let db = ModelConfig::distilbert();
+        assert_eq!((db.layers, db.hidden_dim, db.num_heads), (6, 768, 12));
+        let bb = ModelConfig::bert_base();
+        assert_eq!((bb.layers, bb.hidden_dim, bb.num_heads), (12, 768, 12));
+        let rb = ModelConfig::roberta();
+        assert_eq!((rb.layers, rb.hidden_dim, rb.num_heads), (12, 768, 12));
+        let bl = ModelConfig::bert_large();
+        assert_eq!((bl.layers, bl.hidden_dim, bl.num_heads), (24, 1024, 16));
+    }
+
+    #[test]
+    fn head_dim_divides() {
+        assert_eq!(ModelConfig::bert_base().head_dim(), 64);
+        assert_eq!(ModelConfig::bert_large().head_dim(), 64);
+        assert_eq!(ModelConfig::tiny().head_dim(), 16);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(ModelConfig::new("bad", 0, 768, 12, 3072, 512).is_err());
+        assert!(ModelConfig::new("bad", 2, 100, 3, 400, 512).is_err());
+        assert!(ModelConfig::new("bad", 2, 64, 4, 0, 512).is_err());
+        assert!(ModelConfig::new("bad", 2, 64, 4, 256, 0).is_err());
+    }
+
+    #[test]
+    fn bert_base_parameter_count_plausible() {
+        // BERT-base encoder stack is ~85M params (110M with embeddings).
+        let p = ModelConfig::bert_base().parameter_count();
+        assert!(p > 80_000_000 && p < 90_000_000, "params = {p}");
+    }
+
+    #[test]
+    fn bert_large_has_more_params_than_base() {
+        assert!(
+            ModelConfig::bert_large().parameter_count()
+                > 3 * ModelConfig::bert_base().parameter_count()
+        );
+    }
+
+    #[test]
+    fn flops_scale_superlinearly_in_length() {
+        let cfg = ModelConfig::bert_base();
+        let f128 = cfg.flops_dense(128);
+        let f256 = cfg.flops_dense(256);
+        // Attention is quadratic, so doubling length more than doubles FLOPs.
+        assert!(f256 > 2 * f128);
+        assert!(f256 < 5 * f128);
+    }
+
+    #[test]
+    fn display_contains_name() {
+        assert!(ModelConfig::bert_base().to_string().contains("BERT-base"));
+    }
+
+    #[test]
+    fn paper_models_has_four() {
+        assert_eq!(ModelConfig::paper_models().len(), 4);
+    }
+}

@@ -1,0 +1,343 @@
+//! The encoder forward pass (Fig. 1(a)): multi-head self-attention with a
+//! pluggable attention operator, residual + LayerNorm, feed-forward with
+//! GELU, residual + LayerNorm.
+
+use crate::attention::AttentionOp;
+use crate::config::ModelConfig;
+use crate::weights::LayerWeights;
+use crate::ModelError;
+use lat_tensor::rng::SplitMix64;
+use lat_tensor::{ops, Matrix};
+
+/// LayerNorm epsilon used throughout (BERT uses 1e-12; at f32 the forward
+/// pass is insensitive to anything below ~1e-5).
+pub const LAYER_NORM_EPS: f32 = 1e-5;
+
+/// One encoder layer: weights plus the forward computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncoderLayer {
+    cfg: ModelConfig,
+    weights: LayerWeights,
+}
+
+impl EncoderLayer {
+    /// Builds a layer from explicit weights.
+    pub fn new(cfg: ModelConfig, weights: LayerWeights) -> Self {
+        Self { cfg, weights }
+    }
+
+    /// Samples a randomly-initialized layer.
+    pub fn random(cfg: &ModelConfig, rng: &mut SplitMix64) -> Self {
+        Self {
+            cfg: cfg.clone(),
+            weights: LayerWeights::random(cfg, rng),
+        }
+    }
+
+    /// The layer's weights.
+    pub fn weights(&self) -> &LayerWeights {
+        &self.weights
+    }
+
+    /// Projects the input into per-layer Q, K, V matrices (Stage 1 of the
+    /// accelerator). Exposed separately because the sparse-attention
+    /// pipeline needs Q/K before attention runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if `x` has the wrong hidden dimension.
+    pub fn project_qkv(&self, x: &Matrix) -> Result<(Matrix, Matrix, Matrix), ModelError> {
+        self.check_input(x)?;
+        let q = x.matmul(&self.weights.w_q)?.add_row_bias(&self.weights.b_q)?;
+        let k = x.matmul(&self.weights.w_k)?.add_row_bias(&self.weights.b_k)?;
+        let v = x.matmul(&self.weights.w_v)?.add_row_bias(&self.weights.b_v)?;
+        Ok((q, k, v))
+    }
+
+    /// Multi-head attention block: split heads, run `op` per head, concat,
+    /// output projection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] on dimension mismatch or operator failure.
+    pub fn multi_head_attention(
+        &self,
+        q: &Matrix,
+        k: &Matrix,
+        v: &Matrix,
+        op: &dyn AttentionOp,
+    ) -> Result<Matrix, ModelError> {
+        let concat = self.multi_head_attention_concat(q, k, v, op)?;
+        Ok(concat
+            .matmul(&self.weights.w_o)?
+            .add_row_bias(&self.weights.b_o)?)
+    }
+
+    /// The per-head attention + concatenation *without* the output
+    /// projection — exposed so alternative datapaths (e.g. the 8-bit
+    /// quantized path in [`crate::quantized`]) can apply their own
+    /// projection arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] on dimension mismatch or operator failure.
+    pub fn multi_head_attention_concat(
+        &self,
+        q: &Matrix,
+        k: &Matrix,
+        v: &Matrix,
+        op: &dyn AttentionOp,
+    ) -> Result<Matrix, ModelError> {
+        let h = self.cfg.num_heads;
+        let dh = self.cfg.head_dim();
+        let mut concat: Option<Matrix> = None;
+        for head in 0..h {
+            let lo = head * dh;
+            let hi = lo + dh;
+            let qh = q.col_slice(lo, hi);
+            let kh = k.col_slice(lo, hi);
+            let vh = v.col_slice(lo, hi);
+            let zh = op.attend(&qh, &kh, &vh)?;
+            concat = Some(match concat {
+                None => zh,
+                Some(acc) => acc.hstack(&zh)?,
+            });
+        }
+        concat.ok_or_else(|| {
+            ModelError::InvalidConfig("encoder must have at least one head".into())
+        })
+    }
+
+    /// Feed-forward block: `GELU(x·W1 + b1)·W2 + b2` (Stage 3, FdFwd).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] on dimension mismatch.
+    pub fn feed_forward(&self, x: &Matrix) -> Result<Matrix, ModelError> {
+        let inner = x
+            .matmul(&self.weights.w_ffn1)?
+            .add_row_bias(&self.weights.b_ffn1)?;
+        let activated = ops::gelu_matrix(&inner);
+        Ok(activated
+            .matmul(&self.weights.w_ffn2)?
+            .add_row_bias(&self.weights.b_ffn2)?)
+    }
+
+    /// Full layer forward pass with attention operator `op`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if `x` has the wrong hidden dimension or any
+    /// internal operation fails.
+    pub fn forward(&self, x: &Matrix, op: &dyn AttentionOp) -> Result<Matrix, ModelError> {
+        self.check_input(x)?;
+        let (q, k, v) = self.project_qkv(x)?;
+        let attn = self.multi_head_attention(&q, &k, &v, op)?;
+        let res1 = x.add(&attn)?;
+        let norm1 = ops::layer_norm(
+            &res1,
+            &self.weights.ln1_gamma,
+            &self.weights.ln1_beta,
+            LAYER_NORM_EPS,
+        );
+        let ffn = self.feed_forward(&norm1)?;
+        let res2 = norm1.add(&ffn)?;
+        Ok(ops::layer_norm(
+            &res2,
+            &self.weights.ln2_gamma,
+            &self.weights.ln2_beta,
+            LAYER_NORM_EPS,
+        ))
+    }
+
+    fn check_input(&self, x: &Matrix) -> Result<(), ModelError> {
+        if x.cols() != self.cfg.hidden_dim {
+            return Err(ModelError::InvalidInput(format!(
+                "input has {} columns, model expects hidden_dim {}",
+                x.cols(),
+                self.cfg.hidden_dim
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A stack of encoder layers (the full model minus embeddings/heads).
+///
+/// # Example
+///
+/// ```
+/// use lat_model::{config::ModelConfig, encoder::Encoder, attention::DenseAttention};
+/// use lat_tensor::rng::SplitMix64;
+///
+/// # fn main() -> Result<(), lat_model::ModelError> {
+/// let cfg = ModelConfig::tiny();
+/// let mut rng = SplitMix64::new(7);
+/// let enc = Encoder::random(&cfg, &mut rng);
+/// let x = rng.gaussian_matrix(5, cfg.hidden_dim, 1.0);
+/// let y = enc.forward(&x, &DenseAttention)?;
+/// assert_eq!(y.shape(), x.shape());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Encoder {
+    cfg: ModelConfig,
+    layers: Vec<EncoderLayer>,
+}
+
+impl Encoder {
+    /// Samples a randomly-initialized encoder stack for `cfg`.
+    pub fn random(cfg: &ModelConfig, rng: &mut SplitMix64) -> Self {
+        let layers = (0..cfg.layers)
+            .map(|_| EncoderLayer::random(cfg, rng))
+            .collect();
+        Self {
+            cfg: cfg.clone(),
+            layers,
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// The individual layers, in execution order.
+    pub fn layers(&self) -> &[EncoderLayer] {
+        &self.layers
+    }
+
+    /// Runs all layers in sequence with attention operator `op`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the input shape is wrong or any layer
+    /// fails.
+    pub fn forward(&self, x: &Matrix, op: &dyn AttentionOp) -> Result<Matrix, ModelError> {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.forward(&h, op)?;
+        }
+        Ok(h)
+    }
+
+    /// Mean-pooled sentence representation after the full forward pass —
+    /// the pooling the synthetic classification task consumes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] as for [`Encoder::forward`].
+    pub fn encode_pooled(&self, x: &Matrix, op: &dyn AttentionOp) -> Result<Vec<f32>, ModelError> {
+        let h = self.forward(x, op)?;
+        let n = h.rows().max(1) as f32;
+        let mut pooled = vec![0.0f32; h.cols()];
+        for i in 0..h.rows() {
+            for (acc, &val) in pooled.iter_mut().zip(h.row(i)) {
+                *acc += val / n;
+            }
+        }
+        Ok(pooled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attention::DenseAttention;
+
+    fn tiny_encoder(seed: u64) -> (ModelConfig, Encoder, SplitMix64) {
+        let cfg = ModelConfig::tiny();
+        let mut rng = SplitMix64::new(seed);
+        let enc = Encoder::random(&cfg, &mut rng);
+        (cfg, enc, rng)
+    }
+
+    #[test]
+    fn forward_preserves_shape() {
+        let (cfg, enc, mut rng) = tiny_encoder(21);
+        let x = rng.gaussian_matrix(9, cfg.hidden_dim, 1.0);
+        let y = enc.forward(&x, &DenseAttention).unwrap();
+        assert_eq!(y.shape(), (9, cfg.hidden_dim));
+    }
+
+    #[test]
+    fn forward_rejects_wrong_width() {
+        let (_, enc, mut rng) = tiny_encoder(22);
+        let x = rng.gaussian_matrix(4, 10, 1.0);
+        assert!(matches!(
+            enc.forward(&x, &DenseAttention),
+            Err(ModelError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn output_is_layer_normalized() {
+        let (cfg, enc, mut rng) = tiny_encoder(23);
+        let x = rng.gaussian_matrix(6, cfg.hidden_dim, 1.0);
+        let y = enc.forward(&x, &DenseAttention).unwrap();
+        // Each row should have ~zero mean, ~unit variance (gamma=1, beta=0).
+        for i in 0..y.rows() {
+            let row = y.row(i);
+            let mean: f32 = row.iter().sum::<f32>() / row.len() as f32;
+            let var: f32 =
+                row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / row.len() as f32;
+            assert!(mean.abs() < 1e-3, "row {i} mean {mean}");
+            assert!((var - 1.0).abs() < 0.05, "row {i} var {var}");
+        }
+    }
+
+    #[test]
+    fn deterministic_forward() {
+        let (cfg, enc, mut rng) = tiny_encoder(24);
+        let x = rng.gaussian_matrix(5, cfg.hidden_dim, 1.0);
+        let y1 = enc.forward(&x, &DenseAttention).unwrap();
+        let y2 = enc.forward(&x, &DenseAttention).unwrap();
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn variable_lengths_supported_without_padding() {
+        // The whole point of the paper: the encoder itself has no fixed
+        // length — any row count flows through.
+        let (cfg, enc, mut rng) = tiny_encoder(25);
+        for n in [1usize, 3, 17, 50] {
+            let x = rng.gaussian_matrix(n, cfg.hidden_dim, 1.0);
+            let y = enc.forward(&x, &DenseAttention).unwrap();
+            assert_eq!(y.rows(), n);
+        }
+    }
+
+    #[test]
+    fn qkv_projection_shapes() {
+        let (cfg, enc, mut rng) = tiny_encoder(26);
+        let x = rng.gaussian_matrix(7, cfg.hidden_dim, 1.0);
+        let (q, k, v) = enc.layers()[0].project_qkv(&x).unwrap();
+        assert_eq!(q.shape(), (7, cfg.hidden_dim));
+        assert_eq!(k.shape(), (7, cfg.hidden_dim));
+        assert_eq!(v.shape(), (7, cfg.hidden_dim));
+    }
+
+    #[test]
+    fn encode_pooled_length_matches_hidden() {
+        let (cfg, enc, mut rng) = tiny_encoder(27);
+        let x = rng.gaussian_matrix(4, cfg.hidden_dim, 1.0);
+        let pooled = enc.encode_pooled(&x, &DenseAttention).unwrap();
+        assert_eq!(pooled.len(), cfg.hidden_dim);
+        assert!(pooled.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn layer_count_matches_config() {
+        let (cfg, enc, _) = tiny_encoder(28);
+        assert_eq!(enc.layers().len(), cfg.layers);
+    }
+
+    #[test]
+    fn feed_forward_shape_roundtrip() {
+        let (cfg, enc, mut rng) = tiny_encoder(29);
+        let x = rng.gaussian_matrix(3, cfg.hidden_dim, 1.0);
+        let y = enc.layers()[0].feed_forward(&x).unwrap();
+        assert_eq!(y.shape(), (3, cfg.hidden_dim));
+    }
+}

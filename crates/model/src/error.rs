@@ -1,0 +1,79 @@
+use lat_tensor::ShapeError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the model layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A tensor operation failed because of mismatched shapes.
+    Shape(ShapeError),
+    /// The model configuration is internally inconsistent
+    /// (e.g. hidden dimension not divisible by the head count).
+    InvalidConfig(String),
+    /// An input tensor does not match the model's expectations
+    /// (e.g. wrong hidden dimension).
+    InvalidInput(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Shape(e) => write!(f, "shape error: {e}"),
+            ModelError::InvalidConfig(msg) => write!(f, "invalid model configuration: {msg}"),
+            ModelError::InvalidInput(msg) => write!(f, "invalid model input: {msg}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Shape(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ShapeError> for ModelError {
+    fn from(e: ShapeError) -> Self {
+        ModelError::Shape(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let s = ModelError::Shape(ShapeError::new("matmul", (1, 2), (3, 4)));
+        assert!(s.to_string().contains("matmul"));
+        let c = ModelError::InvalidConfig("hidden 10 % heads 3 != 0".into());
+        assert!(c.to_string().contains("configuration"));
+        let i = ModelError::InvalidInput("expected 768 cols".into());
+        assert!(i.to_string().contains("input"));
+    }
+
+    #[test]
+    fn shape_error_converts() {
+        fn fails() -> Result<(), ModelError> {
+            Err(ShapeError::new("add", (1, 1), (2, 2)))?;
+            Ok(())
+        }
+        assert!(matches!(fails().unwrap_err(), ModelError::Shape(_)));
+    }
+
+    #[test]
+    fn source_is_exposed() {
+        let e = ModelError::Shape(ShapeError::new("matmul", (1, 2), (3, 4)));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = ModelError::InvalidConfig("x".into());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

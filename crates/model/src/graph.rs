@@ -1,0 +1,466 @@
+//! The encoder operator graph `G = (V, E)` with per-operator arithmetic
+//! complexity `W(v, s)` (paper §4.2, Algorithm 1 inputs).
+//!
+//! Every performance-related component of the workspace — Algorithm 1 stage
+//! allocation, the FPGA simulator's stage latencies, the CPU/GPU analytical
+//! models, and the Fig. 1(c) breakdown — consumes this single description of
+//! an encoder layer, so they can never disagree about what work exists.
+//!
+//! The graph is the Fig. 1(a)/(b) workflow:
+//!
+//! ```text
+//! QkvLinear → AttnScores → Scale → Mask → Softmax → AttnApply → OutLinear
+//!   → AddNorm1 → Ffn1 → Gelu → Ffn2 → AddNorm2
+//! ```
+//!
+//! with every vertex's FLOP weight a function of sequence length `s` — the
+//! key property (`O(n)` for all operators under sparse attention) that makes
+//! the length-aware pipeline bubble-free.
+
+use crate::config::ModelConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The operators of one encoder layer, in dataflow order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Fused Q, K, V linear transformations (three `s×d · d×d` GEMMs).
+    QkvLinear,
+    /// Attention score computation `S = Q·Kᵀ` (dense) or quantized
+    /// pre-selection + exact top-k scores (sparse).
+    AttnScores,
+    /// `1/√d` scaling of the score matrix.
+    Scale,
+    /// Padding/causal masking of the score matrix.
+    Mask,
+    /// Row-wise softmax (exponentiation + normalization).
+    Softmax,
+    /// Attention application `Z = S·V`.
+    AttnApply,
+    /// Output projection (`s×d · d×d` GEMM).
+    OutLinear,
+    /// First residual add + layer normalization.
+    AddNorm1,
+    /// FFN expansion GEMM (`s×d · d×f`).
+    Ffn1,
+    /// GELU activation over the `s×f` intermediate.
+    Gelu,
+    /// FFN contraction GEMM (`s×f · f×d`).
+    Ffn2,
+    /// Second residual add + layer normalization.
+    AddNorm2,
+}
+
+impl OpKind {
+    /// All operators in dataflow order.
+    pub fn all() -> [OpKind; 12] {
+        use OpKind::*;
+        [
+            QkvLinear, AttnScores, Scale, Mask, Softmax, AttnApply, OutLinear, AddNorm1, Ffn1,
+            Gelu, Ffn2, AddNorm2,
+        ]
+    }
+
+    /// Whether this operator belongs to the self-attention workflow
+    /// (Fig. 1(b)) as opposed to the feed-forward/other group.
+    pub fn is_attention(self) -> bool {
+        use OpKind::*;
+        matches!(
+            self,
+            AttnScores | Scale | Mask | Softmax | AttnApply
+        )
+    }
+
+    /// Short label used in printed tables and traces.
+    pub fn label(self) -> &'static str {
+        use OpKind::*;
+        match self {
+            QkvLinear => "QKV-Linear",
+            AttnScores => "MatMul QK^T",
+            Scale => "Scale",
+            Mask => "Masking",
+            Softmax => "Softmax",
+            AttnApply => "MatMul SV",
+            OutLinear => "Out-Linear",
+            AddNorm1 => "Add&Norm-1",
+            Ffn1 => "FFN-1",
+            Gelu => "GELU",
+            Ffn2 => "FFN-2",
+            AddNorm2 => "Add&Norm-2",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How the attention-score path is computed; decides `W(v, s)` for the
+/// attention operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttentionMode {
+    /// Full `O(s²)` attention.
+    Dense,
+    /// The paper's sparse attention: low-bit pre-selection + exact top-k.
+    Sparse {
+        /// Number of retained candidates per query row.
+        k: usize,
+        /// Pre-selection bit-width (1 or 4 in the paper).
+        preselect_bits: u32,
+    },
+}
+
+impl AttentionMode {
+    /// The paper's evaluation point: 1-bit pre-selection, k = 30.
+    pub fn paper_sparse() -> Self {
+        AttentionMode::Sparse {
+            k: 30,
+            preselect_bits: 1,
+        }
+    }
+
+    /// Effective number of attended keys for a sequence of length `s`.
+    pub fn attended(&self, s: usize) -> usize {
+        match *self {
+            AttentionMode::Dense => s,
+            AttentionMode::Sparse { k, .. } => k.min(s),
+        }
+    }
+}
+
+/// One vertex of the operator graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Operator {
+    /// Index of this operator in the graph (also its topological position).
+    pub id: usize,
+    /// Which computation this vertex performs.
+    pub kind: OpKind,
+}
+
+/// The encoder operator graph with architecture dimensions baked in.
+///
+/// # Example
+///
+/// ```
+/// use lat_model::config::ModelConfig;
+/// use lat_model::graph::{AttentionMode, OperatorGraph};
+///
+/// let g = OperatorGraph::encoder(&ModelConfig::bert_base());
+/// let dense = g.total_flops(128, AttentionMode::Dense);
+/// let sparse = g.total_flops(128, AttentionMode::paper_sparse());
+/// assert!(sparse < dense);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorGraph {
+    ops: Vec<Operator>,
+    /// Directed dependency edges `(from, to)` by operator id.
+    edges: Vec<(usize, usize)>,
+    hidden_dim: usize,
+    ffn_dim: usize,
+    num_heads: usize,
+}
+
+impl OperatorGraph {
+    /// Builds the canonical 12-operator encoder chain for `cfg`.
+    pub fn encoder(cfg: &ModelConfig) -> Self {
+        let ops: Vec<Operator> = OpKind::all()
+            .into_iter()
+            .enumerate()
+            .map(|(id, kind)| Operator { id, kind })
+            .collect();
+        let edges = (0..ops.len() - 1).map(|i| (i, i + 1)).collect();
+        Self {
+            ops,
+            edges,
+            hidden_dim: cfg.hidden_dim,
+            ffn_dim: cfg.ffn_dim,
+            num_heads: cfg.num_heads,
+        }
+    }
+
+    /// The operators in topological (dataflow) order.
+    pub fn operators(&self) -> &[Operator] {
+        &self.ops
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the graph is empty (never true for [`OperatorGraph::encoder`]).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The dependency edges.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Ids of direct successors of `id`.
+    pub fn successors(&self, id: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|&&(f, _)| f == id)
+            .map(|&(_, t)| t)
+            .collect()
+    }
+
+    /// Ids of direct predecessors of `id`.
+    pub fn predecessors(&self, id: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|&&(_, t)| t == id)
+            .map(|&(f, _)| f)
+            .collect()
+    }
+
+    /// Hidden dimension `d` this graph was built for.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// FFN inner dimension.
+    pub fn ffn_dim(&self) -> usize {
+        self.ffn_dim
+    }
+
+    /// Arithmetic complexity `W(v, s)` of operator `v` at sequence length
+    /// `s`, in FLOPs (MAC = 2 FLOPs). This is the vertex weight of
+    /// Algorithm 1.
+    ///
+    /// For [`AttentionMode::Sparse`] the `AttnScores` weight contains both
+    /// the low-bit pre-selection pass (scaled down by the bit-width ratio
+    /// versus 8-bit datapath ops, as the LUT/bit-select hardware is that much
+    /// cheaper per element) and the exact top-k score computation.
+    pub fn flops(&self, kind: OpKind, s: usize, mode: AttentionMode) -> u64 {
+        let s = s as u64;
+        let d = self.hidden_dim as u64;
+        let f = self.ffn_dim as u64;
+        let a = mode.attended(s as usize) as u64; // attended keys per row
+        use OpKind::*;
+        match kind {
+            QkvLinear => 3 * 2 * s * d * d,
+            AttnScores => match mode {
+                AttentionMode::Dense => 2 * s * s * d,
+                AttentionMode::Sparse { preselect_bits, .. } => {
+                    // Low-bit approximate pass over all s² pairs, discounted
+                    // by bit ratio relative to the 8-bit datapath, plus exact
+                    // recompute of the k winners per row, plus the top-k
+                    // merge-sort (s · log²k comparisons, cheap).
+                    let pre = 2 * s * s * d * preselect_bits as u64 / 8;
+                    let exact = 2 * s * a * d;
+                    let sort_k = (a.max(2) as f64).log2().ceil() as u64;
+                    let sort = s * s * sort_k / 8;
+                    pre + exact + sort
+                }
+            },
+            Scale => s * a,
+            Mask => s * a,
+            Softmax => 5 * s * a,
+            AttnApply => 2 * s * a * d,
+            OutLinear => 2 * s * d * d,
+            AddNorm1 | AddNorm2 => 10 * s * d,
+            Ffn1 => 2 * s * d * f,
+            Gelu => 8 * s * f,
+            Ffn2 => 2 * s * f * d,
+        }
+    }
+
+    /// Total FLOPs of one encoder layer at length `s` under `mode`.
+    pub fn total_flops(&self, s: usize, mode: AttentionMode) -> u64 {
+        self.ops.iter().map(|op| self.flops(op.kind, s, mode)).sum()
+    }
+
+    /// Total FLOPs with dense attention (convenience).
+    pub fn total_flops_dense(&self, s: usize) -> u64 {
+        self.total_flops(s, AttentionMode::Dense)
+    }
+
+    /// FLOPs of the self-attention workflow only (Fig. 1(b) operators).
+    pub fn attention_flops(&self, s: usize, mode: AttentionMode) -> u64 {
+        self.ops
+            .iter()
+            .filter(|op| op.kind.is_attention())
+            .map(|op| self.flops(op.kind, s, mode))
+            .sum()
+    }
+
+    /// Bytes of off-chip traffic operator `v` needs at length `s`, assuming
+    /// `bytes_per_elem`-wide activations and *no* on-chip reuse (worst case;
+    /// the FPGA simulator applies its buffer model on top of this).
+    pub fn memory_bytes(&self, kind: OpKind, s: usize, mode: AttentionMode, bytes_per_elem: u64) -> u64 {
+        let s = s as u64;
+        let d = self.hidden_dim as u64;
+        let f = self.ffn_dim as u64;
+        let a = mode.attended(s as usize) as u64;
+        use OpKind::*;
+        let elems = match kind {
+            QkvLinear => s * d + 3 * d * d + 3 * s * d,
+            AttnScores => match mode {
+                AttentionMode::Dense => 2 * s * d + s * s,
+                // Quantized operands are packed sub-byte. The exact pass
+                // re-reads Q and K once (candidates are gathered through
+                // on-chip buffers), and the top-k index/value pairs are
+                // spilled to and re-loaded from HBM for inter-stage buffering
+                // (§4.1); the sparse score matrix is only s×k.
+                AttentionMode::Sparse { preselect_bits, .. } => {
+                    2 * s * d * preselect_bits as u64 / 8 + 2 * s * d + 5 * s * a
+                }
+            },
+            Scale | Mask => s * a, // in-place streaming
+            Softmax => 2 * s * a,
+            AttnApply => s * a + a * d + s * d,
+            OutLinear => s * d + d * d + s * d,
+            AddNorm1 | AddNorm2 => 3 * s * d,
+            Ffn1 => s * d + d * f + s * f,
+            Gelu => 2 * s * f,
+            Ffn2 => s * f + f * d + s * d,
+        };
+        elems * bytes_per_elem
+    }
+
+    /// Per-operator FLOP breakdown at length `s`, as `(kind, flops, share)`
+    /// tuples — the data behind Fig. 1(c).
+    pub fn breakdown(&self, s: usize, mode: AttentionMode) -> Vec<(OpKind, u64, f64)> {
+        let total = self.total_flops(s, mode).max(1) as f64;
+        self.ops
+            .iter()
+            .map(|op| {
+                let fl = self.flops(op.kind, s, mode);
+                (op.kind, fl, fl as f64 / total)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_graph() -> OperatorGraph {
+        OperatorGraph::encoder(&ModelConfig::bert_base())
+    }
+
+    #[test]
+    fn encoder_graph_is_a_chain_of_12() {
+        let g = base_graph();
+        assert_eq!(g.len(), 12);
+        assert_eq!(g.edges().len(), 11);
+        assert_eq!(g.successors(0), vec![1]);
+        assert_eq!(g.predecessors(11), vec![10]);
+        assert!(g.successors(11).is_empty());
+        assert!(g.predecessors(0).is_empty());
+    }
+
+    #[test]
+    fn qkv_flops_formula() {
+        let g = base_graph();
+        // 3 GEMMs of s×768 · 768×768, 2 FLOPs per MAC, s = 100.
+        let expect = 3 * 2 * 100u64 * 768 * 768;
+        assert_eq!(g.flops(OpKind::QkvLinear, 100, AttentionMode::Dense), expect);
+    }
+
+    #[test]
+    fn dense_attention_is_quadratic() {
+        let g = base_graph();
+        let f1 = g.flops(OpKind::AttnScores, 100, AttentionMode::Dense);
+        let f2 = g.flops(OpKind::AttnScores, 200, AttentionMode::Dense);
+        assert_eq!(f2, 4 * f1);
+    }
+
+    #[test]
+    fn sparse_attention_attended_clamps_to_seq_len() {
+        let m = AttentionMode::Sparse { k: 30, preselect_bits: 1 };
+        assert_eq!(m.attended(20), 20);
+        assert_eq!(m.attended(100), 30);
+    }
+
+    #[test]
+    fn sparse_cuts_attention_flops_by_over_80_percent_at_k30() {
+        // The §5.1 claim: >80% attention-complexity reduction at Top-30.
+        let g = base_graph();
+        let s = 177; // SQuAD average length
+        let dense = g.attention_flops(s, AttentionMode::Dense);
+        let sparse = g.attention_flops(s, AttentionMode::paper_sparse());
+        let reduction = 1.0 - sparse as f64 / dense as f64;
+        assert!(reduction > 0.60, "reduction only {reduction:.3}");
+        // At longer lengths the reduction exceeds 80%.
+        let dense = g.attention_flops(500, AttentionMode::Dense);
+        let sparse = g.attention_flops(500, AttentionMode::paper_sparse());
+        let reduction = 1.0 - sparse as f64 / dense as f64;
+        assert!(reduction > 0.80, "reduction only {reduction:.3}");
+    }
+
+    #[test]
+    fn sparse_mode_linear_in_length_for_apply() {
+        let g = base_graph();
+        let m = AttentionMode::paper_sparse();
+        let f1 = g.flops(OpKind::AttnApply, 100, m);
+        let f2 = g.flops(OpKind::AttnApply, 200, m);
+        assert_eq!(f2, 2 * f1); // O(n) as the paper requires for scheduling
+    }
+
+    #[test]
+    fn total_is_sum_of_parts() {
+        let g = base_graph();
+        let total = g.total_flops(64, AttentionMode::Dense);
+        let sum: u64 = OpKind::all()
+            .into_iter()
+            .map(|k| g.flops(k, 64, AttentionMode::Dense))
+            .sum();
+        assert_eq!(total, sum);
+    }
+
+    #[test]
+    fn attention_share_grows_with_length() {
+        // Fig. 1 caption: attention share climbs as tokens increase.
+        let g = base_graph();
+        let share = |s: usize| {
+            g.attention_flops(s, AttentionMode::Dense) as f64
+                / g.total_flops(s, AttentionMode::Dense) as f64
+        };
+        assert!(share(512) > share(128));
+        assert!(share(128) > share(32));
+    }
+
+    #[test]
+    fn breakdown_shares_sum_to_one() {
+        let g = base_graph();
+        let b = g.breakdown(128, AttentionMode::Dense);
+        let total: f64 = b.iter().map(|(_, _, sh)| sh).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(b.len(), 12);
+    }
+
+    #[test]
+    fn memory_bytes_positive_and_scaled() {
+        let g = base_graph();
+        for kind in OpKind::all() {
+            let m1 = g.memory_bytes(kind, 128, AttentionMode::Dense, 1);
+            let m4 = g.memory_bytes(kind, 128, AttentionMode::Dense, 4);
+            assert!(m1 > 0, "{kind} has zero traffic");
+            assert_eq!(m4, 4 * m1);
+        }
+    }
+
+    #[test]
+    fn sparse_reduces_score_memory_traffic() {
+        // §3.1: sparse attention alleviates off-chip memory traffic.
+        let g = base_graph();
+        let dense = g.memory_bytes(OpKind::AttnScores, 512, AttentionMode::Dense, 1);
+        let sparse = g.memory_bytes(OpKind::AttnScores, 512, AttentionMode::paper_sparse(), 1);
+        assert!(sparse < dense);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = OpKind::all().iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 12);
+    }
+}

@@ -1,0 +1,189 @@
+//! Pooling and classification heads — the task layer on top of the
+//! encoder (GLUE-style classification as in RTE/MRPC, span-free SQuAD
+//! proxy).
+
+use crate::ModelError;
+use lat_tensor::rng::SplitMix64;
+use lat_tensor::{ops, Matrix};
+
+/// Mean-pools token representations into one sentence vector.
+pub fn mean_pool(hidden: &Matrix) -> Vec<f32> {
+    let n = hidden.rows().max(1) as f32;
+    let mut pooled = vec![0.0f32; hidden.cols()];
+    for i in 0..hidden.rows() {
+        for (acc, &v) in pooled.iter_mut().zip(hidden.row(i)) {
+            *acc += v / n;
+        }
+    }
+    pooled
+}
+
+/// CLS-pooling: the first token's representation (BERT's convention).
+///
+/// # Panics
+///
+/// Panics if `hidden` has no rows.
+pub fn cls_pool(hidden: &Matrix) -> Vec<f32> {
+    assert!(hidden.rows() > 0, "cannot CLS-pool an empty sequence");
+    hidden.row(0).to_vec()
+}
+
+/// A linear classification head over pooled sentence vectors.
+///
+/// # Example
+///
+/// ```
+/// use lat_model::head::ClassifierHead;
+/// use lat_tensor::rng::SplitMix64;
+///
+/// # fn main() -> Result<(), lat_model::ModelError> {
+/// let mut rng = SplitMix64::new(1);
+/// let head = ClassifierHead::random(16, 3, &mut rng);
+/// let logits = head.logits(&vec![0.1; 16])?;
+/// assert_eq!(logits.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifierHead {
+    weights: Matrix,
+    bias: Vec<f32>,
+}
+
+impl ClassifierHead {
+    /// Builds a head from explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] if `bias.len() != weights.cols()`.
+    pub fn new(weights: Matrix, bias: Vec<f32>) -> Result<Self, ModelError> {
+        if bias.len() != weights.cols() {
+            return Err(ModelError::InvalidConfig(format!(
+                "bias length {} != class count {}",
+                bias.len(),
+                weights.cols()
+            )));
+        }
+        Ok(Self { weights, bias })
+    }
+
+    /// Samples a random head mapping `hidden_dim` features to
+    /// `num_classes` logits.
+    pub fn random(hidden_dim: usize, num_classes: usize, rng: &mut SplitMix64) -> Self {
+        Self {
+            weights: rng.gaussian_matrix(hidden_dim, num_classes, 1.0 / (hidden_dim as f32).sqrt()),
+            bias: vec![0.0; num_classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Raw logits for a pooled vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidInput`] if the vector width is wrong.
+    pub fn logits(&self, pooled: &[f32]) -> Result<Vec<f32>, ModelError> {
+        if pooled.len() != self.weights.rows() {
+            return Err(ModelError::InvalidInput(format!(
+                "pooled width {} != head input {}",
+                pooled.len(),
+                self.weights.rows()
+            )));
+        }
+        let mut out = self.bias.clone();
+        for (i, &x) in pooled.iter().enumerate() {
+            for (o, &w) in out.iter_mut().zip(self.weights.row(i)) {
+                *o += x * w;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Class probabilities (softmax over logits).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ClassifierHead::logits`].
+    pub fn probabilities(&self, pooled: &[f32]) -> Result<Vec<f32>, ModelError> {
+        let mut logits = self.logits(pooled)?;
+        ops::softmax_in_place(&mut logits);
+        Ok(logits)
+    }
+
+    /// Predicted class (argmax of logits).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ClassifierHead::logits`].
+    pub fn predict(&self, pooled: &[f32]) -> Result<usize, ModelError> {
+        let logits = self.logits(pooled)?;
+        Ok(ops::argmax(&logits).expect("at least one class"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_pool_averages_rows() {
+        let m = Matrix::from_rows(&[&[1.0, 3.0], &[3.0, 5.0]]).unwrap();
+        assert_eq!(mean_pool(&m), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn cls_pool_takes_first_row() {
+        let m = Matrix::from_rows(&[&[7.0, 8.0], &[0.0, 0.0]]).unwrap();
+        assert_eq!(cls_pool(&m), vec![7.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn cls_pool_empty_panics() {
+        let _ = cls_pool(&Matrix::zeros(0, 4));
+    }
+
+    #[test]
+    fn head_rejects_bad_bias() {
+        let w = Matrix::zeros(4, 3);
+        assert!(ClassifierHead::new(w, vec![0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn logits_linear_in_input() {
+        let w = Matrix::identity(3);
+        let head = ClassifierHead::new(w, vec![1.0, 0.0, -1.0]).unwrap();
+        let l = head.logits(&[2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(l, vec![3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn logits_width_checked() {
+        let mut rng = SplitMix64::new(1);
+        let head = ClassifierHead::random(8, 2, &mut rng);
+        assert!(head.logits(&[0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut rng = SplitMix64::new(2);
+        let head = ClassifierHead::random(8, 4, &mut rng);
+        let p = head.probabilities(&[0.3; 8]).unwrap();
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn predict_matches_argmax_of_logits() {
+        let mut rng = SplitMix64::new(3);
+        let head = ClassifierHead::random(8, 4, &mut rng);
+        let pooled: Vec<f32> = (0..8).map(|i| i as f32 * 0.1).collect();
+        let logits = head.logits(&pooled).unwrap();
+        let argmax = ops::argmax(&logits).unwrap();
+        assert_eq!(head.predict(&pooled).unwrap(), argmax);
+    }
+}

@@ -1,0 +1,61 @@
+//! # lat-model
+//!
+//! Transformer encoder substrate for the lat-fpga reproduction of the DAC'22
+//! length-adaptive co-design paper.
+//!
+//! The paper evaluates four self-attention-centric NLP models — DistilBERT,
+//! BERT-base, RoBERTa and BERT-large (Table 1). This crate implements the
+//! shared encoder architecture those models use, with the attention operator
+//! left *pluggable* (the [`attention::AttentionOp`] trait) so the paper's
+//! sparse attention (in `lat-core`) can be swapped against the dense
+//! baseline without touching the rest of the network.
+//!
+//! Contents:
+//!
+//! - [`config::ModelConfig`]: architecture hyper-parameters + the paper's
+//!   four presets.
+//! - [`attention`]: the attention operator abstraction and the dense
+//!   reference implementation.
+//! - [`weights`] / [`encoder`]: deterministic randomly-initialized encoder
+//!   weights and the full forward pass (multi-head attention → add&norm →
+//!   FFN → add&norm), exactly the Fig. 1(a) workflow.
+//! - [`embedding`]: deterministic token/positional embeddings.
+//! - [`graph`]: the encoder *operator graph* with per-operator arithmetic
+//!   complexity `W(v, s)` as a function of sequence length — the input to
+//!   the paper's Algorithm 1 stage-allocation and to every performance
+//!   model in the workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use lat_model::config::ModelConfig;
+//! use lat_model::encoder::Encoder;
+//! use lat_model::attention::DenseAttention;
+//! use lat_tensor::rng::SplitMix64;
+//!
+//! # fn main() -> Result<(), lat_model::ModelError> {
+//! let cfg = ModelConfig::tiny(); // 2 layers, 64 hidden, 4 heads — test size
+//! let mut rng = SplitMix64::new(1);
+//! let enc = Encoder::random(&cfg, &mut rng);
+//! let x = rng.gaussian_matrix(10, cfg.hidden_dim, 0.5); // 10 tokens
+//! let y = enc.forward(&x, &DenseAttention)?;
+//! assert_eq!(y.shape(), (10, cfg.hidden_dim));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attention;
+pub mod config;
+pub mod embedding;
+pub mod encoder;
+pub mod graph;
+pub mod head;
+pub mod quantized;
+pub mod weights;
+
+mod error;
+
+pub use error::ModelError;

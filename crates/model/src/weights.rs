@@ -1,0 +1,156 @@
+//! Encoder layer weights with deterministic random initialization.
+//!
+//! The reproduction has no access to pretrained checkpoints (see DESIGN.md
+//! substitution table), so weights are sampled from the initialization
+//! distributions the original models use (truncated-normal-ish Gaussians
+//! scaled by `1/√d`). All sampling is seeded, making every experiment
+//! deterministic.
+
+use crate::config::ModelConfig;
+use lat_tensor::rng::SplitMix64;
+use lat_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Weights of one encoder layer (Fig. 1(a) parameters).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerWeights {
+    /// Query projection, `d×d`.
+    pub w_q: Matrix,
+    /// Key projection, `d×d`.
+    pub w_k: Matrix,
+    /// Value projection, `d×d`.
+    pub w_v: Matrix,
+    /// Output projection, `d×d`.
+    pub w_o: Matrix,
+    /// Query bias, length `d`.
+    pub b_q: Vec<f32>,
+    /// Key bias, length `d`.
+    pub b_k: Vec<f32>,
+    /// Value bias, length `d`.
+    pub b_v: Vec<f32>,
+    /// Output bias, length `d`.
+    pub b_o: Vec<f32>,
+    /// FFN expansion weights, `d×f`.
+    pub w_ffn1: Matrix,
+    /// FFN expansion bias, length `f`.
+    pub b_ffn1: Vec<f32>,
+    /// FFN contraction weights, `f×d`.
+    pub w_ffn2: Matrix,
+    /// FFN contraction bias, length `d`.
+    pub b_ffn2: Vec<f32>,
+    /// First LayerNorm gamma, length `d`.
+    pub ln1_gamma: Vec<f32>,
+    /// First LayerNorm beta, length `d`.
+    pub ln1_beta: Vec<f32>,
+    /// Second LayerNorm gamma, length `d`.
+    pub ln2_gamma: Vec<f32>,
+    /// Second LayerNorm beta, length `d`.
+    pub ln2_beta: Vec<f32>,
+}
+
+impl LayerWeights {
+    /// Samples one layer of weights for `cfg` from `rng`.
+    ///
+    /// Projections use `N(0, 1/d)` entries (standard transformer init);
+    /// biases start at zero; LayerNorm affine starts at identity.
+    pub fn random(cfg: &ModelConfig, rng: &mut SplitMix64) -> Self {
+        let d = cfg.hidden_dim;
+        let f = cfg.ffn_dim;
+        let std_d = 1.0 / (d as f32).sqrt();
+        let std_f = 1.0 / (f as f32).sqrt();
+        Self {
+            w_q: rng.gaussian_matrix(d, d, std_d),
+            w_k: rng.gaussian_matrix(d, d, std_d),
+            w_v: rng.gaussian_matrix(d, d, std_d),
+            w_o: rng.gaussian_matrix(d, d, std_d),
+            b_q: vec![0.0; d],
+            b_k: vec![0.0; d],
+            b_v: vec![0.0; d],
+            b_o: vec![0.0; d],
+            w_ffn1: rng.gaussian_matrix(d, f, std_d),
+            b_ffn1: vec![0.0; f],
+            w_ffn2: rng.gaussian_matrix(f, d, std_f),
+            b_ffn2: vec![0.0; d],
+            ln1_gamma: vec![1.0; d],
+            ln1_beta: vec![0.0; d],
+            ln2_gamma: vec![1.0; d],
+            ln2_beta: vec![0.0; d],
+        }
+    }
+
+    /// Total number of scalar parameters in this layer.
+    pub fn parameter_count(&self) -> usize {
+        self.w_q.len()
+            + self.w_k.len()
+            + self.w_v.len()
+            + self.w_o.len()
+            + self.b_q.len()
+            + self.b_k.len()
+            + self.b_v.len()
+            + self.b_o.len()
+            + self.w_ffn1.len()
+            + self.b_ffn1.len()
+            + self.w_ffn2.len()
+            + self.b_ffn2.len()
+            + self.ln1_gamma.len()
+            + self.ln1_beta.len()
+            + self.ln2_gamma.len()
+            + self.ln2_beta.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_follow_config() {
+        let cfg = ModelConfig::tiny();
+        let mut rng = SplitMix64::new(1);
+        let w = LayerWeights::random(&cfg, &mut rng);
+        assert_eq!(w.w_q.shape(), (64, 64));
+        assert_eq!(w.w_ffn1.shape(), (64, 256));
+        assert_eq!(w.w_ffn2.shape(), (256, 64));
+        assert_eq!(w.b_ffn1.len(), 256);
+        assert_eq!(w.ln1_gamma.len(), 64);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = ModelConfig::tiny();
+        let a = LayerWeights::random(&cfg, &mut SplitMix64::new(9));
+        let b = LayerWeights::random(&cfg, &mut SplitMix64::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = ModelConfig::tiny();
+        let a = LayerWeights::random(&cfg, &mut SplitMix64::new(1));
+        let b = LayerWeights::random(&cfg, &mut SplitMix64::new(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn parameter_count_matches_config_formula() {
+        let cfg = ModelConfig::tiny();
+        let mut rng = SplitMix64::new(1);
+        let w = LayerWeights::random(&cfg, &mut rng);
+        assert_eq!(
+            w.parameter_count() * cfg.layers,
+            cfg.parameter_count(),
+            "LayerWeights and ModelConfig::parameter_count disagree"
+        );
+    }
+
+    #[test]
+    fn init_scale_is_inverse_sqrt_d() {
+        let cfg = ModelConfig::tiny();
+        let mut rng = SplitMix64::new(3);
+        let w = LayerWeights::random(&cfg, &mut rng);
+        let var: f32 =
+            w.w_q.as_slice().iter().map(|x| x * x).sum::<f32>() / w.w_q.len() as f32;
+        let expect = 1.0 / 64.0;
+        assert!((var - expect).abs() < expect * 0.5, "var {var} vs {expect}");
+    }
+}

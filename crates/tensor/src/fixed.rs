@@ -1,0 +1,223 @@
+//! 8-bit fixed-point arithmetic mirroring the accelerator datapath.
+//!
+//! The paper's accelerator (§5.2) runs the main datapath at 8-bit fixed
+//! point: one Alveo DSP slice performs one 8-bit multiply-accumulate per
+//! cycle. This module provides a `Q`-format scalar type [`Fx8`] with an
+//! `i32` accumulator, which is how the hardware keeps partial sums exact
+//! inside a dot product before re-quantizing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An 8-bit fixed-point value with a runtime fractional-bit count.
+///
+/// The value represented is `raw / 2^frac_bits`, with `raw ∈ [-128, 127]`.
+///
+/// # Example
+///
+/// ```
+/// use lat_tensor::fixed::Fx8;
+///
+/// let x = Fx8::from_f32(0.5, 6);   // Q1.6
+/// assert_eq!(x.raw(), 32);
+/// assert!((x.to_f32() - 0.5).abs() < 1.0 / 64.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fx8 {
+    raw: i8,
+    frac_bits: u8,
+}
+
+impl Fx8 {
+    /// Quantizes an `f32` into Q-format with `frac_bits` fractional bits
+    /// (round-to-nearest, saturating at the representable range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac_bits > 7` (an 8-bit signed value has at most 7
+    /// fractional bits alongside its sign).
+    pub fn from_f32(x: f32, frac_bits: u8) -> Self {
+        assert!(frac_bits <= 7, "frac_bits must be <= 7, got {frac_bits}");
+        let scaled = (x * (1u32 << frac_bits) as f32).round();
+        let raw = scaled.clamp(i8::MIN as f32, i8::MAX as f32) as i8;
+        Self { raw, frac_bits }
+    }
+
+    /// Builds a value from its raw integer representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac_bits > 7`.
+    pub fn from_raw(raw: i8, frac_bits: u8) -> Self {
+        assert!(frac_bits <= 7, "frac_bits must be <= 7, got {frac_bits}");
+        Self { raw, frac_bits }
+    }
+
+    /// The raw 8-bit payload.
+    pub fn raw(self) -> i8 {
+        self.raw
+    }
+
+    /// Number of fractional bits.
+    pub fn frac_bits(self) -> u8 {
+        self.frac_bits
+    }
+
+    /// Converts back to `f32`.
+    pub fn to_f32(self) -> f32 {
+        self.raw as f32 / (1u32 << self.frac_bits) as f32
+    }
+
+    /// Quantization step (the smallest representable increment).
+    pub fn step(self) -> f32 {
+        1.0 / (1u32 << self.frac_bits) as f32
+    }
+
+    /// Saturating fixed-point addition; operands must share a format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formats differ.
+    pub fn saturating_add(self, rhs: Fx8) -> Fx8 {
+        assert_eq!(self.frac_bits, rhs.frac_bits, "Fx8 format mismatch");
+        Fx8 {
+            raw: self.raw.saturating_add(rhs.raw),
+            frac_bits: self.frac_bits,
+        }
+    }
+}
+
+impl fmt::Display for Fx8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(Q{}.{})", self.to_f32(), 7 - self.frac_bits, self.frac_bits)
+    }
+}
+
+/// Exact dot product of two 8-bit fixed-point vectors with an `i32`
+/// accumulator, returning the result as `f32`.
+///
+/// This models one DSP MAC chain: products of two Q-format bytes are 16-bit,
+/// and the 32-bit accumulator cannot overflow for realistic vector lengths
+/// (`n · 127 · 127 < 2^31` up to n ≈ 133 000).
+///
+/// # Panics
+///
+/// Panics if lengths or formats differ.
+pub fn dot_fx8(a: &[Fx8], b: &[Fx8]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot_fx8 length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let fa = a[0].frac_bits();
+    let fb = b[0].frac_bits();
+    let mut acc: i32 = 0;
+    for (&x, &y) in a.iter().zip(b) {
+        assert_eq!(x.frac_bits(), fa, "mixed formats in lhs");
+        assert_eq!(y.frac_bits(), fb, "mixed formats in rhs");
+        acc += x.raw() as i32 * y.raw() as i32;
+    }
+    acc as f32 / (1u64 << (fa as u32 + fb as u32)) as f32
+}
+
+/// Quantizes a float slice to a shared Q-format chosen from its max-abs
+/// value, returning the values and the chosen fractional bit count.
+///
+/// The format is chosen as the largest `frac_bits` such that the max-abs
+/// value still fits, which is what a per-tensor calibration pass would do.
+pub fn quantize_slice(xs: &[f32]) -> (Vec<Fx8>, u8) {
+    let max_abs = xs.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    let mut frac_bits = 7u8;
+    while frac_bits > 0 {
+        let max_repr = 127.0 / (1u32 << frac_bits) as f32;
+        if max_abs <= max_repr {
+            break;
+        }
+        frac_bits -= 1;
+    }
+    let vals = xs.iter().map(|&x| Fx8::from_f32(x, frac_bits)).collect();
+    (vals, frac_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_within_half_step() {
+        for frac in 0..=7u8 {
+            let step = 1.0 / (1u32 << frac) as f32;
+            for &x in &[0.0f32, 0.3, -0.9, 0.125, -1.0] {
+                let max_repr = 127.0 * step;
+                if x.abs() > max_repr {
+                    continue;
+                }
+                let q = Fx8::from_f32(x, frac);
+                assert!(
+                    (q.to_f32() - x).abs() <= step / 2.0 + 1e-7,
+                    "frac={frac} x={x} got {}",
+                    q.to_f32()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_clamps() {
+        let q = Fx8::from_f32(100.0, 6);
+        assert_eq!(q.raw(), 127);
+        let q = Fx8::from_f32(-100.0, 6);
+        assert_eq!(q.raw(), -128);
+    }
+
+    #[test]
+    fn saturating_add_caps_at_extremes() {
+        let a = Fx8::from_raw(120, 4);
+        let b = Fx8::from_raw(50, 4);
+        assert_eq!(a.saturating_add(b).raw(), 127);
+    }
+
+    #[test]
+    #[should_panic(expected = "format mismatch")]
+    fn add_format_mismatch_panics() {
+        let a = Fx8::from_raw(1, 3);
+        let b = Fx8::from_raw(1, 4);
+        let _ = a.saturating_add(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "frac_bits")]
+    fn invalid_frac_bits_panics() {
+        let _ = Fx8::from_f32(0.0, 8);
+    }
+
+    #[test]
+    fn dot_fx8_matches_float_within_quant_error() {
+        let xs: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.37).sin() * 0.9).collect();
+        let ys: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.53).cos() * 0.9).collect();
+        let (qx, _) = quantize_slice(&xs);
+        let (qy, _) = quantize_slice(&ys);
+        let exact: f32 = xs.iter().zip(&ys).map(|(a, b)| a * b).sum();
+        let fixed = dot_fx8(&qx, &qy);
+        // 64 products each with quantization error ≤ step: loose but honest bound.
+        assert!((exact - fixed).abs() < 0.2, "exact={exact} fixed={fixed}");
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot_fx8(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn quantize_slice_picks_fitting_format() {
+        let (_, frac) = quantize_slice(&[0.4, -0.2]);
+        assert_eq!(frac, 7); // max-abs 0.4 < 127/128
+        let (_, frac) = quantize_slice(&[3.0]);
+        assert_eq!(frac, 5); // 127/32 = 3.97 fits, 127/64 = 1.98 does not
+    }
+
+    #[test]
+    fn display_shows_format() {
+        let q = Fx8::from_f32(0.5, 6);
+        assert!(q.to_string().contains("Q1.6"));
+    }
+}

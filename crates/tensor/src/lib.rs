@@ -1,0 +1,54 @@
+//! # lat-tensor
+//!
+//! Dense tensor substrate for the lat-fpga reproduction of the DAC'22 paper
+//! *"A Length Adaptive Algorithm-Hardware Co-design of Transformer on FPGA
+//! Through Sparse Attention and Dynamic Pipelining"*.
+//!
+//! This crate provides everything the algorithm layer needs to express both
+//! the full-precision reference path and the accelerator's quantized path:
+//!
+//! - [`Matrix`]: a row-major `f32` matrix with checked shapes and the small
+//!   set of BLAS-like kernels a transformer encoder needs ([`Matrix::matmul`],
+//!   [`Matrix::matmul_transposed`], transpose, row views).
+//! - [`ops`]: numerically careful softmax, layer normalization, GELU,
+//!   masking and reduction kernels, written exactly in the decomposed form
+//!   the paper's hardware uses (exp pass + normalize pass).
+//! - [`quant`]: the paper's §3.2 quantization — affine symmetric
+//!   `x' = round((2^(b-1)-1)/|M| · x)` for 4/8 bits and the 1-bit sign
+//!   quantizer — plus rank-preservation helpers.
+//! - [`lut`]: the 256-entry look-up-table integer multiplier used by the
+//!   At-Sel hardware for approximate distance computation.
+//! - [`fixed`]: Q-format 8-bit fixed point mirroring the accelerator
+//!   datapath (1 DSP = one 8-bit MAC per cycle).
+//!
+//! # Example
+//!
+//! ```
+//! use lat_tensor::{Matrix, ops};
+//!
+//! # fn main() -> Result<(), lat_tensor::ShapeError> {
+//! let q = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]])?;
+//! let k = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]])?;
+//! let scores = q.matmul_transposed(&k)?;
+//! let probs = ops::softmax_rows(&scores);
+//! assert!((probs.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod matrix;
+
+pub mod fixed;
+pub mod lut;
+pub mod ops;
+pub mod quant;
+pub mod rng;
+pub mod stats;
+pub mod tiled;
+
+pub use error::ShapeError;
+pub use matrix::Matrix;

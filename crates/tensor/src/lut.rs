@@ -1,0 +1,201 @@
+//! Look-up-table integer multiplier (paper §3.2, Fig. 2a "Bits Selector").
+//!
+//! The At-Sel hardware multiplies two low-bit integers by indexing a
+//! pre-computed product table instead of occupying a DSP slice: for 4-bit
+//! signed operands the table has `16 × 16 = 256` entries. This module models
+//! that unit exactly so the algorithm layer and the hardware simulator agree
+//! bit-for-bit with plain integer multiplication.
+
+use crate::quant::{BitWidth, QuantizedMatrix};
+use crate::ShapeError;
+
+/// A pre-computed signed product table for a given operand bit-width.
+///
+/// # Example
+///
+/// ```
+/// use lat_tensor::lut::ProductLut;
+/// use lat_tensor::quant::BitWidth;
+///
+/// let lut = ProductLut::new(BitWidth::Four);
+/// assert_eq!(lut.multiply(-7, 7), -49);
+/// assert_eq!(lut.entries(), 256);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProductLut {
+    bits: BitWidth,
+    /// Table indexed by `(a + offset) * side + (b + offset)`.
+    table: Vec<i32>,
+    offset: i32,
+    side: usize,
+}
+
+impl ProductLut {
+    /// Builds the product table for `bits`-wide signed operands.
+    ///
+    /// For 1-bit operands the domain is `{-1, +1}` encoded over a 2-wide
+    /// table; 4-bit uses 16×16 = 256 entries; 8-bit uses 256×256 entries
+    /// (the hardware would not build the 8-bit table — it exists here for
+    /// testing symmetry).
+    pub fn new(bits: BitWidth) -> Self {
+        let (lo, hi) = match bits {
+            BitWidth::One => (-1i32, 1i32),
+            BitWidth::Four => (-8, 7),
+            BitWidth::Eight => (-128, 127),
+        };
+        let side = (hi - lo + 1) as usize;
+        let mut table = vec![0i32; side * side];
+        for a in lo..=hi {
+            for b in lo..=hi {
+                table[((a - lo) as usize) * side + (b - lo) as usize] = a * b;
+            }
+        }
+        Self {
+            bits,
+            table,
+            offset: -lo,
+            side,
+        }
+    }
+
+    /// The operand bit-width of this table.
+    pub fn bits(&self) -> BitWidth {
+        self.bits
+    }
+
+    /// Total number of table entries (256 for the paper's 4-bit case).
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Looks up `a * b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is outside the representable range of the
+    /// table's bit-width.
+    pub fn multiply(&self, a: i32, b: i32) -> i32 {
+        let ia = a + self.offset;
+        let ib = b + self.offset;
+        assert!(
+            ia >= 0 && (ia as usize) < self.side && ib >= 0 && (ib as usize) < self.side,
+            "operand out of {} range: {a} * {b}",
+            self.bits
+        );
+        self.table[ia as usize * self.side + ib as usize]
+    }
+
+    /// Dot product of two level slices through the LUT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or any level is out of
+    /// range for the table.
+    pub fn dot(&self, a: &[i8], b: &[i8]) -> i32 {
+        assert_eq!(a.len(), b.len(), "lut dot length mismatch");
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.multiply(x as i32, y as i32))
+            .sum()
+    }
+
+    /// Approximate score matrix `q · kᵀ` computed entirely through the LUT —
+    /// the operation the At-Sel unit performs for candidate pre-selection.
+    ///
+    /// Returns a row-major `q.rows() × k.rows()` buffer of integer scores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the inner dimensions differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands were quantized at a wider bit-width than this
+    /// table supports.
+    pub fn score_matrix(
+        &self,
+        q: &QuantizedMatrix,
+        k: &QuantizedMatrix,
+    ) -> Result<Vec<i32>, ShapeError> {
+        if q.cols() != k.cols() {
+            return Err(ShapeError::new(
+                "lut score_matrix",
+                (q.rows(), q.cols()),
+                (k.rows(), k.cols()),
+            ));
+        }
+        let mut out = vec![0i32; q.rows() * k.rows()];
+        for i in 0..q.rows() {
+            let qi = q.level_row(i);
+            for j in 0..k.rows() {
+                out[i * k.rows() + j] = self.dot(qi, k.level_row(j));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn four_bit_table_has_256_entries() {
+        let lut = ProductLut::new(BitWidth::Four);
+        assert_eq!(lut.entries(), 256);
+    }
+
+    #[test]
+    fn lut_matches_integer_multiply_exhaustive_4bit() {
+        let lut = ProductLut::new(BitWidth::Four);
+        for a in -8..=7 {
+            for b in -8..=7 {
+                assert_eq!(lut.multiply(a, b), a * b);
+            }
+        }
+    }
+
+    #[test]
+    fn lut_matches_integer_multiply_1bit() {
+        let lut = ProductLut::new(BitWidth::One);
+        for a in [-1, 1] {
+            for b in [-1, 1] {
+                assert_eq!(lut.multiply(a, b), a * b);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_operand_panics() {
+        let lut = ProductLut::new(BitWidth::Four);
+        let _ = lut.multiply(8, 0);
+    }
+
+    #[test]
+    fn dot_matches_manual() {
+        let lut = ProductLut::new(BitWidth::Four);
+        assert_eq!(lut.dot(&[1, -2, 3], &[4, 5, -6]), 4 - 10 - 18);
+    }
+
+    #[test]
+    fn score_matrix_matches_reference_i32_matmul() {
+        let q_m = Matrix::from_fn(3, 8, |i, j| ((i * 8 + j) as f32 * 0.9).sin());
+        let k_m = Matrix::from_fn(6, 8, |i, j| ((i * 8 + j) as f32 * 0.7).cos());
+        let q = QuantizedMatrix::quantize(&q_m, BitWidth::Four);
+        let k = QuantizedMatrix::quantize(&k_m, BitWidth::Four);
+        let lut = ProductLut::new(BitWidth::Four);
+        let via_lut = lut.score_matrix(&q, &k).unwrap();
+        let reference = q.matmul_transposed_i32(&k).unwrap();
+        assert_eq!(via_lut, reference);
+    }
+
+    #[test]
+    fn score_matrix_shape_error() {
+        let a = QuantizedMatrix::quantize(&Matrix::zeros(2, 3), BitWidth::Four);
+        let b = QuantizedMatrix::quantize(&Matrix::zeros(2, 5), BitWidth::Four);
+        let lut = ProductLut::new(BitWidth::Four);
+        assert!(lut.score_matrix(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,641 @@
+use crate::ShapeError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `f32` matrix.
+///
+/// This is the workhorse of the full-precision reference path. It is a thin,
+/// checked wrapper over a `Vec<f32>`; all binary operations validate shapes
+/// and return [`ShapeError`] on mismatch rather than panicking, so the
+/// algorithm layer can surface configuration mistakes cleanly.
+///
+/// # Example
+///
+/// ```
+/// use lat_tensor::Matrix;
+///
+/// # fn main() -> Result<(), lat_tensor::ShapeError> {
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let b = Matrix::identity(2);
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c, a);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows`×`cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows`×`cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n`×`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError::new("from_vec", (rows, cols), (data.len(), 1)));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the rows are ragged (unequal lengths) or the
+    /// input is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Result<Self, ShapeError> {
+        let r = rows.len();
+        if r == 0 {
+            return Err(ShapeError::new("from_rows", (0, 0), (0, 0)));
+        }
+        let c = rows[0].len();
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            if row.len() != c {
+                return Err(ShapeError::new("from_rows", (r, c), (1, row.len())));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            rows: r,
+            cols: c,
+            data,
+        })
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the matrix and return the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy column `j` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    pub fn col(&self, j: usize) -> Vec<f32> {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Iterate over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Returns a new matrix containing only the rows with the given indices,
+    /// in the given order (gather).
+    ///
+    /// This is the software analogue of the Stage-2.1 candidate load: the
+    /// top-k indices from pre-selection gather the `K` and `V` rows that will
+    /// take part in exact attention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Matrix transpose.
+    pub fn transposed(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Dense matrix product `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.cols != rhs.rows {
+            return Err(ShapeError::new("matmul", self.shape(), rhs.shape()));
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order keeps the inner loop contiguous in both operands.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = out.row_mut(i);
+                for j in 0..rrow.len() {
+                    orow[j] += a * rrow[j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product against a transposed right operand: `self · rhsᵀ`.
+    ///
+    /// This is the natural layout for attention scores `S = Q · Kᵀ`, where
+    /// both `Q` and `K` store one token per row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `self.cols() != rhs.cols()`.
+    pub fn matmul_transposed(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.cols != rhs.cols {
+            return Err(ShapeError::new("matmul_transposed", self.shape(), rhs.shape()));
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for j in 0..rhs.rows {
+                let brow = rhs.row(j);
+                let mut acc = 0.0f32;
+                for k in 0..arow.len() {
+                    acc += arow[k] * brow[k];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise sum `self + rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on shape mismatch.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.shape() != rhs.shape() {
+            return Err(ShapeError::new("add", self.shape(), rhs.shape()));
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Element-wise difference `self - rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on shape mismatch.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.shape() != rhs.shape() {
+            return Err(ShapeError::new("sub", self.shape(), rhs.shape()));
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Adds `bias` (a length-`cols` vector) to every row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `bias.len() != self.cols()`.
+    pub fn add_row_bias(&self, bias: &[f32]) -> Result<Matrix, ShapeError> {
+        if bias.len() != self.cols {
+            return Err(ShapeError::new("add_row_bias", self.shape(), (1, bias.len())));
+        }
+        let mut out = self.clone();
+        for i in 0..out.rows {
+            let row = out.row_mut(i);
+            for (x, b) in row.iter_mut().zip(bias) {
+                *x += b;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scaled(&self, s: f32) -> Matrix {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * s).collect(),
+        }
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Maximum absolute value over all elements (the quantization scaling
+    /// factor `M` of the paper's §3.2). Returns 0.0 for an empty matrix.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Mean squared difference against another matrix of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on shape mismatch.
+    pub fn mse(&self, rhs: &Matrix) -> Result<f32, ShapeError> {
+        if self.shape() != rhs.shape() {
+            return Err(ShapeError::new("mse", self.shape(), rhs.shape()));
+        }
+        if self.is_empty() {
+            return Ok(0.0);
+        }
+        let sum: f32 = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum();
+        Ok(sum / self.data.len() as f32)
+    }
+
+    /// Extracts the sub-matrix of the first `n` rows (a view onto shorter
+    /// sequences inside a padded buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.rows()`.
+    pub fn head_rows(&self, n: usize) -> Matrix {
+        assert!(n <= self.rows, "head_rows({n}) out of bounds ({})", self.rows);
+        Matrix {
+            rows: n,
+            cols: self.cols,
+            data: self.data[..n * self.cols].to_vec(),
+        }
+    }
+
+    /// Vertically stacks `self` on top of `rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if column counts differ.
+    pub fn vstack(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.cols != rhs.cols {
+            return Err(ShapeError::new("vstack", self.shape(), rhs.shape()));
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&rhs.data);
+        Ok(Matrix {
+            rows: self.rows + rhs.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Horizontal slice of columns `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end || end > self.cols()`.
+    pub fn col_slice(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.cols, "bad col slice {start}..{end}");
+        let mut out = Matrix::zeros(self.rows, end - start);
+        for i in 0..self.rows {
+            out.row_mut(i).copy_from_slice(&self.row(i)[start..end]);
+        }
+        out
+    }
+
+    /// Horizontally concatenates `self` with `rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if row counts differ.
+    pub fn hstack(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.rows != rhs.rows {
+            return Err(ShapeError::new("hstack", self.shape(), rhs.shape()));
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols + rhs.cols);
+        for i in 0..self.rows {
+            out.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+            out.row_mut(i)[self.cols..].copy_from_slice(rhs.row(i));
+        }
+        Ok(out)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f32 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f32 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:>9.4}", self[(i, j)])?;
+                if j + 1 < self.cols.min(8) {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| (x - y).abs() <= tol)
+    }
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_vec_checks_len() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 5]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
+        assert_eq!(err.op(), "from_rows");
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let id = Matrix::identity(3);
+        assert_eq!(a.matmul(&id).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        let expect = Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap();
+        assert!(approx_eq(&c, &expect, 1e-6));
+    }
+
+    #[test]
+    fn matmul_transposed_matches_explicit_transpose() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i * 5 + j) as f32 * 0.3 - 1.0);
+        let b = Matrix::from_fn(4, 5, |i, j| (i as f32) - (j as f32) * 0.7);
+        let via_t = a.matmul(&b.transposed()).unwrap();
+        let direct = a.matmul_transposed(&b).unwrap();
+        assert!(approx_eq(&via_t, &direct, 1e-4));
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        assert!(a.matmul(&b).is_err());
+        assert!(a.matmul_transposed(&Matrix::zeros(2, 4)).is_err());
+    }
+
+    #[test]
+    fn gather_rows_selects_in_order() {
+        let m = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0], &[2.0, 2.0]]).unwrap();
+        let g = m.gather_rows(&[2, 0]);
+        assert_eq!(g.row(0), &[2.0, 2.0]);
+        assert_eq!(g.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(3, 7, |i, j| (i * 7 + j) as f32);
+        assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Matrix::from_fn(2, 3, |i, j| (i + j) as f32);
+        let b = Matrix::from_fn(2, 3, |i, j| (i * j) as f32 + 1.0);
+        let c = a.add(&b).unwrap().sub(&b).unwrap();
+        assert!(approx_eq(&c, &a, 1e-6));
+    }
+
+    #[test]
+    fn add_row_bias_applies_per_column() {
+        let a = Matrix::zeros(2, 3);
+        let out = a.add_row_bias(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(out.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(out.row(1), &[1.0, 2.0, 3.0]);
+        assert!(a.add_row_bias(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn max_abs_finds_magnitude() {
+        let m = Matrix::from_rows(&[&[0.5, -3.0], &[2.0, 1.0]]).unwrap();
+        assert_eq!(m.max_abs(), 3.0);
+        assert_eq!(Matrix::zeros(0, 0).max_abs(), 0.0);
+    }
+
+    #[test]
+    fn head_rows_takes_prefix() {
+        let m = Matrix::from_fn(4, 2, |i, _| i as f32);
+        let h = m.head_rows(2);
+        assert_eq!(h.shape(), (2, 2));
+        assert_eq!(h.row(1), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn vstack_and_hstack() {
+        let a = Matrix::filled(1, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        let v = a.vstack(&b).unwrap();
+        assert_eq!(v.shape(), (3, 2));
+        assert_eq!(v.row(2), &[2.0, 2.0]);
+
+        let c = Matrix::filled(1, 3, 3.0);
+        let h = a.hstack(&c).unwrap();
+        assert_eq!(h.shape(), (1, 5));
+        assert_eq!(h.row(0), &[1.0, 1.0, 3.0, 3.0, 3.0]);
+        assert!(a.hstack(&b).is_err());
+    }
+
+    #[test]
+    fn col_slice_extracts_range() {
+        let m = Matrix::from_fn(2, 4, |_, j| j as f32);
+        let s = m.col_slice(1, 3);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn mse_of_identical_is_zero() {
+        let m = Matrix::from_fn(3, 3, |i, j| (i * j) as f32);
+        assert_eq!(m.mse(&m).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let m = Matrix::identity(2);
+        let s = format!("{m}");
+        assert!(s.contains("Matrix 2x2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_out_of_bounds_panics() {
+        let m = Matrix::zeros(1, 1);
+        let _ = m.row(1);
+    }
+}

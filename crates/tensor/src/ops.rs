@@ -1,0 +1,334 @@
+//! Elementwise and row-wise kernels used by the transformer encoder.
+//!
+//! The kernels mirror the *hardware decomposition* used by the paper rather
+//! than a monolithic software convenience API: softmax is available both as
+//! the fused [`softmax_rows`] and as the two-pass pair
+//! [`exp_rows`] + [`normalize_rows`], because the accelerator's Stage 2.2
+//! computes exponents inside the fused attention loop and Stage 2.3 performs
+//! the `1/Σ` normalization together with the `S·V` product.
+
+use crate::Matrix;
+
+/// Numerically-stable softmax applied independently to every row.
+///
+/// Each row is shifted by its maximum before exponentiation so that large
+/// attention logits cannot overflow.
+///
+/// # Example
+///
+/// ```
+/// use lat_tensor::{Matrix, ops};
+///
+/// let logits = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]).unwrap();
+/// let p = ops::softmax_rows(&logits);
+/// assert!((p.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+/// assert!(p[(0, 2)] > p[(0, 1)] && p[(0, 1)] > p[(0, 0)]);
+/// ```
+pub fn softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for i in 0..out.rows() {
+        softmax_in_place(out.row_mut(i));
+    }
+    out
+}
+
+/// In-place numerically-stable softmax over a single slice.
+pub fn softmax_in_place(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    let mut sum = 0.0f32;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in row.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+/// First half of the hardware softmax: rowwise `exp(x - max(row))`.
+///
+/// Combined with [`normalize_rows`] this reproduces [`softmax_rows`]; the
+/// split exists because Stage 2.2 of the accelerator emits exponentiated
+/// scores and Stage 2.3 folds the normalization into the `S·V` MAC loop.
+pub fn exp_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        let max = row.iter().fold(f32::NEG_INFINITY, |mx, &x| mx.max(x));
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+        }
+    }
+    out
+}
+
+/// Second half of the hardware softmax: divide each row by its sum.
+///
+/// Rows that sum to zero are left unchanged.
+pub fn normalize_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        let sum: f32 = row.iter().sum();
+        if sum > 0.0 {
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
+    }
+    out
+}
+
+/// Row sums as a vector (`Σ_j m[i][j]`), the quantity Stage 2.3 divides by.
+pub fn row_sums(m: &Matrix) -> Vec<f32> {
+    (0..m.rows()).map(|i| m.row(i).iter().sum()).collect()
+}
+
+/// Layer normalization over the last dimension with learnable `gamma`/`beta`.
+///
+/// `eps` guards the variance; BERT uses `1e-12`, we default to `1e-5` in the
+/// model crate which is indistinguishable at f32.
+///
+/// # Panics
+///
+/// Panics if `gamma.len()` or `beta.len()` differs from `m.cols()`.
+pub fn layer_norm(m: &Matrix, gamma: &[f32], beta: &[f32], eps: f32) -> Matrix {
+    assert_eq!(gamma.len(), m.cols(), "gamma length must equal cols");
+    assert_eq!(beta.len(), m.cols(), "beta length must equal cols");
+    let mut out = m.clone();
+    let n = m.cols() as f32;
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        let mean: f32 = row.iter().sum::<f32>() / n;
+        let var: f32 = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+        let denom = (var + eps).sqrt();
+        for (j, x) in row.iter_mut().enumerate() {
+            *x = (*x - mean) / denom * gamma[j] + beta[j];
+        }
+    }
+    out
+}
+
+/// GELU activation (tanh approximation, as used by BERT).
+pub fn gelu(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Applies [`gelu`] to every element.
+pub fn gelu_matrix(m: &Matrix) -> Matrix {
+    m.map(gelu)
+}
+
+/// ReLU activation.
+pub fn relu(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+/// Sets `m[i][j] = NEG_INFINITY`-equivalent (`mask_value`) wherever
+/// `j >= valid_len`, the padding mask applied before softmax.
+///
+/// The paper's Fig. 4 applies the mask inside the fused loop at the final
+/// iteration; this is the standalone reference version.
+pub fn mask_padding(m: &Matrix, valid_len: usize, mask_value: f32) -> Matrix {
+    let mut out = m.clone();
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        for x in row.iter_mut().skip(valid_len) {
+            *x = mask_value;
+        }
+    }
+    out
+}
+
+/// Causal (lower-triangular) mask: positions `j > i` receive `mask_value`.
+pub fn mask_causal(m: &Matrix, mask_value: f32) -> Matrix {
+    let mut out = m.clone();
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        for x in row.iter_mut().skip(i + 1) {
+            *x = mask_value;
+        }
+    }
+    out
+}
+
+/// Argmax over a slice; returns `None` for an empty slice.
+/// Ties resolve to the smallest index (deterministic).
+pub fn argmax(xs: &[f32]) -> Option<usize> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Cosine similarity between two equal-length vectors; 0 when either norm
+/// vanishes.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine_similarity length mismatch");
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f32 = 1e-5;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let m = Matrix::from_rows(&[&[0.0, 1.0, 2.0], &[-5.0, 0.0, 5.0]]).unwrap();
+        let p = softmax_rows(&m);
+        for i in 0..2 {
+            let s: f32 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < TOL, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[101.0, 102.0, 103.0]]).unwrap();
+        let pa = softmax_rows(&a);
+        let pb = softmax_rows(&b);
+        for j in 0..3 {
+            assert!((pa[(0, j)] - pb[(0, j)]).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let m = Matrix::from_rows(&[&[1e4, 1e4 - 1.0]]).unwrap();
+        let p = softmax_rows(&m);
+        assert!(p[(0, 0)].is_finite());
+        assert!((p.row(0).iter().sum::<f32>() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn two_pass_softmax_equals_fused() {
+        let m = Matrix::from_fn(4, 6, |i, j| ((i * 6 + j) as f32 * 0.37).sin() * 3.0);
+        let fused = softmax_rows(&m);
+        let two_pass = normalize_rows(&exp_rows(&m));
+        for (a, b) in fused.as_slice().iter().zip(two_pass.as_slice()) {
+            assert!((a - b).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn row_sums_matches_manual() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(row_sums(&m), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]).unwrap();
+        let g = vec![1.0; 4];
+        let b = vec![0.0; 4];
+        let out = layer_norm(&m, &g, &b, 1e-9);
+        let mean: f32 = out.row(0).iter().sum::<f32>() / 4.0;
+        let var: f32 = out.row(0).iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-4);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layer_norm_gamma_beta_affine() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]).unwrap();
+        let out = layer_norm(&m, &[2.0; 4], &[1.0; 4], 1e-9);
+        let base = layer_norm(&m, &[1.0; 4], &[0.0; 4], 1e-9);
+        for j in 0..4 {
+            assert!((out[(0, j)] - (2.0 * base[(0, j)] + 1.0)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gelu_known_points() {
+        assert!(gelu(0.0).abs() < 1e-7);
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+        assert!((gelu(-1.0) + 0.1588).abs() < 1e-3);
+        // asymptotics
+        assert!((gelu(10.0) - 10.0).abs() < 1e-3);
+        assert!(gelu(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        assert_eq!(relu(-2.0), 0.0);
+        assert_eq!(relu(3.5), 3.5);
+    }
+
+    #[test]
+    fn mask_padding_kills_tail() {
+        let m = Matrix::filled(2, 4, 1.0);
+        let out = mask_padding(&m, 2, f32::NEG_INFINITY);
+        assert_eq!(out[(0, 1)], 1.0);
+        assert_eq!(out[(0, 2)], f32::NEG_INFINITY);
+        assert_eq!(out[(1, 3)], f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn masked_softmax_gives_zero_prob_to_padding() {
+        let m = Matrix::filled(1, 4, 1.0);
+        let p = softmax_rows(&mask_padding(&m, 2, f32::NEG_INFINITY));
+        assert!((p[(0, 0)] - 0.5).abs() < TOL);
+        assert!(p[(0, 2)].abs() < TOL);
+        assert!(p[(0, 3)].abs() < TOL);
+    }
+
+    #[test]
+    fn mask_causal_is_lower_triangular() {
+        let m = Matrix::filled(3, 3, 1.0);
+        let out = mask_causal(&m, f32::NEG_INFINITY);
+        assert_eq!(out[(0, 1)], f32::NEG_INFINITY);
+        assert_eq!(out[(1, 1)], 1.0);
+        assert_eq!(out[(2, 0)], 1.0);
+    }
+
+    #[test]
+    fn argmax_basics() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[3.0]), Some(0));
+        assert_eq!(argmax(&[1.0, 5.0, 2.0]), Some(1));
+        // Tie resolves to the first occurrence.
+        assert_eq!(argmax(&[5.0, 5.0]), Some(0));
+    }
+
+    #[test]
+    fn cosine_similarity_bounds() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert!(cosine_similarity(&a, &a) > 0.9999);
+        assert!(cosine_similarity(&a, &b).abs() < 1e-6);
+        assert!((cosine_similarity(&a, &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &a), 0.0);
+    }
+
+    #[test]
+    fn softmax_empty_row_is_noop() {
+        let mut empty: [f32; 0] = [];
+        softmax_in_place(&mut empty);
+    }
+}

@@ -1,0 +1,459 @@
+//! Ultra-low-bit quantization (paper §3.2).
+//!
+//! The sparse-attention pre-selection step quantizes full-precision `Q` and
+//! `K` into a low-precision integer representation:
+//!
+//! ```text
+//! x' = round( (2^(b-1) - 1) / |M| · x )        (affine symmetric, b ≥ 2)
+//! x' = sign(x) ∈ {-1, +1}                      (1-bit)
+//! ```
+//!
+//! where `M` is the max-abs scaling factor of the tensor. Because both
+//! rounding-to-scale and the exponential inside softmax are monotonically
+//! non-decreasing, the quantized score matrix `Q'·K'ᵀ` approximately
+//! preserves the *rank order* of the exact attention scores — which is all
+//! top-k pre-selection needs.
+
+use crate::{Matrix, ShapeError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Supported quantization bit-widths for the pre-selection path.
+///
+/// The paper evaluates 1-bit (sign) pre-selection in §5.1 and illustrates
+/// 4-bit in Fig. 3; the main accelerator datapath runs at 8 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BitWidth {
+    /// Sign quantization: `x' = +1` if `x >= 0` else `-1`.
+    One,
+    /// 4-bit symmetric affine quantization (levels −7..=7).
+    Four,
+    /// 8-bit symmetric affine quantization (levels −127..=127).
+    Eight,
+}
+
+impl BitWidth {
+    /// Number of bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            BitWidth::One => 1,
+            BitWidth::Four => 4,
+            BitWidth::Eight => 8,
+        }
+    }
+
+    /// Largest representable magnitude, `2^(b-1) - 1` (1 for the sign case).
+    pub fn max_level(self) -> i32 {
+        match self {
+            BitWidth::One => 1,
+            BitWidth::Four => 7,
+            BitWidth::Eight => 127,
+        }
+    }
+
+    /// All supported widths, narrowest first.
+    pub fn all() -> [BitWidth; 3] {
+        [BitWidth::One, BitWidth::Four, BitWidth::Eight]
+    }
+}
+
+impl fmt::Display for BitWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit", self.bits())
+    }
+}
+
+/// A quantized matrix: `i8` levels plus the scale that maps levels back to
+/// real values (`x ≈ level * scale`).
+///
+/// # Example
+///
+/// ```
+/// use lat_tensor::{Matrix, quant::{QuantizedMatrix, BitWidth}};
+///
+/// let m = Matrix::from_rows(&[&[0.77, -0.5], &[0.1, 0.0]]).unwrap();
+/// let q = QuantizedMatrix::quantize(&m, BitWidth::Four);
+/// let back = q.dequantize();
+/// assert!((back[(0, 0)] - 0.77).abs() < 0.77 / 7.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    levels: Vec<i8>,
+    scale: f32,
+    bits: BitWidth,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes `m` at the given bit-width using the max-abs scaling factor
+    /// of the whole tensor (the paper's `M`).
+    ///
+    /// A zero tensor quantizes to all-zero levels with scale 0 (1-bit maps
+    /// zeros to +1, matching `sign(0) = +1`).
+    pub fn quantize(m: &Matrix, bits: BitWidth) -> Self {
+        let max_abs = m.max_abs();
+        match bits {
+            BitWidth::One => {
+                let levels = m
+                    .as_slice()
+                    .iter()
+                    .map(|&x| if x >= 0.0 { 1i8 } else { -1i8 })
+                    .collect();
+                Self {
+                    rows: m.rows(),
+                    cols: m.cols(),
+                    levels,
+                    // Scale such that dequantized magnitudes sit at the RMS-ish
+                    // level; for ranking only the sign pattern matters.
+                    scale: if max_abs > 0.0 { max_abs } else { 0.0 },
+                    bits,
+                }
+            }
+            _ => {
+                let q = bits.max_level() as f32;
+                let scale = if max_abs > 0.0 { max_abs / q } else { 0.0 };
+                let inv = if scale > 0.0 { 1.0 / scale } else { 0.0 };
+                let levels = m
+                    .as_slice()
+                    .iter()
+                    .map(|&x| {
+                        let l = (x * inv).round();
+                        l.clamp(-q, q) as i8
+                    })
+                    .collect();
+                Self {
+                    rows: m.rows(),
+                    cols: m.cols(),
+                    levels,
+                    scale,
+                    bits,
+                }
+            }
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The bit-width this matrix was quantized at.
+    pub fn bits(&self) -> BitWidth {
+        self.bits
+    }
+
+    /// The level→value scale factor.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Borrow the raw levels (row-major).
+    pub fn levels(&self) -> &[i8] {
+        &self.levels
+    }
+
+    /// Borrow row `i` of levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn level_row(&self, i: usize) -> &[i8] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.levels[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Maps levels back to approximate real values.
+    pub fn dequantize(&self) -> Matrix {
+        let data = self
+            .levels
+            .iter()
+            .map(|&l| l as f32 * self.scale)
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data).expect("level buffer matches shape")
+    }
+
+    /// Integer score matrix `self · rhsᵀ` computed exactly in `i32`.
+    ///
+    /// This is the reference implementation the LUT-based hardware multiplier
+    /// ([`crate::lut::ProductLut`]) must agree with bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the inner dimensions differ.
+    pub fn matmul_transposed_i32(&self, rhs: &QuantizedMatrix) -> Result<Vec<i32>, ShapeError> {
+        if self.cols != rhs.cols {
+            return Err(ShapeError::new(
+                "quant matmul_transposed",
+                (self.rows, self.cols),
+                (rhs.rows, rhs.cols),
+            ));
+        }
+        let mut out = vec![0i32; self.rows * rhs.rows];
+        for i in 0..self.rows {
+            let a = self.level_row(i);
+            for j in 0..rhs.rows {
+                let b = rhs.level_row(j);
+                let mut acc = 0i32;
+                for k in 0..a.len() {
+                    acc += a[k] as i32 * b[k] as i32;
+                }
+                out[i * rhs.rows + j] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Memory footprint of the quantized representation in bits, accounting
+    /// for sub-byte packing the hardware would use.
+    pub fn storage_bits(&self) -> usize {
+        self.levels.len() * self.bits.bits() as usize
+    }
+}
+
+/// Quantization error statistics between a matrix and its quantized form.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantStats {
+    /// Mean squared reconstruction error.
+    pub mse: f32,
+    /// Maximum absolute reconstruction error.
+    pub max_err: f32,
+    /// Fraction of elements whose sign flipped (should be 0 for b ≥ 2 except
+    /// rounding at 0).
+    pub sign_flips: f32,
+}
+
+/// Computes reconstruction-error statistics for `m` quantized at `bits`.
+pub fn quant_stats(m: &Matrix, bits: BitWidth) -> QuantStats {
+    let q = QuantizedMatrix::quantize(m, bits);
+    let back = q.dequantize();
+    let n = m.len().max(1) as f32;
+    let mut mse = 0.0f32;
+    let mut max_err = 0.0f32;
+    let mut flips = 0usize;
+    for (&a, &b) in m.as_slice().iter().zip(back.as_slice()) {
+        let d = a - b;
+        mse += d * d;
+        max_err = max_err.max(d.abs());
+        if (a > 0.0 && b < 0.0) || (a < 0.0 && b > 0.0) {
+            flips += 1;
+        }
+    }
+    QuantStats {
+        mse: mse / n,
+        max_err,
+        sign_flips: flips as f32 / n,
+    }
+}
+
+/// Spearman rank correlation between two score slices, used to verify the
+/// paper's claim that quantized scores preserve attention-score ordering.
+///
+/// Returns 1.0 for perfectly concordant rankings, −1.0 for reversed. Slices
+/// shorter than 2 return 1.0.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn rank_correlation(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "rank_correlation length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    // Pearson correlation of the ranks.
+    let mean = (n as f32 - 1.0) / 2.0;
+    let mut num = 0.0f32;
+    let mut da = 0.0f32;
+    let mut db = 0.0f32;
+    for i in 0..n {
+        let xa = ra[i] - mean;
+        let xb = rb[i] - mean;
+        num += xa * xb;
+        da += xa * xa;
+        db += xb * xb;
+    }
+    if da == 0.0 || db == 0.0 {
+        return 1.0;
+    }
+    num / (da * db).sqrt()
+}
+
+/// Average ranks with ties sharing the mean rank.
+fn ranks(xs: &[f32]) -> Vec<f32> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0f32; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f32 / 2.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitwidth_levels() {
+        assert_eq!(BitWidth::One.max_level(), 1);
+        assert_eq!(BitWidth::Four.max_level(), 7);
+        assert_eq!(BitWidth::Eight.max_level(), 127);
+        assert_eq!(BitWidth::Four.to_string(), "4-bit");
+    }
+
+    #[test]
+    fn paper_fig3_example_4bit() {
+        // Fig. 3: K has scaling factor M = 0.77 at 4 bits, so levels are
+        // round(x * 7 / 0.77). Row (0.41, 1.09→clip? no: max is ~0.77…) —
+        // use the paper's simpler property: the max-abs element maps to ±7.
+        let k = Matrix::from_rows(&[
+            &[0.41, 0.17, 0.37],
+            &[0.66, 0.77, 0.11],
+            &[-0.43, 0.33, 0.41],
+            &[-0.24, -0.25, -0.58],
+        ])
+        .unwrap();
+        let q = QuantizedMatrix::quantize(&k, BitWidth::Four);
+        assert_eq!(q.scale(), 0.77 / 7.0);
+        // The element equal to M quantizes to the max level.
+        assert_eq!(q.level_row(1)[1], 7);
+        // All levels within range.
+        assert!(q.levels().iter().all(|&l| (-7..=7).contains(&l)));
+    }
+
+    #[test]
+    fn one_bit_is_sign() {
+        let m = Matrix::from_rows(&[&[3.0, -0.1, 0.0]]).unwrap();
+        let q = QuantizedMatrix::quantize(&m, BitWidth::One);
+        assert_eq!(q.levels(), &[1, -1, 1]);
+    }
+
+    #[test]
+    fn zero_matrix_quantizes_cleanly() {
+        let m = Matrix::zeros(2, 2);
+        for bits in BitWidth::all() {
+            let q = QuantizedMatrix::quantize(&m, bits);
+            assert_eq!(q.scale(), 0.0);
+            let back = q.dequantize();
+            assert!(back.as_slice().iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn dequantize_error_bounded_by_half_step() {
+        let m = Matrix::from_fn(8, 8, |i, j| ((i * 8 + j) as f32 * 0.71).sin() * 2.5);
+        for bits in [BitWidth::Four, BitWidth::Eight] {
+            let q = QuantizedMatrix::quantize(&m, bits);
+            let back = q.dequantize();
+            let half_step = q.scale() / 2.0 + 1e-6;
+            for (&a, &b) in m.as_slice().iter().zip(back.as_slice()) {
+                assert!(
+                    (a - b).abs() <= half_step,
+                    "{bits}: err {} > half step {half_step}",
+                    (a - b).abs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eight_bit_better_than_four_bit() {
+        let m = Matrix::from_fn(16, 16, |i, j| ((i as f32 - j as f32) * 0.13).cos());
+        let s4 = quant_stats(&m, BitWidth::Four);
+        let s8 = quant_stats(&m, BitWidth::Eight);
+        assert!(s8.mse < s4.mse);
+        assert!(s8.max_err < s4.max_err);
+    }
+
+    #[test]
+    fn no_sign_flips_at_4bit_away_from_zero() {
+        // All magnitudes well above one quantization step.
+        let m = Matrix::from_fn(4, 4, |i, j| if (i + j) % 2 == 0 { 1.0 } else { -1.0 });
+        let s = quant_stats(&m, BitWidth::Four);
+        assert_eq!(s.sign_flips, 0.0);
+    }
+
+    #[test]
+    fn integer_scores_match_float_of_dequantized() {
+        let q_m = Matrix::from_fn(3, 4, |i, j| ((i + 2 * j) as f32 * 0.41).sin());
+        let k_m = Matrix::from_fn(5, 4, |i, j| ((3 * i + j) as f32 * 0.29).cos());
+        let q = QuantizedMatrix::quantize(&q_m, BitWidth::Four);
+        let k = QuantizedMatrix::quantize(&k_m, BitWidth::Four);
+        let ints = q.matmul_transposed_i32(&k).unwrap();
+        let float = q.dequantize().matmul_transposed(&k.dequantize()).unwrap();
+        let s = q.scale() * k.scale();
+        for i in 0..3 {
+            for j in 0..5 {
+                let expect = ints[i * 5 + j] as f32 * s;
+                assert!((float[(i, j)] - expect).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn quant_matmul_shape_error() {
+        let a = QuantizedMatrix::quantize(&Matrix::zeros(2, 3), BitWidth::Four);
+        let b = QuantizedMatrix::quantize(&Matrix::zeros(2, 4), BitWidth::Four);
+        assert!(a.matmul_transposed_i32(&b).is_err());
+    }
+
+    #[test]
+    fn storage_bits_accounts_for_packing() {
+        let m = Matrix::zeros(4, 4);
+        assert_eq!(QuantizedMatrix::quantize(&m, BitWidth::One).storage_bits(), 16);
+        assert_eq!(QuantizedMatrix::quantize(&m, BitWidth::Four).storage_bits(), 64);
+        assert_eq!(QuantizedMatrix::quantize(&m, BitWidth::Eight).storage_bits(), 128);
+    }
+
+    #[test]
+    fn rank_correlation_perfect_and_reversed() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        let c = [4.0, 3.0, 2.0, 1.0];
+        assert!((rank_correlation(&a, &b) - 1.0).abs() < 1e-6);
+        assert!((rank_correlation(&a, &c) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rank_correlation_handles_ties() {
+        let a = [1.0, 1.0, 2.0];
+        let b = [3.0, 3.0, 5.0];
+        assert!(rank_correlation(&a, &b) > 0.99);
+    }
+
+    #[test]
+    fn quantized_scores_preserve_rank_at_8bit() {
+        // The §3.2 claim: quantized score rank ≈ exact score rank.
+        let q_m = Matrix::from_fn(1, 32, |_, j| ((j as f32) * 0.77).sin());
+        let k_m = Matrix::from_fn(24, 32, |i, j| (i as f32 * 1.3 + j as f32 * 0.7).cos());
+        let exact = q_m.matmul_transposed(&k_m).unwrap();
+        let q = QuantizedMatrix::quantize(&q_m, BitWidth::Eight);
+        let k = QuantizedMatrix::quantize(&k_m, BitWidth::Eight);
+        let approx: Vec<f32> = q
+            .matmul_transposed_i32(&k)
+            .unwrap()
+            .iter()
+            .map(|&x| x as f32)
+            .collect();
+        let rho = rank_correlation(exact.row(0), &approx);
+        assert!(rho > 0.99, "8-bit rank correlation too low: {rho}");
+    }
+}

@@ -1,0 +1,212 @@
+//! Deterministic pseudo-random generation for tests, examples and workloads.
+//!
+//! A small, dependency-free SplitMix64 generator. Every experiment in the
+//! repository is seeded through this module so each figure/table harness is
+//! exactly reproducible run-to-run.
+
+use crate::Matrix;
+
+/// SplitMix64 pseudo-random generator.
+///
+/// Not cryptographic; chosen because it is tiny, fast, and has no weak
+/// low-bit structure for the uses here (sampling test tensors and sequence
+/// lengths).
+///
+/// # Example
+///
+/// ```
+/// use lat_tensor::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn next_below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "next_below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn next_range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "next_range({lo}, {hi})");
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Standard-normal sample via Box–Muller.
+    pub fn next_gaussian(&mut self) -> f32 {
+        // Avoid ln(0).
+        let u1 = (self.next_f64().max(1e-12)) as f32;
+        let u2 = self.next_f32();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// A `rows × cols` matrix of i.i.d. `N(0, std²)` entries.
+    pub fn gaussian_matrix(&mut self, rows: usize, cols: usize, std: f32) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| self.next_gaussian() * std)
+    }
+
+    /// A `rows × cols` matrix of uniform entries in `[lo, hi)`.
+    pub fn uniform_matrix(&mut self, rows: usize, cols: usize, lo: f32, hi: f32) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| lo + self.next_f32() * (hi - lo))
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` (k ≤ n), in random order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "sample_indices({n}, {k})");
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(k);
+        idx
+    }
+
+    /// Derives an independent child generator (for parallel or per-component
+    /// streams that must not correlate).
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64() ^ 0xA5A5_A5A5_DEAD_BEEF)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f32_in_unit_interval() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..1000 {
+            let x = r.next_f32();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_range_inclusive_bounds() {
+        let mut r = SplitMix64::new(4);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..2000 {
+            let x = r.next_range(2, 5);
+            assert!((2..=5).contains(&x));
+            saw_lo |= x == 2;
+            saw_hi |= x == 5;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn gaussian_has_plausible_moments() {
+        let mut r = SplitMix64::new(5);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| r.next_gaussian()).collect();
+        let mean: f32 = xs.iter().sum::<f32>() / n as f32;
+        let var: f32 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SplitMix64::new(6);
+        let mut xs: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut r = SplitMix64::new(8);
+        let idx = r.sample_indices(30, 10);
+        assert_eq!(idx.len(), 10);
+        let mut dedup = idx.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = SplitMix64::new(9);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn gaussian_matrix_shape_and_scale() {
+        let mut r = SplitMix64::new(10);
+        let m = r.gaussian_matrix(10, 20, 0.5);
+        assert_eq!(m.shape(), (10, 20));
+        let var: f32 =
+            m.as_slice().iter().map(|x| x * x).sum::<f32>() / m.len() as f32;
+        assert!((var - 0.25).abs() < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Small statistics helpers shared by the evaluation harnesses
+//! (summaries, percentiles, histograms for printed reports).
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Computes [`Summary`] statistics; `None` for an empty slice.
+pub fn summarize(xs: &[f64]) -> Option<Summary> {
+    if xs.is_empty() {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    Some(Summary {
+        count: xs.len(),
+        mean,
+        std: var.sqrt(),
+        min: xs.iter().cloned().fold(f64::INFINITY, f64::min),
+        max: xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    })
+}
+
+/// `p`-th percentile (0.0–1.0) by nearest-rank on a copy of the data;
+/// `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or the data contains NaN.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&p), "percentile {p} outside [0,1]");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in percentile data"));
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    Some(sorted[idx])
+}
+
+/// Fixed-width histogram over `[lo, hi)` with `bins` buckets; values
+/// outside the range clamp to the edge buckets.
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or `lo >= hi`.
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "need at least one bin");
+    assert!(lo < hi, "empty histogram range");
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f64;
+    for &x in xs {
+        let idx = ((x - lo) / width).floor();
+        let idx = (idx.max(0.0) as usize).min(bins - 1);
+        counts[idx] += 1;
+    }
+    counts
+}
+
+/// Renders a histogram as a one-line-per-bin ASCII bar chart.
+pub fn render_histogram(counts: &[usize], lo: f64, hi: f64, width: usize) -> String {
+    let max = counts.iter().copied().max().unwrap_or(0).max(1);
+    let bin_width = (hi - lo) / counts.len().max(1) as f64;
+    let mut out = String::new();
+    for (i, &c) in counts.iter().enumerate() {
+        let bar = "#".repeat(c * width / max);
+        out.push_str(&format!(
+            "[{:>8.1}, {:>8.1}) {:>6} |{}\n",
+            lo + i as f64 * bin_width,
+            lo + (i + 1) as f64 * bin_width,
+            c,
+            bar
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_known_values() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 0.5), Some(3.0));
+        assert_eq!(percentile(&xs, 1.0), Some(5.0));
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn percentile_range_checked() {
+        let _ = percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let xs = [0.5, 1.5, 2.5, -10.0, 10.0];
+        let h = histogram(&xs, 0.0, 3.0, 3);
+        assert_eq!(h, vec![2, 1, 2]); // -10 clamps left, 10 clamps right
+        assert_eq!(h.iter().sum::<usize>(), xs.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        let _ = histogram(&[1.0], 0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn render_histogram_shape() {
+        let h = histogram(&[0.1, 0.1, 0.9], 0.0, 1.0, 2);
+        let s = render_histogram(&h, 0.0, 1.0, 20);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains('#'));
+    }
+}

@@ -1,0 +1,159 @@
+//! Tiled (blocked) matrix multiplication — the software mirror of the
+//! accelerator's tiled PE array (Fig. 2(a) "Tiled PEs").
+//!
+//! The hardware MM unit processes `tile × tile` blocks held in on-chip
+//! buffers; this module provides the equivalent blocked loop nest, which
+//! must be numerically identical to the naive [`crate::Matrix::matmul`]
+//! (same additions, different order — exactly equal for the per-tile
+//! accumulation order used here), plus the tile-traffic accounting the
+//! hardware model charges.
+
+use crate::{Matrix, ShapeError};
+
+/// Blocked matrix product `a · b` with square tiles of side `tile`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the inner dimensions differ.
+///
+/// # Panics
+///
+/// Panics if `tile == 0`.
+///
+/// # Example
+///
+/// ```
+/// use lat_tensor::{Matrix, tiled};
+///
+/// # fn main() -> Result<(), lat_tensor::ShapeError> {
+/// let a = Matrix::from_fn(5, 7, |i, j| (i + j) as f32);
+/// let b = Matrix::from_fn(7, 3, |i, j| (i * j) as f32);
+/// let exact = a.matmul(&b)?;
+/// let blocked = tiled::matmul_tiled(&a, &b, 4)?;
+/// assert!(exact.mse(&blocked)? < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul_tiled(a: &Matrix, b: &Matrix, tile: usize) -> Result<Matrix, ShapeError> {
+    assert!(tile > 0, "tile size must be >= 1");
+    if a.cols() != b.rows() {
+        return Err(ShapeError::new("matmul_tiled", a.shape(), b.shape()));
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for i0 in (0..m).step_by(tile) {
+        for k0 in (0..k).step_by(tile) {
+            for j0 in (0..n).step_by(tile) {
+                let i1 = (i0 + tile).min(m);
+                let k1 = (k0 + tile).min(k);
+                let j1 = (j0 + tile).min(n);
+                for i in i0..i1 {
+                    for kk in k0..k1 {
+                        let av = a[(i, kk)];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        for j in j0..j1 {
+                            out[(i, j)] += av * b[(kk, j)];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Number of `tile × tile` block loads from each operand a blocked matmul
+/// performs, assuming no inter-block reuse beyond the current block row/
+/// column: `(A_blocks, B_blocks, C_blocks)`.
+pub fn tile_traffic(m: usize, k: usize, n: usize, tile: usize) -> (u64, u64, u64) {
+    assert!(tile > 0, "tile size must be >= 1");
+    let mb = m.div_ceil(tile) as u64;
+    let kb = k.div_ceil(tile) as u64;
+    let nb = n.div_ceil(tile) as u64;
+    // A blocks are re-read for every block-column of B; B blocks for every
+    // block-row of A; C blocks written once per k-block pass.
+    (mb * kb * nb, mb * kb * nb, mb * nb)
+}
+
+/// On-chip buffer bytes needed to hold one tile of A, B and C at
+/// `bytes_per_elem` precision (double-buffered).
+pub fn tile_buffer_bytes(tile: usize, bytes_per_elem: usize) -> usize {
+    2 * 3 * tile * tile * bytes_per_elem
+}
+
+/// Bytes of off-chip traffic per useful MAC for a blocked matmul — the
+/// inverse arithmetic intensity the CTC analysis uses. Larger tiles mean
+/// fewer bytes per MAC (better reuse), which is the reason the design
+/// wants big on-chip buffers (§4: "with more on-chip memory size, we can
+/// achieve a better computation to communication (CTC) ratio").
+pub fn bytes_per_mac(m: usize, k: usize, n: usize, tile: usize, bytes_per_elem: usize) -> f64 {
+    let (a_blk, b_blk, c_blk) = tile_traffic(m, k, n, tile);
+    let block_bytes = (tile * tile * bytes_per_elem) as u64;
+    let total_bytes = (a_blk + b_blk + c_blk) * block_bytes;
+    let macs = (m * k * n) as u64;
+    total_bytes as f64 / macs.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn tiled_matches_naive_various_tiles() {
+        let mut rng = SplitMix64::new(71);
+        let a = rng.gaussian_matrix(13, 17, 1.0);
+        let b = rng.gaussian_matrix(17, 9, 1.0);
+        let exact = a.matmul(&b).unwrap();
+        for tile in [1usize, 2, 4, 8, 16, 32] {
+            let blocked = matmul_tiled(&a, &b, tile).unwrap();
+            let mse = exact.mse(&blocked).unwrap();
+            assert!(mse < 1e-9, "tile {tile}: mse {mse}");
+        }
+    }
+
+    #[test]
+    fn tiled_shape_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        assert!(matmul_tiled(&a, &b, 2).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "tile size")]
+    fn zero_tile_panics() {
+        let a = Matrix::zeros(2, 2);
+        let _ = matmul_tiled(&a, &a, 0);
+    }
+
+    #[test]
+    fn traffic_counts_blocks() {
+        // 4x4 · 4x4 with tile 2: 2 blocks per dim ⇒ A/B read 2·2·2 = 8
+        // blocks, C written 2·2 = 4.
+        assert_eq!(tile_traffic(4, 4, 4, 2), (8, 8, 4));
+        // Non-dividing tile rounds up.
+        assert_eq!(tile_traffic(5, 5, 5, 4), (8, 8, 4));
+    }
+
+    #[test]
+    fn larger_tiles_reduce_bytes_per_mac() {
+        let small = bytes_per_mac(256, 256, 256, 8, 1);
+        let large = bytes_per_mac(256, 256, 256, 64, 1);
+        assert!(large < small, "large-tile {large} !< small-tile {small}");
+    }
+
+    #[test]
+    fn buffer_bytes_formula() {
+        // Double-buffered A, B, C tiles.
+        assert_eq!(tile_buffer_bytes(64, 1), 2 * 3 * 64 * 64);
+    }
+
+    #[test]
+    fn u280_tile_fits_on_chip() {
+        // A 256-wide 8-bit tile set uses well under 35 MB.
+        let bytes = tile_buffer_bytes(256, 1);
+        assert!(bytes < 35 * 1024 * 1024);
+    }
+}

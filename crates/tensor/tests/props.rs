@@ -1,0 +1,154 @@
+//! Property-based tests of the tensor substrate's algebraic invariants.
+
+use lat_tensor::quant::{BitWidth, QuantizedMatrix};
+use lat_tensor::rng::SplitMix64;
+use lat_tensor::{ops, tiled, Matrix};
+use proptest::prelude::*;
+
+fn matrix(max_r: usize, max_c: usize) -> impl Strategy<Value = Matrix> {
+    (1..max_r, 1..max_c).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-100.0f32..100.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("shape matches"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Softmax rows are stochastic: non-negative and summing to 1.
+    #[test]
+    fn softmax_rows_are_stochastic(m in matrix(8, 8)) {
+        let p = ops::softmax_rows(&m);
+        for i in 0..p.rows() {
+            let row = p.row(i);
+            prop_assert!(row.iter().all(|&x| x >= 0.0));
+            let s: f32 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4, "row {} sums to {}", i, s);
+        }
+    }
+
+    /// Two-pass softmax (exp then normalize) equals the fused version.
+    #[test]
+    fn softmax_decomposition_consistent(m in matrix(6, 10)) {
+        let fused = ops::softmax_rows(&m);
+        let split = ops::normalize_rows(&ops::exp_rows(&m));
+        for (a, b) in fused.as_slice().iter().zip(split.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    /// Identity is a two-sided unit for matmul.
+    #[test]
+    fn identity_is_unit(m in matrix(6, 6)) {
+        let left = Matrix::identity(m.rows()).matmul(&m).expect("shapes agree");
+        let right = m.matmul(&Matrix::identity(m.cols())).expect("shapes agree");
+        prop_assert_eq!(&left, &m);
+        prop_assert_eq!(&right, &m);
+    }
+
+    /// `matmul_transposed(a, b)` equals `a · bᵀ`.
+    #[test]
+    fn matmul_transposed_definition(seed in 0u64..10_000) {
+        let mut rng = SplitMix64::new(seed);
+        let a = rng.gaussian_matrix(4, 6, 1.0);
+        let b = rng.gaussian_matrix(5, 6, 1.0);
+        let direct = a.matmul_transposed(&b).expect("shapes agree");
+        let via = a.matmul(&b.transposed()).expect("shapes agree");
+        let mse = direct.mse(&via).expect("same shape");
+        prop_assert!(mse < 1e-6);
+    }
+
+    /// Transpose is an involution and distributes over addition.
+    #[test]
+    fn transpose_algebra(seed in 0u64..10_000) {
+        let mut rng = SplitMix64::new(seed ^ 0x5555);
+        let a = rng.gaussian_matrix(5, 7, 1.0);
+        let b = rng.gaussian_matrix(5, 7, 1.0);
+        prop_assert_eq!(a.transposed().transposed(), a.clone());
+        let sum_t = a.add(&b).expect("same shape").transposed();
+        let t_sum = a.transposed().add(&b.transposed()).expect("same shape");
+        prop_assert_eq!(sum_t, t_sum);
+    }
+
+    /// Tiled matmul equals naive matmul for every tile size.
+    #[test]
+    fn tiled_equals_naive(seed in 0u64..10_000, tile in 1usize..20) {
+        let mut rng = SplitMix64::new(seed ^ 0xABC);
+        let a = rng.gaussian_matrix(7, 11, 1.0);
+        let b = rng.gaussian_matrix(11, 5, 1.0);
+        let naive = a.matmul(&b).expect("shapes agree");
+        let blocked = tiled::matmul_tiled(&a, &b, tile).expect("shapes agree");
+        prop_assert!(naive.mse(&blocked).expect("same shape") < 1e-8);
+    }
+
+    /// Gathering all rows in order is the identity.
+    #[test]
+    fn gather_identity(m in matrix(8, 5)) {
+        let idx: Vec<usize> = (0..m.rows()).collect();
+        prop_assert_eq!(m.gather_rows(&idx), m);
+    }
+
+    /// hstack then col_slice recovers both halves.
+    #[test]
+    fn hstack_slice_roundtrip(seed in 0u64..10_000) {
+        let mut rng = SplitMix64::new(seed ^ 0x9999);
+        let a = rng.gaussian_matrix(4, 3, 1.0);
+        let b = rng.gaussian_matrix(4, 5, 1.0);
+        let h = a.hstack(&b).expect("same rows");
+        prop_assert_eq!(h.col_slice(0, 3), a);
+        prop_assert_eq!(h.col_slice(3, 8), b);
+    }
+
+    /// LayerNorm output rows have ~zero mean and ~unit variance with
+    /// identity affine parameters (for non-constant rows).
+    #[test]
+    fn layer_norm_standardizes(seed in 0u64..10_000) {
+        let mut rng = SplitMix64::new(seed ^ 0x1111);
+        let m = rng.gaussian_matrix(3, 16, 2.0);
+        let out = ops::layer_norm(&m, &[1.0; 16], &[0.0; 16], 1e-9);
+        for i in 0..out.rows() {
+            let row = out.row(i);
+            let mean: f32 = row.iter().sum::<f32>() / 16.0;
+            let var: f32 = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 16.0;
+            prop_assert!(mean.abs() < 1e-3);
+            prop_assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    /// Quantize→dequantize→quantize is a fixed point (idempotent on the
+    /// quantized lattice).
+    #[test]
+    fn quantization_idempotent(m in matrix(6, 6), wide in any::<bool>()) {
+        let bits = if wide { BitWidth::Eight } else { BitWidth::Four };
+        let q1 = QuantizedMatrix::quantize(&m, bits);
+        let q2 = QuantizedMatrix::quantize(&q1.dequantize(), bits);
+        prop_assert_eq!(q1.levels(), q2.levels());
+    }
+
+    /// GELU is monotone non-decreasing right of its stationary point
+    /// (x·Φ(x) genuinely dips in the deep negative tail) and bounded
+    /// below by a small negative constant everywhere.
+    #[test]
+    fn gelu_shape(x in -20.0f32..20.0, dx in 0.001f32..5.0) {
+        if x >= -0.5 {
+            prop_assert!(ops::gelu(x + dx) >= ops::gelu(x) - 1e-4);
+        }
+        prop_assert!(ops::gelu(x) > -0.2);
+        // Asymptotics: identity above, zero below.
+        prop_assert!((ops::gelu(20.0) - 20.0).abs() < 1e-3);
+        prop_assert!(ops::gelu(-20.0).abs() < 1e-3);
+    }
+
+    /// Masked-then-softmaxed padding positions carry zero probability.
+    #[test]
+    fn padding_gets_zero_probability(seed in 0u64..10_000, valid in 1usize..6) {
+        let mut rng = SplitMix64::new(seed ^ 0x2222);
+        let m = rng.gaussian_matrix(3, 8, 1.0);
+        let p = ops::softmax_rows(&ops::mask_padding(&m, valid, f32::NEG_INFINITY));
+        for i in 0..p.rows() {
+            for j in valid..8 {
+                prop_assert!(p[(i, j)].abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # lat-workloads
+//!
+//! Synthetic NLP workloads for the lat-fpga reproduction.
+//!
+//! The paper evaluates on SQuAD v1.1, RTE and MRPC. Without those datasets
+//! (see DESIGN.md's substitution table) this crate provides:
+//!
+//! - [`datasets`]: sequence-*length* distributions matched to Table 1
+//!   (avg/max per dataset) — lengths are all the hardware evaluation needs;
+//! - [`task`]: a synthetic *attention-retrieval* classification task whose
+//!   labels are decided by which keys a query attends to. Full attention
+//!   solves it near-perfectly by construction; truncating attention to the
+//!   top-k candidates degrades accuracy through exactly the mechanism that
+//!   degrades F1 in the paper (lost softmax mass on evidence tokens), which
+//!   is what Fig. 6 sweeps;
+//! - [`accuracy`]: evaluation helpers that run any
+//!   [`lat_model::attention::AttentionOp`] over task batches and report
+//!   accuracy, plus anchoring utilities to present results in the paper's
+//!   F1/accuracy units.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod datasets;
+pub mod task;

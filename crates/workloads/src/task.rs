@@ -1,0 +1,340 @@
+//! The synthetic *attention-retrieval* classification task behind the
+//! Fig. 6 accuracy sweep.
+//!
+//! Construction (per instance, see DESIGN.md substitution table):
+//!
+//! - A fixed unit *probe* direction `p` and one unit *prototype* vector per
+//!   class.
+//! - The classification query (row 0) points along `p`.
+//! - `m_true` **evidence** keys align strongly with `p` (high *exact*
+//!   attention score) and carry the true class's prototype as their value.
+//! - `m_decoy` **decoy** keys are *sign-matched* to `p` but with small
+//!   component magnitudes: their exact attention score is modest, but a
+//!   1-bit (sign) quantizer sees a perfect match and ranks them at the very
+//!   top. They carry a different class's prototype.
+//! - All remaining keys are **fillers**: random directions with a weak
+//!   positive probe alignment and weak random-class values.
+//!
+//! Full attention weights the true evidence above the decoys (exact scores
+//! rule), so the output classifies correctly with a healthy margin. Top-k
+//! truncation hurts through the *real* failure mode of the paper's 1-bit
+//! pre-selection — magnitude blindness: the quantized ranking puts the
+//! sign-matched decoys first, so at small `k` true-evidence slots are
+//! displaced by decoys and the retained softmax mass flips the prediction.
+//! At `k ≈ 30` all evidence (true + decoy) fits and accuracy recovers to
+//! the dense level, reproducing the Fig. 6 knee. Longer sequences add
+//! filler competitors at the pre-selection margin, so long-sequence
+//! datasets (SQuAD) degrade faster than short ones (MRPC).
+
+use lat_model::attention::AttentionOp;
+use lat_model::ModelError;
+use lat_tensor::rng::SplitMix64;
+use lat_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the attention-retrieval task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskConfig {
+    /// Number of classes (prototype vectors).
+    pub num_classes: usize,
+    /// Head dimension of Q/K/V.
+    pub head_dim: usize,
+    /// Number of true-evidence tokens per instance.
+    pub evidence_true: usize,
+    /// Number of sign-matched decoy tokens per instance.
+    pub evidence_decoy: usize,
+    /// Alignment strength of true evidence keys with the probe.
+    pub align_true: f32,
+    /// Per-component magnitude of the sign-matched decoy keys (small, so
+    /// their exact score stays below the true evidence).
+    pub decoy_magnitude: f32,
+    /// Std-dev of the Gaussian noise added to evidence keys.
+    pub key_noise: f32,
+    /// Scale of filler key vectors.
+    pub filler_scale: f32,
+    /// Mean positive probe alignment of filler keys (length-dependent
+    /// pre-selection pressure).
+    pub filler_align: f32,
+    /// Value-vector noise std-dev.
+    pub value_noise: f32,
+    /// Strength of filler values (weak random-class confusers).
+    pub filler_value_scale: f32,
+}
+
+impl Default for TaskConfig {
+    fn default() -> Self {
+        Self {
+            num_classes: 4,
+            head_dim: 64,
+            evidence_true: 16,
+            evidence_decoy: 6,
+            align_true: 2.6,
+            decoy_magnitude: 0.24,
+            key_noise: 0.9,
+            filler_scale: 0.8,
+            filler_align: 0.55,
+            value_noise: 0.2,
+            filler_value_scale: 0.2,
+        }
+    }
+}
+
+/// One generated task instance: per-head Q/K/V plus the ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskInstance {
+    /// Query matrix (`n × d`); row 0 is the classification probe.
+    pub q: Matrix,
+    /// Key matrix (`n × d`).
+    pub k: Matrix,
+    /// Value matrix (`n × d`).
+    pub v: Matrix,
+    /// Ground-truth class.
+    pub label: usize,
+    /// The decoy class planted in this instance.
+    pub decoy_label: usize,
+}
+
+/// Deterministic generator of task instances sharing one probe and one
+/// prototype set.
+#[derive(Debug, Clone)]
+pub struct TaskGenerator {
+    cfg: TaskConfig,
+    probe: Vec<f32>,
+    prototypes: Matrix,
+}
+
+impl TaskGenerator {
+    /// Creates a generator with probe/prototypes drawn from `seed`.
+    pub fn new(cfg: TaskConfig, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x7A5_0001);
+        let probe = unit_vector(&mut rng, cfg.head_dim);
+        let prototypes = Matrix::from_fn(cfg.num_classes, cfg.head_dim, |_, _| 0.0);
+        let mut prototypes = prototypes;
+        for c in 0..cfg.num_classes {
+            let v = unit_vector(&mut rng, cfg.head_dim);
+            prototypes.row_mut(c).copy_from_slice(&v);
+        }
+        Self {
+            cfg,
+            probe,
+            prototypes,
+        }
+    }
+
+    /// The task configuration.
+    pub fn config(&self) -> &TaskConfig {
+        &self.cfg
+    }
+
+    /// The class prototype matrix (`num_classes × head_dim`).
+    pub fn prototypes(&self) -> &Matrix {
+        &self.prototypes
+    }
+
+    /// Generates one instance of sequence length `seq_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq_len` cannot hold the evidence tokens plus the probe
+    /// row.
+    pub fn generate(&self, rng: &mut SplitMix64, seq_len: usize) -> TaskInstance {
+        let c = &self.cfg;
+        let d = c.head_dim;
+        let need = 1 + c.evidence_true + c.evidence_decoy;
+        assert!(
+            seq_len >= need,
+            "seq_len {seq_len} too short for {need} structured tokens"
+        );
+        let label = rng.next_below(c.num_classes);
+        let decoy_label = (label + 1 + rng.next_below(c.num_classes - 1)) % c.num_classes;
+
+        // Token roles: positions 1.. hold evidence at random slots.
+        let mut positions: Vec<usize> = (1..seq_len).collect();
+        rng.shuffle(&mut positions);
+        let true_pos = &positions[..c.evidence_true];
+        let decoy_pos = &positions[c.evidence_true..c.evidence_true + c.evidence_decoy];
+
+        let mut q = rng.gaussian_matrix(seq_len, d, c.filler_scale);
+        let mut k = rng.gaussian_matrix(seq_len, d, c.filler_scale);
+        let mut v = Matrix::zeros(seq_len, d);
+
+        // Row 0: the probe query.
+        for (j, x) in q.row_mut(0).iter_mut().enumerate() {
+            *x = 4.0 * self.probe[j] + 0.2 * rng.next_gaussian();
+        }
+        // Fillers: weak positive probe alignment (pre-selection pressure
+        // that grows with sequence count) and weak random-class values.
+        for i in 0..seq_len {
+            let boost = c.filler_align * rng.next_gaussian().abs();
+            for (j, x) in k.row_mut(i).iter_mut().enumerate() {
+                *x += boost * self.probe[j];
+            }
+            let cls = rng.next_below(c.num_classes);
+            let row = v.row_mut(i);
+            for (j, x) in row.iter_mut().enumerate() {
+                *x = c.filler_value_scale * self.prototypes[(cls, j)]
+                    + 0.3 * rng.next_gaussian();
+            }
+        }
+        // True evidence: strongly probe-aligned keys, true-class values.
+        for &pos in true_pos {
+            for (j, x) in k.row_mut(pos).iter_mut().enumerate() {
+                *x = c.align_true * self.probe[j] + c.key_noise * rng.next_gaussian();
+            }
+            self.set_value(&mut v, pos, label, rng);
+        }
+        // Decoys: sign-matched to the probe with small magnitude — perfect
+        // 1-bit match, modest exact score — carrying the decoy class.
+        for &pos in decoy_pos {
+            for (j, x) in k.row_mut(pos).iter_mut().enumerate() {
+                let sign = if self.probe[j] >= 0.0 { 1.0 } else { -1.0 };
+                *x = c.decoy_magnitude * sign + 0.02 * rng.next_gaussian();
+            }
+            self.set_value(&mut v, pos, decoy_label, rng);
+        }
+        TaskInstance {
+            q,
+            k,
+            v,
+            label,
+            decoy_label,
+        }
+    }
+
+    fn set_value(&self, v: &mut Matrix, pos: usize, class: usize, rng: &mut SplitMix64) {
+        let c = &self.cfg;
+        for (j, x) in v.row_mut(pos).iter_mut().enumerate() {
+            *x = self.prototypes[(class, j)] + c.value_noise * rng.next_gaussian();
+        }
+    }
+
+    /// Classifies an attention output row by nearest prototype (dot
+    /// product; prototypes are unit vectors).
+    pub fn classify(&self, output_row: &[f32]) -> usize {
+        let mut best = 0usize;
+        let mut best_dot = f32::NEG_INFINITY;
+        for cls in 0..self.cfg.num_classes {
+            let dot: f32 = output_row
+                .iter()
+                .zip(self.prototypes.row(cls))
+                .map(|(a, b)| a * b)
+                .sum();
+            if dot > best_dot {
+                best_dot = dot;
+                best = cls;
+            }
+        }
+        best
+    }
+
+    /// Runs `op` on `instance` and returns the predicted class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the operator fails.
+    pub fn predict(
+        &self,
+        op: &dyn AttentionOp,
+        instance: &TaskInstance,
+    ) -> Result<usize, ModelError> {
+        let out = op.attend(&instance.q, &instance.k, &instance.v)?;
+        Ok(self.classify(out.row(0)))
+    }
+}
+
+fn unit_vector(rng: &mut SplitMix64, d: usize) -> Vec<f32> {
+    let mut v: Vec<f32> = (0..d).map(|_| rng.next_gaussian()).collect();
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-9);
+    for x in &mut v {
+        *x /= norm;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lat_model::attention::DenseAttention;
+
+    fn generator() -> TaskGenerator {
+        TaskGenerator::new(TaskConfig::default(), 1234)
+    }
+
+    #[test]
+    fn instance_shapes_and_labels() {
+        let g = generator();
+        let mut rng = SplitMix64::new(1);
+        let inst = g.generate(&mut rng, 100);
+        assert_eq!(inst.q.shape(), (100, 64));
+        assert_eq!(inst.k.shape(), (100, 64));
+        assert_eq!(inst.v.shape(), (100, 64));
+        assert!(inst.label < 4);
+        assert_ne!(inst.label, inst.decoy_label);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn too_short_sequence_panics() {
+        let g = generator();
+        let mut rng = SplitMix64::new(2);
+        let _ = g.generate(&mut rng, 5);
+    }
+
+    #[test]
+    fn dense_attention_solves_the_task() {
+        let g = generator();
+        let mut rng = SplitMix64::new(3);
+        let n = 120;
+        let trials = 100;
+        let mut correct = 0;
+        for _ in 0..trials {
+            let inst = g.generate(&mut rng, n);
+            if g.predict(&DenseAttention, &inst).unwrap() == inst.label {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / trials as f64;
+        assert!(acc > 0.9, "dense accuracy {acc}");
+    }
+
+    #[test]
+    fn dense_accuracy_holds_at_long_lengths() {
+        let g = generator();
+        let mut rng = SplitMix64::new(4);
+        let trials = 50;
+        let mut correct = 0;
+        for _ in 0..trials {
+            let inst = g.generate(&mut rng, 400);
+            if g.predict(&DenseAttention, &inst).unwrap() == inst.label {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / trials as f64;
+        assert!(acc > 0.85, "dense accuracy at n=500: {acc}");
+    }
+
+    #[test]
+    fn classify_picks_nearest_prototype() {
+        let g = generator();
+        for cls in 0..4 {
+            let proto: Vec<f32> = g.prototypes().row(cls).to_vec();
+            assert_eq!(g.classify(&proto), cls);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = generator();
+        let a = g.generate(&mut SplitMix64::new(9), 80);
+        let b = g.generate(&mut SplitMix64::new(9), 80);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_instances() {
+        let g = generator();
+        let a = g.generate(&mut SplitMix64::new(10), 80);
+        let b = g.generate(&mut SplitMix64::new(11), 80);
+        assert_ne!(a, b);
+    }
+}

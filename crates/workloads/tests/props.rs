@@ -1,0 +1,75 @@
+//! Property-based tests of the workload generators.
+
+use lat_tensor::rng::SplitMix64;
+use lat_workloads::accuracy::anchored_score;
+use lat_workloads::datasets::DatasetSpec;
+use lat_workloads::task::{TaskConfig, TaskGenerator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sampled lengths always respect the dataset bounds, for arbitrary
+    /// (consistent) specs.
+    #[test]
+    fn sampler_respects_bounds(
+        min in 5usize..50,
+        avg_off in 1usize..100,
+        max_off in 1usize..500,
+        seed in 0u64..10_000,
+    ) {
+        let spec = DatasetSpec {
+            name: "prop".into(),
+            min_len: min,
+            avg_len: min + avg_off,
+            max_len: min + avg_off + max_off,
+        };
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..50 {
+            let l = spec.sample_length(&mut rng);
+            prop_assert!(l >= spec.min_len && l <= spec.max_len);
+        }
+    }
+
+    /// The sampled mean tracks the spec's average within tolerance when
+    /// the average sits comfortably inside the bounds.
+    #[test]
+    fn sampler_mean_tracks_average(seed in 0u64..1000) {
+        let spec = DatasetSpec {
+            name: "prop".into(),
+            min_len: 20,
+            avg_len: 80,
+            max_len: 400,
+        };
+        let mut rng = SplitMix64::new(seed);
+        let n = 4000;
+        let sum: usize = (0..n).map(|_| spec.sample_length(&mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        prop_assert!((mean - 80.0).abs() / 80.0 < 0.10, "mean {mean}");
+    }
+
+    /// Task instances always have consistent labels and shapes.
+    #[test]
+    fn task_instances_well_formed(seed in 0u64..10_000, n in 30usize..200) {
+        let g = TaskGenerator::new(TaskConfig::default(), 5);
+        let mut rng = SplitMix64::new(seed);
+        let inst = g.generate(&mut rng, n);
+        prop_assert_eq!(inst.q.shape(), (n, 64));
+        prop_assert_eq!(inst.k.shape(), (n, 64));
+        prop_assert_eq!(inst.v.shape(), (n, 64));
+        prop_assert!(inst.label < 4);
+        prop_assert_ne!(inst.label, inst.decoy_label);
+        prop_assert!(inst.q.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    /// Anchored scores are always within [0, anchor] and decrease with the
+    /// measured drop.
+    #[test]
+    fn anchoring_bounds(anchor in 50.0f64..95.0, dense in 0.5f64..1.0, drop in 0.0f64..0.5) {
+        let sparse = (dense - drop).max(0.0);
+        let s = anchored_score(anchor, dense, sparse);
+        prop_assert!((0.0..=anchor).contains(&s));
+        let s_less = anchored_score(anchor, dense, (sparse - 0.05).max(0.0));
+        prop_assert!(s_less <= s + 1e-9);
+    }
+}

@@ -1,0 +1,86 @@
+//! Design-space exploration + roofline analysis of the accelerator:
+//! sweep the resource-model knobs on an RTE workload, report the best
+//! design, then show its per-stage CTC profile and the Fig. 2(b) state
+//! machine trace for one batch.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use lat_core::pipeline::SchedulingPolicy;
+use lat_fpga::hwsim::accelerator::AcceleratorDesign;
+use lat_fpga::hwsim::dse::{explore, DseGrid};
+use lat_fpga::hwsim::roofline::{machine_balance, stage_ctc};
+use lat_fpga::hwsim::spec::FpgaSpec;
+use lat_fpga::hwsim::statemachine::{buffer_bytes, trace_from_schedule};
+use lat_fpga::model::config::ModelConfig;
+use lat_fpga::model::graph::AttentionMode;
+use lat_fpga::tensor::rng::SplitMix64;
+use lat_fpga::workloads::datasets::DatasetSpec;
+
+fn main() {
+    let cfg = ModelConfig::bert_base();
+    let spec = FpgaSpec::alveo_u280();
+    let dataset = DatasetSpec::rte();
+    let mut rng = SplitMix64::new(0xD5E2);
+    let workload = dataset.sample_batches(&mut rng, 16, 2);
+
+    // ---- DSE ------------------------------------------------------------
+    println!("=== Design-space exploration (BERT-base / RTE) ===\n");
+    let grid = DseGrid::default();
+    let points = explore(&cfg, AttentionMode::paper_sparse(), &spec, &workload, &grid);
+    println!("{:<14} {:<14} {:<13} {:<8} {:<12} util", "DSP/instance", "stage budget", "tuned length", "stages", "latency(ms)");
+    for p in points.iter().take(6) {
+        println!(
+            "{:<14} {:<14} {:<13} {:<8} {:<12.3} {:.1}%",
+            p.dsp_per_instance,
+            p.stage_budget,
+            p.tuning_length,
+            p.num_stages,
+            p.seconds * 1e3,
+            100.0 * p.utilization
+        );
+    }
+    let best = &points[0];
+    println!(
+        "\nbest design: {} DSP/instance, per-stage budget {}, tuned at length {}\n",
+        best.dsp_per_instance, best.stage_budget, best.tuning_length
+    );
+
+    // ---- CTC / roofline of the default design ---------------------------
+    println!("=== CTC / roofline (default design, s = 68, batch 16) ===\n");
+    println!(
+        "machine balance: {:.2} ops/byte (compute roof above this intensity)\n",
+        machine_balance(&spec)
+    );
+    let design = AcceleratorDesign::new(&cfg, AttentionMode::paper_sparse(), spec.clone(), 68);
+    for c in stage_ctc(&design, 68, 16) {
+        println!(
+            "stage {}: compute {:>8} cyc | memory {:>6} cyc | CTC {:>7.1} | {}",
+            c.stage, c.compute_cycles, c.memory_cycles, c.ctc, c.bound
+        );
+    }
+
+    // ---- State machine trace --------------------------------------------
+    println!("\n=== Fig. 2(b) state machine, one batch ===\n");
+    let batch = &workload[0];
+    let schedule = design.schedule(batch, SchedulingPolicy::LengthAware);
+    let trace = trace_from_schedule(&schedule, batch);
+    println!("first 12 transitions:");
+    for t in trace.transitions.iter().take(12) {
+        println!("  cycle {:>9}: stage {} -> {:?}", t.cycle, t.stage, t.into);
+    }
+    println!("\nper-stage idle fractions:");
+    for stage in 0..schedule.num_stages() {
+        println!(
+            "  stage {stage}: {:.1}% idle ({} activations)",
+            100.0 * trace.idle_fraction(stage),
+            trace.activations(stage)
+        );
+    }
+    println!(
+        "\ndouble-buffer high water: {} tokens ({} KiB at 8-bit, d = {}) of {} MiB on-chip",
+        trace.buffer_high_water_tokens,
+        buffer_bytes(trace.buffer_high_water_tokens, cfg.hidden_dim) / 1024,
+        cfg.hidden_dim,
+        spec.onchip_bytes / (1024 * 1024)
+    );
+}

@@ -1,0 +1,73 @@
+//! # lat-fpga
+//!
+//! Umbrella crate of the lat-fpga workspace: a pure-Rust reproduction of
+//! the DAC'22 paper *"A Length Adaptive Algorithm-Hardware Co-design of
+//! Transformer on FPGA Through Sparse Attention and Dynamic Pipelining"*
+//! (Peng, Huang, et al., arXiv:2208.03646).
+//!
+//! The workspace splits into the paper's contribution and the substrates
+//! it needs:
+//!
+//! | Re-export | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `lat-core` | sparse attention (quantized pre-selection → Top-k → exact), the Fig. 4 fused kernel, Algorithm 1 stage allocation, the length-aware pipeline scheduler, DAG scheduling, batch runtime, related-work baselines |
+//! | [`tensor`] | `lat-tensor` | checked f32 matrices, softmax/LayerNorm/GELU, tiled matmul, 8-bit fixed point, 1/4/8-bit quantization, product LUT, seeded RNG, stats |
+//! | [`model`] | `lat-model` | BERT-family encoder with pluggable attention, operator graph `W(v, s)`, embeddings, pooling/classifier heads, 8-bit quantized datapath |
+//! | [`hwsim`] | `lat-hwsim` | Alveo U280 simulator: kernel cycle models, stage timing with compute/memory overlap, state machine + double buffers, HBM channels, roofline/CTC, DSE, serving simulation, energy |
+//! | [`platforms`] | `lat-platforms` | calibrated CPU / edge-GPU / GPU-server roofline models |
+//! | [`workloads`] | `lat-workloads` | dataset length distributions, the attention-retrieval accuracy task, workload mixes |
+//!
+//! # Quick tour
+//!
+//! Swap the paper's sparse attention into a transformer encoder:
+//!
+//! ```
+//! use lat_fpga::core::sparse::{SparseAttention, SparseAttentionConfig};
+//! use lat_fpga::model::{attention::DenseAttention, config::ModelConfig, encoder::Encoder};
+//! use lat_fpga::tensor::rng::SplitMix64;
+//!
+//! # fn main() -> Result<(), lat_fpga::model::ModelError> {
+//! let cfg = ModelConfig::tiny();
+//! let mut rng = SplitMix64::new(1);
+//! let encoder = Encoder::random(&cfg, &mut rng);
+//! let x = rng.gaussian_matrix(48, cfg.hidden_dim, 1.0);
+//!
+//! let dense = encoder.forward(&x, &DenseAttention)?;
+//! let sparse_op = SparseAttention::new(SparseAttentionConfig::paper_default());
+//! let sparse = encoder.forward(&x, &sparse_op)?; // O(n·k) instead of O(n²)
+//! assert_eq!(dense.shape(), sparse.shape());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Simulate a variable-length batch on the modeled Alveo U280:
+//!
+//! ```
+//! use lat_fpga::core::pipeline::SchedulingPolicy;
+//! use lat_fpga::hwsim::{accelerator::AcceleratorDesign, spec::FpgaSpec};
+//! use lat_fpga::model::{config::ModelConfig, graph::AttentionMode};
+//!
+//! let design = AcceleratorDesign::new(
+//!     &ModelConfig::bert_base(),
+//!     AttentionMode::paper_sparse(),
+//!     FpgaSpec::alveo_u280(),
+//!     177,
+//! );
+//! let adaptive = design.run_batch(&[140, 100, 82, 78, 72], SchedulingPolicy::LengthAware);
+//! let padded = design.run_batch(&[140, 100, 82, 78, 72], SchedulingPolicy::PadToMax);
+//! assert!(adaptive.seconds < padded.seconds); // dynamic pipelining wins
+//! ```
+//!
+//! Every table and figure of the paper's evaluation regenerates from a
+//! `lat-bench` binary; see `EXPERIMENTS.md` at the repository root for the
+//! paper-vs-measured record and `DESIGN.md` for the substitution table
+//! (what replaced the FPGA, the datasets and the comparison hardware).
+
+#![forbid(unsafe_code)]
+
+pub use lat_core as core;
+pub use lat_hwsim as hwsim;
+pub use lat_model as model;
+pub use lat_platforms as platforms;
+pub use lat_tensor as tensor;
+pub use lat_workloads as workloads;

@@ -1,0 +1,102 @@
+//! Full software stack integration: tokens → embeddings → encoder (dense
+//! and sparse attention) → pooling → classifier head, across a
+//! variable-length batch run through the sorted batch runtime.
+
+use lat_core::runtime::{BatchRunner, RunnerAttention};
+use lat_core::sparse::SparseAttentionConfig;
+use lat_fpga::model::config::ModelConfig;
+use lat_fpga::model::embedding::EmbeddingTable;
+use lat_fpga::model::encoder::Encoder;
+use lat_fpga::model::head::{mean_pool, ClassifierHead};
+use lat_fpga::model::ModelError;
+use lat_fpga::tensor::rng::SplitMix64;
+use lat_fpga::tensor::Matrix;
+use lat_fpga::workloads::datasets::DatasetSpec;
+
+fn embed_batch(
+    embeddings: &EmbeddingTable,
+    rng: &mut SplitMix64,
+    lengths: &[usize],
+) -> Vec<Matrix> {
+    lengths
+        .iter()
+        .map(|&n| {
+            let tokens: Vec<u32> = (0..n).map(|_| rng.next_below(500) as u32).collect();
+            embeddings.embed_with_positions(&tokens)
+        })
+        .collect()
+}
+
+/// The sparse and dense stacks predict the same classes for most inputs —
+/// the end-to-end expression of the small Fig. 6 drop.
+#[test]
+fn sparse_stack_agrees_with_dense_predictions() -> Result<(), ModelError> {
+    let cfg = ModelConfig::tiny();
+    let mut rng = SplitMix64::new(0xC1A55);
+    let encoder = Encoder::random(&cfg, &mut rng);
+    let embeddings = EmbeddingTable::new(cfg.hidden_dim, 0xE3B);
+    let head = ClassifierHead::random(cfg.hidden_dim, 4, &mut rng);
+
+    let lengths = DatasetSpec::mrpc().sample_batch(&mut rng, 12);
+    let batch = embed_batch(&embeddings, &mut rng, &lengths);
+
+    let dense = BatchRunner::new(encoder.clone(), RunnerAttention::Dense);
+    let sparse = BatchRunner::new(
+        encoder,
+        RunnerAttention::Sparse(SparseAttentionConfig::paper_default()),
+    );
+
+    let dense_out = dense.run(&batch)?;
+    let sparse_out = sparse.run(&batch)?;
+
+    let mut agree = 0usize;
+    for (d, s) in dense_out.outputs.iter().zip(&sparse_out.outputs) {
+        let pd = head.predict(&mean_pool(d))?;
+        let ps = head.predict(&mean_pool(s))?;
+        if pd == ps {
+            agree += 1;
+        }
+    }
+    assert!(
+        agree * 10 >= batch.len() * 9,
+        "only {agree}/{} predictions agree between dense and sparse stacks",
+        batch.len()
+    );
+    Ok(())
+}
+
+/// The pooled-batch convenience path produces the same classifier inputs
+/// as pooling the raw outputs.
+#[test]
+fn pooled_batch_equals_manual_pooling() -> Result<(), ModelError> {
+    let cfg = ModelConfig::tiny();
+    let mut rng = SplitMix64::new(0xC1A56);
+    let encoder = Encoder::random(&cfg, &mut rng);
+    let embeddings = EmbeddingTable::new(cfg.hidden_dim, 0xE3C);
+    let lengths = [20usize, 35, 15];
+    let batch = embed_batch(&embeddings, &mut rng, &lengths);
+
+    let runner = BatchRunner::new(
+        encoder,
+        RunnerAttention::Sparse(SparseAttentionConfig::paper_default().with_k(12)),
+    );
+    let outputs = runner.run(&batch)?;
+    let pooled = runner.encode_pooled_batch(&batch)?;
+    for (m, p) in outputs.outputs.iter().zip(&pooled) {
+        let manual = mean_pool(m);
+        for (a, b) in manual.iter().zip(p) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+    Ok(())
+}
+
+/// Classifier heads reject mismatched widths all the way through the
+/// stack (error propagation sanity).
+#[test]
+fn width_errors_surface_cleanly() {
+    let mut rng = SplitMix64::new(0xC1A57);
+    let head = ClassifierHead::random(64, 4, &mut rng);
+    let err = head.logits(&[0.0; 32]).unwrap_err();
+    assert!(err.to_string().contains("pooled width"));
+}

