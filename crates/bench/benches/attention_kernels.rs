@@ -23,7 +23,11 @@ fn bench_attention(c: &mut Criterion) {
         let v = rng.gaussian_matrix(n, d, 1.0);
 
         group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
-            b.iter(|| DenseAttention.attend(black_box(&q), &k, &v).expect("attend"))
+            b.iter(|| {
+                DenseAttention
+                    .attend(black_box(&q), &k, &v)
+                    .expect("attend")
+            })
         });
         let sparse = SparseAttention::new(SparseAttentionConfig::paper_default());
         group.bench_with_input(BenchmarkId::new("sparse_k30_1bit", n), &n, |b, _| {

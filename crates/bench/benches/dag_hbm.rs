@@ -23,11 +23,9 @@ fn bench_dag(c: &mut Criterion) {
         b.iter(|| black_box(&dag).priorities())
     });
     for units in [2usize, 12] {
-        group.bench_with_input(
-            BenchmarkId::new("list_schedule", units),
-            &units,
-            |b, &u| b.iter(|| black_box(&dag).list_schedule(u)),
-        );
+        group.bench_with_input(BenchmarkId::new("list_schedule", units), &units, |b, &u| {
+            b.iter(|| black_box(&dag).list_schedule(u))
+        });
     }
     group.finish();
 }

@@ -23,7 +23,10 @@ fn bench_encoder(c: &mut Criterion) {
     for &n in &[32usize, 128] {
         let x = rng.gaussian_matrix(n, cfg.hidden_dim, 1.0);
         group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
-            b.iter(|| enc.forward(black_box(&x), &DenseAttention).expect("forward"))
+            b.iter(|| {
+                enc.forward(black_box(&x), &DenseAttention)
+                    .expect("forward")
+            })
         });
         let sparse = SparseAttention::new(SparseAttentionConfig::paper_default().with_k(16));
         group.bench_with_input(BenchmarkId::new("sparse_k16", n), &n, |b, _| {

@@ -8,8 +8,8 @@ use lat_hwsim::accelerator::AcceleratorDesign;
 use lat_hwsim::spec::FpgaSpec;
 use lat_model::config::ModelConfig;
 use lat_model::graph::AttentionMode;
-use lat_workloads::datasets::DatasetSpec;
 use lat_tensor::rng::SplitMix64;
+use lat_workloads::datasets::DatasetSpec;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -41,9 +41,7 @@ fn bench_design_construction(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("run_batch", batch_size),
             &batch,
-            |b, batch| {
-                b.iter(|| design.run_batch(black_box(batch), SchedulingPolicy::LengthAware))
-            },
+            |b, batch| b.iter(|| design.run_batch(black_box(batch), SchedulingPolicy::LengthAware)),
         );
     }
     group.finish();

@@ -50,9 +50,7 @@ fn bench_pipeline_scheduling(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(policy.to_string(), batch_size),
                 &lengths,
-                |b, lengths| {
-                    b.iter(|| schedule_batch(black_box(lengths), 12, &timing, policy))
-                },
+                |b, lengths| b.iter(|| schedule_batch(black_box(lengths), 12, &timing, policy)),
             );
         }
     }

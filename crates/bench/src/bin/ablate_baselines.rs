@@ -19,7 +19,9 @@ use lat_workloads::task::{TaskConfig, TaskGenerator};
 const TRIALS: usize = 150;
 
 fn main() {
-    println!("Ablation — sparse-attention operators at equal budget (task accuracy, {TRIALS} trials)\n");
+    println!(
+        "Ablation — sparse-attention operators at equal budget (task accuracy, {TRIALS} trials)\n"
+    );
     let generator = TaskGenerator::new(TaskConfig::default(), 0xBA5E);
     let mut rows = Vec::new();
 

@@ -25,15 +25,9 @@ fn main() {
 
     let mut rows = Vec::new();
     for bits in BitWidth::all() {
-        let fid = preselect_fidelity(
-            &inst.q,
-            &inst.k,
-            PreselectConfig { bits, k: 30 },
-        )
-        .expect("fidelity");
-        let op = SparseAttention::new(
-            SparseAttentionConfig::paper_default().with_bits(bits),
-        );
+        let fid = preselect_fidelity(&inst.q, &inst.k, PreselectConfig { bits, k: 30 })
+            .expect("fidelity");
+        let op = SparseAttention::new(SparseAttentionConfig::paper_default().with_bits(bits));
         let acc = evaluate_on_dataset(&op, &generator, &dataset, 150, 0xB175)
             .expect("accuracy")
             .accuracy;

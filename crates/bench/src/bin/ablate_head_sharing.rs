@@ -25,15 +25,26 @@ fn main() {
     let common_q = rng.gaussian_matrix(n, d_head, 0.7);
     let common_k = rng.gaussian_matrix(n, d_head, 0.7);
     let q_heads: Vec<Matrix> = (0..heads)
-        .map(|_| common_q.add(&rng.gaussian_matrix(n, d_head, 0.7)).expect("same shape"))
+        .map(|_| {
+            common_q
+                .add(&rng.gaussian_matrix(n, d_head, 0.7))
+                .expect("same shape")
+        })
         .collect();
     let k_heads: Vec<Matrix> = (0..heads)
-        .map(|_| common_k.add(&rng.gaussian_matrix(n, d_head, 0.7)).expect("same shape"))
+        .map(|_| {
+            common_k
+                .add(&rng.gaussian_matrix(n, d_head, 0.7))
+                .expect("same shape")
+        })
         .collect();
 
     let mut rows = Vec::new();
     for k in [10usize, 30, 50] {
-        let cfg = PreselectConfig { bits: BitWidth::One, k };
+        let cfg = PreselectConfig {
+            bits: BitWidth::One,
+            k,
+        };
 
         // Per-head: each head selects and gathers its own candidates.
         let mut per_head_recall = 0.0f64;

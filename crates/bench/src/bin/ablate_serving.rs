@@ -36,13 +36,7 @@ fn main() {
             &cfg,
             0x5E12,
         );
-        let padded = simulate_serving(
-            &design,
-            &dataset,
-            SchedulingPolicy::PadToMax,
-            &cfg,
-            0x5E12,
-        );
+        let padded = simulate_serving(&design, &dataset, SchedulingPolicy::PadToMax, &cfg, 0x5E12);
         rows.push(vec![
             format!("{rate:.0}"),
             format!("{:.1}", adaptive.mean_batch_size),

@@ -46,7 +46,13 @@ fn main() {
     println!(
         "\n{}",
         tables::render(
-            &["allocation", "stages", "DSP used", "stage latencies (cyc)", "bottleneck"],
+            &[
+                "allocation",
+                "stages",
+                "DSP used",
+                "stage latencies (cyc)",
+                "bottleneck"
+            ],
             &rows,
         )
     );
@@ -58,7 +64,11 @@ fn main() {
     // Multi-head DAG view.
     println!("Multi-head operator DAG (Fig. 2a's parallel head hardware):");
     let dag = TaskDag::encoder_multihead(&cfg, 177, mode);
-    println!("  nodes: {}, total work: {} FLOPs", dag.len(), dag.total_weight());
+    println!(
+        "  nodes: {}, total work: {} FLOPs",
+        dag.len(),
+        dag.total_weight()
+    );
     println!("  critical path: {} FLOPs", dag.critical_path());
     let mut rows = Vec::new();
     for units in [1usize, 2, 4, 8, 12] {
@@ -74,6 +84,9 @@ fn main() {
     }
     println!(
         "{}",
-        tables::render(&["exec units", "makespan (FLOPs)", "unit efficiency"], &rows)
+        tables::render(
+            &["exec units", "makespan (FLOPs)", "unit efficiency"],
+            &rows
+        )
     );
 }

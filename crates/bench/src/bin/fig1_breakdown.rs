@@ -44,7 +44,11 @@ fn main() {
         .map(|(label, t, attn)| {
             vec![
                 label.clone(),
-                if *attn { "self-attention".into() } else { "other".into() },
+                if *attn {
+                    "self-attention".into()
+                } else {
+                    "other".into()
+                },
                 format!("{:.2}", t * 1e6),
                 tables::pct(t / total),
             ]

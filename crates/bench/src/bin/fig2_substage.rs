@@ -58,7 +58,12 @@ fn main() {
     println!(
         "{}",
         tables::render(
-            &["rows (seq len)", "pipelined cyc", "sequential cyc", "speedup"],
+            &[
+                "rows (seq len)",
+                "pipelined cyc",
+                "sequential cyc",
+                "speedup"
+            ],
             &rows,
         )
     );

@@ -28,9 +28,7 @@ fn main() {
         .zip(&unfused.exp_scores)
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f32, f32::max);
-    println!(
-        "numerical check (d={d}, k={k}): max |fused - unfused| = {max_err:.2e}\n"
-    );
+    println!("numerical check (d={d}, k={k}): max |fused - unfused| = {max_err:.2e}\n");
 
     let mut rows = Vec::new();
     for (d, k) in [(64usize, 10usize), (64, 30), (64, 50), (128, 30), (64, 128)] {
@@ -49,7 +47,14 @@ fn main() {
     println!(
         "{}",
         tables::render(
-            &["head dim", "k", "unroll p", "fused cyc", "unfused cyc", "fusion speedup"],
+            &[
+                "head dim",
+                "k",
+                "unroll p",
+                "fused cyc",
+                "unfused cyc",
+                "fusion speedup"
+            ],
             &rows,
         )
     );

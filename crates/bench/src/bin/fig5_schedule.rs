@@ -31,7 +31,10 @@ fn main() {
     let timing = LinearStageTiming::new(per_token.clone(), vec![0; stages]);
     println!(
         "stage cycles/token (from Algorithm 1 allocation): {:?}\n",
-        per_token.iter().map(|c| c.round() as u64).collect::<Vec<_>>()
+        per_token
+            .iter()
+            .map(|c| c.round() as u64)
+            .collect::<Vec<_>>()
     );
 
     // Fig. 5(a) view: one row per sequence (M = MM|At-Sel, A = At-Comp,

@@ -61,7 +61,15 @@ fn main() {
     println!(
         "{}",
         tables::render(
-            &["model / dataset", "Baseline", "Top-50", "Top-40", "Top-30", "Top-20", "Top-10"],
+            &[
+                "model / dataset",
+                "Baseline",
+                "Top-50",
+                "Top-40",
+                "Top-30",
+                "Top-20",
+                "Top-10"
+            ],
             &rows,
         )
     );

@@ -55,9 +55,7 @@ fn main() {
             t[3] += baseline
                 .run_batch(batch, SchedulingPolicy::PadToMax)
                 .seconds;
-            t[4] += ours
-                .run_batch(batch, SchedulingPolicy::LengthAware)
-                .seconds;
+            t[4] += ours.run_batch(batch, SchedulingPolicy::LengthAware).seconds;
         }
         for x in &mut t {
             *x /= batches.len() as f64;

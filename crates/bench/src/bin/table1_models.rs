@@ -24,7 +24,13 @@ fn main() {
     println!(
         "{}",
         tables::render(
-            &["Model", "Layers", "Hidden dim", "Num. of Heads", "Encoder params"],
+            &[
+                "Model",
+                "Layers",
+                "Hidden dim",
+                "Num. of Heads",
+                "Encoder params"
+            ],
             &model_rows,
         )
     );
@@ -50,7 +56,14 @@ fn main() {
     println!(
         "{}",
         tables::render(
-            &["Evaluation dataset", "Avg", "Max", "Max/Avg", "sampled avg", "sampled max"],
+            &[
+                "Evaluation dataset",
+                "Avg",
+                "Max",
+                "Max/Avg",
+                "sampled avg",
+                "sampled max"
+            ],
             &dataset_rows,
         )
     );

@@ -80,7 +80,12 @@ fn main() {
     println!(
         "{}",
         tables::render(
-            &["Work/platform", "Throughput (GOPS)", "Energy eff. (GOP/J)", "Acc. drop (%)"],
+            &[
+                "Work/platform",
+                "Throughput (GOPS)",
+                "Energy eff. (GOP/J)",
+                "Acc. drop (%)"
+            ],
             &rows,
         )
     );

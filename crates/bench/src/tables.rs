@@ -66,10 +66,7 @@ mod tests {
 
     #[test]
     fn render_aligns_columns() {
-        let t = render(
-            &["a", "long-header"],
-            &[vec!["xxxxx".into(), "1".into()]],
-        );
+        let t = render(&["a", "long-header"], &[vec!["xxxxx".into(), "1".into()]]);
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[1].starts_with('-'));

@@ -209,7 +209,10 @@ mod tests {
         let r = RandomSamplingAttention { k: 5, seed: 9 };
         assert_eq!(r.attend(&q, &k, &v).unwrap(), r.attend(&q, &k, &v).unwrap());
         let r2 = RandomSamplingAttention { k: 5, seed: 10 };
-        assert_ne!(r.attend(&q, &k, &v).unwrap(), r2.attend(&q, &k, &v).unwrap());
+        assert_ne!(
+            r.attend(&q, &k, &v).unwrap(),
+            r2.attend(&q, &k, &v).unwrap()
+        );
     }
 
     #[test]
@@ -227,6 +230,8 @@ mod tests {
         let q = Matrix::zeros(3, 4);
         let k = Matrix::zeros(3, 4);
         let v = Matrix::zeros(2, 4);
-        assert!(WindowedAttention::with_budget(5).attend(&q, &k, &v).is_err());
+        assert!(WindowedAttention::with_budget(5)
+            .attend(&q, &k, &v)
+            .is_err());
     }
 }

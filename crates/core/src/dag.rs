@@ -208,7 +208,12 @@ impl TaskDag {
         let order = self.topological_order().expect("validated acyclic");
         let mut p = vec![0u64; self.nodes.len()];
         for &id in order.iter().rev() {
-            let succ_max = self.successors(id).into_iter().map(|j| p[j]).max().unwrap_or(0);
+            let succ_max = self
+                .successors(id)
+                .into_iter()
+                .map(|j| p[j])
+                .max()
+                .unwrap_or(0);
             p[id] = self.nodes[id].weight + succ_max;
         }
         p
@@ -308,10 +313,22 @@ mod tests {
         // a → {b, c} → d with weights 1, 2, 3, 4.
         TaskDag::new(
             vec![
-                DagNode { name: "a".into(), weight: 1 },
-                DagNode { name: "b".into(), weight: 2 },
-                DagNode { name: "c".into(), weight: 3 },
-                DagNode { name: "d".into(), weight: 4 },
+                DagNode {
+                    name: "a".into(),
+                    weight: 1,
+                },
+                DagNode {
+                    name: "b".into(),
+                    weight: 2,
+                },
+                DagNode {
+                    name: "c".into(),
+                    weight: 3,
+                },
+                DagNode {
+                    name: "d".into(),
+                    weight: 4,
+                },
             ],
             vec![(0, 1), (0, 2), (1, 3), (2, 3)],
         )
@@ -321,8 +338,14 @@ mod tests {
     #[test]
     fn rejects_bad_edges_and_cycles() {
         let nodes = vec![
-            DagNode { name: "a".into(), weight: 1 },
-            DagNode { name: "b".into(), weight: 1 },
+            DagNode {
+                name: "a".into(),
+                weight: 1,
+            },
+            DagNode {
+                name: "b".into(),
+                weight: 1,
+            },
         ];
         assert_eq!(
             TaskDag::new(nodes.clone(), vec![(0, 5)]).unwrap_err(),

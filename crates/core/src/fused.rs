@@ -80,7 +80,9 @@ pub fn fused_attention_row(
         )));
     }
     if unroll == 0 {
-        return Err(ModelError::InvalidInput("unroll factor must be >= 1".into()));
+        return Err(ModelError::InvalidInput(
+            "unroll factor must be >= 1".into(),
+        ));
     }
     let d = q_row.len();
     let k = ks.rows();
@@ -138,7 +140,9 @@ pub fn unfused_attention_row(
         )));
     }
     if unroll == 0 {
-        return Err(ModelError::InvalidInput("unroll factor must be >= 1".into()));
+        return Err(ModelError::InvalidInput(
+            "unroll factor must be >= 1".into(),
+        ));
     }
     let d = q_row.len();
     let k = ks.rows();
@@ -211,7 +215,9 @@ pub fn fused_heads(
     unroll: usize,
 ) -> Result<Vec<FusedRowOutput>, ModelError> {
     if unroll == 0 {
-        return Err(ModelError::InvalidInput("unroll factor must be >= 1".into()));
+        return Err(ModelError::InvalidInput(
+            "unroll factor must be >= 1".into(),
+        ));
     }
     let mut outputs = Vec::with_capacity(per_head.len());
     for (q_row, ks) in per_head {
@@ -306,7 +312,10 @@ mod tests {
         // d=4, k=6, p=2: beats = 4*3 = 12, +fill.
         assert_eq!(fused_cycles(4, 6, 2), 12 + PIPELINE_FILL);
         // unfused adds 3 passes of 3 beats + fills.
-        assert_eq!(unfused_cycles(4, 6, 2), 12 + PIPELINE_FILL + 3 * (3 + PIPELINE_FILL));
+        assert_eq!(
+            unfused_cycles(4, 6, 2),
+            12 + PIPELINE_FILL + 3 * (3 + PIPELINE_FILL)
+        );
     }
 
     #[test]

@@ -212,7 +212,7 @@ pub fn schedule_batch<T: StageTiming>(
     assert!(layers > 0, "layers must be >= 1");
     let mut sorted: Vec<usize> = lengths.to_vec();
     sorted.sort_unstable_by(|a, b| b.cmp(a));
-    let real_tokens: u64 = sorted.iter().map(|&l| l as u64) .sum();
+    let real_tokens: u64 = sorted.iter().map(|&l| l as u64).sum();
 
     match policy {
         SchedulingPolicy::LengthAware => {
@@ -461,7 +461,11 @@ pub fn render_sequence_gantt(schedule: &Schedule, width: usize) -> String {
                 *cell = glyph;
             }
         }
-        out.push_str(&format!("I{:<2} |{}|\n", seq + 1, String::from_utf8_lossy(&row)));
+        out.push_str(&format!(
+            "I{:<2} |{}|\n",
+            seq + 1,
+            String::from_utf8_lossy(&row)
+        ));
     }
     out
 }
@@ -568,8 +572,12 @@ mod tests {
     fn length_aware_beats_micro_batching() {
         let (lengths, timing) = fig5_setup();
         let adaptive = schedule_batch(&lengths, 2, &timing, SchedulingPolicy::LengthAware);
-        let micro =
-            schedule_batch(&lengths, 2, &timing, SchedulingPolicy::MicroBatch { size: 2 });
+        let micro = schedule_batch(
+            &lengths,
+            2,
+            &timing,
+            SchedulingPolicy::MicroBatch { size: 2 },
+        );
         assert!(adaptive.makespan() < micro.makespan());
         // Micro-batching pads fewer tokens than full padding, even though
         // its drain bubbles can make the *makespan* worse on FPGA (§2).
@@ -582,7 +590,11 @@ mod tests {
         let (lengths, timing) = fig5_setup();
         let s = schedule_batch(&lengths, 2, &timing, SchedulingPolicy::LengthAware);
         let seq = sequential_makespan(&lengths, 2, &timing);
-        assert!(s.makespan() < seq, "pipeline {} !< sequential {seq}", s.makespan());
+        assert!(
+            s.makespan() < seq,
+            "pipeline {} !< sequential {seq}",
+            s.makespan()
+        );
     }
 
     #[test]
@@ -615,8 +627,12 @@ mod tests {
     fn micro_batch_has_more_bubbles_than_adaptive() {
         let (lengths, timing) = fig5_setup();
         let adaptive = schedule_batch(&lengths, 2, &timing, SchedulingPolicy::LengthAware);
-        let micro =
-            schedule_batch(&lengths, 2, &timing, SchedulingPolicy::MicroBatch { size: 2 });
+        let micro = schedule_batch(
+            &lengths,
+            2,
+            &timing,
+            SchedulingPolicy::MicroBatch { size: 2 },
+        );
         let bubbles = |s: &Schedule| (0..3).map(|k| s.bubble_cycles(k)).sum::<u64>();
         assert!(bubbles(&micro) > bubbles(&adaptive));
     }
@@ -668,7 +684,10 @@ mod tests {
             .map(|e| e.start)
             .min()
             .expect("entry exists");
-        assert!(first_start >= 5000, "released-at-5000 started at {first_start}");
+        assert!(
+            first_start >= 5000,
+            "released-at-5000 started at {first_start}"
+        );
         // Feasibility invariants still hold.
         for stage in 0..3 {
             let mut spans: Vec<(u64, u64)> = s
@@ -713,7 +732,10 @@ mod tests {
         // The longest sequence (row I1) starts at the very left.
         let first = g.lines().next().unwrap();
         let bar = first.split('|').nth(1).unwrap();
-        assert!(bar.starts_with('M'), "first row should start with MM: {bar}");
+        assert!(
+            bar.starts_with('M'),
+            "first row should start with MM: {bar}"
+        );
     }
 
     #[test]

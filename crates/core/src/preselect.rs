@@ -71,8 +71,7 @@ impl Preselection {
         if self.candidates.is_empty() {
             return 0.0;
         }
-        self.candidates.iter().map(|c| c.len()).sum::<usize>() as f64
-            / self.candidates.len() as f64
+        self.candidates.iter().map(|c| c.len()).sum::<usize>() as f64 / self.candidates.len() as f64
     }
 }
 
@@ -116,9 +115,7 @@ pub fn preselect(
     let qq = QuantizedMatrix::quantize(q, cfg.bits);
     let qk = QuantizedMatrix::quantize(k_mat, cfg.bits);
     let lut = ProductLut::new(cfg.bits);
-    let approx_scores = lut
-        .score_matrix(&qq, &qk)
-        .map_err(ModelError::from)?;
+    let approx_scores = lut.score_matrix(&qq, &qk).map_err(ModelError::from)?;
     let m = k_mat.rows();
     let candidates = (0..q.rows())
         .map(|i| topk::top_k_merge_network(&approx_scores[i * m..(i + 1) * m], cfg.k))
@@ -248,7 +245,15 @@ mod tests {
         let mut rng = SplitMix64::new(31);
         let q = rng.gaussian_matrix(4, 8, 1.0);
         let k = rng.gaussian_matrix(5, 8, 1.0);
-        let sel = preselect(&q, &k, PreselectConfig { bits: BitWidth::Four, k: 30 }).unwrap();
+        let sel = preselect(
+            &q,
+            &k,
+            PreselectConfig {
+                bits: BitWidth::Four,
+                k: 30,
+            },
+        )
+        .unwrap();
         for c in &sel.candidates {
             assert_eq!(c.len(), 5); // k clamps to number of keys
         }
@@ -288,14 +293,21 @@ mod tests {
         let fid = preselect_fidelity(
             &q,
             &k,
-            PreselectConfig { bits: BitWidth::Four, k: 30 },
+            PreselectConfig {
+                bits: BitWidth::Four,
+                k: 30,
+            },
         )
         .unwrap();
         // On i.i.d. Gaussian data attention is maximally diffuse, so the
         // retained-mass floor is much lower than on real (concentrated)
         // attention; the workload crate tests the concentrated regime.
         assert!(fid.mean_recall > 0.80, "4-bit recall {}", fid.mean_recall);
-        assert!(fid.mean_retained_mass > 0.50, "mass {}", fid.mean_retained_mass);
+        assert!(
+            fid.mean_retained_mass > 0.50,
+            "mass {}",
+            fid.mean_retained_mass
+        );
     }
 
     #[test]
@@ -308,7 +320,11 @@ mod tests {
         let fid = preselect_fidelity(&q, &k, PreselectConfig::paper_default()).unwrap();
         // 1-bit on diffuse Gaussian scores: still comfortably above the
         // 30/128 ≈ 0.23 random-candidate baseline.
-        assert!(fid.mean_retained_mass > 0.35, "mass {}", fid.mean_retained_mass);
+        assert!(
+            fid.mean_retained_mass > 0.35,
+            "mass {}",
+            fid.mean_retained_mass
+        );
     }
 
     #[test]
@@ -316,15 +332,36 @@ mod tests {
         let mut rng = SplitMix64::new(34);
         let q = rng.gaussian_matrix(16, 32, 1.0);
         let k = rng.gaussian_matrix(96, 32, 1.0);
-        let r1 = preselect_fidelity(&q, &k, PreselectConfig { bits: BitWidth::One, k: 20 })
-            .unwrap()
-            .mean_recall;
-        let r4 = preselect_fidelity(&q, &k, PreselectConfig { bits: BitWidth::Four, k: 20 })
-            .unwrap()
-            .mean_recall;
-        let r8 = preselect_fidelity(&q, &k, PreselectConfig { bits: BitWidth::Eight, k: 20 })
-            .unwrap()
-            .mean_recall;
+        let r1 = preselect_fidelity(
+            &q,
+            &k,
+            PreselectConfig {
+                bits: BitWidth::One,
+                k: 20,
+            },
+        )
+        .unwrap()
+        .mean_recall;
+        let r4 = preselect_fidelity(
+            &q,
+            &k,
+            PreselectConfig {
+                bits: BitWidth::Four,
+                k: 20,
+            },
+        )
+        .unwrap()
+        .mean_recall;
+        let r8 = preselect_fidelity(
+            &q,
+            &k,
+            PreselectConfig {
+                bits: BitWidth::Eight,
+                k: 20,
+            },
+        )
+        .unwrap()
+        .mean_recall;
         assert!(r4 >= r1 - 0.05, "4-bit {r4} vs 1-bit {r1}");
         assert!(r8 >= r4 - 0.02, "8-bit {r8} vs 4-bit {r4}");
         assert!(r8 > 0.95, "8-bit should be near-exact, got {r8}");
@@ -337,9 +374,15 @@ mod tests {
         let k = rng.gaussian_matrix(128, 32, 1.0);
         let mut prev = 0.0;
         for kk in [10usize, 20, 30, 50] {
-            let fid =
-                preselect_fidelity(&q, &k, PreselectConfig { bits: BitWidth::One, k: kk })
-                    .unwrap();
+            let fid = preselect_fidelity(
+                &q,
+                &k,
+                PreselectConfig {
+                    bits: BitWidth::One,
+                    k: kk,
+                },
+            )
+            .unwrap();
             assert!(
                 fid.mean_retained_mass >= prev - 1e-9,
                 "mass not monotone at k={kk}"
@@ -353,7 +396,10 @@ mod tests {
         let mut rng = SplitMix64::new(37);
         let q_heads: Vec<Matrix> = (0..4).map(|_| rng.gaussian_matrix(10, 8, 1.0)).collect();
         let k_heads: Vec<Matrix> = (0..4).map(|_| rng.gaussian_matrix(20, 8, 1.0)).collect();
-        let cfg = PreselectConfig { bits: BitWidth::Four, k: 5 };
+        let cfg = PreselectConfig {
+            bits: BitWidth::Four,
+            k: 5,
+        };
         let shared = preselect_shared_across_heads(&q_heads, &k_heads, cfg).unwrap();
         assert_eq!(shared.candidates.len(), 10);
         assert!(shared.candidates.iter().all(|c| c.len() == 5));
@@ -364,7 +410,10 @@ mod tests {
         let mut rng = SplitMix64::new(38);
         let q = rng.gaussian_matrix(6, 8, 1.0);
         let k = rng.gaussian_matrix(12, 8, 1.0);
-        let cfg = PreselectConfig { bits: BitWidth::Four, k: 4 };
+        let cfg = PreselectConfig {
+            bits: BitWidth::Four,
+            k: 4,
+        };
         let shared =
             preselect_shared_across_heads(std::slice::from_ref(&q), std::slice::from_ref(&k), cfg)
                 .unwrap();
@@ -377,10 +426,12 @@ mod tests {
         let m = Matrix::zeros(4, 8);
         let cfg = PreselectConfig::paper_default();
         assert!(preselect_shared_across_heads(&[], &[], cfg).is_err());
-        assert!(
-            preselect_shared_across_heads(std::slice::from_ref(&m), &[m.clone(), m.clone()], cfg)
-                .is_err()
-        );
+        assert!(preselect_shared_across_heads(
+            std::slice::from_ref(&m),
+            &[m.clone(), m.clone()],
+            cfg
+        )
+        .is_err());
         let short = Matrix::zeros(3, 8);
         assert!(preselect_shared_across_heads(&[m.clone(), short], &[m.clone(), m], cfg).is_err());
     }
@@ -392,7 +443,10 @@ mod tests {
         let mut rng = SplitMix64::new(39);
         let q_heads: Vec<Matrix> = (0..3).map(|_| rng.gaussian_matrix(4, 16, 1.0)).collect();
         let k_heads: Vec<Matrix> = (0..3).map(|_| rng.gaussian_matrix(24, 16, 1.0)).collect();
-        let cfg = PreselectConfig { bits: BitWidth::Eight, k: 6 };
+        let cfg = PreselectConfig {
+            bits: BitWidth::Eight,
+            k: 6,
+        };
         let shared = preselect_shared_across_heads(&q_heads, &k_heads, cfg).unwrap();
 
         for row in 0..4 {

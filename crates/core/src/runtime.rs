@@ -201,8 +201,8 @@ mod tests {
             RunnerAttention::Sparse(SparseAttentionConfig {
                 bits: lat_tensor::quant::BitWidth::Eight,
                 k: 12,
-            causal: false,
-        }),
+                causal: false,
+            }),
         )
         .run(std::slice::from_ref(&x))
         .unwrap();

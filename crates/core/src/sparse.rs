@@ -165,8 +165,8 @@ impl SparseAttention {
             let ks = k.gather_rows(cands);
             let vs = v.gather_rows(cands);
             // Stage 2.2 (steps 5–6.1): exact scores + scale + exp.
-            let qi = Matrix::from_vec(1, q.cols(), q.row(i).to_vec())
-                .expect("row buffer matches width");
+            let qi =
+                Matrix::from_vec(1, q.cols(), q.row(i).to_vec()).expect("row buffer matches width");
             let scores = qi.matmul_transposed(&ks)?.scaled(scale);
             let expd = ops::exp_rows(&scores);
             // Stage 2.3 (step 6.2): Z_i = S_i · V_s / Σ S_i.
@@ -283,8 +283,8 @@ mod tests {
             let sparse = SparseAttention::new(SparseAttentionConfig {
                 bits: BitWidth::Eight,
                 k: kk,
-            causal: false,
-        });
+                causal: false,
+            });
             let out = sparse.attend(&q, &k, &v).unwrap();
             let mse = out.mse(&dense).unwrap();
             assert!(
@@ -341,7 +341,10 @@ mod tests {
             let hi = col.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             for i in 0..out.rows() {
                 let x = out[(i, j)];
-                assert!(x >= lo - 1e-4 && x <= hi + 1e-4, "({i},{j}) = {x} ∉ [{lo},{hi}]");
+                assert!(
+                    x >= lo - 1e-4 && x <= hi + 1e-4,
+                    "({i},{j}) = {x} ∉ [{lo},{hi}]"
+                );
             }
         }
     }
@@ -368,11 +371,16 @@ mod tests {
     fn causal_candidates_never_look_ahead() {
         let (q, k, v) = random_qkv(48, 40, 8);
         let sparse = SparseAttention::new(
-            SparseAttentionConfig::paper_default().with_k(6).with_causal(true),
+            SparseAttentionConfig::paper_default()
+                .with_k(6)
+                .with_causal(true),
         );
         let out = sparse.attend_with_details(&q, &k, &v).unwrap();
         for (i, cands) in out.candidates.iter().enumerate() {
-            assert!(cands.iter().all(|&j| j <= i), "row {i} attends ahead: {cands:?}");
+            assert!(
+                cands.iter().all(|&j| j <= i),
+                "row {i} attends ahead: {cands:?}"
+            );
             // Rows with at least k history keep exactly k candidates.
             if i + 1 >= 6 {
                 assert_eq!(cands.len(), 6, "row {i} under-filled");

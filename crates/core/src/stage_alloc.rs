@@ -51,7 +51,10 @@ impl ResourceModel {
     /// as opposed to LUT/FF fabric (elementwise, softmax, normalization).
     pub fn uses_dsp(kind: OpKind) -> bool {
         use OpKind::*;
-        matches!(kind, QkvLinear | AttnScores | AttnApply | OutLinear | Ffn1 | Ffn2)
+        matches!(
+            kind,
+            QkvLinear | AttnScores | AttnApply | OutLinear | Ffn1 | Ffn2
+        )
     }
 }
 
@@ -121,8 +124,7 @@ impl Stage {
                         .div_ceil(res.elementwise_lanes as u64 * 64);
                     dsp_cycles.max(lut_cycles)
                 } else {
-                    (graph.flops(kind, s, mode) / 2)
-                        .div_ceil(res.elementwise_lanes as u64)
+                    (graph.flops(kind, s, mode) / 2).div_ceil(res.elementwise_lanes as u64)
                 }
             })
             .max()
@@ -219,12 +221,7 @@ impl StageAllocation {
 
     /// Pipeline throughput bound: the slowest stage's latency at length `s`
     /// (the coarse pipeline's initiation interval).
-    pub fn bottleneck_latency(
-        &self,
-        graph: &OperatorGraph,
-        s: usize,
-        mode: AttentionMode,
-    ) -> u64 {
+    pub fn bottleneck_latency(&self, graph: &OperatorGraph, s: usize, mode: AttentionMode) -> u64 {
         self.stage_latencies(graph, s, mode)
             .into_iter()
             .max()
@@ -375,12 +372,15 @@ pub fn naive_split(graph: &OperatorGraph, k: usize, res: ResourceModel) -> Stage
         .map(|ops| {
             let parallelism: Vec<u32> = ops
                 .iter()
-                .map(|&k| if ResourceModel::uses_dsp(k) { lanes_each } else { 1 })
+                .map(|&k| {
+                    if ResourceModel::uses_dsp(k) {
+                        lanes_each
+                    } else {
+                        1
+                    }
+                })
                 .collect();
-            let dsp = ops
-                .iter()
-                .filter(|&&k| ResourceModel::uses_dsp(k))
-                .count() as u32
+            let dsp = ops.iter().filter(|&&k| ResourceModel::uses_dsp(k)).count() as u32
                 * lanes_each
                 * res.dsp_per_instance;
             Stage {
@@ -521,7 +521,10 @@ mod tests {
         // per DSP op of the target.
         let slack = 6 * alloc.resource_model().dsp_per_instance;
         assert!(total <= budget + slack, "total {total} vs budget {budget}");
-        assert!(total >= budget - slack, "chip underutilized: {total}/{budget}");
+        assert!(
+            total >= budget - slack,
+            "chip underutilized: {total}/{budget}"
+        );
         // Balancing twice is a fixed point.
         let again = alloc.balance_to_budget(&g, 177, mode);
         assert_eq!(total, again);
@@ -534,7 +537,10 @@ mod tests {
         let before = alloc.bottleneck_latency(&g, 177, mode);
         alloc.balance_to_budget(&g, 177, mode);
         let after = alloc.bottleneck_latency(&g, 177, mode);
-        assert!(after < before, "balancing should cut latency: {after} !< {before}");
+        assert!(
+            after < before,
+            "balancing should cut latency: {after} !< {before}"
+        );
     }
 
     #[test]

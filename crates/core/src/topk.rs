@@ -136,10 +136,7 @@ pub fn recall(candidates: &[usize], reference: &[usize]) -> f64 {
     if reference.is_empty() {
         return 1.0;
     }
-    let hits = reference
-        .iter()
-        .filter(|r| candidates.contains(r))
-        .count();
+    let hits = reference.iter().filter(|r| candidates.contains(r)).count();
     hits as f64 / reference.len() as f64
 }
 

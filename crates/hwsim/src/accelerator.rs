@@ -216,8 +216,7 @@ impl AcceleratorDesign {
                             parallelism: vec![n],
                             dsp: 0,
                         };
-                        let cycles =
-                            single.latency_cycles(&self.graph, len, self.mode, res);
+                        let cycles = single.latency_cycles(&self.graph, len, self.mode, res);
                         OpLatency {
                             kind,
                             parallelism: n,
@@ -286,9 +285,7 @@ impl AcceleratorDesign {
             .sum::<u64>()
             * layers;
         let max_len = lengths.iter().copied().max().unwrap_or(0);
-        report.padded_dense_ops = self
-            .graph
-            .attention_flops(max_len, AttentionMode::Dense)
+        report.padded_dense_ops = self.graph.attention_flops(max_len, AttentionMode::Dense)
             * lengths.len() as u64
             * layers;
         report
@@ -415,7 +412,10 @@ mod tests {
     fn design_uses_most_of_the_chip() {
         let d = paper_design();
         let used = d.allocation().total_dsp();
-        assert!(used as f64 > 0.9 * d.spec().dsp_total as f64, "only {used} DSP");
+        assert!(
+            used as f64 > 0.9 * d.spec().dsp_total as f64,
+            "only {used} DSP"
+        );
         assert!(used <= d.spec().dsp_total + 6 * 16);
     }
 
@@ -443,7 +443,10 @@ mod tests {
         assert_eq!(r.tokens, 140 + 100 + 82 + 78 + 72);
         assert!(r.seconds > 0.0);
         assert!(r.energy_j > 0.0);
-        assert!(r.stage_utilization.iter().all(|&u| (0.0..=1.0).contains(&u)));
+        assert!(r
+            .stage_utilization
+            .iter()
+            .all(|&u| (0.0..=1.0).contains(&u)));
         // Equivalent ops exceed actual ops (padding + sparsity credit).
         assert!(r.padded_dense_ops > r.actual_ops);
     }
@@ -488,7 +491,9 @@ mod tests {
         // The paper reports ≈3.6 TOPS equivalent on high-padding workloads.
         // SQuAD-like batch: avg ≈177, max ≈821.
         let d = paper_design();
-        let batch = [821, 400, 250, 200, 180, 170, 160, 150, 140, 130, 120, 110, 100, 90, 80, 70];
+        let batch = [
+            821, 400, 250, 200, 180, 170, 160, 150, 140, 130, 120, 110, 100, 90, 80, 70,
+        ];
         let r = d.run_batch(&batch, SchedulingPolicy::LengthAware);
         let teq = r.equivalent_gops() / 1000.0;
         assert!(
@@ -500,7 +505,9 @@ mod tests {
     #[test]
     fn energy_efficiency_band() {
         let d = paper_design();
-        let batch = [821, 400, 250, 200, 180, 170, 160, 150, 140, 130, 120, 110, 100, 90, 80, 70];
+        let batch = [
+            821, 400, 250, 200, 180, 170, 160, 150, 140, 130, 120, 110, 100, 90, 80, 70,
+        ];
         let r = d.run_batch(&batch, SchedulingPolicy::LengthAware);
         let eff = r.equivalent_gop_per_j();
         assert!((30.0..300.0).contains(&eff), "GOP/J {eff:.1} out of band");

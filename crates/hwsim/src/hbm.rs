@@ -35,7 +35,10 @@ impl HbmModel {
     ///
     /// Panics if `used == 0` or `used > self.channels`.
     pub fn aggregate_bytes_per_cycle(&self, used: u32) -> f64 {
-        assert!(used > 0 && used <= self.channels, "bad channel count {used}");
+        assert!(
+            used > 0 && used <= self.channels,
+            "bad channel count {used}"
+        );
         self.bytes_per_cycle_per_channel * used as f64
     }
 
@@ -63,9 +66,7 @@ impl HbmModel {
         let per_channel = self.place_round_robin(buffers);
         per_channel
             .into_iter()
-            .map(|bytes| {
-                (bytes as f64 / self.bytes_per_cycle_per_channel).ceil() as u64
-            })
+            .map(|bytes| (bytes as f64 / self.bytes_per_cycle_per_channel).ceil() as u64)
             .max()
             .unwrap_or(0)
     }

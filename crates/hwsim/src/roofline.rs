@@ -69,9 +69,7 @@ pub fn operator_rooflines(
             } else {
                 Bound::Memory
             };
-            let attainable = spec
-                .peak_ops_per_s()
-                .min(intensity * spec.hbm_bytes_per_s);
+            let attainable = spec.peak_ops_per_s().min(intensity * spec.hbm_bytes_per_s);
             OpRoofline {
                 kind,
                 intensity,
@@ -140,7 +138,12 @@ mod tests {
         for r in &roofs {
             match r.kind {
                 OpKind::QkvLinear | OpKind::Ffn1 | OpKind::Ffn2 => {
-                    assert_eq!(r.bound, Bound::Compute, "{} should be compute-bound", r.kind)
+                    assert_eq!(
+                        r.bound,
+                        Bound::Compute,
+                        "{} should be compute-bound",
+                        r.kind
+                    )
                 }
                 OpKind::Scale | OpKind::Mask => {
                     assert_eq!(r.bound, Bound::Memory, "{} should be memory-bound", r.kind)
@@ -189,7 +192,11 @@ mod tests {
         let big = stage_ctc(&design, 177, 16);
         let small = stage_ctc(&design, 177, 1);
         for (b, s) in big.iter().zip(&small) {
-            assert!(s.ctc <= b.ctc, "stage {}: batching should raise CTC", b.stage);
+            assert!(
+                s.ctc <= b.ctc,
+                "stage {}: batching should raise CTC",
+                b.stage
+            );
         }
     }
 

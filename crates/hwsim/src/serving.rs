@@ -201,7 +201,11 @@ mod tests {
     #[test]
     fn throughput_bounded_by_offered_load() {
         let r = run(20.0, SchedulingPolicy::LengthAware);
-        assert!(r.throughput_seq_s <= 20.0 * 1.2, "throughput {}", r.throughput_seq_s);
+        assert!(
+            r.throughput_seq_s <= 20.0 * 1.2,
+            "throughput {}",
+            r.throughput_seq_s
+        );
         assert!(r.throughput_seq_s > 0.0);
     }
 

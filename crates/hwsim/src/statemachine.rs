@@ -255,7 +255,9 @@ mod tests {
         // BERT-base activations at 8-bit through the double buffers must
         // fit in the U280's 35 MB for a 16-sequence SQuAD batch.
         let timing = LinearStageTiming::new(vec![2400.0, 2450.0, 2420.0], vec![0, 0, 0]);
-        let lengths = vec![821, 400, 250, 200, 180, 170, 160, 150, 140, 130, 120, 110, 100, 90, 80, 70];
+        let lengths = vec![
+            821, 400, 250, 200, 180, 170, 160, 150, 140, 130, 120, 110, 100, 90, 80, 70,
+        ];
         let trace = simulate(&lengths, 12, &timing, SchedulingPolicy::LengthAware);
         let bytes = buffer_bytes(trace.buffer_high_water_tokens, 768);
         assert!(

@@ -171,7 +171,11 @@ mod tests {
             .attend(&q, &k, &v)
             .unwrap();
         let unpadded = DenseAttention
-            .attend(&q.head_rows(valid), &k.head_rows(valid), &v.head_rows(valid))
+            .attend(
+                &q.head_rows(valid),
+                &k.head_rows(valid),
+                &v.head_rows(valid),
+            )
             .unwrap();
         for i in 0..valid {
             for j in 0..8 {

@@ -48,9 +48,15 @@ impl EncoderLayer {
     /// Returns [`ModelError`] if `x` has the wrong hidden dimension.
     pub fn project_qkv(&self, x: &Matrix) -> Result<(Matrix, Matrix, Matrix), ModelError> {
         self.check_input(x)?;
-        let q = x.matmul(&self.weights.w_q)?.add_row_bias(&self.weights.b_q)?;
-        let k = x.matmul(&self.weights.w_k)?.add_row_bias(&self.weights.b_k)?;
-        let v = x.matmul(&self.weights.w_v)?.add_row_bias(&self.weights.b_v)?;
+        let q = x
+            .matmul(&self.weights.w_q)?
+            .add_row_bias(&self.weights.b_q)?;
+        let k = x
+            .matmul(&self.weights.w_k)?
+            .add_row_bias(&self.weights.b_k)?;
+        let v = x
+            .matmul(&self.weights.w_v)?
+            .add_row_bias(&self.weights.b_v)?;
         Ok((q, k, v))
     }
 
@@ -103,9 +109,8 @@ impl EncoderLayer {
                 Some(acc) => acc.hstack(&zh)?,
             });
         }
-        concat.ok_or_else(|| {
-            ModelError::InvalidConfig("encoder must have at least one head".into())
-        })
+        concat
+            .ok_or_else(|| ModelError::InvalidConfig("encoder must have at least one head".into()))
     }
 
     /// Feed-forward block: `GELU(x·W1 + b1)·W2 + b2` (Stage 3, FdFwd).

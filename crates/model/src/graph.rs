@@ -65,10 +65,7 @@ impl OpKind {
     /// (Fig. 1(b)) as opposed to the feed-forward/other group.
     pub fn is_attention(self) -> bool {
         use OpKind::*;
-        matches!(
-            self,
-            AttnScores | Scale | Mask | Softmax | AttnApply
-        )
+        matches!(self, AttnScores | Scale | Mask | Softmax | AttnApply)
     }
 
     /// Short label used in printed tables and traces.
@@ -292,7 +289,13 @@ impl OperatorGraph {
     /// Bytes of off-chip traffic operator `v` needs at length `s`, assuming
     /// `bytes_per_elem`-wide activations and *no* on-chip reuse (worst case;
     /// the FPGA simulator applies its buffer model on top of this).
-    pub fn memory_bytes(&self, kind: OpKind, s: usize, mode: AttentionMode, bytes_per_elem: u64) -> u64 {
+    pub fn memory_bytes(
+        &self,
+        kind: OpKind,
+        s: usize,
+        mode: AttentionMode,
+        bytes_per_elem: u64,
+    ) -> u64 {
         let s = s as u64;
         let d = self.hidden_dim as u64;
         let f = self.ffn_dim as u64;
@@ -361,7 +364,10 @@ mod tests {
         let g = base_graph();
         // 3 GEMMs of s×768 · 768×768, 2 FLOPs per MAC, s = 100.
         let expect = 3 * 2 * 100u64 * 768 * 768;
-        assert_eq!(g.flops(OpKind::QkvLinear, 100, AttentionMode::Dense), expect);
+        assert_eq!(
+            g.flops(OpKind::QkvLinear, 100, AttentionMode::Dense),
+            expect
+        );
     }
 
     #[test]
@@ -374,7 +380,10 @@ mod tests {
 
     #[test]
     fn sparse_attention_attended_clamps_to_seq_len() {
-        let m = AttentionMode::Sparse { k: 30, preselect_bits: 1 };
+        let m = AttentionMode::Sparse {
+            k: 30,
+            preselect_bits: 1,
+        };
         assert_eq!(m.attended(20), 20);
         assert_eq!(m.attended(100), 30);
     }

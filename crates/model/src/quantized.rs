@@ -105,7 +105,6 @@ impl QuantizedLayer {
             LAYER_NORM_EPS,
         ))
     }
-
 }
 
 /// A full encoder stack on the 8-bit quantized datapath.
@@ -138,7 +137,11 @@ impl QuantizedEncoder {
     /// Quantizes every layer of an f32 encoder to 8 bits.
     pub fn from_encoder(encoder: &crate::encoder::Encoder) -> Self {
         Self {
-            layers: encoder.layers().iter().map(QuantizedLayer::from_layer).collect(),
+            layers: encoder
+                .layers()
+                .iter()
+                .map(QuantizedLayer::from_layer)
+                .collect(),
         }
     }
 

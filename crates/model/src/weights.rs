@@ -148,8 +148,7 @@ mod tests {
         let cfg = ModelConfig::tiny();
         let mut rng = SplitMix64::new(3);
         let w = LayerWeights::random(&cfg, &mut rng);
-        let var: f32 =
-            w.w_q.as_slice().iter().map(|x| x * x).sum::<f32>() / w.w_q.len() as f32;
+        let var: f32 = w.w_q.as_slice().iter().map(|x| x * x).sum::<f32>() / w.w_q.len() as f32;
         let expect = 1.0 / 64.0;
         assert!((var - expect).abs() < expect * 0.5, "var {var} vs {expect}");
     }

@@ -9,12 +9,11 @@ use proptest::prelude::*;
 
 /// Valid model configurations: hidden divisible by heads.
 fn config_strategy() -> impl Strategy<Value = ModelConfig> {
-    (1usize..3, 1usize..5, 4usize..17)
-        .prop_map(|(layers, heads, head_dim)| {
-            let hidden = heads * head_dim;
-            ModelConfig::new("prop", layers, hidden, heads, 2 * hidden, 128)
-                .expect("constructed to be valid")
-        })
+    (1usize..3, 1usize..5, 4usize..17).prop_map(|(layers, heads, head_dim)| {
+        let hidden = heads * head_dim;
+        ModelConfig::new("prop", layers, hidden, heads, 2 * hidden, 128)
+            .expect("constructed to be valid")
+    })
 }
 
 proptest! {

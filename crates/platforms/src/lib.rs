@@ -233,14 +233,15 @@ mod tests {
         let cfg = ModelConfig::bert_base();
         let gpu = Platform::preset(PlatformKind::RtxQuadro6000);
         let b = vec![128; 4];
-        let share = gpu.attention_seconds(&cfg, &b) / (gpu.batch_seconds(&cfg, &b) - gpu.batch_overhead_s);
+        let share =
+            gpu.attention_seconds(&cfg, &b) / (gpu.batch_seconds(&cfg, &b) - gpu.batch_overhead_s);
         assert!(
             (0.30..0.75).contains(&share),
             "attention share {share:.2} at n=128"
         );
         let b512 = vec![512; 4];
-        let share512 =
-            gpu.attention_seconds(&cfg, &b512) / (gpu.batch_seconds(&cfg, &b512) - gpu.batch_overhead_s);
+        let share512 = gpu.attention_seconds(&cfg, &b512)
+            / (gpu.batch_seconds(&cfg, &b512) - gpu.batch_overhead_s);
         assert!(share512 > share);
     }
 

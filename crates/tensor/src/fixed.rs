@@ -89,7 +89,13 @@ impl Fx8 {
 
 impl fmt::Display for Fx8 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}(Q{}.{})", self.to_f32(), 7 - self.frac_bits, self.frac_bits)
+        write!(
+            f,
+            "{}(Q{}.{})",
+            self.to_f32(),
+            7 - self.frac_bits,
+            self.frac_bits
+        )
     }
 }
 

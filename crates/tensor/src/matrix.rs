@@ -248,7 +248,11 @@ impl Matrix {
     /// Returns [`ShapeError`] if `self.cols() != rhs.cols()`.
     pub fn matmul_transposed(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
         if self.cols != rhs.cols {
-            return Err(ShapeError::new("matmul_transposed", self.shape(), rhs.shape()));
+            return Err(ShapeError::new(
+                "matmul_transposed",
+                self.shape(),
+                rhs.shape(),
+            ));
         }
         let mut out = Matrix::zeros(self.rows, rhs.rows);
         for i in 0..self.rows {
@@ -316,7 +320,11 @@ impl Matrix {
     /// Returns [`ShapeError`] if `bias.len() != self.cols()`.
     pub fn add_row_bias(&self, bias: &[f32]) -> Result<Matrix, ShapeError> {
         if bias.len() != self.cols {
-            return Err(ShapeError::new("add_row_bias", self.shape(), (1, bias.len())));
+            return Err(ShapeError::new(
+                "add_row_bias",
+                self.shape(),
+                (1, bias.len()),
+            ));
         }
         let mut out = self.clone();
         for i in 0..out.rows {
@@ -388,7 +396,11 @@ impl Matrix {
     ///
     /// Panics if `n > self.rows()`.
     pub fn head_rows(&self, n: usize) -> Matrix {
-        assert!(n <= self.rows, "head_rows({n}) out of bounds ({})", self.rows);
+        assert!(
+            n <= self.rows,
+            "head_rows({n}) out of bounds ({})",
+            self.rows
+        );
         Matrix {
             rows: n,
             cols: self.cols,
@@ -420,7 +432,10 @@ impl Matrix {
     ///
     /// Panics if `start > end || end > self.cols()`.
     pub fn col_slice(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.cols, "bad col slice {start}..{end}");
+        assert!(
+            start <= end && end <= self.cols,
+            "bad col slice {start}..{end}"
+        );
         let mut out = Matrix::zeros(self.rows, end - start);
         for i in 0..self.rows {
             out.row_mut(i).copy_from_slice(&self.row(i)[start..end]);
@@ -450,14 +465,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (i, j): (usize, usize)) -> &f32 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f32 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }

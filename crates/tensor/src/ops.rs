@@ -249,7 +249,12 @@ mod tests {
         let b = vec![0.0; 4];
         let out = layer_norm(&m, &g, &b, 1e-9);
         let mean: f32 = out.row(0).iter().sum::<f32>() / 4.0;
-        let var: f32 = out.row(0).iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 4.0;
+        let var: f32 = out
+            .row(0)
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-4);
         assert!((var - 1.0).abs() < 1e-3);
     }

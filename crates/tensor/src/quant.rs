@@ -170,11 +170,7 @@ impl QuantizedMatrix {
 
     /// Maps levels back to approximate real values.
     pub fn dequantize(&self) -> Matrix {
-        let data = self
-            .levels
-            .iter()
-            .map(|&l| l as f32 * self.scale)
-            .collect();
+        let data = self.levels.iter().map(|&l| l as f32 * self.scale).collect();
         Matrix::from_vec(self.rows, self.cols, data).expect("level buffer matches shape")
     }
 
@@ -290,7 +286,11 @@ pub fn rank_correlation(a: &[f32], b: &[f32]) -> f32 {
 fn ranks(xs: &[f32]) -> Vec<f32> {
     let n = xs.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&i, &j| {
+        xs[i]
+            .partial_cmp(&xs[j])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0.0f32; n];
     let mut i = 0;
     while i < n {
@@ -418,9 +418,18 @@ mod tests {
     #[test]
     fn storage_bits_accounts_for_packing() {
         let m = Matrix::zeros(4, 4);
-        assert_eq!(QuantizedMatrix::quantize(&m, BitWidth::One).storage_bits(), 16);
-        assert_eq!(QuantizedMatrix::quantize(&m, BitWidth::Four).storage_bits(), 64);
-        assert_eq!(QuantizedMatrix::quantize(&m, BitWidth::Eight).storage_bits(), 128);
+        assert_eq!(
+            QuantizedMatrix::quantize(&m, BitWidth::One).storage_bits(),
+            16
+        );
+        assert_eq!(
+            QuantizedMatrix::quantize(&m, BitWidth::Four).storage_bits(),
+            64
+        );
+        assert_eq!(
+            QuantizedMatrix::quantize(&m, BitWidth::Eight).storage_bits(),
+            128
+        );
     }
 
     #[test]

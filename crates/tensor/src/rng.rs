@@ -205,8 +205,7 @@ mod tests {
         let mut r = SplitMix64::new(10);
         let m = r.gaussian_matrix(10, 20, 0.5);
         assert_eq!(m.shape(), (10, 20));
-        let var: f32 =
-            m.as_slice().iter().map(|x| x * x).sum::<f32>() / m.len() as f32;
+        let var: f32 = m.as_slice().iter().map(|x| x * x).sum::<f32>() / m.len() as f32;
         assert!((var - 0.25).abs() < 0.05, "var {var}");
     }
 }

@@ -137,8 +137,12 @@ mod tests {
         let spec = DatasetSpec::squad_v1();
         let k10 = SparseAttention::new(SparseAttentionConfig::paper_default().with_k(10));
         let k50 = SparseAttention::new(SparseAttentionConfig::paper_default().with_k(50));
-        let a10 = evaluate_on_dataset(&k10, &g, &spec, 60, 44).unwrap().accuracy;
-        let a50 = evaluate_on_dataset(&k50, &g, &spec, 60, 44).unwrap().accuracy;
+        let a10 = evaluate_on_dataset(&k10, &g, &spec, 60, 44)
+            .unwrap()
+            .accuracy;
+        let a50 = evaluate_on_dataset(&k50, &g, &spec, 60, 44)
+            .unwrap()
+            .accuracy;
         assert!(a50 > a10, "k=50 acc {a50} !> k=10 acc {a10}");
     }
 

@@ -312,7 +312,11 @@ mod tests {
             xs.sort_unstable();
             let median = xs[xs.len() / 2] as f64;
             let mean = xs.iter().sum::<usize>() as f64 / xs.len() as f64;
-            assert!(median <= mean, "{}: median {median} > mean {mean}", spec.name);
+            assert!(
+                median <= mean,
+                "{}: median {median} > mean {mean}",
+                spec.name
+            );
         }
     }
 
@@ -361,10 +365,7 @@ mod tests {
 
     #[test]
     fn mixed_weights_normalized() {
-        let mix = MixedWorkload::new(vec![
-            (DatasetSpec::rte(), 3.0),
-            (DatasetSpec::mrpc(), 1.0),
-        ]);
+        let mix = MixedWorkload::new(vec![(DatasetSpec::rte(), 3.0), (DatasetSpec::mrpc(), 1.0)]);
         let comps = mix.components();
         assert!((comps[0].1 - 0.75).abs() < 1e-12);
         assert!((comps[1].1 - 0.25).abs() < 1e-12);

@@ -172,8 +172,7 @@ impl TaskGenerator {
             let cls = rng.next_below(c.num_classes);
             let row = v.row_mut(i);
             for (j, x) in row.iter_mut().enumerate() {
-                *x = c.filler_value_scale * self.prototypes[(cls, j)]
-                    + 0.3 * rng.next_gaussian();
+                *x = c.filler_value_scale * self.prototypes[(cls, j)] + 0.3 * rng.next_gaussian();
             }
         }
         // True evidence: strongly probe-aligned keys, true-class values.

@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example accuracy_sweep`
 
-use lat_core::preselect::{preselect_fidelity, PreselectConfig};
-use lat_core::sparse::{SparseAttention, SparseAttentionConfig};
+use lat_fpga::core::preselect::{preselect_fidelity, PreselectConfig};
+use lat_fpga::core::sparse::{SparseAttention, SparseAttentionConfig};
 use lat_fpga::model::attention::DenseAttention;
 use lat_fpga::tensor::quant::BitWidth;
 use lat_fpga::tensor::rng::SplitMix64;

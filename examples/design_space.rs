@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example design_space`
 
-use lat_core::pipeline::SchedulingPolicy;
+use lat_fpga::core::pipeline::SchedulingPolicy;
 use lat_fpga::hwsim::accelerator::AcceleratorDesign;
 use lat_fpga::hwsim::dse::{explore, DseGrid};
 use lat_fpga::hwsim::roofline::{machine_balance, stage_ctc};
@@ -27,7 +27,10 @@ fn main() {
     println!("=== Design-space exploration (BERT-base / RTE) ===\n");
     let grid = DseGrid::default();
     let points = explore(&cfg, AttentionMode::paper_sparse(), &spec, &workload, &grid);
-    println!("{:<14} {:<14} {:<13} {:<8} {:<12} util", "DSP/instance", "stage budget", "tuned length", "stages", "latency(ms)");
+    println!(
+        "{:<14} {:<14} {:<13} {:<8} {:<12} util",
+        "DSP/instance", "stage budget", "tuned length", "stages", "latency(ms)"
+    );
     for p in points.iter().take(6) {
         println!(
             "{:<14} {:<14} {:<13} {:<8} {:<12.3} {:.1}%",

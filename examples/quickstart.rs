@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use lat_core::preselect::{preselect, PreselectConfig};
-use lat_core::sparse::{SparseAttention, SparseAttentionConfig};
+use lat_fpga::core::preselect::{preselect, PreselectConfig};
+use lat_fpga::core::sparse::{SparseAttention, SparseAttentionConfig};
 use lat_fpga::model::attention::{AttentionOp, DenseAttention};
 use lat_fpga::tensor::quant::{BitWidth, QuantizedMatrix};
 use lat_fpga::tensor::rng::SplitMix64;
@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let qq = QuantizedMatrix::quantize(&q, BitWidth::Four);
     let qk = QuantizedMatrix::quantize(&k, BitWidth::Four);
-    println!("4-bit q levels (scale {:.4}): {:?}", qq.scale(), qq.level_row(0));
+    println!(
+        "4-bit q levels (scale {:.4}): {:?}",
+        qq.scale(),
+        qq.level_row(0)
+    );
     println!("4-bit K levels (scale {:.4}):", qk.scale());
     for i in 0..qk.rows() {
         println!("  k{}: {:?}", i + 1, qk.level_row(i));
@@ -39,7 +43,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         "quantized scores:       {:?}",
         (0..4).map(|j| sel.score(0, j)).collect::<Vec<_>>()
     );
-    println!("Top-2 candidates:       {:?} (0-indexed)\n", sel.candidates[0]);
+    println!(
+        "Top-2 candidates:       {:?} (0-indexed)\n",
+        sel.candidates[0]
+    );
 
     // ----- Sparse vs dense attention on realistic sizes ------------------
     println!("=== Sparse vs dense attention (n = 128, d = 64, k = 30, 1-bit) ===\n");

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example schedule_trace`
 
-use lat_core::pipeline::{render_gantt, schedule_batch, LinearStageTiming, SchedulingPolicy};
-use lat_core::stage_alloc::{allocate_stages, priorities, ResourceModel};
+use lat_fpga::core::pipeline::{render_gantt, schedule_batch, LinearStageTiming, SchedulingPolicy};
+use lat_fpga::core::stage_alloc::{allocate_stages, priorities, ResourceModel};
 use lat_fpga::model::config::ModelConfig;
 use lat_fpga::model::graph::{AttentionMode, OperatorGraph};
 

@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example software_runner`
 
-use lat_core::runtime::{BatchRunner, RunnerAttention};
-use lat_core::sparse::SparseAttentionConfig;
+use lat_fpga::core::runtime::{BatchRunner, RunnerAttention};
+use lat_fpga::core::sparse::SparseAttentionConfig;
 use lat_fpga::model::config::ModelConfig;
 use lat_fpga::model::embedding::EmbeddingTable;
 use lat_fpga::model::encoder::Encoder;
@@ -52,14 +52,22 @@ fn main() -> Result<(), Box<dyn Error>> {
         "processing order (decreasing length): {:?}",
         sparse_out.processing_order
     );
-    println!("tokens processed (zero padding):      {}", sparse_out.tokens);
+    println!(
+        "tokens processed (zero padding):      {}",
+        sparse_out.tokens
+    );
     println!(
         "software wall time: sparse {:.2?} vs dense {:.2?}\n",
         t_sparse, t_dense
     );
 
     println!("per-sequence output fidelity (sparse vs dense, mean row cosine):");
-    for (i, (s, d)) in sparse_out.outputs.iter().zip(&dense_out.outputs).enumerate() {
+    for (i, (s, d)) in sparse_out
+        .outputs
+        .iter()
+        .zip(&dense_out.outputs)
+        .enumerate()
+    {
         let mut cos = 0.0f32;
         for r in 0..s.rows() {
             cos += ops::cosine_similarity(s.row(r), d.row(r));

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example squad_pipeline`
 
-use lat_core::pipeline::SchedulingPolicy;
+use lat_fpga::core::pipeline::SchedulingPolicy;
 use lat_fpga::hwsim::accelerator::AcceleratorDesign;
 use lat_fpga::hwsim::spec::FpgaSpec;
 use lat_fpga::model::config::ModelConfig;
@@ -19,7 +19,10 @@ fn main() {
     let dataset = DatasetSpec::squad_v1();
     let mut rng = SplitMix64::new(7);
     let batch = dataset.sample_batch(&mut rng, 16);
-    println!("BERT-base on a {} batch of 16: lengths {:?}\n", dataset.name, batch);
+    println!(
+        "BERT-base on a {} batch of 16: lengths {:?}\n",
+        dataset.name, batch
+    );
 
     let ours = AcceleratorDesign::new(
         &cfg,

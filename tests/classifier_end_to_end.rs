@@ -2,8 +2,8 @@
 //! and sparse attention) → pooling → classifier head, across a
 //! variable-length batch run through the sorted batch runtime.
 
-use lat_core::runtime::{BatchRunner, RunnerAttention};
-use lat_core::sparse::SparseAttentionConfig;
+use lat_fpga::core::runtime::{BatchRunner, RunnerAttention};
+use lat_fpga::core::sparse::SparseAttentionConfig;
 use lat_fpga::model::config::ModelConfig;
 use lat_fpga::model::embedding::EmbeddingTable;
 use lat_fpga::model::encoder::Encoder;

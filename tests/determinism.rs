@@ -1,0 +1,83 @@
+//! Determinism regression: running a figure scenario twice with the same
+//! `HARNESS_SEED` must yield bit-identical reports and rendered tables.
+//! Every figure binary's reproducibility rests on this property.
+
+use lat_bench::scenarios::{Scenario, HARNESS_SEED};
+use lat_bench::tables;
+use lat_fpga::core::pipeline::SchedulingPolicy;
+use lat_fpga::hwsim::accelerator::AcceleratorDesign;
+use lat_fpga::hwsim::serving::{simulate_serving, ServingConfig};
+use lat_fpga::hwsim::spec::FpgaSpec;
+use lat_fpga::model::graph::AttentionMode;
+
+fn scenario_design(scenario: &Scenario) -> AcceleratorDesign {
+    AcceleratorDesign::new(
+        &scenario.model,
+        AttentionMode::paper_sparse(),
+        FpgaSpec::alveo_u280(),
+        scenario.dataset.avg_len,
+    )
+}
+
+#[test]
+fn scenario_batches_are_bit_identical_across_runs() {
+    for scenario in Scenario::hardware_eval() {
+        assert_eq!(
+            scenario.sample_batches(4),
+            scenario.sample_batches(4),
+            "batch sampling diverged for {}",
+            scenario.label()
+        );
+    }
+}
+
+#[test]
+fn serving_report_is_bit_identical_across_runs() {
+    let scenario = &Scenario::hardware_eval()[0];
+    let design = scenario_design(scenario);
+    let cfg = ServingConfig {
+        num_requests: 80,
+        ..ServingConfig::default()
+    };
+    let run = || {
+        simulate_serving(
+            &design,
+            &scenario.dataset,
+            SchedulingPolicy::LengthAware,
+            &cfg,
+            HARNESS_SEED,
+        )
+    };
+    let first = run();
+    let second = run();
+    // ServingReport is PartialEq over f64 fields: equality here is bitwise,
+    // not approximate.
+    assert_eq!(first, second, "serving simulation diverged between runs");
+}
+
+#[test]
+fn batch_timing_and_rendered_table_are_bit_identical_across_runs() {
+    let run_once = || {
+        let mut rows = Vec::new();
+        for scenario in Scenario::hardware_eval() {
+            let design = scenario_design(&scenario);
+            let batches = scenario.sample_batches(2);
+            for batch in &batches {
+                let adaptive = design.run_batch(batch, SchedulingPolicy::LengthAware);
+                let padded = design.run_batch(batch, SchedulingPolicy::PadToMax);
+                rows.push(vec![
+                    scenario.label(),
+                    format!("{:.9e}", adaptive.seconds),
+                    format!("{:.9e}", padded.seconds),
+                    tables::speedup(padded.seconds / adaptive.seconds),
+                ]);
+            }
+        }
+        tables::render(&["scenario", "adaptive_s", "padded_s", "speedup"], &rows)
+    };
+    let first = run_once();
+    let second = run_once();
+    assert_eq!(first, second, "figure table output diverged between runs");
+    // Sanity: the table actually carries data for all four scenarios.
+    assert_eq!(first.lines().count(), 2 + 4 * 2);
+}

@@ -1,8 +1,8 @@
 //! End-to-end integration tests asserting the paper's qualitative results
 //! hold in this reproduction (the EXPERIMENTS.md claims, as tests).
 
-use lat_core::pipeline::SchedulingPolicy;
-use lat_core::sparse::{SparseAttention, SparseAttentionConfig};
+use lat_fpga::core::pipeline::SchedulingPolicy;
+use lat_fpga::core::sparse::{SparseAttention, SparseAttentionConfig};
 use lat_fpga::hwsim::accelerator::AcceleratorDesign;
 use lat_fpga::hwsim::spec::FpgaSpec;
 use lat_fpga::model::attention::DenseAttention;
@@ -169,7 +169,10 @@ fn energy_efficiency_beats_gpu() {
     );
     let eff = r.equivalent_gop_per_j();
     assert!(eff > 4.0 * 8.0, "GOP/J {eff:.1} not >4x GPU's 8");
-    assert!(eff < 382.0, "GOP/J {eff:.1} should not beat the SpAtten ASIC");
+    assert!(
+        eff < 382.0,
+        "GOP/J {eff:.1} should not beat the SpAtten ASIC"
+    );
 }
 
 /// Stage utilization of the length-aware pipeline approaches 100 %

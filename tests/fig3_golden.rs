@@ -2,7 +2,7 @@
 //! quantization levels and the Top-2 candidate choice printed in the
 //! figure must come out of our implementation exactly.
 
-use lat_core::preselect::{preselect, PreselectConfig};
+use lat_fpga::core::preselect::{preselect, PreselectConfig};
 use lat_fpga::tensor::quant::{BitWidth, QuantizedMatrix};
 use lat_fpga::tensor::Matrix;
 
@@ -40,7 +40,11 @@ fn fig3_k_levels_match_figure() {
 #[test]
 fn fig3_top2_selection_matches_figure() {
     let sel = preselect(&fig3_q(), &fig3_k(), PreselectConfig::fig3()).expect("preselect");
-    assert_eq!(sel.candidates[0], vec![2, 0], "figure keeps k3 (highest) and k1");
+    assert_eq!(
+        sel.candidates[0],
+        vec![2, 0],
+        "figure keeps k3 (highest) and k1"
+    );
     // The exact scores confirm the same ranking (monotonicity claim).
     let exact = fig3_q().matmul_transposed(&fig3_k()).expect("shapes agree");
     let row = exact.row(0);

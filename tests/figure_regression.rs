@@ -2,7 +2,7 @@
 //! bands recorded in EXPERIMENTS.md. If a refactor moves any of these, the
 //! reproduction claims need re-checking.
 
-use lat_core::pipeline::SchedulingPolicy;
+use lat_fpga::core::pipeline::SchedulingPolicy;
 use lat_fpga::hwsim::accelerator::AcceleratorDesign;
 use lat_fpga::hwsim::spec::FpgaSpec;
 use lat_fpga::model::config::ModelConfig;
@@ -136,8 +136,8 @@ fn fig1c_attention_share_anchor() {
         };
         let t = fl / (gpu.peak_flops * eff * scale);
         total += t;
-        let in_attention_box = op.kind.is_attention()
-            || matches!(op.kind, OpKind::QkvLinear | OpKind::OutLinear);
+        let in_attention_box =
+            op.kind.is_attention() || matches!(op.kind, OpKind::QkvLinear | OpKind::OutLinear);
         if in_attention_box {
             attn_time += t;
         }
@@ -170,6 +170,9 @@ fn table2_ours_bands() {
     }
     let teq = geomean(&teq);
     let eff = geomean(&eff);
-    assert!((2.0..6.5).contains(&teq), "equivalent TOPS {teq:.2} out of band");
+    assert!(
+        (2.0..6.5).contains(&teq),
+        "equivalent TOPS {teq:.2} out of band"
+    );
     assert!((60.0..150.0).contains(&eff), "GOP/J {eff:.1} out of band");
 }

@@ -1,6 +1,6 @@
 //! Property-based tests of the FPGA simulator's invariants.
 
-use lat_core::pipeline::SchedulingPolicy;
+use lat_fpga::core::pipeline::SchedulingPolicy;
 use lat_fpga::hwsim::accelerator::AcceleratorDesign;
 use lat_fpga::hwsim::hbm::HbmModel;
 use lat_fpga::hwsim::spec::FpgaSpec;

@@ -2,7 +2,7 @@
 //! the sparse attention operator loses no task accuracy relative to the
 //! f32 reference path.
 
-use lat_core::sparse::{SparseAttention, SparseAttentionConfig};
+use lat_fpga::core::sparse::{SparseAttention, SparseAttentionConfig};
 use lat_fpga::model::attention::DenseAttention;
 use lat_fpga::model::config::ModelConfig;
 use lat_fpga::model::encoder::EncoderLayer;
@@ -58,8 +58,8 @@ fn quantized_sparse_stack_tracks_reference() -> Result<(), ModelError> {
 /// computes Stage 1 at 8 bits before quantizing further to 1 bit).
 #[test]
 fn quantized_projections_preserve_candidates() -> Result<(), ModelError> {
-    use lat_core::preselect::{preselect, PreselectConfig};
-    use lat_core::topk::recall;
+    use lat_fpga::core::preselect::{preselect, PreselectConfig};
+    use lat_fpga::core::topk::recall;
 
     let cfg = ModelConfig::tiny();
     let mut rng = SplitMix64::new(203);
@@ -69,14 +69,31 @@ fn quantized_projections_preserve_candidates() -> Result<(), ModelError> {
 
     let (qf, kf, _) = layer.project_qkv(&x)?;
     let (qq, kq, _) = qlayer.project_qkv(&x)?;
-    let sel_f = preselect(&qf, &kf, PreselectConfig { bits: lat_fpga::tensor::quant::BitWidth::Four, k: 16 })?;
-    let sel_q = preselect(&qq, &kq, PreselectConfig { bits: lat_fpga::tensor::quant::BitWidth::Four, k: 16 })?;
+    let sel_f = preselect(
+        &qf,
+        &kf,
+        PreselectConfig {
+            bits: lat_fpga::tensor::quant::BitWidth::Four,
+            k: 16,
+        },
+    )?;
+    let sel_q = preselect(
+        &qq,
+        &kq,
+        PreselectConfig {
+            bits: lat_fpga::tensor::quant::BitWidth::Four,
+            k: 16,
+        },
+    )?;
     let mut mean_recall = 0.0;
     for (a, b) in sel_f.candidates.iter().zip(&sel_q.candidates) {
         mean_recall += recall(b, a);
     }
     mean_recall /= sel_f.candidates.len() as f64;
-    assert!(mean_recall > 0.8, "candidate recall across datapaths {mean_recall}");
+    assert!(
+        mean_recall > 0.8,
+        "candidate recall across datapaths {mean_recall}"
+    );
     Ok(())
 }
 

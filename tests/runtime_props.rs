@@ -1,0 +1,100 @@
+//! Property tests of the software batch runtime
+//! (`lat_fpga::core::runtime::BatchRunner`): outputs come back in caller
+//! order, the processing order is a decreasing-length permutation, and the
+//! token accounting never includes padding.
+
+use lat_fpga::core::runtime::{BatchRunner, RunnerAttention};
+use lat_fpga::core::sparse::SparseAttentionConfig;
+use lat_fpga::model::attention::DenseAttention;
+use lat_fpga::model::config::ModelConfig;
+use lat_fpga::model::encoder::Encoder;
+use lat_fpga::tensor::rng::SplitMix64;
+use lat_fpga::tensor::Matrix;
+use proptest::prelude::*;
+
+fn make_batch(cfg: &ModelConfig, rng: &mut SplitMix64, lens: &[usize]) -> Vec<Matrix> {
+    lens.iter()
+        .map(|&n| rng.gaussian_matrix(n, cfg.hidden_dim, 1.0))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Each output is the encoder's forward of the *same-position* input:
+    /// the runner restores caller order regardless of how it reorders work
+    /// internally.
+    #[test]
+    fn outputs_return_in_caller_order(
+        seed in 0u64..10_000,
+        lens in proptest::collection::vec(1usize..24, 0..6),
+    ) {
+        let cfg = ModelConfig::tiny();
+        let mut rng = SplitMix64::new(seed);
+        let encoder = Encoder::random(&cfg, &mut rng);
+        let batch = make_batch(&cfg, &mut rng, &lens);
+        let runner = BatchRunner::new(encoder.clone(), RunnerAttention::Dense);
+
+        let out = runner.run(&batch).expect("batch runs");
+        prop_assert_eq!(out.outputs.len(), batch.len());
+        for (i, (output, input)) in out.outputs.iter().zip(&batch).enumerate() {
+            prop_assert_eq!(output.shape(), (lens[i], cfg.hidden_dim));
+            let direct = encoder.forward(input, &DenseAttention).expect("forward");
+            prop_assert_eq!(output, &direct);
+        }
+    }
+
+    /// `processing_order` is a permutation of `0..n` visiting sequences in
+    /// non-increasing length order (stable on ties).
+    #[test]
+    fn processing_order_is_decreasing_length_permutation(
+        seed in 0u64..10_000,
+        lens in proptest::collection::vec(1usize..24, 0..6),
+        sparse in any::<bool>(),
+    ) {
+        let cfg = ModelConfig::tiny();
+        let mut rng = SplitMix64::new(seed ^ 0xBA7C);
+        let encoder = Encoder::random(&cfg, &mut rng);
+        let batch = make_batch(&cfg, &mut rng, &lens);
+        let attention = if sparse {
+            RunnerAttention::Sparse(SparseAttentionConfig::paper_default().with_k(8))
+        } else {
+            RunnerAttention::Dense
+        };
+        let out = BatchRunner::new(encoder, attention).run(&batch).expect("batch runs");
+
+        let mut sorted_order = out.processing_order.clone();
+        sorted_order.sort_unstable();
+        let identity: Vec<usize> = (0..batch.len()).collect();
+        prop_assert_eq!(sorted_order, identity, "not a permutation");
+
+        for w in out.processing_order.windows(2) {
+            prop_assert!(
+                lens[w[0]] >= lens[w[1]],
+                "order not decreasing: len[{}]={} before len[{}]={}",
+                w[0], lens[w[0]], w[1], lens[w[1]]
+            );
+            if lens[w[0]] == lens[w[1]] {
+                prop_assert!(w[0] < w[1], "tie broken unstably: {} before {}", w[0], w[1]);
+            }
+        }
+    }
+
+    /// `tokens` is exactly the sum of the input lengths — the runner never
+    /// pads a sequence to a bucket or batch maximum.
+    #[test]
+    fn tokens_equal_sum_of_lengths_without_padding(
+        seed in 0u64..10_000,
+        lens in proptest::collection::vec(1usize..24, 0..6),
+    ) {
+        let cfg = ModelConfig::tiny();
+        let mut rng = SplitMix64::new(seed ^ 0x70C3);
+        let encoder = Encoder::random(&cfg, &mut rng);
+        let batch = make_batch(&cfg, &mut rng, &lens);
+        let out = BatchRunner::new(encoder, RunnerAttention::Dense)
+            .run(&batch)
+            .expect("batch runs");
+        let expected: u64 = lens.iter().map(|&l| l as u64).sum();
+        prop_assert_eq!(out.tokens, expected);
+    }
+}

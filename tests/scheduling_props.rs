@@ -1,6 +1,6 @@
 //! Property-based tests of the length-aware pipeline scheduler (§4.2).
 
-use lat_core::pipeline::{
+use lat_fpga::core::pipeline::{
     schedule_batch, sequential_makespan, LinearStageTiming, SchedulingPolicy,
 };
 use proptest::prelude::*;
@@ -28,7 +28,7 @@ proptest! {
         layers in 1usize..4,
         which in 0usize..3,
     ) {
-        use lat_core::pipeline::StageTiming;
+        use lat_fpga::core::pipeline::StageTiming;
         let policy = match which {
             0 => SchedulingPolicy::LengthAware,
             1 => SchedulingPolicy::PadToMax,
@@ -69,7 +69,7 @@ proptest! {
         timing in timing_strategy(),
         layers in 1usize..4,
     ) {
-        use lat_core::pipeline::StageTiming;
+        use lat_fpga::core::pipeline::StageTiming;
         let s = schedule_batch(&lengths, layers, &timing, SchedulingPolicy::LengthAware);
         for stage in 0..timing.num_stages() {
             prop_assert!(s.makespan() >= s.stage_busy(stage));
@@ -109,7 +109,7 @@ proptest! {
         lengths in batch_strategy(),
         timing in timing_strategy(),
     ) {
-        use lat_core::pipeline::StageTiming;
+        use lat_fpga::core::pipeline::StageTiming;
         let s = schedule_batch(&lengths, 1, &timing, SchedulingPolicy::LengthAware);
         // Identify the strictly slowest stage, if any.
         let per_token: Vec<u64> = (0..timing.num_stages())

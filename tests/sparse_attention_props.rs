@@ -1,8 +1,8 @@
 //! Property-based tests of the sparse attention operator (§3) against the
 //! dense reference.
 
-use lat_core::sparse::{SparseAttention, SparseAttentionConfig};
-use lat_core::topk::{top_k_heap, top_k_merge_network};
+use lat_fpga::core::sparse::{SparseAttention, SparseAttentionConfig};
+use lat_fpga::core::topk::{top_k_heap, top_k_merge_network};
 use lat_fpga::model::attention::{AttentionOp, DenseAttention};
 use lat_fpga::tensor::quant::BitWidth;
 use lat_fpga::tensor::rng::SplitMix64;

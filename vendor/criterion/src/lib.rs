@@ -1,0 +1,236 @@
+//! Vendored API-subset stand-in for `criterion`.
+//!
+//! The real crate cannot be fetched in this offline build environment. This
+//! shim implements the benchmarking API surface the `lat-bench` benches use —
+//! `criterion_group!` / `criterion_main!`, benchmark groups, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, and `Bencher::iter` — with a simple
+//! time-bounded measurement loop instead of criterion's statistical engine.
+//! Reported numbers are mean wall-clock ns/iter, good enough to eyeball
+//! regressions; swap back to crates.io `criterion` for real statistics when
+//! the build environment has network access (see `vendor/README.md`).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favor
+/// of `std::hint::black_box`, which the benches already use).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs and times one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    /// Measured mean ns/iter, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, warm-up first, then as many iterations as fit the
+    /// measurement window (at least `sample_size`).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            std_black_box(routine());
+        }
+
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            std_black_box(routine());
+            iters += 1;
+            if iters >= self.sample_size as u64 && start.elapsed() >= self.measurement {
+                break;
+            }
+            // Hard cap so accidental sub-nanosecond bodies terminate.
+            if iters >= 10_000_000 {
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+        self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up time.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the minimum number of timed iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let mut b = Bencher {
+            warm_up: self.effective_warm_up(),
+            measurement: self.effective_measurement(),
+            sample_size: self.sample_size,
+            ns_per_iter: f64::NAN,
+            iters: 0,
+        };
+        f(&mut b);
+        self.criterion.record(&full, &b);
+        self
+    }
+
+    /// Benchmarks `f` with an input value under `id` within this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (report lines are already printed per benchmark).
+    pub fn finish(&mut self) {}
+
+    fn effective_warm_up(&self) -> Duration {
+        if self.criterion.quick {
+            Duration::from_millis(10).min(self.warm_up)
+        } else {
+            self.warm_up
+        }
+    }
+
+    fn effective_measurement(&self) -> Duration {
+        if self.criterion.quick {
+            Duration::from_millis(50).min(self.measurement)
+        } else {
+            self.measurement
+        }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            // LAT_BENCH_QUICK=1 shortens every window for smoke runs (CI).
+            quick: std::env::var("LAT_BENCH_QUICK").is_ok_and(|v| v == "1"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).bench_function("", f);
+        self
+    }
+
+    fn record(&mut self, name: &str, b: &Bencher) {
+        let per_iter = b.ns_per_iter;
+        let human = if per_iter >= 1e9 {
+            format!("{:.3} s", per_iter / 1e9)
+        } else if per_iter >= 1e6 {
+            format!("{:.3} ms", per_iter / 1e6)
+        } else if per_iter >= 1e3 {
+            format!("{:.3} µs", per_iter / 1e3)
+        } else {
+            format!("{per_iter:.1} ns")
+        };
+        println!("{name:<60} time: {human}/iter  ({} iters)", b.iters);
+    }
+}
+
+/// Declares a benchmark group function (subset: no custom config form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

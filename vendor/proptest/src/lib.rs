@@ -1,0 +1,39 @@
+//! Vendored API-subset stand-in for `proptest`.
+//!
+//! The real crate cannot be fetched in this offline build environment, so
+//! this shim implements the slice of the proptest API the workspace's
+//! property tests use, backed by a deterministic SplitMix64 generator:
+//!
+//! - the [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//!   `prop_flat_map`, implemented for numeric ranges and tuples;
+//! - [`collection::vec`] with exact and ranged sizes;
+//! - [`arbitrary::any`] for primitives;
+//! - the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_assert_ne!`] macros;
+//! - [`test_runner::ProptestConfig`] (`with_cases` only).
+//!
+//! Differences from real proptest: no shrinking (failures report the case
+//! index and seed instead of a minimized input) and no persisted failure
+//! regressions. Generation is fully deterministic per test name, so every
+//! run and every CI machine sees the same inputs. Honors `PROPTEST_SEED`
+//! (decimal or `0x`-hex u64) to perturb the base seed. Swap back to
+//! crates.io `proptest` when the build environment has network access (see
+//! `vendor/README.md`).
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod num;
+pub mod strategy;
+pub mod test_runner;
+
+mod macros;
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}

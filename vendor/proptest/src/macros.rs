@@ -1,0 +1,122 @@
+//! The `proptest!` test-definition macro and the `prop_assert*` family.
+
+/// Defines property tests. Supports the subset of the real syntax the
+/// workspace uses: an optional `#![proptest_config(...)]` inner attribute
+/// followed by `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __runner = $crate::test_runner::TestRunner::new(
+                __config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__runner.cases() {
+                let mut __rng = __runner.rng_for_case(__case);
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut __rng);)+
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                __runner.report(__case, __result);
+            }
+            __runner.finish();
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the whole
+/// process) with a formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal (requires `Debug` on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `(left == right)`: {}\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)+),
+            __left,
+            __right
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal (requires `Debug` on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `(left != right)`: {}\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)+),
+            __left,
+            __right
+        );
+    }};
+}
+
+/// Skips the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,95 @@
+//! Range strategies for primitive numeric types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (u128::from(rng.next_u64()) % span) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty float range strategy");
+                let span = f64::from(self.end) - f64::from(self.start);
+                let v = (f64::from(self.start) + rng.next_f64() * span) as $t;
+                // The f64 draw is strictly below `end`, but the narrowing
+                // cast rounds to nearest and can land exactly on `end`;
+                // keep the bound exclusive.
+                if v >= self.end {
+                    self.end.next_down()
+                } else {
+                    v
+                }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty float range strategy");
+                let span = f64::from(hi) - f64::from(lo);
+                (f64::from(lo) + rng.next_f64() * span) as $t
+            }
+        }
+    )+};
+}
+
+float_range_strategy!(f32);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty float range strategy");
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        // Rounding in the multiply/add can land exactly on `end`; keep the
+        // bound exclusive.
+        if v >= self.end {
+            self.end.next_down()
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty float range strategy");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}

@@ -1,0 +1,187 @@
+//! Deterministic test runner: configuration, RNG, and failure reporting.
+
+use std::fmt;
+
+/// Configuration for a `proptest!` block (API subset of the real crate).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A failed or rejected property case (carries the formatted message).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+    rejection: bool,
+}
+
+impl TestCaseError {
+    /// A failure with the given message (mirrors `TestCaseError::fail`).
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            rejection: false,
+        }
+    }
+
+    /// A rejected case (used by `prop_assume!`; treated as a skip).
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            rejection: true,
+        }
+    }
+
+    /// Whether this error is an assumption rejection rather than a failure.
+    pub fn is_rejection(&self) -> bool {
+        self.rejection
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.rejection {
+            write!(f, "rejected: {}", self.message)
+        } else {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// SplitMix64 — the same generator `lat-tensor` uses, re-implemented here so
+/// the shim stays dependency-free.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `usize` in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Drives the cases of one property. Seeding is a hash of the test's module
+/// path and name (perturbed by `PROPTEST_SEED` when set), so runs are
+/// reproducible across machines.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    base_seed: u64,
+    name: &'static str,
+    rejects: std::cell::Cell<u32>,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named property.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let env_seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| {
+                let s = s.trim();
+                match s.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                    None => s.parse::<u64>().ok(),
+                }
+            })
+            .unwrap_or(0);
+        Self {
+            config,
+            base_seed: fnv1a(name.as_bytes()) ^ env_seed,
+            name,
+            rejects: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// Independent RNG stream for one case.
+    pub fn rng_for_case(&self, case: u32) -> TestRng {
+        TestRng::new(
+            self.base_seed
+                .wrapping_add(0x517C_C1B7_2722_0A95u64.wrapping_mul(u64::from(case) + 1)),
+        )
+    }
+
+    /// Panics with a reproducible report if `result` is a failure;
+    /// `prop_assume!` rejections are counted and checked by [`Self::finish`].
+    pub fn report(&self, case: u32, result: Result<(), TestCaseError>) {
+        if let Err(e) = result {
+            if e.is_rejection() {
+                self.rejects.set(self.rejects.get() + 1);
+                return;
+            }
+            panic!(
+                "proptest property '{}' failed at case {}/{} (base seed {:#x}): {}",
+                self.name,
+                case + 1,
+                self.config.cases,
+                self.base_seed,
+                e
+            );
+        }
+    }
+
+    /// Called after the case loop: panics if every case was rejected by
+    /// `prop_assume!`, so a property whose assumption never holds fails
+    /// loudly instead of passing having verified nothing (the shim's
+    /// equivalent of real proptest's global reject cap — this runner does
+    /// not retry rejected cases).
+    pub fn finish(&self) {
+        if self.config.cases > 0 && self.rejects.get() == self.config.cases {
+            panic!(
+                "proptest property '{}' rejected all {} cases (base seed {:#x}) — \
+                 the prop_assume! condition never held, nothing was verified",
+                self.name, self.config.cases, self.base_seed
+            );
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_0000_01B3);
+    }
+    h
+}

@@ -1,0 +1,19 @@
+//! Vendored API-subset stand-in for `serde`.
+//!
+//! The real crate cannot be fetched in this offline build environment. The
+//! workspace only *derives* `Serialize`/`Deserialize` (as forward-looking
+//! annotations — no serialization happens yet), so this shim provides the two
+//! marker traits and re-exports the no-op derive macros. Swap back to
+//! crates.io `serde` when the build environment has network access (see
+//! `vendor/README.md`).
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

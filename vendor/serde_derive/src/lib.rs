@@ -1,0 +1,21 @@
+//! Vendored no-op stand-in for `serde_derive`.
+//!
+//! The real crate cannot be fetched in this offline build environment. The
+//! workspace only uses `#[derive(Serialize, Deserialize)]` as forward-looking
+//! annotations — nothing serializes yet — so the derives expand to nothing.
+//! Swap back to crates.io `serde` when the build environment has network
+//! access (see `vendor/README.md`).
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive. Accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive. Accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
