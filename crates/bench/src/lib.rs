@@ -15,6 +15,7 @@
 //! | `fig7b_attention` | Fig. 7(b) attention cross-platform speedup |
 //! | `table1_models` | Table 1 model & dataset statistics |
 //! | `table2_energy` | Table 2 throughput & energy efficiency |
+//! | `ablate_fleet` | multi-shard fleet serving: scaling + dispatch policies |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -3,7 +3,7 @@
 
 use lat_model::config::ModelConfig;
 use lat_tensor::rng::SplitMix64;
-use lat_workloads::datasets::DatasetSpec;
+use lat_workloads::datasets::{DatasetSpec, MixedWorkload};
 
 /// The paper's batch size for hardware evaluation.
 pub const BATCH_SIZE: usize = 16;
@@ -13,6 +13,33 @@ pub const DEFAULT_BATCHES: usize = 8;
 
 /// Root seed for all figure harnesses (printed by each binary).
 pub const HARNESS_SEED: u64 = 0xDAC2_2022;
+
+/// Shard counts swept by `ablate_fleet`'s homogeneous scaling table.
+pub const FLEET_SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Saturating arrival rate (seq/s) for the fleet scaling table — far above
+/// a single BERT-base shard's ~64 seq/s capacity, so added shards are the
+/// bottleneck relief and throughput must scale with the fleet.
+pub const FLEET_SATURATING_RATE: f64 = 600.0;
+
+/// Arrival-rate sweep for the fleet dispatch-policy table (light load up
+/// to just past the heterogeneous fleet's saturation knee).
+pub const FLEET_DISPATCH_RATES: [f64; 3] = [60.0, 120.0, 200.0];
+
+/// Stage-allocation tunings of the heterogeneous length-binned fleet: one
+/// shard sized at the MRPC maximum (86, the short bin) and three at the
+/// SQuAD maximum (821, the long bin). The 1:3 split matches the
+/// cost-weighted demand of [`fleet_mix`] (long requests carry most tokens).
+pub const FLEET_BIN_TUNINGS: [usize; 4] = [86, 821, 821, 821];
+
+/// Requests per fleet simulation point.
+pub const FLEET_REQUESTS: usize = 320;
+
+/// The traffic mix the fleet ablation serves: the equal-weight Table 1
+/// dataset mix (multi-tenant serving with three length profiles).
+pub fn fleet_mix() -> MixedWorkload {
+    MixedWorkload::paper_mix()
+}
 
 /// One model × dataset evaluation point.
 #[derive(Debug, Clone)]
@@ -126,6 +153,20 @@ mod tests {
     fn different_scenarios_get_different_batches() {
         let s = Scenario::hardware_eval();
         assert_ne!(s[0].sample_batches(1), s[1].sample_batches(1));
+    }
+
+    #[test]
+    fn fleet_constants_consistent() {
+        assert_eq!(FLEET_SHARD_COUNTS, [1, 2, 4]);
+        // Bin tunings cover the mix's extremes: the short bin is the MRPC
+        // max, the long bin the SQuAD max.
+        assert_eq!(FLEET_BIN_TUNINGS[0], DatasetSpec::mrpc().max_len);
+        assert!(FLEET_BIN_TUNINGS[1..]
+            .iter()
+            .all(|&t| t == DatasetSpec::squad_v1().max_len));
+        // Cap-divisible request count: saturating runs end on full batches.
+        assert_eq!(FLEET_REQUESTS % BATCH_SIZE, 0);
+        assert!(fleet_mix().components().len() == 3);
     }
 
     #[test]

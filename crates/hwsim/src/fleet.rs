@@ -1,0 +1,850 @@
+//! Event-driven multi-accelerator fleet simulator.
+//!
+//! Where [`crate::serving`] models one accelerator, this module simulates a
+//! *fleet* of N [`AcceleratorDesign`] shards (homogeneous or heterogeneous)
+//! fed by a single arrival stream through a pluggable [`DispatchPolicy`].
+//! Each shard runs its own batcher which closes a batch at the **earlier**
+//! of the batching-window expiry and the batch-cap fill — the cap-fill path
+//! is the fix for the batch-window stall the old serial batcher had (a full
+//! batch used to idle until the window elapsed).
+//!
+//! The engine is a classic discrete-event simulation: a priority queue of
+//! arrival / window-close / batch-completion events ordered by time with
+//! deterministic tie-breaking, so every run is bit-reproducible for a given
+//! trace. [`crate::serving::simulate_serving`] is reimplemented as the
+//! 1-shard special case of this engine.
+
+use crate::accelerator::AcceleratorDesign;
+use lat_core::pipeline::SchedulingPolicy;
+use lat_tensor::rng::SplitMix64;
+use lat_tensor::stats::percentile;
+use lat_workloads::datasets::LengthSampler;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+
+/// One serving request in an arrival trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Arrival time in seconds since simulation start.
+    pub arrival_s: f64,
+    /// Sequence length in tokens.
+    pub len: usize,
+}
+
+/// Generates a Poisson arrival trace (exponential inter-arrival times) with
+/// lengths drawn from `sampler`.
+///
+/// The RNG call order (one `next_f64` for the gap, then one length sample
+/// per request) is the serving simulator's historical stream, so traces are
+/// stable across the serial→fleet refactor.
+///
+/// # Panics
+///
+/// Panics if `arrival_rate <= 0` or `num_requests == 0`.
+pub fn poisson_trace<S: LengthSampler + ?Sized>(
+    sampler: &S,
+    arrival_rate: f64,
+    num_requests: usize,
+    seed: u64,
+) -> Vec<Request> {
+    assert!(arrival_rate > 0.0, "arrival rate must be positive");
+    assert!(num_requests > 0, "num_requests must be >= 1");
+    let mut rng = SplitMix64::new(seed);
+    let mut trace = Vec::with_capacity(num_requests);
+    let mut t = 0.0f64;
+    for _ in 0..num_requests {
+        let u = rng.next_f64().max(1e-12);
+        t += -u.ln() / arrival_rate;
+        trace.push(Request {
+            arrival_s: t,
+            len: sampler.sample_length(&mut rng),
+        });
+    }
+    trace
+}
+
+/// Per-shard batcher parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatcherConfig {
+    /// Maximum time a batch waits after its first queued request. The batch
+    /// dispatches earlier if the cap fills or, when the shard is busy past
+    /// the window, as soon as the shard frees up.
+    pub batch_window_s: f64,
+    /// Maximum sequences per batch.
+    pub max_batch: usize,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        Self {
+            batch_window_s: 0.05,
+            max_batch: 16,
+        }
+    }
+}
+
+/// How arriving requests are routed to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DispatchPolicy {
+    /// Cycle through shards in order, ignoring state.
+    RoundRobin,
+    /// Send to the shard with the fewest waiting + in-flight requests
+    /// (lowest index breaks ties).
+    JoinShortestQueue,
+    /// Route by length: the shard whose tuned `s_avg` is the smallest one
+    /// `>=` the request length (or the largest-tuned shard for over-long
+    /// requests); join-shortest-queue among equally-tuned shards. Keeps
+    /// short traffic off shards sized for long sequences and vice versa.
+    LengthBinned,
+}
+
+impl DispatchPolicy {
+    /// All dispatch policies, for sweeps.
+    pub const ALL: [DispatchPolicy; 3] = [
+        DispatchPolicy::RoundRobin,
+        DispatchPolicy::JoinShortestQueue,
+        DispatchPolicy::LengthBinned,
+    ];
+}
+
+impl fmt::Display for DispatchPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DispatchPolicy::RoundRobin => write!(f, "round-robin"),
+            DispatchPolicy::JoinShortestQueue => write!(f, "join-shortest-queue"),
+            DispatchPolicy::LengthBinned => write!(f, "length-binned"),
+        }
+    }
+}
+
+/// One executed batch (diagnostics / regression tests).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchRecord {
+    /// Shard that executed the batch.
+    pub shard: usize,
+    /// Dispatch time in seconds.
+    pub start_s: f64,
+    /// Completion time in seconds.
+    pub completion_s: f64,
+    /// Sequences in the batch.
+    pub size: usize,
+}
+
+/// Per-shard slice of a [`FleetReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// Shard index within the fleet.
+    pub shard: usize,
+    /// The `s_avg` the shard's stage allocation was tuned for.
+    pub tuned_length: usize,
+    /// Requests completed on this shard.
+    pub completed: usize,
+    /// Batches executed.
+    pub batches: usize,
+    /// Mean formed batch size (0 if the shard never ran).
+    pub mean_batch_size: f64,
+    /// Busy time / fleet makespan.
+    pub utilization: f64,
+    /// Time-averaged number of waiting requests.
+    pub mean_queue_depth: f64,
+    /// Peak number of waiting requests.
+    pub max_queue_depth: usize,
+}
+
+/// Result of a fleet simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Requests completed (always the trace length — conservation).
+    pub completed: usize,
+    /// Mean end-to-end latency (arrival → batch completion) in seconds.
+    pub mean_latency_s: f64,
+    /// Median latency.
+    pub p50_latency_s: f64,
+    /// 95th-percentile latency.
+    pub p95_latency_s: f64,
+    /// 99th-percentile latency.
+    pub p99_latency_s: f64,
+    /// Sustained throughput in sequences/second.
+    pub throughput_seq_s: f64,
+    /// Last batch completion time.
+    pub makespan_s: f64,
+    /// Mean formed batch size across the fleet.
+    pub mean_batch_size: f64,
+    /// Per-shard statistics.
+    pub shards: Vec<ShardReport>,
+    /// Every executed batch in dispatch order.
+    pub batch_log: Vec<BatchRecord>,
+}
+
+/// Builds `n` clones of `design` — the homogeneous scaling fleet.
+pub fn homogeneous_fleet(design: &AcceleratorDesign, n: usize) -> Vec<AcceleratorDesign> {
+    assert!(n > 0, "fleet needs at least one shard");
+    vec![design.clone(); n]
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    /// Request index arrives and is routed to a shard.
+    Arrival(usize),
+    /// Shard finishes its in-flight batch.
+    Completion(usize),
+    /// Shard's batching window for head request expires.
+    WindowClose { shard: usize, head: usize },
+}
+
+/// Heap entry; ordered by time, then kind rank (arrivals before completions
+/// before window closes, so same-instant arrivals join the closing batch
+/// exactly as the serial simulator admitted them), then insertion order.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    rank: u8,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.rank == other.rank && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we pop the earliest event.
+        let fwd = self
+            .time
+            .partial_cmp(&other.time)
+            .expect("finite event times")
+            .then(self.rank.cmp(&other.rank))
+            .then(self.seq.cmp(&other.seq));
+        fwd.reverse()
+    }
+}
+
+struct ShardState {
+    queue: VecDeque<usize>,
+    busy: bool,
+    inflight: usize,
+    busy_time_s: f64,
+    completed: usize,
+    batch_sizes: Vec<usize>,
+    queue_integral: f64,
+    max_queue_depth: usize,
+    last_event_s: f64,
+    /// Head request a window-close event is already scheduled for
+    /// (request indices are unique, so this dedup is safe for the run).
+    window_scheduled_for: Option<usize>,
+}
+
+impl ShardState {
+    fn new() -> Self {
+        Self {
+            queue: VecDeque::new(),
+            busy: false,
+            inflight: 0,
+            busy_time_s: 0.0,
+            completed: 0,
+            batch_sizes: Vec::new(),
+            queue_integral: 0.0,
+            max_queue_depth: 0,
+            last_event_s: 0.0,
+            window_scheduled_for: None,
+        }
+    }
+
+    /// Waiting + in-flight requests — the load metric JSQ balances.
+    fn load(&self) -> usize {
+        self.queue.len() + self.inflight
+    }
+
+    /// Advances the queue-depth integral to `now` (call before mutating).
+    fn tick(&mut self, now: f64) {
+        self.queue_integral += self.queue.len() as f64 * (now - self.last_event_s);
+        self.last_event_s = now;
+    }
+}
+
+/// Simulates `trace` over a fleet of `shards`, each batching with `cfg` and
+/// executing under `policy`, requests routed by `dispatch`.
+///
+/// Every request completes exactly once; the returned latencies are
+/// arrival → completion of the batch containing the request.
+///
+/// # Panics
+///
+/// Panics if `shards` or `trace` is empty, `cfg.max_batch == 0`,
+/// `cfg.batch_window_s < 0`, or the trace is unsorted / non-finite.
+pub fn simulate_fleet(
+    shards: &[AcceleratorDesign],
+    trace: &[Request],
+    policy: SchedulingPolicy,
+    dispatch: DispatchPolicy,
+    cfg: &BatcherConfig,
+) -> FleetReport {
+    assert!(!shards.is_empty(), "fleet needs at least one shard");
+    assert!(!trace.is_empty(), "empty arrival trace");
+    assert!(cfg.max_batch > 0, "max_batch must be >= 1");
+    assert!(cfg.batch_window_s >= 0.0, "negative batch window");
+    assert!(
+        trace
+            .iter()
+            .all(|r| r.arrival_s.is_finite() && r.arrival_s >= 0.0),
+        "arrival times must be finite and non-negative"
+    );
+    assert!(
+        trace.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+        "trace must be sorted by arrival time"
+    );
+
+    fn push(heap: &mut BinaryHeap<Event>, seq: &mut u64, time: f64, rank: u8, kind: EventKind) {
+        heap.push(Event {
+            time,
+            rank,
+            seq: *seq,
+            kind,
+        });
+        *seq += 1;
+    }
+
+    let mut state: Vec<ShardState> = (0..shards.len()).map(|_| ShardState::new()).collect();
+    let mut heap: BinaryHeap<Event> = BinaryHeap::with_capacity(trace.len() * 2);
+    let mut seq = 0u64;
+    for (r, req) in trace.iter().enumerate() {
+        push(&mut heap, &mut seq, req.arrival_s, 0, EventKind::Arrival(r));
+    }
+
+    let mut completion_s = vec![f64::NAN; trace.len()];
+    let mut batch_log = Vec::new();
+    let mut rr_next = 0usize;
+
+    // Dispatches the shard's next batch if one is ready (shard idle AND
+    // cap full or window expired); otherwise schedules the window close.
+    let try_dispatch = |s: usize,
+                        now: f64,
+                        state: &mut [ShardState],
+                        heap: &mut BinaryHeap<Event>,
+                        seq: &mut u64,
+                        completion_s: &mut [f64],
+                        batch_log: &mut Vec<BatchRecord>| {
+        let st = &mut state[s];
+        if st.busy || st.queue.is_empty() {
+            return;
+        }
+        let head = *st.queue.front().expect("non-empty queue");
+        let window_close = trace[head].arrival_s + cfg.batch_window_s;
+        if st.queue.len() >= cfg.max_batch || now >= window_close {
+            let take = cfg.max_batch.min(st.queue.len());
+            let lengths: Vec<usize> = st.queue.iter().take(take).map(|&r| trace[r].len).collect();
+            let service = shards[s].run_batch(&lengths, policy).seconds;
+            let completion = now + service;
+            for _ in 0..take {
+                let r = st.queue.pop_front().expect("counted above");
+                completion_s[r] = completion;
+            }
+            st.busy = true;
+            st.inflight = take;
+            st.busy_time_s += service;
+            st.completed += take;
+            st.batch_sizes.push(take);
+            st.window_scheduled_for = None;
+            batch_log.push(BatchRecord {
+                shard: s,
+                start_s: now,
+                completion_s: completion,
+                size: take,
+            });
+            push(heap, seq, completion, 1, EventKind::Completion(s));
+        } else if st.window_scheduled_for != Some(head) {
+            st.window_scheduled_for = Some(head);
+            push(
+                heap,
+                seq,
+                window_close,
+                2,
+                EventKind::WindowClose { shard: s, head },
+            );
+        }
+    };
+
+    while let Some(ev) = heap.pop() {
+        match ev.kind {
+            EventKind::Arrival(r) => {
+                // Admit ALL same-instant arrivals before any dispatch
+                // decision, so a zero (or exactly-elapsed) window can't
+                // split a simultaneous burst that the serial batcher would
+                // have admitted into one batch. Arrival events are pushed
+                // in trace order, so ties are contiguous in pop order.
+                let mut touched = Vec::new();
+                let admit = |r: usize, state: &mut [ShardState], rr_next: &mut usize| {
+                    let s = route(dispatch, shards, state, trace[r].len, rr_next);
+                    state[s].tick(ev.time);
+                    state[s].queue.push_back(r);
+                    state[s].max_queue_depth = state[s].max_queue_depth.max(state[s].queue.len());
+                    s
+                };
+                touched.push(admit(r, &mut state, &mut rr_next));
+                while let Some(next) = heap.peek() {
+                    match next.kind {
+                        EventKind::Arrival(r2) if next.time == ev.time => {
+                            heap.pop();
+                            let s = admit(r2, &mut state, &mut rr_next);
+                            if !touched.contains(&s) {
+                                touched.push(s);
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                for s in touched {
+                    try_dispatch(
+                        s,
+                        ev.time,
+                        &mut state,
+                        &mut heap,
+                        &mut seq,
+                        &mut completion_s,
+                        &mut batch_log,
+                    );
+                }
+            }
+            EventKind::Completion(s) => {
+                state[s].tick(ev.time);
+                state[s].busy = false;
+                state[s].inflight = 0;
+                try_dispatch(
+                    s,
+                    ev.time,
+                    &mut state,
+                    &mut heap,
+                    &mut seq,
+                    &mut completion_s,
+                    &mut batch_log,
+                );
+            }
+            EventKind::WindowClose { shard: s, head } => {
+                // Stale if the head batch already dispatched (cap fill or a
+                // busy shard draining past the window).
+                if !state[s].busy && state[s].queue.front() == Some(&head) {
+                    state[s].tick(ev.time);
+                    try_dispatch(
+                        s,
+                        ev.time,
+                        &mut state,
+                        &mut heap,
+                        &mut seq,
+                        &mut completion_s,
+                        &mut batch_log,
+                    );
+                }
+            }
+        }
+    }
+
+    let makespan = batch_log
+        .iter()
+        .map(|b| b.completion_s)
+        .fold(0.0f64, f64::max);
+    let latencies: Vec<f64> = completion_s
+        .iter()
+        .zip(trace)
+        .map(|(&c, req)| {
+            assert!(c.is_finite(), "request never completed");
+            c - req.arrival_s
+        })
+        .collect();
+    let pct = |p: f64| percentile(&latencies, p).expect("non-empty latencies");
+    let shard_reports = state
+        .iter()
+        .enumerate()
+        .map(|(i, st)| ShardReport {
+            shard: i,
+            tuned_length: shards[i].tuned_length(),
+            completed: st.completed,
+            batches: st.batch_sizes.len(),
+            mean_batch_size: if st.batch_sizes.is_empty() {
+                0.0
+            } else {
+                st.completed as f64 / st.batch_sizes.len() as f64
+            },
+            utilization: st.busy_time_s / makespan.max(1e-12),
+            mean_queue_depth: st.queue_integral / makespan.max(1e-12),
+            max_queue_depth: st.max_queue_depth,
+        })
+        .collect();
+    FleetReport {
+        completed: latencies.len(),
+        mean_latency_s: latencies.iter().sum::<f64>() / latencies.len() as f64,
+        p50_latency_s: pct(0.50),
+        p95_latency_s: pct(0.95),
+        p99_latency_s: pct(0.99),
+        throughput_seq_s: latencies.len() as f64 / makespan.max(1e-12),
+        makespan_s: makespan,
+        mean_batch_size: latencies.len() as f64 / batch_log.len() as f64,
+        shards: shard_reports,
+        batch_log,
+    }
+}
+
+fn route(
+    dispatch: DispatchPolicy,
+    shards: &[AcceleratorDesign],
+    state: &[ShardState],
+    len: usize,
+    rr_next: &mut usize,
+) -> usize {
+    match dispatch {
+        DispatchPolicy::RoundRobin => {
+            let s = *rr_next % shards.len();
+            *rr_next += 1;
+            s
+        }
+        DispatchPolicy::JoinShortestQueue => least_loaded(state, 0..shards.len()),
+        DispatchPolicy::LengthBinned => {
+            let target = shards
+                .iter()
+                .map(|d| d.tuned_length())
+                .filter(|&t| t >= len)
+                .min()
+                .unwrap_or_else(|| {
+                    shards
+                        .iter()
+                        .map(|d| d.tuned_length())
+                        .max()
+                        .expect("non-empty fleet")
+                });
+            least_loaded(
+                state,
+                (0..shards.len()).filter(|&i| shards[i].tuned_length() == target),
+            )
+        }
+    }
+}
+
+fn least_loaded(state: &[ShardState], candidates: impl Iterator<Item = usize>) -> usize {
+    candidates
+        .min_by_key(|&i| (state[i].load(), i))
+        .expect("at least one candidate shard")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FpgaSpec;
+    use lat_model::config::ModelConfig;
+    use lat_model::graph::AttentionMode;
+    use lat_workloads::datasets::DatasetSpec;
+
+    fn tiny_design(s_avg: usize) -> AcceleratorDesign {
+        AcceleratorDesign::new(
+            &ModelConfig::tiny(),
+            AttentionMode::paper_sparse(),
+            FpgaSpec::alveo_u280(),
+            s_avg,
+        )
+    }
+
+    fn burst(n: usize, at: f64, len: usize) -> Vec<Request> {
+        vec![Request { arrival_s: at, len }; n]
+    }
+
+    #[test]
+    fn cap_fill_dispatches_at_arrival_not_window_close() {
+        // The stall bug: 2×max_batch simultaneous arrivals must start the
+        // first batch at the arrival instant, not batch_window_s later.
+        let fleet = homogeneous_fleet(&tiny_design(64), 1);
+        let cfg = BatcherConfig {
+            batch_window_s: 0.5,
+            max_batch: 8,
+        };
+        let trace = burst(16, 0.25, 64);
+        let r = simulate_fleet(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            &cfg,
+        );
+        assert_eq!(r.batch_log.len(), 2);
+        assert_eq!(r.batch_log[0].size, 8);
+        assert_eq!(
+            r.batch_log[0].start_s, 0.25,
+            "full batch stalled until the window closed"
+        );
+        // The second batch is also already full: it starts the moment the
+        // shard frees up.
+        assert_eq!(r.batch_log[1].start_s, r.batch_log[0].completion_s);
+        assert_eq!(r.completed, 16);
+    }
+
+    #[test]
+    fn zero_window_keeps_simultaneous_burst_in_one_batch() {
+        // With batch_window_s = 0 the dispatch condition is met the moment
+        // the first arrival lands; same-instant arrivals must still be
+        // admitted into that batch, not split into singletons.
+        let fleet = homogeneous_fleet(&tiny_design(64), 1);
+        let cfg = BatcherConfig {
+            batch_window_s: 0.0,
+            max_batch: 16,
+        };
+        let trace = burst(6, 0.5, 64);
+        let r = simulate_fleet(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            &cfg,
+        );
+        assert_eq!(r.batch_log.len(), 1, "burst split: {:?}", r.batch_log);
+        assert_eq!(r.batch_log[0].size, 6);
+        assert_eq!(r.batch_log[0].start_s, 0.5);
+    }
+
+    #[test]
+    fn under_cap_batch_waits_for_window() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 1);
+        let cfg = BatcherConfig {
+            batch_window_s: 0.2,
+            max_batch: 8,
+        };
+        let trace = burst(3, 1.0, 64);
+        let r = simulate_fleet(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            &cfg,
+        );
+        assert_eq!(r.batch_log.len(), 1);
+        assert_eq!(r.batch_log[0].size, 3);
+        assert!((r.batch_log[0].start_s - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conservation_across_policies_and_shard_counts() {
+        let base = tiny_design(64);
+        let trace = poisson_trace(&DatasetSpec::rte(), 200.0, 60, 42);
+        for n in [1usize, 2, 3, 4] {
+            let fleet = homogeneous_fleet(&base, n);
+            for dispatch in DispatchPolicy::ALL {
+                let r = simulate_fleet(
+                    &fleet,
+                    &trace,
+                    SchedulingPolicy::LengthAware,
+                    dispatch,
+                    &BatcherConfig::default(),
+                );
+                assert_eq!(r.completed, 60, "{n} shards, {dispatch}");
+                assert_eq!(
+                    r.shards.iter().map(|s| s.completed).sum::<usize>(),
+                    60,
+                    "{n} shards, {dispatch}"
+                );
+                assert_eq!(r.batch_log.iter().map(|b| b.size).sum::<usize>(), 60);
+                assert!(r
+                    .shards
+                    .iter()
+                    .all(|s| (0.0..=1.0).contains(&s.utilization)));
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_shards() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 3);
+        let trace = burst(6, 0.0, 64);
+        let r = simulate_fleet(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::RoundRobin,
+            &BatcherConfig {
+                batch_window_s: 0.0,
+                max_batch: 16,
+            },
+        );
+        // 6 requests over 3 shards → every shard saw exactly 2.
+        for s in &r.shards {
+            assert_eq!(s.completed, 2, "shard {}", s.shard);
+        }
+    }
+
+    #[test]
+    fn length_binned_routes_by_tuned_length() {
+        // Shards tuned for 64 and 256; short traffic must land on the
+        // short-tuned shard, long traffic on the long-tuned one.
+        let fleet = vec![tiny_design(64), tiny_design(256)];
+        let mut trace = burst(4, 0.0, 32);
+        trace.extend(burst(4, 0.0, 200));
+        let r = simulate_fleet(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::LengthBinned,
+            &BatcherConfig::default(),
+        );
+        assert_eq!(r.shards[0].completed, 4);
+        assert_eq!(r.shards[1].completed, 4);
+    }
+
+    #[test]
+    fn overlong_requests_go_to_largest_shard() {
+        let fleet = vec![tiny_design(64), tiny_design(128)];
+        let trace = burst(3, 0.0, 500);
+        let r = simulate_fleet(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::LengthBinned,
+            &BatcherConfig::default(),
+        );
+        assert_eq!(r.shards[0].completed, 0);
+        assert_eq!(r.shards[1].completed, 3);
+    }
+
+    #[test]
+    fn jsq_balances_a_heavy_burst() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 4);
+        let trace = burst(32, 0.0, 64);
+        let r = simulate_fleet(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            &BatcherConfig {
+                batch_window_s: 0.05,
+                max_batch: 8,
+            },
+        );
+        // 32 simultaneous requests, cap 8, 4 shards → one full batch each.
+        for s in &r.shards {
+            assert_eq!(s.completed, 8, "shard {}", s.shard);
+            assert_eq!(s.batches, 1, "shard {}", s.shard);
+        }
+        // All four batches start at t=0: no shard stalls on the window.
+        assert!(r.batch_log.iter().all(|b| b.start_s == 0.0));
+    }
+
+    #[test]
+    fn more_shards_scale_throughput_under_saturation() {
+        // Saturating load: 256 simultaneous requests (16 full cap-16
+        // batches of work). Every batch dispatches on cap fill, so the
+        // makespan is pure service time and must shrink with shard count.
+        let base = tiny_design(64);
+        let mut rng = lat_tensor::rng::SplitMix64::new(7);
+        let trace: Vec<Request> = DatasetSpec::mrpc()
+            .sample_batch(&mut rng, 256)
+            .into_iter()
+            .map(|len| Request {
+                arrival_s: 0.0,
+                len,
+            })
+            .collect();
+        let mut last = 0.0;
+        for n in [1usize, 2, 4] {
+            let r = simulate_fleet(
+                &homogeneous_fleet(&base, n),
+                &trace,
+                SchedulingPolicy::LengthAware,
+                DispatchPolicy::JoinShortestQueue,
+                &BatcherConfig::default(),
+            );
+            assert_eq!(r.completed, 256);
+            assert!(
+                r.throughput_seq_s > last * 1.5,
+                "{n} shards: {} !> 1.5 × {last}",
+                r.throughput_seq_s
+            );
+            last = r.throughput_seq_s;
+        }
+    }
+
+    #[test]
+    fn report_percentiles_ordered_and_shards_labeled() {
+        let fleet = vec![tiny_design(64), tiny_design(128)];
+        let trace = poisson_trace(&DatasetSpec::mrpc(), 300.0, 80, 9);
+        let r = simulate_fleet(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::LengthBinned,
+            &BatcherConfig::default(),
+        );
+        assert!(r.p50_latency_s <= r.p95_latency_s);
+        assert!(r.p95_latency_s <= r.p99_latency_s);
+        assert_eq!(r.shards[0].tuned_length, 64);
+        assert_eq!(r.shards[1].tuned_length, 128);
+        assert!(r.makespan_s > 0.0);
+        assert!(r.mean_batch_size >= 1.0);
+    }
+
+    #[test]
+    fn deterministic_for_identical_inputs() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 3);
+        let trace = poisson_trace(&DatasetSpec::rte(), 400.0, 90, 1234);
+        let run = || {
+            simulate_fleet(
+                &fleet,
+                &trace,
+                SchedulingPolicy::LengthAware,
+                DispatchPolicy::JoinShortestQueue,
+                &BatcherConfig::default(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by arrival")]
+    fn unsorted_trace_rejected() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 1);
+        let trace = vec![
+            Request {
+                arrival_s: 1.0,
+                len: 64,
+            },
+            Request {
+                arrival_s: 0.5,
+                len: 64,
+            },
+        ];
+        let _ = simulate_fleet(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::RoundRobin,
+            &BatcherConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn empty_fleet_rejected() {
+        let _ = simulate_fleet(
+            &[],
+            &burst(1, 0.0, 64),
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::RoundRobin,
+            &BatcherConfig::default(),
+        );
+    }
+
+    #[test]
+    fn poisson_trace_is_sorted_and_deterministic() {
+        let a = poisson_trace(&DatasetSpec::squad_v1(), 50.0, 64, 5);
+        let b = poisson_trace(&DatasetSpec::squad_v1(), 50.0, 64, 5);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        assert!(a.iter().all(|r| r.arrival_s > 0.0));
+    }
+}

@@ -18,6 +18,9 @@
 //!   batches through the length-aware pipeline to produce a
 //!   [`report::FpgaRunReport`].
 //! - [`energy`] — energy and GOP/J accounting used by Table 2.
+//! - [`fleet`] — event-driven multi-shard serving simulator (round-robin /
+//!   join-shortest-queue / length-binned dispatch over N designs);
+//!   [`serving`] is its 1-shard special case.
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@
 pub mod accelerator;
 pub mod dse;
 pub mod energy;
+pub mod fleet;
 pub mod hbm;
 pub mod kernels;
 pub mod report;

@@ -178,8 +178,11 @@ impl Matrix {
     }
 
     /// Iterate over rows as slices.
+    ///
+    /// A `rows×0` matrix yields `rows` empty slices (a `chunks_exact`-based
+    /// implementation used to yield none, silently losing the row count).
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
-        self.data.chunks_exact(self.cols.max(1))
+        (0..self.rows).map(move |i| &self.data[i * self.cols..(i + 1) * self.cols])
     }
 
     /// Returns a new matrix containing only the rows with the given indices,
@@ -536,6 +539,22 @@ mod tests {
     fn from_rows_rejects_ragged() {
         let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
         assert_eq!(err.op(), "from_rows");
+    }
+
+    #[test]
+    fn iter_rows_yields_every_row_even_with_zero_cols() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let rows: Vec<&[f32]> = m.iter_rows().collect();
+        assert_eq!(rows, vec![&[1.0, 2.0][..], &[3.0, 4.0], &[5.0, 6.0]]);
+
+        // Degenerate 3×0 matrix: still 3 rows, each the empty slice.
+        let empty_cols = Matrix::zeros(3, 0);
+        let rows: Vec<&[f32]> = empty_cols.iter_rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.is_empty()));
+
+        // 0×n matrix: no rows.
+        assert_eq!(Matrix::zeros(0, 4).iter_rows().count(), 0);
     }
 
     #[test]

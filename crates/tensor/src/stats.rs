@@ -55,13 +55,15 @@ pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
 ///
 /// # Panics
 ///
-/// Panics if `bins == 0` or `lo >= hi`.
+/// Panics if `bins == 0`, `lo >= hi`, or the data contains NaN (previously
+/// NaN was silently counted in bin 0 via `NaN.max(0.0)`).
 pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
     assert!(bins > 0, "need at least one bin");
     assert!(lo < hi, "empty histogram range");
     let mut counts = vec![0usize; bins];
     let width = (hi - lo) / bins as f64;
     for &x in xs {
+        assert!(!x.is_nan(), "no NaNs in histogram data");
         let idx = ((x - lo) / width).floor();
         let idx = (idx.max(0.0) as usize).min(bins - 1);
         counts[idx] += 1;
@@ -129,6 +131,13 @@ mod tests {
     #[should_panic(expected = "at least one bin")]
     fn histogram_zero_bins_panics() {
         let _ = histogram(&[1.0], 0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no NaNs in histogram data")]
+    fn histogram_nan_panics() {
+        // NaN used to clamp into bin 0, silently corrupting the counts.
+        let _ = histogram(&[0.5, f64::NAN], 0.0, 1.0, 2);
     }
 
     #[test]

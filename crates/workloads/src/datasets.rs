@@ -15,6 +15,44 @@ use lat_tensor::rng::SplitMix64;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// A source of sequence lengths for traffic generation.
+///
+/// Both a single [`DatasetSpec`] and a [`MixedWorkload`] can feed a request
+/// stream (e.g. the serving/fleet simulators in `lat-hwsim`), so consumers
+/// take `impl LengthSampler` instead of hard-coding one of the two.
+pub trait LengthSampler {
+    /// Samples one sequence length.
+    fn sample_length(&self, rng: &mut SplitMix64) -> usize;
+
+    /// Display label for reports.
+    fn label(&self) -> String;
+}
+
+impl LengthSampler for DatasetSpec {
+    fn sample_length(&self, rng: &mut SplitMix64) -> usize {
+        DatasetSpec::sample_length(self, rng)
+    }
+
+    fn label(&self) -> String {
+        self.name.clone()
+    }
+}
+
+impl LengthSampler for MixedWorkload {
+    fn sample_length(&self, rng: &mut SplitMix64) -> usize {
+        MixedWorkload::sample_length(self, rng)
+    }
+
+    fn label(&self) -> String {
+        let names: Vec<String> = self
+            .components
+            .iter()
+            .map(|(d, _)| d.name.clone())
+            .collect();
+        format!("mix({})", names.join("+"))
+    }
+}
+
 /// A dataset's sequence-length statistics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DatasetSpec {
@@ -375,6 +413,30 @@ mod tests {
     #[should_panic(expected = "empty workload mix")]
     fn empty_mix_panics() {
         let _ = MixedWorkload::new(vec![]);
+    }
+
+    #[test]
+    fn length_sampler_trait_matches_inherent_methods() {
+        // The trait must be a pure forwarding layer: same rng stream, same
+        // lengths as the inherent methods.
+        let spec = DatasetSpec::rte();
+        let mix = MixedWorkload::paper_mix();
+        let (mut a, mut b) = (SplitMix64::new(11), SplitMix64::new(11));
+        for _ in 0..200 {
+            assert_eq!(
+                LengthSampler::sample_length(&spec, &mut a),
+                spec.sample_length(&mut b)
+            );
+        }
+        let (mut a, mut b) = (SplitMix64::new(12), SplitMix64::new(12));
+        for _ in 0..200 {
+            assert_eq!(
+                LengthSampler::sample_length(&mix, &mut a),
+                mix.sample_length(&mut b)
+            );
+        }
+        assert_eq!(LengthSampler::label(&spec), "RTE");
+        assert!(LengthSampler::label(&mix).contains("RTE"));
     }
 
     #[test]

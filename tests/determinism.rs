@@ -6,9 +6,13 @@ use lat_bench::scenarios::{Scenario, HARNESS_SEED};
 use lat_bench::tables;
 use lat_fpga::core::pipeline::SchedulingPolicy;
 use lat_fpga::hwsim::accelerator::AcceleratorDesign;
+use lat_fpga::hwsim::fleet::{
+    homogeneous_fleet, poisson_trace, simulate_fleet, BatcherConfig, DispatchPolicy,
+};
 use lat_fpga::hwsim::serving::{simulate_serving, ServingConfig};
 use lat_fpga::hwsim::spec::FpgaSpec;
 use lat_fpga::model::graph::AttentionMode;
+use lat_fpga::workloads::datasets::MixedWorkload;
 
 fn scenario_design(scenario: &Scenario) -> AcceleratorDesign {
     AcceleratorDesign::new(
@@ -53,6 +57,30 @@ fn serving_report_is_bit_identical_across_runs() {
     // ServingReport is PartialEq over f64 fields: equality here is bitwise,
     // not approximate.
     assert_eq!(first, second, "serving simulation diverged between runs");
+}
+
+#[test]
+fn fleet_report_is_bit_identical_across_runs() {
+    // The event-driven engine has tie-breaking rules (same-instant arrivals,
+    // window closes, completions); this guards that they are deterministic
+    // end to end, per-shard stats included.
+    let scenario = &Scenario::hardware_eval()[1]; // BERT-base / RTE
+    let design = scenario_design(scenario);
+    let fleet = homogeneous_fleet(&design, 2);
+    let trace = poisson_trace(&MixedWorkload::paper_mix(), 150.0, 60, HARNESS_SEED);
+    let run = || {
+        simulate_fleet(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::LengthBinned,
+            &BatcherConfig::default(),
+        )
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "fleet simulation diverged between runs");
+    assert_eq!(first.completed, 60);
 }
 
 #[test]
