@@ -41,6 +41,40 @@ pub fn fleet_mix() -> MixedWorkload {
     MixedWorkload::paper_mix()
 }
 
+/// Concurrent sequences (KV-cache slots) per shard in the decode ablation.
+pub const DECODE_SLOTS: usize = 16;
+
+/// Requests per decode simulation point.
+pub const DECODE_REQUESTS: usize = 160;
+
+/// Fraction of high-priority (latency-sensitive) decode requests.
+pub const DECODE_HIGH_FRACTION: f64 = 0.15;
+
+/// Time-to-first-token deadline of the high-priority class, driving
+/// preemption under `ContinuousPreempt` — far below the queueing delay a
+/// saturated shard imposes, so deadline misses actually occur.
+pub const DECODE_TTFT_DEADLINE_S: f64 = 0.05;
+
+/// Shard counts swept by the decode ablation.
+pub const DECODE_SHARD_COUNTS: [usize; 2] = [1, 2];
+
+/// Saturating request rate (seq/s) per decode table — each request holds a
+/// slot for its whole multi-step service, so per-shard capacity is far
+/// below the encoder fleet's.
+pub const DECODE_SATURATING_RATE: f64 = 60.0;
+
+/// Arrival-rate sweep for the decode priority table (moderate load up to
+/// the saturating rate).
+pub const DECODE_RATES: [f64; 2] = [15.0, 60.0];
+
+/// Prefill traffic mix of the decode ablation: the Table 1 mix; output
+/// lengths come from its mirrored decode profile
+/// (`decode_mix().decode_output()`), whose `max/avg` skew is what strands
+/// a static batch's slots on straggler outputs.
+pub fn decode_mix() -> MixedWorkload {
+    MixedWorkload::paper_mix()
+}
+
 /// One model × dataset evaluation point.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -167,6 +201,19 @@ mod tests {
         // Cap-divisible request count: saturating runs end on full batches.
         assert_eq!(FLEET_REQUESTS % BATCH_SIZE, 0);
         assert!(fleet_mix().components().len() == 3);
+    }
+
+    #[test]
+    fn decode_constants_consistent() {
+        assert!((0.0..1.0).contains(&DECODE_HIGH_FRACTION) && DECODE_HIGH_FRACTION > 0.0);
+        // The priority sweep ends at the saturating point the goodput and
+        // preemption claims are asserted at.
+        assert_eq!(DECODE_RATES[DECODE_RATES.len() - 1], DECODE_SATURATING_RATE);
+        // The output profile mirrors the prompt mix's length statistics
+        // (1-token floor), preserving the paper's max/avg skew.
+        let out = decode_mix().decode_output();
+        assert_eq!(out.components().len(), 3);
+        assert_eq!(out.expected_avg(), decode_mix().expected_avg());
     }
 
     #[test]

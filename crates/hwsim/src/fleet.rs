@@ -33,6 +33,39 @@ pub struct Request {
     pub len: usize,
 }
 
+/// Shared Poisson trace builder: one exponential gap draw per request from
+/// the primary RNG stream, then `payload` turns `(rng, arrival_time)` into
+/// the request record, drawing any per-request fields it needs from the
+/// same stream.
+///
+/// Both [`poisson_trace`] and [`crate::decode::decode_trace`] are thin
+/// wrappers over this function, so their arrival processes are one piece of
+/// code and cannot drift apart: generators that draw the same per-request
+/// fields from the primary stream emit bit-identical arrival times for the
+/// same `(rate, n, seed)`.
+///
+/// # Panics
+///
+/// Panics if `arrival_rate <= 0` or `num_requests == 0`.
+pub fn poisson_process<T>(
+    arrival_rate: f64,
+    num_requests: usize,
+    seed: u64,
+    mut payload: impl FnMut(&mut SplitMix64, f64) -> T,
+) -> Vec<T> {
+    assert!(arrival_rate > 0.0, "arrival rate must be positive");
+    assert!(num_requests > 0, "num_requests must be >= 1");
+    let mut rng = SplitMix64::new(seed);
+    let mut trace = Vec::with_capacity(num_requests);
+    let mut t = 0.0f64;
+    for _ in 0..num_requests {
+        let u = rng.next_f64().max(1e-12);
+        t += -u.ln() / arrival_rate;
+        trace.push(payload(&mut rng, t));
+    }
+    trace
+}
+
 /// Generates a Poisson arrival trace (exponential inter-arrival times) with
 /// lengths drawn from `sampler`.
 ///
@@ -49,20 +82,10 @@ pub fn poisson_trace<S: LengthSampler + ?Sized>(
     num_requests: usize,
     seed: u64,
 ) -> Vec<Request> {
-    assert!(arrival_rate > 0.0, "arrival rate must be positive");
-    assert!(num_requests > 0, "num_requests must be >= 1");
-    let mut rng = SplitMix64::new(seed);
-    let mut trace = Vec::with_capacity(num_requests);
-    let mut t = 0.0f64;
-    for _ in 0..num_requests {
-        let u = rng.next_f64().max(1e-12);
-        t += -u.ln() / arrival_rate;
-        trace.push(Request {
-            arrival_s: t,
-            len: sampler.sample_length(&mut rng),
-        });
-    }
-    trace
+    poisson_process(arrival_rate, num_requests, seed, |rng, t| Request {
+        arrival_s: t,
+        len: sampler.sample_length(rng),
+    })
 }
 
 /// Per-shard batcher parameters.
@@ -194,32 +217,34 @@ enum EventKind {
     WindowClose { shard: usize, head: usize },
 }
 
-/// Heap entry; ordered by time, then kind rank (arrivals before completions
-/// before window closes, so same-instant arrivals join the closing batch
-/// exactly as the serial simulator admitted them), then insertion order.
+/// Heap entry shared by the fleet and decode engines; ordered by time, then
+/// kind rank (arrivals before completions/step-ends before window closes,
+/// so same-instant arrivals join the closing batch exactly as the serial
+/// simulator admitted them), then insertion order. The kind payload never
+/// participates in the ordering.
 #[derive(Debug, Clone, Copy)]
-struct Event {
-    time: f64,
-    rank: u8,
-    seq: u64,
-    kind: EventKind,
+pub(crate) struct Event<K> {
+    pub(crate) time: f64,
+    pub(crate) rank: u8,
+    pub(crate) seq: u64,
+    pub(crate) kind: K,
 }
 
-impl PartialEq for Event {
+impl<K> PartialEq for Event<K> {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.rank == other.rank && self.seq == other.seq
     }
 }
 
-impl Eq for Event {}
+impl<K> Eq for Event<K> {}
 
-impl PartialOrd for Event {
+impl<K> PartialOrd for Event<K> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl Ord for Event {
+impl<K> Ord for Event<K> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we pop the earliest event.
         let fwd = self
@@ -230,6 +255,23 @@ impl Ord for Event {
             .then(self.seq.cmp(&other.seq));
         fwd.reverse()
     }
+}
+
+/// Pushes an event and bumps the insertion-order tie-breaker.
+pub(crate) fn push_event<K>(
+    heap: &mut BinaryHeap<Event<K>>,
+    seq: &mut u64,
+    time: f64,
+    rank: u8,
+    kind: K,
+) {
+    heap.push(Event {
+        time,
+        rank,
+        seq: *seq,
+        kind,
+    });
+    *seq += 1;
 }
 
 struct ShardState {
@@ -307,18 +349,10 @@ pub fn simulate_fleet(
         "trace must be sorted by arrival time"
     );
 
-    fn push(heap: &mut BinaryHeap<Event>, seq: &mut u64, time: f64, rank: u8, kind: EventKind) {
-        heap.push(Event {
-            time,
-            rank,
-            seq: *seq,
-            kind,
-        });
-        *seq += 1;
-    }
+    let push = push_event::<EventKind>;
 
     let mut state: Vec<ShardState> = (0..shards.len()).map(|_| ShardState::new()).collect();
-    let mut heap: BinaryHeap<Event> = BinaryHeap::with_capacity(trace.len() * 2);
+    let mut heap: BinaryHeap<Event<EventKind>> = BinaryHeap::with_capacity(trace.len() * 2);
     let mut seq = 0u64;
     for (r, req) in trace.iter().enumerate() {
         push(&mut heap, &mut seq, req.arrival_s, 0, EventKind::Arrival(r));
@@ -333,7 +367,7 @@ pub fn simulate_fleet(
     let try_dispatch = |s: usize,
                         now: f64,
                         state: &mut [ShardState],
-                        heap: &mut BinaryHeap<Event>,
+                        heap: &mut BinaryHeap<Event<EventKind>>,
                         seq: &mut u64,
                         completion_s: &mut [f64],
                         batch_log: &mut Vec<BatchRecord>| {
@@ -387,7 +421,13 @@ pub fn simulate_fleet(
                 // in trace order, so ties are contiguous in pop order.
                 let mut touched = Vec::new();
                 let admit = |r: usize, state: &mut [ShardState], rr_next: &mut usize| {
-                    let s = route(dispatch, shards, state, trace[r].len, rr_next);
+                    let s = route(
+                        dispatch,
+                        shards,
+                        &|i| state[i].load(),
+                        trace[r].len,
+                        rr_next,
+                    );
                     state[s].tick(ev.time);
                     state[s].queue.push_back(r);
                     state[s].max_queue_depth = state[s].max_queue_depth.max(state[s].queue.len());
@@ -496,10 +536,13 @@ pub fn simulate_fleet(
     }
 }
 
-fn route(
+/// Picks the destination shard for a request of length `len` — shared by
+/// the encoder fleet and the decode engine, which only differ in how they
+/// measure per-shard load (`load(i)` = waiting + in-flight requests).
+pub(crate) fn route(
     dispatch: DispatchPolicy,
     shards: &[AcceleratorDesign],
-    state: &[ShardState],
+    load: &dyn Fn(usize) -> usize,
     len: usize,
     rr_next: &mut usize,
 ) -> usize {
@@ -509,7 +552,7 @@ fn route(
             *rr_next += 1;
             s
         }
-        DispatchPolicy::JoinShortestQueue => least_loaded(state, 0..shards.len()),
+        DispatchPolicy::JoinShortestQueue => least_loaded(load, 0..shards.len()),
         DispatchPolicy::LengthBinned => {
             let target = shards
                 .iter()
@@ -524,16 +567,16 @@ fn route(
                         .expect("non-empty fleet")
                 });
             least_loaded(
-                state,
+                load,
                 (0..shards.len()).filter(|&i| shards[i].tuned_length() == target),
             )
         }
     }
 }
 
-fn least_loaded(state: &[ShardState], candidates: impl Iterator<Item = usize>) -> usize {
+fn least_loaded(load: &dyn Fn(usize) -> usize, candidates: impl Iterator<Item = usize>) -> usize {
     candidates
-        .min_by_key(|&i| (state[i].load(), i))
+        .min_by_key(|&i| (load(i), i))
         .expect("at least one candidate shard")
 }
 

@@ -21,6 +21,9 @@
 //! - [`fleet`] — event-driven multi-shard serving simulator (round-robin /
 //!   join-shortest-queue / length-binned dispatch over N designs);
 //!   [`serving`] is its 1-shard special case.
+//! - [`decode`] — generative (multi-step) serving on the fleet machinery:
+//!   static vs continuous (iteration-level) batching and deadline-driven
+//!   preemption, with TTFT / inter-token-latency / goodput reporting.
 //!
 //! # Example
 //!
@@ -46,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod accelerator;
+pub mod decode;
 pub mod dse;
 pub mod energy;
 pub mod fleet;

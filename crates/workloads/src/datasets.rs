@@ -168,6 +168,22 @@ impl DatasetSpec {
             .collect()
     }
 
+    /// The output-length distribution paired with this dataset for
+    /// generative (decoder) workloads: a continuation whose length mirrors
+    /// the task's own profile (same average and maximum, 1-token floor),
+    /// keeping the right-skewed shape — and with it the paper's `max/avg`
+    /// skew — via the same truncated-exponential sampler. The skew is what
+    /// makes iteration-level batching matter: a static batch strands its
+    /// slots for `max/avg` × the typical service time.
+    pub fn decode_output(&self) -> DatasetSpec {
+        DatasetSpec {
+            name: format!("{} decode", self.name),
+            min_len: 1,
+            avg_len: self.avg_len,
+            max_len: self.max_len,
+        }
+    }
+
     /// Exponential scale whose `[min,max]`-truncated mean equals `avg_len`,
     /// found by bisection (the truncation pulls the mean below `min+scale`,
     /// so the naive `scale = avg - min` undershoots).
@@ -223,6 +239,19 @@ impl MixedWorkload {
                 .map(|d| (d, 1.0))
                 .collect(),
         )
+    }
+
+    /// The mix's output-length distribution for generative workloads:
+    /// every component replaced by its [`DatasetSpec::decode_output`],
+    /// weights unchanged.
+    pub fn decode_output(&self) -> MixedWorkload {
+        MixedWorkload {
+            components: self
+                .components
+                .iter()
+                .map(|(d, w)| (d.decode_output(), *w))
+                .collect(),
+        }
     }
 
     /// The component datasets and normalized weights.
@@ -437,6 +466,45 @@ mod tests {
         }
         assert_eq!(LengthSampler::label(&spec), "RTE");
         assert!(LengthSampler::label(&mix).contains("RTE"));
+    }
+
+    #[test]
+    fn decode_output_profiles_are_valid_and_short() {
+        let mut rng = SplitMix64::new(67);
+        for spec in DatasetSpec::all_datasets() {
+            let out = spec.decode_output();
+            assert!(out.min_len == 1, "{}", out.name);
+            assert!(
+                out.min_len < out.avg_len && out.avg_len < out.max_len,
+                "{out}"
+            );
+            assert!(out.avg_len <= spec.avg_len, "{}", out.name);
+            assert!(out.name.contains(&spec.name));
+            // Sampler stays in bounds and near the calibrated mean.
+            let n = 8000;
+            let mut sum = 0usize;
+            for _ in 0..n {
+                let l = out.sample_length(&mut rng);
+                assert!((out.min_len..=out.max_len).contains(&l));
+                sum += l;
+            }
+            let mean = sum as f64 / n as f64;
+            let err = (mean - out.avg_len as f64).abs() / out.avg_len as f64;
+            assert!(err < 0.1, "{}: mean {mean:.1} vs {}", out.name, out.avg_len);
+        }
+    }
+
+    #[test]
+    fn mix_decode_output_maps_components_and_keeps_weights() {
+        let mix = MixedWorkload::new(vec![(DatasetSpec::rte(), 3.0), (DatasetSpec::mrpc(), 1.0)]);
+        let out = mix.decode_output();
+        let comps = out.components();
+        assert_eq!(comps.len(), 2);
+        assert!((comps[0].1 - 0.75).abs() < 1e-12);
+        assert_eq!(comps[0].0.name, "RTE decode");
+        assert_eq!(comps[1].0.name, "MRPC decode");
+        // The mirrored profile keeps each component's average length.
+        assert_eq!(out.expected_avg(), mix.expected_avg());
     }
 
     #[test]
