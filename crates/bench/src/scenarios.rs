@@ -75,6 +75,64 @@ pub fn decode_mix() -> MixedWorkload {
     MixedWorkload::paper_mix()
 }
 
+/// Largest fleet the autoscale ablation may commit (the fixed-max
+/// baseline's size).
+pub const AUTOSCALE_MAX_SHARDS: usize = 4;
+
+/// Smallest fleet the autoscaler may shrink to (the fixed-min baseline's
+/// size).
+pub const AUTOSCALE_MIN_SHARDS: usize = 1;
+
+/// Time-averaged arrival rate (seq/s) of the diurnal workload — between
+/// one BERT-base shard's ~68 seq/s capacity and the 4-shard fleet's, so
+/// neither fixed extreme is right all day.
+pub const AUTOSCALE_MEAN_RATE: f64 = 100.0;
+
+/// Peak:trough arrival-rate ratio of the diurnal swing. At 4× the peak
+/// (160 seq/s) needs ≥ 3 shards while the trough (40 seq/s) fits in one.
+pub const AUTOSCALE_SWING: f64 = 4.0;
+
+/// Period of one diurnal cycle in (simulated) seconds.
+pub const AUTOSCALE_PERIOD_S: f64 = 8.0;
+
+/// Requests per autoscale simulation point (~2 diurnal cycles at the mean
+/// rate).
+pub const AUTOSCALE_REQUESTS: usize = 1600;
+
+/// Weight-streaming warm-up a launched shard pays before joining dispatch.
+pub const AUTOSCALE_WARMUP_S: f64 = 0.3;
+
+/// Autoscale controller sampling period.
+pub const AUTOSCALE_EVAL_INTERVAL_S: f64 = 0.1;
+
+/// Minimum time between feedback-policy scaling actions.
+pub const AUTOSCALE_COOLDOWN_S: f64 = 0.2;
+
+/// End-to-end latency SLO the autoscale ablation reports attainment
+/// against.
+pub const AUTOSCALE_SLO_LATENCY_S: f64 = 0.5;
+
+/// Reactive scale-up threshold: mean waiting requests per accepting shard.
+pub const AUTOSCALE_UP_DEPTH: f64 = 8.0;
+
+/// Reactive scale-down threshold (hysteresis partner of
+/// [`AUTOSCALE_UP_DEPTH`]).
+pub const AUTOSCALE_DOWN_DEPTH: f64 = 2.0;
+
+/// Headline-claim tolerance: reactive autoscaling's p95 may exceed the
+/// fixed-max fleet's by at most this factor.
+pub const AUTOSCALE_P95_TOLERANCE: f64 = 2.0;
+
+/// Headline-claim margin: reactive autoscaling must spend at most this
+/// fraction of the fixed-max fleet's shard-seconds.
+pub const AUTOSCALE_COST_MARGIN: f64 = 0.8;
+
+/// Prompt mix served by the autoscale ablation (the Table 1 mix, matching
+/// the fleet ablation).
+pub fn autoscale_mix() -> MixedWorkload {
+    MixedWorkload::paper_mix()
+}
+
 /// One model × dataset evaluation point.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -214,6 +272,33 @@ mod tests {
         let out = decode_mix().decode_output();
         assert_eq!(out.components().len(), 3);
         assert_eq!(out.expected_avg(), decode_mix().expected_avg());
+    }
+
+    #[test]
+    fn autoscale_constants_consistent() {
+        const {
+            assert!(AUTOSCALE_MIN_SHARDS >= 1 && AUTOSCALE_MIN_SHARDS < AUTOSCALE_MAX_SHARDS);
+            assert!(AUTOSCALE_SWING > 1.0);
+            assert!(AUTOSCALE_UP_DEPTH > AUTOSCALE_DOWN_DEPTH);
+            assert!(AUTOSCALE_P95_TOLERANCE >= 1.0);
+        }
+        // The trough must fit the min fleet and the peak must overwhelm
+        // it, or the diurnal claim is vacuous: one BERT-base shard
+        // sustains ~68 seq/s on the mix.
+        let amp = (AUTOSCALE_SWING - 1.0) / (AUTOSCALE_SWING + 1.0);
+        let trough = AUTOSCALE_MEAN_RATE * (1.0 - amp);
+        let peak = AUTOSCALE_MEAN_RATE * (1.0 + amp);
+        assert!(
+            trough < 68.0,
+            "trough {trough} saturates even the min fleet"
+        );
+        assert!(peak > 68.0, "peak {peak} never stresses the min fleet");
+        assert!((peak / trough - AUTOSCALE_SWING).abs() < 1e-9);
+        // ~2 full diurnal cycles of traffic.
+        let duration = AUTOSCALE_REQUESTS as f64 / AUTOSCALE_MEAN_RATE;
+        assert!(duration >= 2.0 * AUTOSCALE_PERIOD_S);
+        assert!((0.0..1.0).contains(&AUTOSCALE_COST_MARGIN));
+        assert_eq!(autoscale_mix().components().len(), 3);
     }
 
     #[test]

@@ -1,0 +1,1070 @@
+//! Runtime autoscaling over the fleet engine: shard join/retire driven by
+//! pluggable policies under nonstationary load.
+//!
+//! The encoder fleet ([`crate::fleet`]) and decode engine
+//! ([`crate::decode`]) simulate a *fixed* shard count, which wastes
+//! shard-seconds in the trough of a diurnal load curve and blows latency
+//! SLOs at its peak. This module drives the same event-driven core
+//! ([`crate::fleet::FleetCore`]) with a controller that changes fleet
+//! membership at runtime:
+//!
+//! - [`ScalePolicy::Pinned`] — never scales; with `min == max` shards this
+//!   reproduces [`simulate_fleet`] **bit-for-bit** (it is literally the
+//!   same code path), which `tests/autoscale_props.rs` pins.
+//! - [`ScalePolicy::Reactive`] — queue-depth threshold with hysteresis:
+//!   scale up one shard when mean waiting depth per accepting shard
+//!   crosses `scale_up_depth`, down when it falls below
+//!   `scale_down_depth`.
+//! - [`ScalePolicy::UtilizationTarget`] — hold the fleet's busy fraction
+//!   over the last evaluation window inside `[low, high]`.
+//! - [`ScalePolicy::Scheduled`] — a time-of-day table of shard counts
+//!   (applied at evaluation ticks).
+//!
+//! **Scale-up** pays a configurable warm-up delay (weight streaming into a
+//! cold shard's HBM) before the shard joins dispatch; a warming shard is
+//! paid for (shard-seconds) but never admits work. **Scale-down** follows
+//! the decode engine's eviction-vs-drain split: [`RetirePolicy::Drain`]
+//! stops routing to the shard and lets it finish its queued work before
+//! retiring; [`RetirePolicy::Evict`] re-routes the queued (not yet
+//! dispatched) requests to the surviving shards immediately — like decode
+//! preemption, evicted work loses its place and re-queues, but is never
+//! dropped. In both cases an in-flight batch always completes. If load
+//! re-spikes while a shard is still draining, scale-up *recalls* it —
+//! it rejoins dispatch immediately (weights still resident, no warm-up;
+//! the event log shows a bare `Join`) instead of cold-launching a
+//! replacement.
+//!
+//! The [`AutoscaleReport`] extends the [`FleetReport`] with the cost side
+//! of the trade: shard-seconds (the cost proxy a deployment bills by), the
+//! scaling-event log, SLO attainment overall and per workload phase, and
+//! mean/peak active shards — enough to sweep a cost × p95 frontier, which
+//! the `ablate_autoscale` bin does under a 4× diurnal swing.
+
+use crate::accelerator::AcceleratorDesign;
+use crate::fleet::{
+    BatcherConfig, DispatchPolicy, FleetController, FleetCore, FleetReport, NullController, Request,
+};
+use lat_core::pipeline::SchedulingPolicy;
+use lat_tensor::stats::percentile;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One entry of a [`ScalePolicy::Scheduled`] table: hold `shards` shards
+/// from `start_s` until the next entry's start.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulePhase {
+    /// Time the phase begins, in seconds since simulation start.
+    pub start_s: f64,
+    /// Shard count to hold during the phase.
+    pub shards: usize,
+}
+
+/// How the controller decides the target shard count at each evaluation
+/// tick.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScalePolicy {
+    /// Never scale: the fleet stays at `initial_shards`. With
+    /// `min_shards == max shards` this is [`simulate_fleet`] bit-for-bit.
+    Pinned,
+    /// Queue-depth threshold with hysteresis: scale up by one shard when
+    /// the mean waiting depth per accepting shard exceeds
+    /// `scale_up_depth`, down by one when it falls below
+    /// `scale_down_depth` (`scale_up_depth > scale_down_depth` — the gap
+    /// is the hysteresis band that stops flapping).
+    Reactive {
+        /// Mean waiting requests per accepting shard that triggers +1.
+        scale_up_depth: f64,
+        /// Mean waiting requests per accepting shard that triggers −1.
+        scale_down_depth: f64,
+    },
+    /// Hold the fleet's busy fraction over the last evaluation window
+    /// inside `[low, high]`: above `high` scale up, below `low` scale
+    /// down.
+    UtilizationTarget {
+        /// Busy fraction below which a shard is retired.
+        low: f64,
+        /// Busy fraction above which a shard is launched.
+        high: f64,
+    },
+    /// Time-of-day table of shard counts, applied at evaluation ticks;
+    /// before the first entry's start the fleet stays at
+    /// `initial_shards`.
+    Scheduled(Vec<SchedulePhase>),
+}
+
+impl fmt::Display for ScalePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalePolicy::Pinned => write!(f, "pinned"),
+            ScalePolicy::Reactive { .. } => write!(f, "reactive"),
+            ScalePolicy::UtilizationTarget { .. } => write!(f, "utilization"),
+            ScalePolicy::Scheduled(_) => write!(f, "scheduled"),
+        }
+    }
+}
+
+/// What happens to a retiring shard's waiting queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RetirePolicy {
+    /// The shard stops accepting new work but serves its queue to empty
+    /// before retiring (slow, graceful).
+    Drain,
+    /// The shard's waiting requests are re-routed to surviving shards
+    /// immediately (the decode engine's preemption move applied to
+    /// scale-down); the shard retires as soon as its in-flight batch
+    /// completes. Evicted requests re-queue — they are never dropped.
+    Evict,
+}
+
+impl fmt::Display for RetirePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetirePolicy::Drain => write!(f, "drain"),
+            RetirePolicy::Evict => write!(f, "evict"),
+        }
+    }
+}
+
+/// Parameters of the autoscaling layer. The maximum shard count is the
+/// length of the design slice handed to [`simulate_autoscale`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoscaleConfig {
+    /// Floor on committed (active + warming) shards; never retires below.
+    pub min_shards: usize,
+    /// Shards active at `t = 0` (already warm).
+    pub initial_shards: usize,
+    /// Scaling decision rule.
+    pub policy: ScalePolicy,
+    /// Eviction-vs-drain semantics of scale-down.
+    pub retire: RetirePolicy,
+    /// Controller sampling period in seconds.
+    pub eval_interval_s: f64,
+    /// Weight-streaming delay between launching a shard and it joining
+    /// dispatch; the shard is paid for but admits no work while warming.
+    pub warmup_s: f64,
+    /// Minimum time between scaling actions of the feedback policies
+    /// (reactive / utilization-target); scheduled tables ignore it.
+    pub cooldown_s: f64,
+    /// End-to-end latency SLO used for attainment reporting.
+    pub slo_latency_s: f64,
+    /// Ascending arrival-time boundaries splitting the trace into
+    /// reporting phases (empty = one phase). Purely observational.
+    pub phase_bounds_s: Vec<f64>,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        Self {
+            min_shards: 1,
+            initial_shards: 1,
+            policy: ScalePolicy::Reactive {
+                scale_up_depth: 12.0,
+                scale_down_depth: 2.0,
+            },
+            retire: RetirePolicy::Drain,
+            eval_interval_s: 0.2,
+            warmup_s: 0.3,
+            cooldown_s: 0.4,
+            slo_latency_s: 0.25,
+            phase_bounds_s: Vec::new(),
+        }
+    }
+}
+
+impl AutoscaleConfig {
+    /// Panics unless the configuration is well-formed for a fleet of
+    /// `max_shards` designs.
+    pub fn validate(&self, max_shards: usize) {
+        assert!(self.min_shards >= 1, "min_shards must be >= 1");
+        assert!(
+            self.min_shards <= max_shards,
+            "min_shards exceeds the fleet size"
+        );
+        assert!(
+            (self.min_shards..=max_shards).contains(&self.initial_shards),
+            "initial_shards outside [min_shards, fleet size]"
+        );
+        assert!(self.eval_interval_s > 0.0, "eval interval must be positive");
+        assert!(self.warmup_s >= 0.0, "negative warm-up");
+        assert!(self.cooldown_s >= 0.0, "negative cooldown");
+        assert!(self.slo_latency_s > 0.0, "SLO latency must be positive");
+        assert!(
+            self.phase_bounds_s.windows(2).all(|w| w[0] < w[1])
+                && self
+                    .phase_bounds_s
+                    .iter()
+                    .all(|b| b.is_finite() && *b > 0.0),
+            "phase bounds must be ascending, positive and finite"
+        );
+        match &self.policy {
+            ScalePolicy::Pinned => {}
+            ScalePolicy::Reactive {
+                scale_up_depth,
+                scale_down_depth,
+            } => assert!(
+                scale_up_depth > scale_down_depth && *scale_down_depth >= 0.0,
+                "reactive thresholds need scale_up_depth > scale_down_depth >= 0"
+            ),
+            ScalePolicy::UtilizationTarget { low, high } => assert!(
+                high > low && *low >= 0.0,
+                "utilization band needs high > low >= 0"
+            ),
+            ScalePolicy::Scheduled(table) => {
+                assert!(
+                    !table.is_empty(),
+                    "scheduled table needs at least one phase"
+                );
+                assert!(
+                    table.windows(2).all(|w| w[0].start_s < w[1].start_s),
+                    "scheduled table must be sorted by start time"
+                );
+                assert!(
+                    table
+                        .iter()
+                        .all(|p| (self.min_shards..=max_shards).contains(&p.shards)),
+                    "scheduled shard counts outside [min_shards, fleet size]"
+                );
+            }
+        }
+    }
+}
+
+/// What a [`ScaleEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScaleEventKind {
+    /// A cold shard started warming up (paid from here on).
+    Launch,
+    /// A warmed shard joined dispatch.
+    Join,
+    /// A shard stopped accepting work and began draining/evicting.
+    RetireStart,
+    /// A retiring shard went idle and left the paid fleet.
+    Retired,
+}
+
+impl fmt::Display for ScaleEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScaleEventKind::Launch => write!(f, "launch"),
+            ScaleEventKind::Join => write!(f, "join"),
+            ScaleEventKind::RetireStart => write!(f, "retire-start"),
+            ScaleEventKind::Retired => write!(f, "retired"),
+        }
+    }
+}
+
+/// One entry of the scaling-event log.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaleEvent {
+    /// Event time in seconds.
+    pub time_s: f64,
+    /// Shard the event concerns.
+    pub shard: usize,
+    /// What happened.
+    pub kind: ScaleEventKind,
+    /// Committed (active + warming + retiring) shards after the event.
+    pub on_after: usize,
+}
+
+/// SLO attainment over one reporting phase of the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSlo {
+    /// Phase start (arrival-time bucket), inclusive.
+    pub start_s: f64,
+    /// Phase end, exclusive (`f64::INFINITY` for the last phase).
+    pub end_s: f64,
+    /// Requests that arrived in the phase.
+    pub requests: usize,
+    /// Fraction of the phase's requests inside the latency SLO (1 when
+    /// the phase is empty).
+    pub slo_attainment: f64,
+    /// 95th-percentile latency of the phase's requests (0 when empty).
+    pub p95_latency_s: f64,
+}
+
+/// Result of an autoscaling simulation: the fleet-level report plus the
+/// cost/SLO view the scaling trade-off is judged by.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoscaleReport {
+    /// Fleet-level view (latency percentiles, throughput, per-shard
+    /// stats, batch log). Shards that never joined show zero work.
+    pub fleet: FleetReport,
+    /// Σ over shards of paid time (launch → retirement, warm-up
+    /// included; still-on shards are charged to the makespan) — the cost
+    /// proxy autoscaling tries to shrink.
+    pub shard_seconds: f64,
+    /// Time-averaged committed shard count over the makespan.
+    pub mean_active_shards: f64,
+    /// Peak committed shard count.
+    pub peak_active_shards: usize,
+    /// Every scaling action in time order (empty for a pinned policy).
+    pub scale_events: Vec<ScaleEvent>,
+    /// Fraction of all requests inside `slo_latency_s`.
+    pub slo_attainment: f64,
+    /// Per-phase SLO attainment along `phase_bounds_s`.
+    pub phases: Vec<PhaseSlo>,
+}
+
+/// Lifecycle of one shard under the autoscaler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Lifecycle {
+    /// Cold: not paid, not dispatched to.
+    Off,
+    /// Launched, streaming weights; paid but not yet dispatched to.
+    Warming {
+        /// Time the shard finishes warming and joins dispatch.
+        ready_s: f64,
+    },
+    /// In the dispatch set.
+    Active,
+    /// Out of the dispatch set, finishing residual work.
+    Retiring,
+}
+
+/// The policy-driven [`FleetController`].
+struct Autoscaler<'a> {
+    cfg: &'a AutoscaleConfig,
+    max_shards: usize,
+    lifecycle: Vec<Lifecycle>,
+    /// Time each non-[`Lifecycle::Off`] shard started being paid for.
+    on_since: Vec<f64>,
+    shard_seconds: f64,
+    events: Vec<ScaleEvent>,
+    next_eval_s: f64,
+    last_action_s: f64,
+    /// Total busy time at the previous tick (utilization window).
+    busy_snapshot: f64,
+    /// Committed (non-Off) shards right now.
+    on_count: usize,
+    peak_on: usize,
+    on_integral: f64,
+    last_on_change_s: f64,
+    done_ticking: bool,
+}
+
+impl<'a> Autoscaler<'a> {
+    fn new(cfg: &'a AutoscaleConfig, max_shards: usize) -> Self {
+        let lifecycle = (0..max_shards)
+            .map(|s| {
+                if s < cfg.initial_shards {
+                    Lifecycle::Active
+                } else {
+                    Lifecycle::Off
+                }
+            })
+            .collect();
+        Self {
+            cfg,
+            max_shards,
+            lifecycle,
+            on_since: vec![0.0; max_shards],
+            shard_seconds: 0.0,
+            events: Vec::new(),
+            next_eval_s: cfg.eval_interval_s,
+            last_action_s: f64::NEG_INFINITY,
+            busy_snapshot: 0.0,
+            on_count: cfg.initial_shards,
+            peak_on: cfg.initial_shards,
+            on_integral: 0.0,
+            last_on_change_s: 0.0,
+            done_ticking: false,
+        }
+    }
+
+    /// Advances the committed-shard integral and applies `delta`.
+    fn change_on_count(&mut self, now: f64, delta: isize) {
+        self.on_integral += self.on_count as f64 * (now - self.last_on_change_s);
+        self.last_on_change_s = now;
+        self.on_count = (self.on_count as isize + delta) as usize;
+        self.peak_on = self.peak_on.max(self.on_count);
+    }
+
+    fn record(&mut self, now: f64, shard: usize, kind: ScaleEventKind) {
+        self.events.push(ScaleEvent {
+            time_s: now,
+            shard,
+            kind,
+            on_after: self.on_count,
+        });
+    }
+
+    fn accepting_count(&self, core: &FleetCore<'_>) -> usize {
+        core.accepting.iter().filter(|&&a| a).count()
+    }
+
+    /// Shards committed *going forward* — active or warming, but not
+    /// retiring (those leave as soon as they drain). Scaling decisions
+    /// compare targets against this count, so in-progress drains can't
+    /// stack further retires and push the surviving fleet below
+    /// `min_shards`.
+    fn staying_count(&self) -> usize {
+        self.lifecycle
+            .iter()
+            .filter(|l| matches!(l, Lifecycle::Active | Lifecycle::Warming { .. }))
+            .count()
+    }
+
+    /// Fleet busy time actually *elapsed* by `t`: `busy_time_s` charges a
+    /// batch's whole service at dispatch, so clip off the in-flight
+    /// batch's not-yet-elapsed tail. Window deltas of this integral are
+    /// exact even when service times span many evaluation windows.
+    fn busy_elapsed(&self, core: &FleetCore<'_>, t: f64) -> f64 {
+        core.state
+            .iter()
+            .map(|st| {
+                st.busy_time_s
+                    - if st.busy {
+                        (st.busy_until_s - t).max(0.0)
+                    } else {
+                        0.0
+                    }
+            })
+            .sum()
+    }
+
+    /// Starts paying for shard `s`; it joins dispatch after the warm-up.
+    fn launch(&mut self, core: &mut FleetCore<'_>, s: usize, now: f64) {
+        self.change_on_count(now, 1);
+        self.on_since[s] = now;
+        self.record(now, s, ScaleEventKind::Launch);
+        if self.cfg.warmup_s <= 0.0 {
+            self.lifecycle[s] = Lifecycle::Active;
+            core.accepting[s] = true;
+            self.record(now, s, ScaleEventKind::Join);
+        } else {
+            let ready_s = now + self.cfg.warmup_s;
+            self.lifecycle[s] = Lifecycle::Warming { ready_s };
+            core.schedule_control(ready_s);
+        }
+    }
+
+    /// Removes shard `s` from dispatch; its queue drains or evicts per the
+    /// retire policy, and it leaves the paid fleet once idle.
+    fn retire(&mut self, core: &mut FleetCore<'_>, s: usize, now: f64) {
+        self.lifecycle[s] = Lifecycle::Retiring;
+        core.accepting[s] = false;
+        self.record(now, s, ScaleEventKind::RetireStart);
+        if self.cfg.retire == RetirePolicy::Evict {
+            core.state[s].tick(now);
+            let evicted: Vec<usize> = core.state[s].queue.drain(..).collect();
+            core.state[s].window_scheduled_for = None;
+            let mut touched = Vec::new();
+            for r in evicted {
+                let s2 = core.admit(r, now);
+                if !touched.contains(&s2) {
+                    touched.push(s2);
+                }
+            }
+            for s2 in touched {
+                core.try_dispatch(s2, now);
+            }
+        }
+        self.maybe_finish_retire(core, s, now);
+    }
+
+    /// Completes a retirement once the shard is idle with an empty queue.
+    fn maybe_finish_retire(&mut self, core: &mut FleetCore<'_>, s: usize, now: f64) {
+        if self.lifecycle[s] == Lifecycle::Retiring
+            && !core.state[s].busy
+            && core.state[s].queue.is_empty()
+        {
+            self.lifecycle[s] = Lifecycle::Off;
+            self.change_on_count(now, -1);
+            self.shard_seconds += now - self.on_since[s];
+            self.record(now, s, ScaleEventKind::Retired);
+        }
+    }
+
+    /// The policy's target committed-shard count at `now`, relative to
+    /// the shards committed going forward (`staying`, not counting
+    /// in-progress drains).
+    fn desired_on(&self, core: &FleetCore<'_>, now: f64) -> usize {
+        let staying = self.staying_count();
+        match &self.cfg.policy {
+            ScalePolicy::Pinned => staying,
+            ScalePolicy::Reactive {
+                scale_up_depth,
+                scale_down_depth,
+            } => {
+                let waiting: usize = core.state.iter().map(|st| st.queue.len()).sum();
+                let depth = waiting as f64 / self.accepting_count(core).max(1) as f64;
+                if depth > *scale_up_depth {
+                    staying + 1
+                } else if depth < *scale_down_depth {
+                    staying.saturating_sub(1)
+                } else {
+                    staying
+                }
+            }
+            ScalePolicy::UtilizationTarget { low, high } => {
+                // Busy fraction over the last window, normalized by the
+                // *paid* fleet (retiring shards still serve).
+                let busy = self.busy_elapsed(core, now);
+                let util = (busy - self.busy_snapshot)
+                    / (self.cfg.eval_interval_s * self.on_count.max(1) as f64);
+                if util > *high {
+                    staying + 1
+                } else if util < *low {
+                    staying.saturating_sub(1)
+                } else {
+                    staying
+                }
+            }
+            ScalePolicy::Scheduled(table) => table
+                .iter()
+                .take_while(|p| p.start_s <= now)
+                .last()
+                .map_or(self.cfg.initial_shards, |p| p.shards),
+        }
+    }
+
+    /// One evaluation tick: decide a target and launch/recall/retire
+    /// towards it.
+    fn evaluate(&mut self, core: &mut FleetCore<'_>, now: f64) {
+        let desired = self
+            .desired_on(core, now)
+            .clamp(self.cfg.min_shards, self.max_shards);
+        // The utilization window resets every tick, acted on or not.
+        self.busy_snapshot = self.busy_elapsed(core, now);
+        let staying = self.staying_count();
+        if desired == staying {
+            return;
+        }
+        let feedback = matches!(
+            self.cfg.policy,
+            ScalePolicy::Reactive { .. } | ScalePolicy::UtilizationTarget { .. }
+        );
+        if feedback && now - self.last_action_s < self.cfg.cooldown_s {
+            return;
+        }
+        let mut acted = false;
+        if desired > staying {
+            let mut need = desired - staying;
+            // Recall retiring shards first: they are still warm (weights
+            // resident), so rejoining dispatch is free — no warm-up, no
+            // fresh Launch; the event log shows a bare Join.
+            for s in (0..self.max_shards).rev() {
+                if need == 0 {
+                    break;
+                }
+                if self.lifecycle[s] == Lifecycle::Retiring {
+                    self.lifecycle[s] = Lifecycle::Active;
+                    core.accepting[s] = true;
+                    self.record(now, s, ScaleEventKind::Join);
+                    need -= 1;
+                    acted = true;
+                }
+            }
+            for s in 0..self.max_shards {
+                if need == 0 {
+                    break;
+                }
+                if self.lifecycle[s] == Lifecycle::Off {
+                    self.launch(core, s, now);
+                    need -= 1;
+                    acted = true;
+                }
+            }
+        } else {
+            // desired >= min_shards (clamped) and each retire moves one
+            // shard out of `staying`, so the surviving fleet never drops
+            // below the floor even while earlier drains are in flight.
+            let mut staying_now = staying;
+            for s in (0..self.max_shards).rev() {
+                if staying_now == desired {
+                    break;
+                }
+                // Retire only active shards, and never the last accepting
+                // one — a warming shard is not yet a routing target.
+                if self.lifecycle[s] == Lifecycle::Active && self.accepting_count(core) > 1 {
+                    self.retire(core, s, now);
+                    staying_now -= 1;
+                    acted = true;
+                }
+            }
+        }
+        if acted {
+            self.last_action_s = now;
+        }
+    }
+}
+
+impl FleetController for Autoscaler<'_> {
+    fn on_control(&mut self, core: &mut FleetCore<'_>, now: f64) {
+        // Finish any due warm-ups first, so a shard can join and receive
+        // work decided at the very same tick.
+        for s in 0..self.max_shards {
+            if let Lifecycle::Warming { ready_s } = self.lifecycle[s] {
+                if ready_s <= now {
+                    self.lifecycle[s] = Lifecycle::Active;
+                    core.accepting[s] = true;
+                    self.record(now, s, ScaleEventKind::Join);
+                }
+            }
+        }
+        if self.done_ticking || now + 1e-9 < self.next_eval_s {
+            return;
+        }
+        if core.completed() == core.trace.len() {
+            // Work is done: stop the tick chain so the heap can drain.
+            self.done_ticking = true;
+            return;
+        }
+        self.evaluate(core, now);
+        self.next_eval_s = now + self.cfg.eval_interval_s;
+        core.schedule_control(self.next_eval_s);
+    }
+
+    fn after_completion(&mut self, core: &mut FleetCore<'_>, shard: usize, now: f64) {
+        self.maybe_finish_retire(core, shard, now);
+    }
+}
+
+/// Simulates `trace` over a fleet of up to `shards.len()` shards whose
+/// membership the autoscaling controller drives at runtime; batching,
+/// dispatch and the cost model are exactly [`simulate_fleet`]'s.
+///
+/// Every request completes exactly once — scaling events re-route or delay
+/// work but never drop it.
+///
+/// # Panics
+///
+/// Panics on the [`simulate_fleet`] input errors or a malformed
+/// [`AutoscaleConfig`] (see [`AutoscaleConfig::validate`]).
+pub fn simulate_autoscale(
+    shards: &[AcceleratorDesign],
+    trace: &[Request],
+    policy: SchedulingPolicy,
+    dispatch: DispatchPolicy,
+    batcher: &BatcherConfig,
+    cfg: &AutoscaleConfig,
+) -> AutoscaleReport {
+    assert!(!shards.is_empty(), "fleet needs at least one shard");
+    cfg.validate(shards.len());
+    let accepting: Vec<bool> = (0..shards.len()).map(|s| s < cfg.initial_shards).collect();
+    let mut core = FleetCore::new(shards, trace, policy, dispatch, batcher, accepting);
+    let mut ctl = Autoscaler::new(cfg, shards.len());
+    if matches!(cfg.policy, ScalePolicy::Pinned) {
+        // No control events at all: the event stream is simulate_fleet's,
+        // which is what makes the min==max pin bit-for-bit.
+        core.run(&mut NullController);
+    } else {
+        core.schedule_control(cfg.eval_interval_s);
+        core.run(&mut ctl);
+    }
+
+    let latencies: Vec<f64> = core
+        .completion_s
+        .iter()
+        .zip(trace)
+        .map(|(&c, req)| c - req.arrival_s)
+        .collect();
+    let fleet = core.into_report();
+    let makespan = fleet.makespan_s;
+
+    // Close the books on shards still committed at the end of the run.
+    let mut shard_seconds = ctl.shard_seconds;
+    for s in 0..shards.len() {
+        if ctl.lifecycle[s] != Lifecycle::Off {
+            shard_seconds += (makespan - ctl.on_since[s]).max(0.0);
+        }
+    }
+    let end = makespan.max(ctl.last_on_change_s).max(1e-12);
+    let on_integral = ctl.on_integral + ctl.on_count as f64 * (end - ctl.last_on_change_s);
+
+    let in_slo = |lat: f64| lat <= cfg.slo_latency_s;
+    let slo_attainment =
+        latencies.iter().filter(|&&l| in_slo(l)).count() as f64 / latencies.len() as f64;
+    let mut edges = vec![0.0];
+    edges.extend(cfg.phase_bounds_s.iter().copied());
+    edges.push(f64::INFINITY);
+    let phases = edges
+        .windows(2)
+        .map(|w| {
+            let phase_lat: Vec<f64> = trace
+                .iter()
+                .zip(&latencies)
+                .filter(|(r, _)| r.arrival_s >= w[0] && r.arrival_s < w[1])
+                .map(|(_, &l)| l)
+                .collect();
+            PhaseSlo {
+                start_s: w[0],
+                end_s: w[1],
+                requests: phase_lat.len(),
+                slo_attainment: if phase_lat.is_empty() {
+                    1.0
+                } else {
+                    phase_lat.iter().filter(|&&l| in_slo(l)).count() as f64 / phase_lat.len() as f64
+                },
+                p95_latency_s: percentile(&phase_lat, 0.95).unwrap_or(0.0),
+            }
+        })
+        .collect();
+
+    AutoscaleReport {
+        fleet,
+        shard_seconds,
+        mean_active_shards: on_integral / end,
+        peak_active_shards: ctl.peak_on,
+        scale_events: ctl.events,
+        slo_attainment,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{
+        homogeneous_fleet, nonstationary_poisson_trace, poisson_trace, simulate_fleet, RatePhase,
+        RateProfile,
+    };
+    use crate::spec::FpgaSpec;
+    use lat_model::config::ModelConfig;
+    use lat_model::graph::AttentionMode;
+    use lat_workloads::datasets::DatasetSpec;
+
+    fn tiny_design(s_avg: usize) -> AcceleratorDesign {
+        AcceleratorDesign::new(
+            &ModelConfig::tiny(),
+            AttentionMode::paper_sparse(),
+            FpgaSpec::alveo_u280(),
+            s_avg,
+        )
+    }
+
+    fn reactive_cfg(min: usize, initial: usize) -> AutoscaleConfig {
+        AutoscaleConfig {
+            min_shards: min,
+            initial_shards: initial,
+            policy: ScalePolicy::Reactive {
+                scale_up_depth: 6.0,
+                scale_down_depth: 1.0,
+            },
+            eval_interval_s: 0.05,
+            warmup_s: 0.1,
+            cooldown_s: 0.0,
+            ..AutoscaleConfig::default()
+        }
+    }
+
+    /// A two-phase burst profile: quiet, then far past 1-shard capacity.
+    fn burst_profile() -> RateProfile {
+        RateProfile::Piecewise(vec![
+            RatePhase {
+                duration_s: 1.0,
+                rate: 30.0,
+            },
+            RatePhase {
+                duration_s: 2.0,
+                rate: 2500.0,
+            },
+        ])
+    }
+
+    #[test]
+    fn pinned_full_fleet_reproduces_simulate_fleet_bit_for_bit() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 3);
+        let trace = poisson_trace(&DatasetSpec::rte(), 500.0, 90, 42);
+        let batcher = BatcherConfig::default();
+        let auto = simulate_autoscale(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            &batcher,
+            &AutoscaleConfig {
+                min_shards: 3,
+                initial_shards: 3,
+                policy: ScalePolicy::Pinned,
+                ..AutoscaleConfig::default()
+            },
+        );
+        let fixed = simulate_fleet(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            &batcher,
+        );
+        assert_eq!(auto.fleet, fixed);
+        assert!(auto.scale_events.is_empty());
+        assert_eq!(auto.peak_active_shards, 3);
+        let expect = 3.0 * fixed.makespan_s;
+        assert!((auto.shard_seconds - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reactive_scales_up_under_burst_and_back_down() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 4);
+        let trace = nonstationary_poisson_trace(&DatasetSpec::mrpc(), &burst_profile(), 400, 7);
+        let r = simulate_autoscale(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            &BatcherConfig::default(),
+            &reactive_cfg(1, 1),
+        );
+        assert_eq!(r.fleet.completed, 400);
+        assert!(r.peak_active_shards > 1, "never scaled up under the burst");
+        assert!(
+            r.scale_events
+                .iter()
+                .any(|e| e.kind == ScaleEventKind::Join),
+            "no shard ever joined"
+        );
+        assert!(
+            r.scale_events
+                .iter()
+                .any(|e| e.kind == ScaleEventKind::Retired),
+            "never scaled back down after the burst"
+        );
+        assert!(r.mean_active_shards < r.peak_active_shards as f64);
+        assert!(r.shard_seconds < 4.0 * r.fleet.makespan_s);
+    }
+
+    #[test]
+    fn warming_shards_admit_no_work_before_join() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 4);
+        let trace = nonstationary_poisson_trace(&DatasetSpec::mrpc(), &burst_profile(), 400, 11);
+        let r = simulate_autoscale(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            &BatcherConfig::default(),
+            &reactive_cfg(1, 1),
+        );
+        // Every batch on a launched shard starts at/after that shard's
+        // join; shard 0 (initial) is exempt.
+        for e in r
+            .scale_events
+            .iter()
+            .filter(|e| e.kind == ScaleEventKind::Join)
+        {
+            let launch = r
+                .scale_events
+                .iter()
+                .find(|l| l.shard == e.shard && l.kind == ScaleEventKind::Launch)
+                .expect("join without launch");
+            assert!(e.time_s - launch.time_s >= 0.1 - 1e-9, "warm-up skipped");
+        }
+        for b in &r.fleet.batch_log {
+            if b.shard == 0 {
+                continue;
+            }
+            let join = r
+                .scale_events
+                .iter()
+                .filter(|e| e.shard == b.shard && e.kind == ScaleEventKind::Join)
+                .map(|e| e.time_s)
+                .next()
+                .expect("batch on a shard that never joined");
+            assert!(
+                b.start_s >= join - 1e-9,
+                "shard {} ran a batch at {} before joining at {}",
+                b.shard,
+                b.start_s,
+                join
+            );
+        }
+    }
+
+    #[test]
+    fn evict_reroutes_queued_work_and_conserves_requests() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 4);
+        let trace = nonstationary_poisson_trace(&DatasetSpec::mrpc(), &burst_profile(), 500, 3);
+        for retire in [RetirePolicy::Drain, RetirePolicy::Evict] {
+            let r = simulate_autoscale(
+                &fleet,
+                &trace,
+                SchedulingPolicy::LengthAware,
+                DispatchPolicy::JoinShortestQueue,
+                &BatcherConfig::default(),
+                &AutoscaleConfig {
+                    retire,
+                    ..reactive_cfg(1, 4)
+                },
+            );
+            assert_eq!(r.fleet.completed, 500, "{retire}");
+            assert_eq!(
+                r.fleet.shards.iter().map(|s| s.completed).sum::<usize>(),
+                500,
+                "{retire}"
+            );
+            // No batch on a shard after it retired (until a relaunch).
+            for b in &r.fleet.batch_log {
+                let mut allowed = true;
+                for e in r.scale_events.iter().filter(|e| e.shard == b.shard) {
+                    if e.time_s > b.start_s + 1e-12 {
+                        break;
+                    }
+                    match e.kind {
+                        ScaleEventKind::Retired => allowed = false,
+                        ScaleEventKind::Launch | ScaleEventKind::Join => allowed = true,
+                        ScaleEventKind::RetireStart => {}
+                    }
+                }
+                assert!(allowed, "{retire}: batch on retired shard {}", b.shard);
+            }
+        }
+    }
+
+    #[test]
+    fn scheduled_policy_follows_the_table() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 3);
+        let trace = poisson_trace(&DatasetSpec::mrpc(), 120.0, 360, 5);
+        let r = simulate_autoscale(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            &BatcherConfig::default(),
+            &AutoscaleConfig {
+                min_shards: 1,
+                initial_shards: 1,
+                policy: ScalePolicy::Scheduled(vec![
+                    SchedulePhase {
+                        start_s: 0.5,
+                        shards: 3,
+                    },
+                    SchedulePhase {
+                        start_s: 1.5,
+                        shards: 1,
+                    },
+                ]),
+                eval_interval_s: 0.1,
+                warmup_s: 0.05,
+                ..AutoscaleConfig::default()
+            },
+        );
+        assert_eq!(r.fleet.completed, 360);
+        let launches = r
+            .scale_events
+            .iter()
+            .filter(|e| e.kind == ScaleEventKind::Launch)
+            .count();
+        let retires = r
+            .scale_events
+            .iter()
+            .filter(|e| e.kind == ScaleEventKind::RetireStart)
+            .count();
+        assert_eq!(launches, 2, "table never scaled to 3");
+        assert!(retires >= 2, "table never scaled back to 1");
+        assert_eq!(r.peak_active_shards, 3);
+    }
+
+    #[test]
+    fn slo_and_phase_accounting_consistent() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 2);
+        let trace = poisson_trace(&DatasetSpec::rte(), 200.0, 120, 9);
+        let r = simulate_autoscale(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            &BatcherConfig::default(),
+            &AutoscaleConfig {
+                min_shards: 2,
+                initial_shards: 2,
+                policy: ScalePolicy::Pinned,
+                slo_latency_s: 10.0, // generous: everything attains
+                phase_bounds_s: vec![0.2, 0.4],
+                ..AutoscaleConfig::default()
+            },
+        );
+        assert_eq!(r.slo_attainment, 1.0);
+        assert_eq!(r.phases.len(), 3);
+        assert_eq!(r.phases.iter().map(|p| p.requests).sum::<usize>(), 120);
+        assert!(r.phases.iter().all(|p| p.slo_attainment == 1.0));
+        assert_eq!(r.phases[0].start_s, 0.0);
+        assert_eq!(r.phases[2].end_s, f64::INFINITY);
+    }
+
+    #[test]
+    fn utilization_target_scales_up_under_saturation() {
+        // A tiny shard sustains ~78k seq/s, so saturate with a 200k seq/s
+        // stream and tick fast enough to observe the busy window.
+        let fleet = homogeneous_fleet(&tiny_design(64), 3);
+        let trace = poisson_trace(&DatasetSpec::mrpc(), 200_000.0, 2000, 13);
+        let r = simulate_autoscale(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            &BatcherConfig::default(),
+            &AutoscaleConfig {
+                min_shards: 1,
+                initial_shards: 1,
+                policy: ScalePolicy::UtilizationTarget {
+                    low: 0.3,
+                    high: 0.85,
+                },
+                eval_interval_s: 0.002,
+                warmup_s: 0.002,
+                cooldown_s: 0.0,
+                ..AutoscaleConfig::default()
+            },
+        );
+        assert_eq!(r.fleet.completed, 2000);
+        assert_eq!(r.peak_active_shards, 3, "saturation never filled the fleet");
+    }
+
+    #[test]
+    fn deterministic_for_identical_inputs() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 4);
+        let trace = nonstationary_poisson_trace(&DatasetSpec::rte(), &burst_profile(), 300, 21);
+        let go = || {
+            simulate_autoscale(
+                &fleet,
+                &trace,
+                SchedulingPolicy::LengthAware,
+                DispatchPolicy::JoinShortestQueue,
+                &BatcherConfig::default(),
+                &reactive_cfg(1, 2),
+            )
+        };
+        assert_eq!(go(), go());
+    }
+
+    #[test]
+    #[should_panic(expected = "initial_shards outside")]
+    fn initial_below_min_rejected() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 2);
+        let trace = poisson_trace(&DatasetSpec::rte(), 100.0, 10, 1);
+        let _ = simulate_autoscale(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            &BatcherConfig::default(),
+            &AutoscaleConfig {
+                min_shards: 2,
+                initial_shards: 1,
+                ..AutoscaleConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scale_up_depth > scale_down_depth")]
+    fn inverted_hysteresis_rejected() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 2);
+        let trace = poisson_trace(&DatasetSpec::rte(), 100.0, 10, 1);
+        let _ = simulate_autoscale(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            &BatcherConfig::default(),
+            &AutoscaleConfig {
+                policy: ScalePolicy::Reactive {
+                    scale_up_depth: 1.0,
+                    scale_down_depth: 4.0,
+                },
+                ..AutoscaleConfig::default()
+            },
+        );
+    }
+}

@@ -46,7 +46,7 @@
 
 use crate::accelerator::AcceleratorDesign;
 use crate::fleet::{
-    push_event, route, BatchRecord, DispatchPolicy, Event, FleetReport, ShardReport,
+    push_event, route, BatchRecord, DispatchPolicy, Event, FleetReport, RateProfile, ShardReport,
 };
 use lat_core::pipeline::SchedulingPolicy;
 use lat_tensor::rng::SplitMix64;
@@ -110,12 +110,57 @@ pub fn decode_trace<P: LengthSampler + ?Sized, O: LengthSampler + ?Sized>(
     num_requests: usize,
     seed: u64,
 ) -> Vec<DecodeRequest> {
+    crate::fleet::poisson_process(
+        arrival_rate,
+        num_requests,
+        seed,
+        decode_payload(prefill, output, high_fraction, seed),
+    )
+}
+
+/// Nonstationary sibling of [`decode_trace`]: arrivals follow the
+/// time-varying [`RateProfile`], per-request fields are drawn exactly as
+/// [`decode_trace`] draws them. Built on the shared
+/// [`crate::fleet::nonstationary_poisson_process`], so for the same
+/// `(profile, n, seed)` it emits bit-identical arrival times (and prefill
+/// lengths) to [`crate::fleet::nonstationary_poisson_trace`] — the
+/// nonstationary mirror of the stationary pinning.
+///
+/// # Panics
+///
+/// Panics if the profile is malformed, `num_requests == 0`, or
+/// `high_fraction` is outside `[0, 1]`.
+pub fn nonstationary_decode_trace<P: LengthSampler + ?Sized, O: LengthSampler + ?Sized>(
+    prefill: &P,
+    output: &O,
+    high_fraction: f64,
+    profile: &RateProfile,
+    num_requests: usize,
+    seed: u64,
+) -> Vec<DecodeRequest> {
+    crate::fleet::nonstationary_poisson_process(
+        profile,
+        num_requests,
+        seed,
+        decode_payload(prefill, output, high_fraction, seed),
+    )
+}
+
+/// The per-request payload closure shared by [`decode_trace`] and
+/// [`nonstationary_decode_trace`]: one source of truth for the draw order,
+/// so the stationary and nonstationary generators cannot drift apart.
+fn decode_payload<'a, P: LengthSampler + ?Sized, O: LengthSampler + ?Sized>(
+    prefill: &'a P,
+    output: &'a O,
+    high_fraction: f64,
+    seed: u64,
+) -> impl FnMut(&mut SplitMix64, f64) -> DecodeRequest + 'a {
     assert!(
         (0.0..=1.0).contains(&high_fraction),
         "high_fraction outside [0, 1]"
     );
     let mut aux = SplitMix64::new(seed ^ DECODE_AUX_STREAM);
-    crate::fleet::poisson_process(arrival_rate, num_requests, seed, |rng, t| {
+    move |rng, t| {
         let prefill_len = prefill.sample_length(rng);
         let output_len = output.sample_length(&mut aux).max(1);
         let priority = if aux.next_f64() < high_fraction {
@@ -129,7 +174,7 @@ pub fn decode_trace<P: LengthSampler + ?Sized, O: LengthSampler + ?Sized>(
             output_len,
             priority,
         }
-    })
+    }
 }
 
 /// Per-shard iteration-level scheduling policy.
@@ -542,6 +587,7 @@ impl Sim<'_> {
             route(
                 self.dispatch,
                 self.designs,
+                &|_| true,
                 &|i| shards[i].load(),
                 self.trace[r].prefill_len,
                 &mut self.rr_next,
@@ -1076,6 +1122,101 @@ mod tests {
         );
         let go = || run(&trace, DecodeScheduler::ContinuousPreempt, 4, 3);
         assert_eq!(go(), go());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty arrival trace")]
+    fn zero_request_trace_rejected() {
+        // The 0-request edge: an empty trace has no makespan to normalize
+        // slot utilization by, so the engine must refuse it outright
+        // rather than emit a report full of 0/0.
+        let fleet = homogeneous_fleet(&tiny_design(64), 1);
+        let _ = simulate_decode(
+            &fleet,
+            &[],
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::RoundRobin,
+            DecodeScheduler::Continuous,
+            &DecodeConfig::default(),
+        );
+    }
+
+    #[test]
+    fn single_request_single_slot_utilization_is_exact() {
+        // 1 request × 1 slot arriving at t=0: the slot is live for every
+        // iteration and iterations run back-to-back, so live-slot
+        // utilization is exactly the busy fraction (= 1) and nothing can
+        // be preempted. Exercises the smallest report the engine can emit.
+        let trace = burst(1, 0.0, 64, 5);
+        for scheduler in DecodeScheduler::ALL {
+            let r = run(&trace, scheduler, 1, 1);
+            assert_eq!(r.fleet.completed, 1, "{scheduler}");
+            assert_eq!(r.generated_tokens, 5);
+            assert!(
+                (r.slot_utilization - 1.0).abs() < 1e-12,
+                "{scheduler}: slot utilization {} != 1",
+                r.slot_utilization
+            );
+            assert!((r.shards[0].slot_utilization - 1.0).abs() < 1e-12);
+            assert_eq!(r.preemptions, 0, "{scheduler}");
+            assert_eq!(r.shards[0].peak_resident, 1);
+            // 5 output tokens = 1 prefill pass + 4 decode iterations.
+            assert_eq!(r.fleet.batch_log.len(), 5);
+            assert_eq!(r.itl_p50_s, r.itl_p95_s, "uniform decode-step gaps");
+        }
+    }
+
+    #[test]
+    fn one_slot_preemption_evicts_the_only_resident() {
+        // 1 slot saturated by a long normal request; a high-priority
+        // arrival with a zero deadline must evict that sole resident. Pins
+        // the victim search at the resident.len() == 1 boundary.
+        let mut trace = burst(1, 0.0, 64, 30);
+        trace.push(DecodeRequest {
+            arrival_s: 1e-6,
+            prefill_len: 32,
+            output_len: 2,
+            priority: Priority::High,
+        });
+        let fleet = homogeneous_fleet(&tiny_design(64), 1);
+        let r = simulate_decode(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            DecodeScheduler::ContinuousPreempt,
+            &DecodeConfig {
+                max_slots: 1,
+                ttft_deadline_s: 0.0,
+            },
+        );
+        assert!(r.preemptions >= 1, "no eviction at the 1-slot edge");
+        assert_eq!(r.requests[0].preemptions as usize, r.preemptions);
+        assert_eq!(r.requests[1].preemptions, 0, "high-priority never evicted");
+        // The victim still completes with every token, after the high one.
+        assert_eq!(r.fleet.completed, 2);
+        assert_eq!(r.requests[0].tokens, 30);
+        assert!(r.requests[1].completion_s < r.requests[0].completion_s);
+        assert!(r.slot_utilization > 0.0 && r.slot_utilization <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn nonstationary_decode_trace_matches_nonstationary_poisson_trace() {
+        // Unit-scale pin of the shared nonstationary arrival process (the
+        // property version lives in tests/decode_props.rs).
+        let spec = DatasetSpec::rte();
+        let profile = RateProfile::Diurnal {
+            mean_rate: 90.0,
+            swing: 4.0,
+            period_s: 6.0,
+        };
+        let enc = crate::fleet::nonstationary_poisson_trace(&spec, &profile, 48, 23);
+        let dec = nonstationary_decode_trace(&spec, &spec.decode_output(), 0.2, &profile, 48, 23);
+        for (a, b) in enc.iter().zip(&dec) {
+            assert_eq!(a.arrival_s, b.arrival_s, "arrival process drifted");
+            assert_eq!(a.len, b.prefill_len, "prefill stream drifted");
+        }
+        assert!(dec.iter().all(|r| r.output_len >= 1));
     }
 
     #[test]

@@ -19,11 +19,15 @@
 //!   [`report::FpgaRunReport`].
 //! - [`energy`] — energy and GOP/J accounting used by Table 2.
 //! - [`fleet`] — event-driven multi-shard serving simulator (round-robin /
-//!   join-shortest-queue / length-binned dispatch over N designs);
-//!   [`serving`] is its 1-shard special case.
+//!   join-shortest-queue / length-binned dispatch over N designs), plus
+//!   stationary and nonstationary (piecewise / diurnal) Poisson trace
+//!   generators; [`serving`] is its 1-shard special case.
 //! - [`decode`] — generative (multi-step) serving on the fleet machinery:
 //!   static vs continuous (iteration-level) batching and deadline-driven
 //!   preemption, with TTFT / inter-token-latency / goodput reporting.
+//! - [`autoscale`] — runtime shard join/retire over the fleet engine:
+//!   reactive / utilization-target / scheduled policies, warm-up delays,
+//!   drain-vs-evict scale-down, and cost (shard-seconds) × SLO reporting.
 //!
 //! # Example
 //!
@@ -49,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod accelerator;
+pub mod autoscale;
 pub mod decode;
 pub mod dse;
 pub mod energy;

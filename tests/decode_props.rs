@@ -9,11 +9,13 @@
 use lat_bench::scenarios::HARNESS_SEED;
 use lat_fpga::core::pipeline::SchedulingPolicy;
 use lat_fpga::hwsim::accelerator::AcceleratorDesign;
+use lat_fpga::hwsim::decode::nonstationary_decode_trace;
 use lat_fpga::hwsim::decode::{
     decode_trace, simulate_decode, DecodeConfig, DecodeScheduler, Priority,
 };
 use lat_fpga::hwsim::fleet::{
-    homogeneous_fleet, poisson_trace, simulate_fleet, BatcherConfig, DispatchPolicy,
+    homogeneous_fleet, nonstationary_poisson_trace, poisson_trace, simulate_fleet, BatcherConfig,
+    DispatchPolicy, RatePhase, RateProfile,
 };
 use lat_fpga::hwsim::spec::FpgaSpec;
 use lat_fpga::model::config::ModelConfig;
@@ -210,6 +212,51 @@ proptest! {
             prop_assert_eq!(e.arrival_s, d.arrival_s);
             prop_assert_eq!(e.len, d.prefill_len);
         }
+    }
+
+    /// The nonstationary mirror of the shared-arrival pinning: for the
+    /// same `(profile, n, seed)`, the piecewise/diurnal decode trace
+    /// generator and the fleet's nonstationary Poisson generator emit
+    /// bit-identical arrival times and prefill/sequence lengths — both
+    /// are thin payloads over `nonstationary_poisson_process`, so the
+    /// arrival processes cannot drift apart.
+    #[test]
+    fn nonstationary_arrival_process_shared_with_poisson_trace(
+        profile_idx in 0usize..2,
+        rate_a in 20.0f64..3000.0,
+        rate_b in 20.0f64..3000.0,
+        dur_a in 0.05f64..2.0,
+        swing in 1.0f64..8.0,
+        period in 0.5f64..20.0,
+        n in 1usize..64,
+        seed in 0u64..u64::MAX,
+        high_pct in 0u32..=100,
+    ) {
+        let profile = if profile_idx == 0 {
+            RateProfile::Piecewise(vec![
+                RatePhase { duration_s: dur_a, rate: rate_a },
+                RatePhase { duration_s: 1.0, rate: rate_b },
+            ])
+        } else {
+            RateProfile::Diurnal { mean_rate: rate_a, swing, period_s: period }
+        };
+        let spec = DatasetSpec::squad_v1();
+        let enc = nonstationary_poisson_trace(&spec, &profile, n, seed);
+        let dec = nonstationary_decode_trace(
+            &spec,
+            &spec.decode_output(),
+            high_pct as f64 / 100.0,
+            &profile,
+            n,
+            seed,
+        );
+        prop_assert_eq!(enc.len(), dec.len());
+        for (e, d) in enc.iter().zip(&dec) {
+            prop_assert_eq!(e.arrival_s, d.arrival_s);
+            prop_assert_eq!(e.len, d.prefill_len);
+        }
+        prop_assert!(dec.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        prop_assert!(dec.iter().all(|r| r.output_len >= 1));
     }
 
     /// Cross-check: a single-step decode workload (every `output_len` = 1)
