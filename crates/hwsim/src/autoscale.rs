@@ -39,8 +39,43 @@
 //! scaling-event log, SLO attainment overall and per workload phase, and
 //! mean/peak active shards — enough to sweep a cost × p95 frontier, which
 //! the `ablate_autoscale` bin does under a 4× diurnal swing.
+//!
+//! ## Predictive scaling
+//!
+//! The feedback policies only react *after* a backlog forms, so every
+//! up-ramp eats a queueing spike plus a warm-up delay before relief
+//! arrives. [`ScalePolicy::Predictive`] instead scales on a *forecast*:
+//! a [`RateForecaster`] turns the observed arrival stream into a
+//! windowed-EWMA rate estimate, optionally sharpened by a least-squares
+//! diurnal-harmonic fit at a known period, and the policy provisions
+//! `ceil(forecast(now + horizon) / shard_capacity)` shards — launching
+//! capacity one warm-up *ahead* of the demand it predicts. The estimator
+//! consumes only `(simulation time, cumulative arrivals)` pairs — no wall
+//! clock, no RNG — so predictive runs stay bit-reproducible (pinned by
+//! the determinism properties in `tests/autoscale_props.rs` and
+//! `tests/decode_autoscale_props.rs`).
+//!
+//! ## Decode autoscaling
+//!
+//! [`simulate_decode_autoscale`] applies the same policy machinery to the
+//! generative-decode engine ([`crate::decode`]), where scale-down is
+//! harder: a retiring shard holds *KV-resident* sequences mid-generation,
+//! not just queued work. [`DecodeScaleDown::Drain`] lets residents decode
+//! to completion while the shard rejects new admissions (its waiting
+//! queue re-routes to survivors immediately);
+//! [`DecodeScaleDown::Migrate`] additionally evicts the residents at the
+//! next iteration boundary and re-routes them, paying one re-prefill of
+//! each evicted sequence's *grown* context on re-admission — the decode
+//! engine's preemption machinery applied to scale-down. Either way no
+//! request is ever dropped, and a pinned `min == max` decode autoscaler
+//! reproduces [`crate::decode::simulate_decode`] bit-for-bit (same
+//! `DecodeCore` code path, zero control events).
 
 use crate::accelerator::AcceleratorDesign;
+use crate::decode::{
+    DecodeConfig, DecodeController, DecodeCore, DecodeReport, DecodeRequest, DecodeScheduler,
+    NullDecodeController,
+};
 use crate::fleet::{
     BatcherConfig, DispatchPolicy, FleetController, FleetCore, FleetReport, NullController, Request,
 };
@@ -90,6 +125,98 @@ pub enum ScalePolicy {
     /// before the first entry's start the fleet stays at
     /// `initial_shards`.
     Scheduled(Vec<SchedulePhase>),
+    /// Model-based scaling on a *forecast* of the arrival rate rather
+    /// than the observed backlog: provision
+    /// `ceil(forecast(now + horizon_s) / shard_capacity)` shards, where
+    /// the forecast comes from a [`RateForecaster`] (windowed EWMA,
+    /// optionally a diurnal-harmonic fit at a known period). Not subject
+    /// to the cooldown — the whole point is to act *before* the backlog
+    /// forms.
+    Predictive {
+        /// Sustainable per-shard throughput (requests/second) that maps
+        /// the forecast rate to a shard count.
+        shard_capacity: f64,
+        /// Forecast lead time; `warmup_s + eval_interval_s` makes the
+        /// launched shard warm exactly when the predicted load lands.
+        horizon_s: f64,
+        /// EWMA smoothing factor in `(0, 1]` (1 = last window only).
+        alpha: f64,
+        /// Known diurnal period enabling the harmonic fit; `None` keeps
+        /// the estimator a pure EWMA.
+        period_s: Option<f64>,
+    },
+}
+
+impl ScalePolicy {
+    /// Panics unless the policy is well-formed for a fleet scaling
+    /// between `min_shards` and `max_shards` shards. Shared by the
+    /// request-level ([`AutoscaleConfig`]) and decode
+    /// ([`DecodeAutoscaleConfig`]) configurations.
+    fn validate(&self, min_shards: usize, max_shards: usize) {
+        match self {
+            ScalePolicy::Pinned => {}
+            ScalePolicy::Reactive {
+                scale_up_depth,
+                scale_down_depth,
+            } => assert!(
+                scale_up_depth > scale_down_depth && *scale_down_depth >= 0.0,
+                "reactive thresholds need scale_up_depth > scale_down_depth >= 0"
+            ),
+            ScalePolicy::UtilizationTarget { low, high } => assert!(
+                high > low && *low >= 0.0,
+                "utilization band needs high > low >= 0"
+            ),
+            ScalePolicy::Scheduled(table) => {
+                assert!(
+                    !table.is_empty(),
+                    "scheduled table needs at least one phase"
+                );
+                assert!(
+                    table.windows(2).all(|w| w[0].start_s < w[1].start_s),
+                    "scheduled table must be sorted by start time"
+                );
+                assert!(
+                    table
+                        .iter()
+                        .all(|p| (min_shards..=max_shards).contains(&p.shards)),
+                    "scheduled shard counts outside [min_shards, fleet size]"
+                );
+            }
+            ScalePolicy::Predictive {
+                shard_capacity,
+                horizon_s,
+                alpha,
+                period_s,
+            } => {
+                assert!(
+                    *shard_capacity > 0.0 && shard_capacity.is_finite(),
+                    "predictive shard_capacity must be positive and finite"
+                );
+                assert!(
+                    *horizon_s >= 0.0 && horizon_s.is_finite(),
+                    "predictive horizon must be non-negative and finite"
+                );
+                assert!(
+                    *alpha > 0.0 && *alpha <= 1.0,
+                    "predictive alpha outside (0, 1]"
+                );
+                if let Some(p) = period_s {
+                    assert!(
+                        *p > 0.0 && p.is_finite(),
+                        "predictive period must be positive and finite"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Whether the policy is a ±1 feedback loop subject to the cooldown.
+    fn is_feedback(&self) -> bool {
+        matches!(
+            self,
+            ScalePolicy::Reactive { .. } | ScalePolicy::UtilizationTarget { .. }
+        )
+    }
 }
 
 impl fmt::Display for ScalePolicy {
@@ -99,7 +226,273 @@ impl fmt::Display for ScalePolicy {
             ScalePolicy::Reactive { .. } => write!(f, "reactive"),
             ScalePolicy::UtilizationTarget { .. } => write!(f, "utilization"),
             ScalePolicy::Scheduled(_) => write!(f, "scheduled"),
+            ScalePolicy::Predictive { .. } => write!(f, "predictive"),
         }
+    }
+}
+
+/// Windowed arrival-rate estimator behind [`ScalePolicy::Predictive`]: an
+/// EWMA over per-window observed rates, optionally sharpened by a
+/// least-squares diurnal-harmonic fit
+/// `r(t) ≈ c₀ + c₁·sin(ωt) + c₂·cos(ωt)` at a known period.
+///
+/// Observations are `(simulation time, cumulative arrivals)` pairs — the
+/// shared, RNG-stream-free observation path both autoscalers expose. The
+/// estimator never reads a wall clock, so forecast-driven runs are as
+/// bit-reproducible as reactive ones.
+#[derive(Debug, Clone)]
+pub struct RateForecaster {
+    alpha: f64,
+    period_s: Option<f64>,
+    last_t: f64,
+    last_count: usize,
+    ewma: Option<f64>,
+    /// Windows folded into the harmonic normal equations.
+    n_obs: usize,
+    /// Mid-time of the earliest / latest harmonic observation: the fit is
+    /// trusted only once the observations span a full period.
+    first_mid_t: f64,
+    last_mid_t: f64,
+    /// Normal equations Σxxᵀ·c = Σx·r over the basis [1, sin ωt, cos ωt].
+    xtx: [[f64; 3]; 3],
+    xty: [f64; 3],
+}
+
+/// Harmonic observations needed before the fit outranks the EWMA (three
+/// would determine the coefficients exactly; demanding more suppresses
+/// noise-chasing on short histories).
+const FORECAST_MIN_OBS: usize = 8;
+
+impl RateForecaster {
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]` or `period_s` is not
+    /// positive and finite.
+    pub fn new(alpha: f64, period_s: Option<f64>) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha outside (0, 1]");
+        if let Some(p) = period_s {
+            assert!(p > 0.0 && p.is_finite(), "period must be positive/finite");
+        }
+        Self {
+            alpha,
+            period_s,
+            last_t: 0.0,
+            last_count: 0,
+            ewma: None,
+            n_obs: 0,
+            first_mid_t: f64::INFINITY,
+            last_mid_t: f64::NEG_INFINITY,
+            xtx: [[0.0; 3]; 3],
+            xty: [0.0; 3],
+        }
+    }
+
+    /// Feeds one observation: by `now`, `total_arrivals` requests have
+    /// arrived since the start of the run. The window since the previous
+    /// call becomes one rate sample; a zero-arrival window is a valid
+    /// sample (rate 0 — it cannot NaN the estimate), and a zero-length
+    /// window is folded into the next one.
+    pub fn observe(&mut self, now: f64, total_arrivals: usize) {
+        let dt = now - self.last_t;
+        if dt <= 1e-12 {
+            return; // degenerate window: keep the arrivals for the next one
+        }
+        let arrived = total_arrivals.saturating_sub(self.last_count);
+        let rate = arrived as f64 / dt;
+        self.last_t = now;
+        self.last_count = total_arrivals;
+        self.ewma = Some(match self.ewma {
+            Some(e) => self.alpha * rate + (1.0 - self.alpha) * e,
+            None => rate,
+        });
+        if let Some(p) = self.period_s {
+            // Attribute the window's mean rate to its midpoint.
+            let t_mid = now - dt / 2.0;
+            let omega = std::f64::consts::TAU / p;
+            let x = [1.0, (omega * t_mid).sin(), (omega * t_mid).cos()];
+            for i in 0..3 {
+                for j in 0..3 {
+                    self.xtx[i][j] += x[i] * x[j];
+                }
+                self.xty[i] += x[i] * rate;
+            }
+            self.n_obs += 1;
+            self.first_mid_t = self.first_mid_t.min(t_mid);
+            self.last_mid_t = self.last_mid_t.max(t_mid);
+        }
+    }
+
+    /// Current smoothed rate estimate (0 before the first window closes).
+    pub fn rate_estimate(&self) -> f64 {
+        self.ewma.unwrap_or(0.0)
+    }
+
+    /// Forecast arrival rate at time `t` (typically `now + horizon`): the
+    /// harmonic fit once a full period of observations exists, the EWMA
+    /// before that (a flat extrapolation). Never negative, never NaN.
+    pub fn forecast(&self, t: f64) -> f64 {
+        if let Some(p) = self.period_s {
+            if self.n_obs >= FORECAST_MIN_OBS && self.last_mid_t - self.first_mid_t >= p {
+                if let Some(c) = solve3(&self.xtx, &self.xty) {
+                    let omega = std::f64::consts::TAU / p;
+                    let r = c[0] + c[1] * (omega * t).sin() + c[2] * (omega * t).cos();
+                    if r.is_finite() {
+                        return r.max(0.0);
+                    }
+                }
+            }
+        }
+        self.rate_estimate()
+    }
+}
+
+/// Solves the 3×3 system `a·x = b` by Gaussian elimination with partial
+/// pivoting; `None` when (near-)singular — e.g. every observation at the
+/// same diurnal phase.
+fn solve3(a: &[[f64; 3]; 3], b: &[f64; 3]) -> Option<[f64; 3]> {
+    let mut m = [[0.0f64; 4]; 3];
+    for i in 0..3 {
+        m[i][..3].copy_from_slice(&a[i]);
+        m[i][3] = b[i];
+    }
+    for col in 0..3 {
+        let pivot = (col..3).max_by(|&i, &j| {
+            m[i][col]
+                .abs()
+                .partial_cmp(&m[j][col].abs())
+                .expect("finite pivots")
+        })?;
+        if m[pivot][col].abs() < 1e-9 {
+            return None;
+        }
+        m.swap(col, pivot);
+        for row in col + 1..3 {
+            let f = m[row][col] / m[col][col];
+            let pivot_row = m[col];
+            for (k, &p) in pivot_row.iter().enumerate().skip(col) {
+                m[row][k] -= f * p;
+            }
+        }
+    }
+    let mut x = [0.0f64; 3];
+    for i in (0..3).rev() {
+        let mut acc = m[i][3];
+        for j in i + 1..3 {
+            acc -= m[i][j] * x[j];
+        }
+        x[i] = acc / m[i][i];
+    }
+    Some(x)
+}
+
+/// One evaluation tick's observed inputs to [`PolicyEngine::desired`]:
+/// engine-agnostic numbers both the fleet and decode autoscalers can
+/// produce. All of them are simulation-state reads — no RNG, no clock.
+struct Observation {
+    /// Shards committed going forward (active + warming, not retiring).
+    staying: usize,
+    /// The engine's backlog metric, in requests. The encoder fleet counts
+    /// requests waiting in queues; the decode engine counts waiting +
+    /// KV-resident requests (slot-pool pressure) — a held slot is as much
+    /// a capacity commitment as a queued request, and counting only the
+    /// queue would read a fully-occupied-but-unqueued fleet as idle and
+    /// flap it down.
+    waiting: usize,
+    /// Shards currently accepting routed work.
+    accepting: usize,
+    /// Paid (committed) shards right now.
+    paid: usize,
+    /// Fleet busy time actually elapsed by now.
+    busy_elapsed: f64,
+    /// Trace arrivals observed by now.
+    arrivals: usize,
+}
+
+/// Policy evaluation shared by the request-level and decode autoscalers:
+/// one source of truth for what each [`ScalePolicy`] does with the
+/// observed state, so the two engines cannot drift apart in policy
+/// semantics.
+struct PolicyEngine {
+    policy: ScalePolicy,
+    initial_shards: usize,
+    eval_interval_s: f64,
+    /// Total busy time at the previous tick (utilization window).
+    busy_snapshot: f64,
+    /// Present only for [`ScalePolicy::Predictive`].
+    forecaster: Option<RateForecaster>,
+}
+
+impl PolicyEngine {
+    fn new(policy: &ScalePolicy, initial_shards: usize, eval_interval_s: f64) -> Self {
+        let forecaster = match policy {
+            ScalePolicy::Predictive {
+                alpha, period_s, ..
+            } => Some(RateForecaster::new(*alpha, *period_s)),
+            _ => None,
+        };
+        Self {
+            policy: policy.clone(),
+            initial_shards,
+            eval_interval_s,
+            busy_snapshot: 0.0,
+            forecaster,
+        }
+    }
+
+    /// The policy's target committed-shard count at `now` (unclamped),
+    /// relative to the shards committed going forward for the feedback
+    /// policies, absolute for scheduled/predictive. Also advances the
+    /// utilization window and the rate estimator — call exactly once per
+    /// evaluation tick.
+    fn desired(&mut self, now: f64, obs: &Observation) -> usize {
+        if let Some(f) = &mut self.forecaster {
+            f.observe(now, obs.arrivals);
+        }
+        let target = match &self.policy {
+            ScalePolicy::Pinned => obs.staying,
+            ScalePolicy::Reactive {
+                scale_up_depth,
+                scale_down_depth,
+            } => {
+                let depth = obs.waiting as f64 / obs.accepting.max(1) as f64;
+                if depth > *scale_up_depth {
+                    obs.staying + 1
+                } else if depth < *scale_down_depth {
+                    obs.staying.saturating_sub(1)
+                } else {
+                    obs.staying
+                }
+            }
+            ScalePolicy::UtilizationTarget { low, high } => {
+                // Busy fraction over the last window, normalized by the
+                // *paid* fleet (retiring shards still serve).
+                let util = (obs.busy_elapsed - self.busy_snapshot)
+                    / (self.eval_interval_s * obs.paid.max(1) as f64);
+                if util > *high {
+                    obs.staying + 1
+                } else if util < *low {
+                    obs.staying.saturating_sub(1)
+                } else {
+                    obs.staying
+                }
+            }
+            ScalePolicy::Scheduled(table) => table
+                .iter()
+                .take_while(|p| p.start_s <= now)
+                .last()
+                .map_or(self.initial_shards, |p| p.shards),
+            ScalePolicy::Predictive {
+                shard_capacity,
+                horizon_s,
+                ..
+            } => {
+                let f = self.forecaster.as_ref().expect("predictive forecaster");
+                (f.forecast(now + horizon_s) / shard_capacity).ceil() as usize
+            }
+        };
+        // The utilization window resets every tick, acted on or not.
+        self.busy_snapshot = obs.busy_elapsed;
+        target
     }
 }
 
@@ -196,36 +589,7 @@ impl AutoscaleConfig {
                     .all(|b| b.is_finite() && *b > 0.0),
             "phase bounds must be ascending, positive and finite"
         );
-        match &self.policy {
-            ScalePolicy::Pinned => {}
-            ScalePolicy::Reactive {
-                scale_up_depth,
-                scale_down_depth,
-            } => assert!(
-                scale_up_depth > scale_down_depth && *scale_down_depth >= 0.0,
-                "reactive thresholds need scale_up_depth > scale_down_depth >= 0"
-            ),
-            ScalePolicy::UtilizationTarget { low, high } => assert!(
-                high > low && *low >= 0.0,
-                "utilization band needs high > low >= 0"
-            ),
-            ScalePolicy::Scheduled(table) => {
-                assert!(
-                    !table.is_empty(),
-                    "scheduled table needs at least one phase"
-                );
-                assert!(
-                    table.windows(2).all(|w| w[0].start_s < w[1].start_s),
-                    "scheduled table must be sorted by start time"
-                );
-                assert!(
-                    table
-                        .iter()
-                        .all(|p| (self.min_shards..=max_shards).contains(&p.shards)),
-                    "scheduled shard counts outside [min_shards, fleet size]"
-                );
-            }
-        }
+        self.policy.validate(self.min_shards, max_shards);
     }
 }
 
@@ -332,8 +696,7 @@ struct Autoscaler<'a> {
     events: Vec<ScaleEvent>,
     next_eval_s: f64,
     last_action_s: f64,
-    /// Total busy time at the previous tick (utilization window).
-    busy_snapshot: f64,
+    engine: PolicyEngine,
     /// Committed (non-Off) shards right now.
     on_count: usize,
     peak_on: usize,
@@ -362,7 +725,7 @@ impl<'a> Autoscaler<'a> {
             events: Vec::new(),
             next_eval_s: cfg.eval_interval_s,
             last_action_s: f64::NEG_INFINITY,
-            busy_snapshot: 0.0,
+            engine: PolicyEngine::new(&cfg.policy, cfg.initial_shards, cfg.eval_interval_s),
             on_count: cfg.initial_shards,
             peak_on: cfg.initial_shards,
             on_integral: 0.0,
@@ -475,66 +838,26 @@ impl<'a> Autoscaler<'a> {
         }
     }
 
-    /// The policy's target committed-shard count at `now`, relative to
-    /// the shards committed going forward (`staying`, not counting
-    /// in-progress drains).
-    fn desired_on(&self, core: &FleetCore<'_>, now: f64) -> usize {
-        let staying = self.staying_count();
-        match &self.cfg.policy {
-            ScalePolicy::Pinned => staying,
-            ScalePolicy::Reactive {
-                scale_up_depth,
-                scale_down_depth,
-            } => {
-                let waiting: usize = core.state.iter().map(|st| st.queue.len()).sum();
-                let depth = waiting as f64 / self.accepting_count(core).max(1) as f64;
-                if depth > *scale_up_depth {
-                    staying + 1
-                } else if depth < *scale_down_depth {
-                    staying.saturating_sub(1)
-                } else {
-                    staying
-                }
-            }
-            ScalePolicy::UtilizationTarget { low, high } => {
-                // Busy fraction over the last window, normalized by the
-                // *paid* fleet (retiring shards still serve).
-                let busy = self.busy_elapsed(core, now);
-                let util = (busy - self.busy_snapshot)
-                    / (self.cfg.eval_interval_s * self.on_count.max(1) as f64);
-                if util > *high {
-                    staying + 1
-                } else if util < *low {
-                    staying.saturating_sub(1)
-                } else {
-                    staying
-                }
-            }
-            ScalePolicy::Scheduled(table) => table
-                .iter()
-                .take_while(|p| p.start_s <= now)
-                .last()
-                .map_or(self.cfg.initial_shards, |p| p.shards),
-        }
-    }
-
     /// One evaluation tick: decide a target and launch/recall/retire
     /// towards it.
     fn evaluate(&mut self, core: &mut FleetCore<'_>, now: f64) {
-        let desired = self
-            .desired_on(core, now)
-            .clamp(self.cfg.min_shards, self.max_shards);
-        // The utilization window resets every tick, acted on or not.
-        self.busy_snapshot = self.busy_elapsed(core, now);
         let staying = self.staying_count();
+        let obs = Observation {
+            staying,
+            waiting: core.state.iter().map(|st| st.queue.len()).sum(),
+            accepting: self.accepting_count(core),
+            paid: self.on_count,
+            busy_elapsed: self.busy_elapsed(core, now),
+            arrivals: core.arrivals_seen,
+        };
+        let desired = self
+            .engine
+            .desired(now, &obs)
+            .clamp(self.cfg.min_shards, self.max_shards);
         if desired == staying {
             return;
         }
-        let feedback = matches!(
-            self.cfg.policy,
-            ScalePolicy::Reactive { .. } | ScalePolicy::UtilizationTarget { .. }
-        );
-        if feedback && now - self.last_action_s < self.cfg.cooldown_s {
+        if self.cfg.policy.is_feedback() && now - self.last_action_s < self.cfg.cooldown_s {
             return;
         }
         let mut acted = false;
@@ -709,6 +1032,559 @@ pub fn simulate_autoscale(
         scale_events: ctl.events,
         slo_attainment,
         phases,
+    }
+}
+
+// ────────────────────────── decode autoscaling ──────────────────────────
+
+/// What happens to a retiring decode shard's KV-resident sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecodeScaleDown {
+    /// The shard stops accepting routed work and hands its *waiting*
+    /// queue to the survivors, but its residents keep decoding to
+    /// completion in place; the shard retires when the last resident
+    /// finishes (slow, no re-prefill cost).
+    Drain,
+    /// Residents are evicted at the next iteration boundary and re-routed
+    /// to surviving shards, where each re-prefills its *grown* context on
+    /// re-admission — the decode engine's preemption machinery applied to
+    /// scale-down. The shard retires as soon as its in-flight iteration
+    /// completes (fast, pays one re-prefill per evicted resident).
+    Migrate,
+}
+
+impl fmt::Display for DecodeScaleDown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeScaleDown::Drain => write!(f, "drain"),
+            DecodeScaleDown::Migrate => write!(f, "migrate"),
+        }
+    }
+}
+
+/// Parameters of the decode autoscaling layer; the maximum shard count is
+/// the length of the design slice handed to [`simulate_decode_autoscale`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodeAutoscaleConfig {
+    /// Floor on committed (active + warming) shards; never retires below.
+    pub min_shards: usize,
+    /// Shards active at `t = 0` (already warm).
+    pub initial_shards: usize,
+    /// Scaling decision rule (shared with the request-level autoscaler).
+    pub policy: ScalePolicy,
+    /// What scale-down does with a retiring shard's KV residents.
+    pub scale_down: DecodeScaleDown,
+    /// Controller sampling period in seconds.
+    pub eval_interval_s: f64,
+    /// Weight-streaming delay between launching a shard and it joining
+    /// dispatch; the shard is paid for but admits no work while warming.
+    pub warmup_s: f64,
+    /// Minimum time between scaling actions of the feedback policies
+    /// (reactive / utilization-target); scheduled and predictive policies
+    /// ignore it.
+    pub cooldown_s: f64,
+    /// Time-to-first-token SLO used for attainment reporting (the
+    /// user-facing latency target of generative serving).
+    pub slo_ttft_s: f64,
+    /// Ascending arrival-time boundaries splitting the trace into
+    /// reporting phases (empty = one phase). Purely observational.
+    pub phase_bounds_s: Vec<f64>,
+}
+
+impl Default for DecodeAutoscaleConfig {
+    fn default() -> Self {
+        Self {
+            min_shards: 1,
+            initial_shards: 1,
+            policy: ScalePolicy::Reactive {
+                scale_up_depth: 8.0,
+                scale_down_depth: 1.0,
+            },
+            scale_down: DecodeScaleDown::Drain,
+            eval_interval_s: 0.2,
+            warmup_s: 0.3,
+            cooldown_s: 0.4,
+            slo_ttft_s: 0.25,
+            phase_bounds_s: Vec::new(),
+        }
+    }
+}
+
+impl DecodeAutoscaleConfig {
+    /// Panics unless the configuration is well-formed for a fleet of
+    /// `max_shards` designs.
+    pub fn validate(&self, max_shards: usize) {
+        assert!(self.min_shards >= 1, "min_shards must be >= 1");
+        assert!(
+            self.min_shards <= max_shards,
+            "min_shards exceeds the fleet size"
+        );
+        assert!(
+            (self.min_shards..=max_shards).contains(&self.initial_shards),
+            "initial_shards outside [min_shards, fleet size]"
+        );
+        assert!(self.eval_interval_s > 0.0, "eval interval must be positive");
+        assert!(self.warmup_s >= 0.0, "negative warm-up");
+        assert!(self.cooldown_s >= 0.0, "negative cooldown");
+        assert!(self.slo_ttft_s > 0.0, "TTFT SLO must be positive");
+        assert!(
+            self.phase_bounds_s.windows(2).all(|w| w[0] < w[1])
+                && self
+                    .phase_bounds_s
+                    .iter()
+                    .all(|b| b.is_finite() && *b > 0.0),
+            "phase bounds must be ascending, positive and finite"
+        );
+        self.policy.validate(self.min_shards, max_shards);
+    }
+}
+
+/// TTFT SLO attainment over one reporting phase of a decode trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecodePhaseSlo {
+    /// Phase start (arrival-time bucket), inclusive.
+    pub start_s: f64,
+    /// Phase end, exclusive (`f64::INFINITY` for the last phase).
+    pub end_s: f64,
+    /// Requests that arrived in the phase.
+    pub requests: usize,
+    /// Fraction of the phase's requests whose TTFT met the SLO (1 when
+    /// the phase is empty).
+    pub slo_attainment: f64,
+    /// 95th-percentile TTFT of the phase's requests (0 when empty).
+    pub p95_ttft_s: f64,
+}
+
+/// Result of a decode autoscaling simulation: the full [`DecodeReport`]
+/// (TTFT/ITL percentiles, token goodput, slot utilization, per-request
+/// outcomes) plus the cost/SLO view and the KV-migration accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodeAutoscaleReport {
+    /// Decode-engine view; under a pinned `min == max` policy this is
+    /// [`crate::decode::simulate_decode`]'s report bit-for-bit.
+    pub decode: DecodeReport,
+    /// Σ over shards of paid time (launch → retirement, warm-up included;
+    /// still-on shards are charged to the makespan).
+    pub shard_seconds: f64,
+    /// Time-averaged committed shard count over the makespan.
+    pub mean_active_shards: f64,
+    /// Peak committed shard count.
+    pub peak_active_shards: usize,
+    /// Every scaling action in time order (empty for a pinned policy).
+    pub scale_events: Vec<ScaleEvent>,
+    /// Fraction of all requests whose TTFT met `slo_ttft_s`.
+    pub slo_attainment: f64,
+    /// Per-phase TTFT SLO attainment along `phase_bounds_s`.
+    pub phases: Vec<DecodePhaseSlo>,
+    /// KV residents evicted by scale-down ([`DecodeScaleDown::Migrate`]).
+    pub migrations: usize,
+    /// Context re-prefill passes actually priced (one per preemption or
+    /// migration whose re-admission ran) — the cost migrating KV state
+    /// adds on top of drain.
+    pub re_prefills: usize,
+}
+
+/// The policy-driven [`DecodeController`].
+struct DecodeAutoscaler<'a> {
+    cfg: &'a DecodeAutoscaleConfig,
+    max_shards: usize,
+    lifecycle: Vec<Lifecycle>,
+    /// Time each non-[`Lifecycle::Off`] shard started being paid for.
+    on_since: Vec<f64>,
+    shard_seconds: f64,
+    events: Vec<ScaleEvent>,
+    next_eval_s: f64,
+    last_action_s: f64,
+    engine: PolicyEngine,
+    /// Committed (non-Off) shards right now.
+    on_count: usize,
+    peak_on: usize,
+    on_integral: f64,
+    last_on_change_s: f64,
+    done_ticking: bool,
+    /// Residents evicted by Migrate scale-downs.
+    migrations: usize,
+}
+
+impl<'a> DecodeAutoscaler<'a> {
+    fn new(cfg: &'a DecodeAutoscaleConfig, max_shards: usize) -> Self {
+        let lifecycle = (0..max_shards)
+            .map(|s| {
+                if s < cfg.initial_shards {
+                    Lifecycle::Active
+                } else {
+                    Lifecycle::Off
+                }
+            })
+            .collect();
+        Self {
+            cfg,
+            max_shards,
+            lifecycle,
+            on_since: vec![0.0; max_shards],
+            shard_seconds: 0.0,
+            events: Vec::new(),
+            next_eval_s: cfg.eval_interval_s,
+            last_action_s: f64::NEG_INFINITY,
+            engine: PolicyEngine::new(&cfg.policy, cfg.initial_shards, cfg.eval_interval_s),
+            on_count: cfg.initial_shards,
+            peak_on: cfg.initial_shards,
+            on_integral: 0.0,
+            last_on_change_s: 0.0,
+            done_ticking: false,
+            migrations: 0,
+        }
+    }
+
+    /// Advances the committed-shard integral and applies `delta`.
+    fn change_on_count(&mut self, now: f64, delta: isize) {
+        self.on_integral += self.on_count as f64 * (now - self.last_on_change_s);
+        self.last_on_change_s = now;
+        self.on_count = (self.on_count as isize + delta) as usize;
+        self.peak_on = self.peak_on.max(self.on_count);
+    }
+
+    fn record(&mut self, now: f64, shard: usize, kind: ScaleEventKind) {
+        self.events.push(ScaleEvent {
+            time_s: now,
+            shard,
+            kind,
+            on_after: self.on_count,
+        });
+    }
+
+    fn accepting_count(&self, core: &DecodeCore<'_>) -> usize {
+        core.accepting.iter().filter(|&&a| a).count()
+    }
+
+    /// Shards committed *going forward* — active or warming, but not
+    /// retiring (see [`Autoscaler::staying_count`]).
+    fn staying_count(&self) -> usize {
+        self.lifecycle
+            .iter()
+            .filter(|l| matches!(l, Lifecycle::Active | Lifecycle::Warming { .. }))
+            .count()
+    }
+
+    /// Fleet busy time actually *elapsed* by `t`: iterations charge their
+    /// whole duration at launch, so clip off the in-flight iteration's
+    /// not-yet-elapsed tail.
+    fn busy_elapsed(&self, core: &DecodeCore<'_>, t: f64) -> f64 {
+        core.shards
+            .iter()
+            .map(|sh| {
+                sh.busy_time_s
+                    - if sh.stepping {
+                        (sh.busy_until_s - t).max(0.0)
+                    } else {
+                        0.0
+                    }
+            })
+            .sum()
+    }
+
+    /// Starts paying for shard `s`; it joins dispatch after the warm-up.
+    fn launch(&mut self, core: &mut DecodeCore<'_>, s: usize, now: f64) {
+        self.change_on_count(now, 1);
+        self.on_since[s] = now;
+        self.record(now, s, ScaleEventKind::Launch);
+        if self.cfg.warmup_s <= 0.0 {
+            self.lifecycle[s] = Lifecycle::Active;
+            core.accepting[s] = true;
+            self.record(now, s, ScaleEventKind::Join);
+        } else {
+            let ready_s = now + self.cfg.warmup_s;
+            self.lifecycle[s] = Lifecycle::Warming { ready_s };
+            core.schedule_control(ready_s);
+        }
+    }
+
+    /// Evicts shard `s`'s *unfinished* residents back into the accepting
+    /// shards' queues (the Migrate move); each re-prefills its grown
+    /// context on re-admission. Finished sequences that the static
+    /// scheduler still holds as padded slots have nothing left to
+    /// generate — they are simply released, never migrated or re-priced.
+    /// Collects touched survivor shards into `touched`.
+    fn evict_residents(
+        &mut self,
+        core: &mut DecodeCore<'_>,
+        s: usize,
+        now: f64,
+        touched: &mut Vec<usize>,
+    ) {
+        let evicted: Vec<usize> = core.shards[s]
+            .resident
+            .drain(..)
+            .map(|slot| slot.req)
+            .collect();
+        for r in evicted {
+            if core.emitted[r] >= core.trace[r].output_len {
+                continue; // padded static slot: generation already complete
+            }
+            self.migrations += 1;
+            let s2 = core.route_request(r, now);
+            if !touched.contains(&s2) {
+                touched.push(s2);
+            }
+        }
+    }
+
+    /// Removes shard `s` from dispatch. Both scale-down modes hand the
+    /// waiting queue to the survivors immediately (a retiring shard
+    /// admits nothing new into its slots); Migrate additionally evicts
+    /// the residents — at once if the shard is idle, else at the next
+    /// iteration boundary ([`DecodeController::after_step`]).
+    fn retire(&mut self, core: &mut DecodeCore<'_>, s: usize, now: f64) {
+        self.lifecycle[s] = Lifecycle::Retiring;
+        core.accepting[s] = false;
+        self.record(now, s, ScaleEventKind::RetireStart);
+        core.shards[s].tick(now);
+        let waiting: Vec<usize> = core.shards[s].queue.drain(..).collect();
+        let mut touched = Vec::new();
+        for r in waiting {
+            let s2 = core.route_request(r, now);
+            if !touched.contains(&s2) {
+                touched.push(s2);
+            }
+        }
+        if self.cfg.scale_down == DecodeScaleDown::Migrate && !core.shards[s].stepping {
+            self.evict_residents(core, s, now, &mut touched);
+        }
+        for s2 in touched {
+            core.start_iteration(s2, now);
+        }
+        self.maybe_finish_retire(core, s, now);
+    }
+
+    /// Completes a retirement once the shard is idle with no residents
+    /// and an empty queue.
+    fn maybe_finish_retire(&mut self, core: &mut DecodeCore<'_>, s: usize, now: f64) {
+        if self.lifecycle[s] == Lifecycle::Retiring
+            && !core.shards[s].stepping
+            && core.shards[s].resident.is_empty()
+            && core.shards[s].queue.is_empty()
+        {
+            self.lifecycle[s] = Lifecycle::Off;
+            self.change_on_count(now, -1);
+            self.shard_seconds += now - self.on_since[s];
+            self.record(now, s, ScaleEventKind::Retired);
+        }
+    }
+
+    /// One evaluation tick: decide a target and launch/recall/retire
+    /// towards it (mirrors [`Autoscaler::evaluate`] on the decode core).
+    fn evaluate(&mut self, core: &mut DecodeCore<'_>, now: f64) {
+        let staying = self.staying_count();
+        let obs = Observation {
+            staying,
+            // Slot-pool pressure, not just the queue: a KV resident holds
+            // capacity exactly like a waiting request, so reactive
+            // thresholds here are in units of in-system requests per
+            // accepting shard (compare against the slot count).
+            waiting: core
+                .shards
+                .iter()
+                .map(|sh| sh.queue.len() + sh.resident.len())
+                .sum(),
+            accepting: self.accepting_count(core),
+            paid: self.on_count,
+            busy_elapsed: self.busy_elapsed(core, now),
+            arrivals: core.arrivals_seen,
+        };
+        let desired = self
+            .engine
+            .desired(now, &obs)
+            .clamp(self.cfg.min_shards, self.max_shards);
+        if desired == staying {
+            return;
+        }
+        if self.cfg.policy.is_feedback() && now - self.last_action_s < self.cfg.cooldown_s {
+            return;
+        }
+        let mut acted = false;
+        if desired > staying {
+            let mut need = desired - staying;
+            // Recall retiring shards first: weights (and any draining
+            // residents) are still in place, so rejoining is free.
+            for s in (0..self.max_shards).rev() {
+                if need == 0 {
+                    break;
+                }
+                if self.lifecycle[s] == Lifecycle::Retiring {
+                    self.lifecycle[s] = Lifecycle::Active;
+                    core.accepting[s] = true;
+                    self.record(now, s, ScaleEventKind::Join);
+                    need -= 1;
+                    acted = true;
+                }
+            }
+            for s in 0..self.max_shards {
+                if need == 0 {
+                    break;
+                }
+                if self.lifecycle[s] == Lifecycle::Off {
+                    self.launch(core, s, now);
+                    need -= 1;
+                    acted = true;
+                }
+            }
+        } else {
+            let mut staying_now = staying;
+            for s in (0..self.max_shards).rev() {
+                if staying_now == desired {
+                    break;
+                }
+                // Retire only active shards, and never the last accepting
+                // one — a warming shard is not yet a routing target.
+                if self.lifecycle[s] == Lifecycle::Active && self.accepting_count(core) > 1 {
+                    self.retire(core, s, now);
+                    staying_now -= 1;
+                    acted = true;
+                }
+            }
+        }
+        if acted {
+            self.last_action_s = now;
+        }
+    }
+}
+
+impl DecodeController for DecodeAutoscaler<'_> {
+    fn on_control(&mut self, core: &mut DecodeCore<'_>, now: f64) {
+        // Finish any due warm-ups first, so a shard can join and receive
+        // work decided at the very same tick.
+        for s in 0..self.max_shards {
+            if let Lifecycle::Warming { ready_s } = self.lifecycle[s] {
+                if ready_s <= now {
+                    self.lifecycle[s] = Lifecycle::Active;
+                    core.accepting[s] = true;
+                    self.record(now, s, ScaleEventKind::Join);
+                }
+            }
+        }
+        if self.done_ticking || now + 1e-9 < self.next_eval_s {
+            return;
+        }
+        if core.completed() == core.trace.len() {
+            // Work is done: stop the tick chain so the heap can drain.
+            self.done_ticking = true;
+            return;
+        }
+        self.evaluate(core, now);
+        self.next_eval_s = now + self.cfg.eval_interval_s;
+        core.schedule_control(self.next_eval_s);
+    }
+
+    fn after_step(&mut self, core: &mut DecodeCore<'_>, shard: usize, now: f64) {
+        if self.lifecycle[shard] != Lifecycle::Retiring {
+            return;
+        }
+        if self.cfg.scale_down == DecodeScaleDown::Migrate
+            && !core.shards[shard].resident.is_empty()
+        {
+            // The in-flight iteration completed: hand the survivors the
+            // still-unfinished residents.
+            let mut touched = Vec::new();
+            self.evict_residents(core, shard, now, &mut touched);
+            for s2 in touched {
+                core.start_iteration(s2, now);
+            }
+        }
+        self.maybe_finish_retire(core, shard, now);
+    }
+}
+
+/// Simulates a decode `trace` over a fleet of up to `shards.len()` shards
+/// whose membership the autoscaling controller drives at runtime;
+/// scheduling, admission and the iteration cost model are exactly
+/// [`crate::decode::simulate_decode`]'s.
+///
+/// Every request completes exactly once and generates exactly its
+/// `output_len` tokens — scale-down drains or migrates KV residents but
+/// never drops one.
+///
+/// # Panics
+///
+/// Panics on the [`crate::decode::simulate_decode`] input errors or a
+/// malformed [`DecodeAutoscaleConfig`].
+pub fn simulate_decode_autoscale(
+    shards: &[AcceleratorDesign],
+    trace: &[DecodeRequest],
+    policy: SchedulingPolicy,
+    dispatch: DispatchPolicy,
+    scheduler: DecodeScheduler,
+    decode_cfg: &DecodeConfig,
+    cfg: &DecodeAutoscaleConfig,
+) -> DecodeAutoscaleReport {
+    assert!(!shards.is_empty(), "fleet needs at least one shard");
+    cfg.validate(shards.len());
+    let accepting: Vec<bool> = (0..shards.len()).map(|s| s < cfg.initial_shards).collect();
+    let mut core = DecodeCore::new(
+        shards, trace, policy, dispatch, scheduler, decode_cfg, accepting,
+    );
+    let mut ctl = DecodeAutoscaler::new(cfg, shards.len());
+    if matches!(cfg.policy, ScalePolicy::Pinned) {
+        // No control events at all: the event stream is simulate_decode's,
+        // which is what makes the min==max pin bit-for-bit.
+        core.run(&mut NullDecodeController);
+    } else {
+        core.schedule_control(cfg.eval_interval_s);
+        core.run(&mut ctl);
+    }
+    let decode = core.into_report();
+    let makespan = decode.fleet.makespan_s;
+
+    // Close the books on shards still committed at the end of the run.
+    let mut shard_seconds = ctl.shard_seconds;
+    for s in 0..shards.len() {
+        if ctl.lifecycle[s] != Lifecycle::Off {
+            shard_seconds += (makespan - ctl.on_since[s]).max(0.0);
+        }
+    }
+    let end = makespan.max(ctl.last_on_change_s).max(1e-12);
+    let on_integral = ctl.on_integral + ctl.on_count as f64 * (end - ctl.last_on_change_s);
+
+    let in_slo = |t: f64| t <= cfg.slo_ttft_s;
+    let ttfts: Vec<f64> = decode.requests.iter().map(|r| r.ttft_s).collect();
+    let slo_attainment = ttfts.iter().filter(|&&t| in_slo(t)).count() as f64 / ttfts.len() as f64;
+    let mut edges = vec![0.0];
+    edges.extend(cfg.phase_bounds_s.iter().copied());
+    edges.push(f64::INFINITY);
+    let phases = edges
+        .windows(2)
+        .map(|w| {
+            let phase_ttft: Vec<f64> = trace
+                .iter()
+                .zip(&ttfts)
+                .filter(|(r, _)| r.arrival_s >= w[0] && r.arrival_s < w[1])
+                .map(|(_, &t)| t)
+                .collect();
+            DecodePhaseSlo {
+                start_s: w[0],
+                end_s: w[1],
+                requests: phase_ttft.len(),
+                slo_attainment: if phase_ttft.is_empty() {
+                    1.0
+                } else {
+                    phase_ttft.iter().filter(|&&t| in_slo(t)).count() as f64
+                        / phase_ttft.len() as f64
+                },
+                p95_ttft_s: percentile(&phase_ttft, 0.95).unwrap_or(0.0),
+            }
+        })
+        .collect();
+    let re_prefills = decode.requests.iter().map(|r| r.re_prefills as usize).sum();
+
+    DecodeAutoscaleReport {
+        decode,
+        shard_seconds,
+        mean_active_shards: on_integral / end,
+        peak_active_shards: ctl.peak_on,
+        scale_events: ctl.events,
+        slo_attainment,
+        phases,
+        migrations: ctl.migrations,
+        re_prefills,
     }
 }
 
@@ -1042,6 +1918,546 @@ mod tests {
             &AutoscaleConfig {
                 min_shards: 2,
                 initial_shards: 1,
+                ..AutoscaleConfig::default()
+            },
+        );
+    }
+
+    // ───────────────────── rate forecaster ─────────────────────
+
+    /// Feeds the forecaster the expected cumulative arrivals of `profile`
+    /// sampled every `window_s` up to `horizon_s`.
+    fn feed_profile(f: &mut RateForecaster, profile: &RateProfile, window_s: f64, horizon_s: f64) {
+        let mut t = window_s;
+        while t <= horizon_s + 1e-9 {
+            f.observe(t, profile.cumulative(t).round() as usize);
+            t += window_s;
+        }
+    }
+
+    #[test]
+    fn forecaster_converges_on_piecewise_profile() {
+        // 2 s at 50/s then 400/s: after three seconds in the second
+        // phase the EWMA must have converged to the new rate.
+        let profile = RateProfile::Piecewise(vec![
+            RatePhase {
+                duration_s: 2.0,
+                rate: 50.0,
+            },
+            RatePhase {
+                duration_s: 10.0,
+                rate: 400.0,
+            },
+        ]);
+        let mut f = RateForecaster::new(0.3, None);
+        feed_profile(&mut f, &profile, 0.1, 5.0);
+        let est = f.rate_estimate();
+        assert!(
+            (est - 400.0).abs() / 400.0 < 0.1,
+            "EWMA {est} not within 10% of 400"
+        );
+        // Without a period the forecast is the flat EWMA extrapolation.
+        assert_eq!(f.forecast(9.0), est);
+    }
+
+    #[test]
+    fn forecaster_harmonic_fit_tracks_diurnal_profile() {
+        let profile = RateProfile::Diurnal {
+            mean_rate: 100.0,
+            swing: 4.0,
+            period_s: 8.0,
+        };
+        let mut f = RateForecaster::new(0.3, Some(8.0));
+        feed_profile(&mut f, &profile, 0.1, 16.0); // two full periods
+        for &t in &[17.0, 18.5, 20.0, 22.0, 23.5] {
+            let predicted = f.forecast(t);
+            let truth = profile.rate_at(t);
+            assert!(
+                (predicted - truth).abs() / truth < 0.1,
+                "forecast({t}) = {predicted} not within 10% of {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn forecaster_harmonic_needs_a_full_period_of_history() {
+        // Half a period of data: the fit must NOT be trusted yet — the
+        // forecast falls back to the EWMA instead of extrapolating a
+        // sinusoid through an under-determined history.
+        let profile = RateProfile::Diurnal {
+            mean_rate: 100.0,
+            swing: 4.0,
+            period_s: 8.0,
+        };
+        let mut f = RateForecaster::new(0.3, Some(8.0));
+        feed_profile(&mut f, &profile, 0.1, 3.0);
+        assert_eq!(f.forecast(100.0), f.rate_estimate());
+    }
+
+    #[test]
+    fn forecaster_zero_arrival_windows_do_not_nan() {
+        let mut f = RateForecaster::new(0.5, Some(4.0));
+        for i in 1..=20 {
+            f.observe(i as f64 * 0.5, 0); // dead air
+        }
+        assert_eq!(f.rate_estimate(), 0.0);
+        let fc = f.forecast(30.0);
+        assert!(fc.is_finite() && fc >= 0.0, "forecast {fc} not finite/≥0");
+        // A zero-length window is folded into the next one, not divided
+        // by zero.
+        f.observe(10.0, 40);
+        f.observe(10.0, 45);
+        f.observe(10.5, 50);
+        assert!(f.rate_estimate().is_finite());
+        assert!(f.forecast(11.0).is_finite());
+    }
+
+    #[test]
+    fn predictive_policy_scales_the_fleet_to_the_forecast() {
+        // Demand ramps 40 → 150 seq/s against a declared 60 seq/s shard
+        // capacity: the predictive fleet must provision ≥ 3 shards at the
+        // peak and fall back towards 1 in the quiet tail, with every
+        // request served.
+        let fleet = homogeneous_fleet(&tiny_design(64), 4);
+        let profile = RateProfile::Piecewise(vec![
+            RatePhase {
+                duration_s: 1.0,
+                rate: 40.0,
+            },
+            RatePhase {
+                duration_s: 2.0,
+                rate: 150.0,
+            },
+            RatePhase {
+                duration_s: 2.0,
+                rate: 40.0,
+            },
+        ]);
+        let trace = nonstationary_poisson_trace(&DatasetSpec::mrpc(), &profile, 400, 5);
+        let r = simulate_autoscale(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            &BatcherConfig::default(),
+            &AutoscaleConfig {
+                min_shards: 1,
+                initial_shards: 1,
+                policy: ScalePolicy::Predictive {
+                    shard_capacity: 60.0,
+                    horizon_s: 0.15,
+                    alpha: 0.5,
+                    period_s: None,
+                },
+                eval_interval_s: 0.05,
+                warmup_s: 0.1,
+                cooldown_s: 0.0,
+                ..AutoscaleConfig::default()
+            },
+        );
+        assert_eq!(r.fleet.completed, 400);
+        assert!(
+            r.peak_active_shards >= 3,
+            "forecast never provisioned the ramp: peak {}",
+            r.peak_active_shards
+        );
+        assert!(
+            r.scale_events
+                .iter()
+                .any(|e| e.kind == ScaleEventKind::Retired),
+            "never scaled back down after the ramp"
+        );
+    }
+
+    // ───────────────────── decode autoscaling ─────────────────────
+
+    use crate::decode::{nonstationary_decode_trace, simulate_decode};
+
+    /// Trickle → saturating burst → trickle. A tiny 4-slot shard sustains
+    /// ~48k decode seq/s, so the 200k/s burst phase dumps a backlog that
+    /// takes tens of milliseconds to drain — visible across many 2 ms
+    /// controller ticks.
+    fn decode_burst_trace(n: usize, seed: u64) -> Vec<DecodeRequest> {
+        let spec = DatasetSpec::mrpc();
+        nonstationary_decode_trace(
+            &spec,
+            &spec.decode_output(),
+            0.1,
+            &RateProfile::Piecewise(vec![
+                RatePhase {
+                    duration_s: 0.1,
+                    rate: 1000.0,
+                },
+                RatePhase {
+                    duration_s: 0.005,
+                    rate: 200_000.0,
+                },
+                RatePhase {
+                    duration_s: 1.0,
+                    rate: 1000.0,
+                },
+            ]),
+            n,
+            seed,
+        )
+    }
+
+    fn decode_reactive_cfg(min: usize, initial: usize) -> DecodeAutoscaleConfig {
+        DecodeAutoscaleConfig {
+            min_shards: min,
+            initial_shards: initial,
+            policy: ScalePolicy::Reactive {
+                scale_up_depth: 4.0,
+                scale_down_depth: 0.5,
+            },
+            eval_interval_s: 0.002,
+            warmup_s: 0.004,
+            cooldown_s: 0.0,
+            ..DecodeAutoscaleConfig::default()
+        }
+    }
+
+    fn run_decode_auto(
+        trace: &[DecodeRequest],
+        fleet: &[AcceleratorDesign],
+        cfg: &DecodeAutoscaleConfig,
+        scheduler: DecodeScheduler,
+    ) -> DecodeAutoscaleReport {
+        simulate_decode_autoscale(
+            fleet,
+            trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            scheduler,
+            &DecodeConfig {
+                max_slots: 4,
+                ttft_deadline_s: 0.25,
+            },
+            cfg,
+        )
+    }
+
+    #[test]
+    fn pinned_decode_full_fleet_reproduces_simulate_decode_bit_for_bit() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 3);
+        let trace = decode_burst_trace(400, 42);
+        let decode_cfg = DecodeConfig {
+            max_slots: 4,
+            ttft_deadline_s: 0.25,
+        };
+        let auto = simulate_decode_autoscale(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            DecodeScheduler::ContinuousPreempt,
+            &decode_cfg,
+            &DecodeAutoscaleConfig {
+                min_shards: 3,
+                initial_shards: 3,
+                policy: ScalePolicy::Pinned,
+                ..DecodeAutoscaleConfig::default()
+            },
+        );
+        let fixed = simulate_decode(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            DecodeScheduler::ContinuousPreempt,
+            &decode_cfg,
+        );
+        assert_eq!(auto.decode, fixed);
+        assert!(auto.scale_events.is_empty());
+        assert_eq!(auto.migrations, 0);
+        assert_eq!(auto.peak_active_shards, 3);
+        let expect = 3.0 * fixed.fleet.makespan_s;
+        assert!((auto.shard_seconds - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decode_reactive_scales_up_under_burst_and_back_down() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 4);
+        let trace = decode_burst_trace(1400, 7);
+        for scale_down in [DecodeScaleDown::Drain, DecodeScaleDown::Migrate] {
+            let r = run_decode_auto(
+                &trace,
+                &fleet,
+                &DecodeAutoscaleConfig {
+                    scale_down,
+                    ..decode_reactive_cfg(1, 1)
+                },
+                DecodeScheduler::Continuous,
+            );
+            assert_eq!(r.decode.fleet.completed, 1400, "{scale_down}");
+            assert_eq!(
+                r.decode.generated_tokens,
+                trace.iter().map(|q| q.output_len as u64).sum::<u64>(),
+                "{scale_down}"
+            );
+            assert!(
+                r.peak_active_shards > 1,
+                "{scale_down}: never scaled up under the burst"
+            );
+            assert!(
+                r.scale_events
+                    .iter()
+                    .any(|e| e.kind == ScaleEventKind::Retired),
+                "{scale_down}: never scaled back down"
+            );
+            assert!(r.mean_active_shards < r.peak_active_shards as f64);
+        }
+    }
+
+    #[test]
+    fn decode_migrate_re_prefills_evicted_residents_exactly_once() {
+        // Start wide and schedule down to 1 shard mid-burst: residents
+        // are mid-generation on the retiring shards, so Migrate must
+        // evict them and every eviction must be matched by exactly one
+        // re-prefill on a survivor. Continuous scheduling keeps deadline
+        // preemptions out of the count.
+        let fleet = homogeneous_fleet(&tiny_design(64), 3);
+        let trace = decode_burst_trace(800, 11);
+        let cfg = DecodeAutoscaleConfig {
+            min_shards: 1,
+            initial_shards: 3,
+            policy: ScalePolicy::Scheduled(vec![SchedulePhase {
+                start_s: 0.104, // mid-burst backlog: residents in flight
+                shards: 1,
+            }]),
+            scale_down: DecodeScaleDown::Migrate,
+            eval_interval_s: 0.002,
+            warmup_s: 0.004,
+            cooldown_s: 0.0,
+            ..DecodeAutoscaleConfig::default()
+        };
+        let r = run_decode_auto(&trace, &fleet, &cfg, DecodeScheduler::Continuous);
+        assert_eq!(r.decode.fleet.completed, 800);
+        assert!(r.migrations > 0, "scale-down never caught a resident");
+        assert_eq!(
+            r.re_prefills, r.migrations,
+            "every migrated resident re-prefills exactly once"
+        );
+        assert_eq!(r.decode.preemptions, 0, "continuous never preempts");
+        // Token conservation survives the migrations.
+        for (req, out) in trace.iter().zip(&r.decode.requests) {
+            assert_eq!(out.tokens, req.output_len);
+        }
+        // The per-request split agrees with the totals.
+        let per_req: usize = r
+            .decode
+            .requests
+            .iter()
+            .map(|q| q.re_prefills as usize)
+            .sum();
+        assert_eq!(per_req, r.re_prefills);
+    }
+
+    #[test]
+    fn decode_migrate_releases_finished_static_residents_without_re_prefill() {
+        // Static scheduling pads finished sequences in their slots until
+        // the whole batch drains. A Migrate scale-down that catches such
+        // a batch must evict (and re-prefill) only the residents still
+        // generating — the finished ones are released, not migrated.
+        // Shard 1 holds {out=1 (finished after one iteration), out=200
+        // (mid-generation)} when the scheduled retire lands.
+        let fleet = homogeneous_fleet(&tiny_design(64), 2);
+        let mk = |output_len: usize| DecodeRequest {
+            arrival_s: 0.0,
+            prefill_len: 64,
+            output_len,
+            priority: crate::decode::Priority::Normal,
+        };
+        // JSQ routes in order: s0, s1, s0, s1.
+        let trace = vec![mk(1), mk(1), mk(200), mk(200)];
+        let r = simulate_decode_autoscale(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            DecodeScheduler::Static,
+            &DecodeConfig {
+                max_slots: 2,
+                ttft_deadline_s: 0.25,
+            },
+            &DecodeAutoscaleConfig {
+                min_shards: 1,
+                initial_shards: 2,
+                policy: ScalePolicy::Scheduled(vec![SchedulePhase {
+                    start_s: 1e-4, // lands mid-batch, after the out=1 members finished
+                    shards: 1,
+                }]),
+                scale_down: DecodeScaleDown::Migrate,
+                eval_interval_s: 1e-4,
+                warmup_s: 0.001,
+                cooldown_s: 0.0,
+                ..DecodeAutoscaleConfig::default()
+            },
+        );
+        assert_eq!(r.decode.fleet.completed, 4);
+        assert_eq!(r.decode.generated_tokens, 402);
+        // Only the unfinished resident of the retired shard migrates; its
+        // finished batch-mate is released with no phantom re-prefill.
+        assert_eq!(r.migrations, 1, "finished padded resident was migrated");
+        assert_eq!(r.re_prefills, 1);
+        assert_eq!(
+            r.decode.requests[1].re_prefills, 0,
+            "finished request re-priced"
+        );
+        assert_eq!(
+            r.decode.requests[3].re_prefills, 1,
+            "live resident not re-prefilled"
+        );
+    }
+
+    #[test]
+    fn decode_drain_retires_without_re_prefills() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 3);
+        let trace = decode_burst_trace(800, 13);
+        let cfg = DecodeAutoscaleConfig {
+            min_shards: 1,
+            initial_shards: 3,
+            policy: ScalePolicy::Scheduled(vec![SchedulePhase {
+                start_s: 0.104,
+                shards: 1,
+            }]),
+            scale_down: DecodeScaleDown::Drain,
+            eval_interval_s: 0.002,
+            warmup_s: 0.004,
+            cooldown_s: 0.0,
+            ..DecodeAutoscaleConfig::default()
+        };
+        let r = run_decode_auto(&trace, &fleet, &cfg, DecodeScheduler::Continuous);
+        assert_eq!(r.decode.fleet.completed, 800);
+        assert_eq!(r.migrations, 0, "drain never evicts");
+        assert_eq!(r.re_prefills, 0, "drain pays no re-prefill");
+        assert!(
+            r.scale_events
+                .iter()
+                .any(|e| e.kind == ScaleEventKind::Retired),
+            "the table scale-down never completed"
+        );
+        // Drained shards must not run an iteration after retiring.
+        for b in &r.decode.fleet.batch_log {
+            let mut allowed = true;
+            for e in r.scale_events.iter().filter(|e| e.shard == b.shard) {
+                if e.time_s > b.start_s + 1e-12 {
+                    break;
+                }
+                match e.kind {
+                    ScaleEventKind::Retired => allowed = false,
+                    ScaleEventKind::Launch | ScaleEventKind::Join => allowed = true,
+                    ScaleEventKind::RetireStart => {}
+                }
+            }
+            assert!(allowed, "iteration on retired shard {}", b.shard);
+        }
+    }
+
+    #[test]
+    fn decode_warmup_never_admits_work_to_a_cold_shard() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 4);
+        let trace = decode_burst_trace(1400, 17);
+        let r = run_decode_auto(
+            &trace,
+            &fleet,
+            &decode_reactive_cfg(1, 1),
+            DecodeScheduler::Continuous,
+        );
+        for e in r
+            .scale_events
+            .iter()
+            .filter(|e| e.kind == ScaleEventKind::Join)
+        {
+            let launch = r
+                .scale_events
+                .iter()
+                .find(|l| l.shard == e.shard && l.kind == ScaleEventKind::Launch)
+                .expect("join without launch");
+            assert!(e.time_s - launch.time_s >= 0.004 - 1e-9, "warm-up skipped");
+        }
+        for b in &r.decode.fleet.batch_log {
+            if b.shard == 0 {
+                continue;
+            }
+            let join = r
+                .scale_events
+                .iter()
+                .filter(|e| e.shard == b.shard && e.kind == ScaleEventKind::Join)
+                .map(|e| e.time_s)
+                .next()
+                .expect("iteration on a shard that never joined");
+            assert!(
+                b.start_s >= join - 1e-9,
+                "shard {} ran an iteration at {} before joining at {}",
+                b.shard,
+                b.start_s,
+                join
+            );
+        }
+    }
+
+    #[test]
+    fn decode_predictive_autoscale_is_deterministic() {
+        // Predictive scaling consumes only the simulation-time arrival
+        // stream — re-running the identical inputs must be bit-identical
+        // (the satellite pin: no wall-clock reads in the estimator).
+        let fleet = homogeneous_fleet(&tiny_design(64), 4);
+        let trace = decode_burst_trace(600, 21);
+        let cfg = DecodeAutoscaleConfig {
+            min_shards: 1,
+            initial_shards: 1,
+            policy: ScalePolicy::Predictive {
+                shard_capacity: 2000.0,
+                horizon_s: 0.006,
+                alpha: 0.4,
+                period_s: Some(0.5),
+            },
+            scale_down: DecodeScaleDown::Migrate,
+            eval_interval_s: 0.002,
+            warmup_s: 0.004,
+            cooldown_s: 0.0,
+            ..DecodeAutoscaleConfig::default()
+        };
+        let go = || run_decode_auto(&trace, &fleet, &cfg, DecodeScheduler::ContinuousPreempt);
+        assert_eq!(go(), go());
+    }
+
+    #[test]
+    #[should_panic(expected = "initial_shards outside")]
+    fn decode_initial_below_min_rejected() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 2);
+        let trace = decode_burst_trace(10, 1);
+        let _ = run_decode_auto(
+            &trace,
+            &fleet,
+            &DecodeAutoscaleConfig {
+                min_shards: 2,
+                initial_shards: 1,
+                ..DecodeAutoscaleConfig::default()
+            },
+            DecodeScheduler::Continuous,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "predictive alpha")]
+    fn predictive_zero_alpha_rejected() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 2);
+        let trace = poisson_trace(&DatasetSpec::rte(), 100.0, 10, 1);
+        let _ = simulate_autoscale(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            &BatcherConfig::default(),
+            &AutoscaleConfig {
+                policy: ScalePolicy::Predictive {
+                    shard_capacity: 50.0,
+                    horizon_s: 0.1,
+                    alpha: 0.0,
+                    period_s: None,
+                },
                 ..AutoscaleConfig::default()
             },
         );

@@ -43,6 +43,17 @@
 //! `output_len == 1` the engine degenerates to the encoder fleet's
 //! per-batch cost, which `tests/decode_props.rs` cross-checks against
 //! [`simulate_fleet`].
+//!
+//! ## Controller hooks
+//!
+//! Mirroring the encoder fleet's `FleetCore`/`FleetController` split, the
+//! engine's mutable state lives in a [`DecodeCore`] driven by a
+//! [`DecodeController`]: [`simulate_decode`] runs the no-op
+//! [`NullDecodeController`], and
+//! [`crate::autoscale::simulate_decode_autoscale`] drives the IDENTICAL
+//! code path with a policy controller that joins/retires shards at
+//! runtime — which is why a pinned `min == max` decode autoscaler
+//! reproduces [`simulate_decode`] bit-for-bit.
 
 use crate::accelerator::AcceleratorDesign;
 use crate::fleet::{
@@ -244,6 +255,11 @@ pub struct RequestOutcome {
     pub tokens: usize,
     /// Times this request was preempted.
     pub preemptions: u32,
+    /// Context (re-)prefill passes priced beyond the first admission —
+    /// one per preemption or scale-down migration whose re-admission
+    /// actually ran. Equals `preemptions` under a fixed fleet; the decode
+    /// autoscaler's migrations add theirs on top.
+    pub re_prefills: u32,
 }
 
 /// Per-shard decode statistics beyond the [`ShardReport`] slice.
@@ -304,8 +320,8 @@ pub struct DecodeReport {
 
 /// A resident sequence occupying one slot of a shard.
 #[derive(Debug, Clone, Copy)]
-struct Slot {
-    req: usize,
+pub(crate) struct Slot {
+    pub(crate) req: usize,
     /// The next iteration must run this request's prefill (first admission
     /// or re-admission after preemption).
     is_new: bool,
@@ -314,14 +330,18 @@ struct Slot {
     admit_seq: u64,
 }
 
-struct DecodeShard {
-    queue: VecDeque<usize>,
-    resident: Vec<Slot>,
+pub(crate) struct DecodeShard {
+    pub(crate) queue: VecDeque<usize>,
+    pub(crate) resident: Vec<Slot>,
     /// An iteration is in flight (its `StepEnd` event is scheduled).
-    stepping: bool,
+    pub(crate) stepping: bool,
     iterations: usize,
-    completed: usize,
-    busy_time_s: f64,
+    pub(crate) completed: usize,
+    pub(crate) busy_time_s: f64,
+    /// Completion time of the in-flight iteration (stale once `stepping`
+    /// drops); lets a controller clip the charge-at-launch lump of
+    /// `busy_time_s` to "busy time elapsed by `t`".
+    pub(crate) busy_until_s: f64,
     /// Σ resident × iteration duration (occupied-slot seconds).
     slot_integral: f64,
     /// Σ resident count over iterations (mean-batch-size numerator).
@@ -345,6 +365,7 @@ impl DecodeShard {
             iterations: 0,
             completed: 0,
             busy_time_s: 0.0,
+            busy_until_s: 0.0,
             slot_integral: 0.0,
             slot_steps: 0,
             peak_resident: 0,
@@ -362,7 +383,7 @@ impl DecodeShard {
     }
 
     /// Advances the queue-depth integral to `now` (call before mutating).
-    fn tick(&mut self, now: f64) {
+    pub(crate) fn tick(&mut self, now: f64) {
         self.queue_integral += self.queue.len() as f64 * (now - self.last_event_s);
         self.last_event_s = now;
     }
@@ -374,31 +395,69 @@ enum DecodeEventKind {
     Arrival(usize),
     /// Shard finishes its in-flight iteration.
     StepEnd(usize),
+    /// Controller callback ([`DecodeController::on_control`]); lowest
+    /// same-instant priority so arrivals and step ends settle first.
+    /// [`simulate_decode`] never schedules one.
+    Control,
 }
 
-struct Sim<'a> {
+/// Hooks a controller drives the decode engine through;
+/// [`simulate_decode`] runs with the no-op [`NullDecodeController`], the
+/// decode autoscaler ([`crate::autoscale`]) with a policy-driven one.
+pub(crate) trait DecodeController {
+    /// A control event scheduled via [`DecodeCore::schedule_control`]
+    /// fired.
+    fn on_control(&mut self, _core: &mut DecodeCore<'_>, _now: f64) {}
+    /// Shard `shard` finished an iteration: tokens are emitted and
+    /// finished residents released, but the next iteration has NOT been
+    /// launched yet — the window in which scale-down may evict residents.
+    fn after_step(&mut self, _core: &mut DecodeCore<'_>, _shard: usize, _now: f64) {}
+}
+
+/// Controller that never intervenes — the fixed-membership decode fleet.
+pub(crate) struct NullDecodeController;
+
+impl DecodeController for NullDecodeController {}
+
+/// The decode engine's mutable core, shared by [`simulate_decode`] (fixed
+/// membership, no control events) and
+/// [`crate::autoscale::simulate_decode_autoscale`] (runtime shard
+/// join/retire): per-shard queues and resident sets, the event heap, and
+/// request bookkeeping.
+///
+/// `accepting[s]` gates *routing only* — a shard that stops accepting
+/// still steps its resident sequences, which is exactly the
+/// drain-on-retire semantics the decode autoscaler needs.
+pub(crate) struct DecodeCore<'a> {
     designs: &'a [AcceleratorDesign],
-    trace: &'a [DecodeRequest],
+    pub(crate) trace: &'a [DecodeRequest],
     policy: SchedulingPolicy,
     scheduler: DecodeScheduler,
     cfg: &'a DecodeConfig,
-    shards: Vec<DecodeShard>,
+    pub(crate) shards: Vec<DecodeShard>,
+    pub(crate) accepting: Vec<bool>,
     heap: BinaryHeap<Event<DecodeEventKind>>,
     seq: u64,
     admit_seq: u64,
     rr_next: usize,
     dispatch: DispatchPolicy,
-    emitted: Vec<usize>,
+    pub(crate) emitted: Vec<usize>,
     last_emit_s: Vec<f64>,
-    ttft_s: Vec<f64>,
+    pub(crate) ttft_s: Vec<f64>,
     completion_s: Vec<f64>,
     shard_of: Vec<usize>,
     preempt_of: Vec<u32>,
+    /// Prefill passes actually priced per request (first admission +
+    /// every re-admission after a preemption or migration).
+    prefill_passes: Vec<u32>,
+    /// Trace arrivals processed so far — the RNG-free, wall-clock-free
+    /// observation stream predictive scaling policies consume.
+    pub(crate) arrivals_seen: usize,
     itl_gaps: Vec<f64>,
     step_log: Vec<BatchRecord>,
 }
 
-impl Sim<'_> {
+impl DecodeCore<'_> {
     /// Decode-iteration cost for `batch` resident sequences: a
     /// `batch`-sequence 1-token run through the shard's pipeline, cached
     /// per batch size.
@@ -499,7 +558,7 @@ impl Sim<'_> {
 
     /// Runs the scheduler's admission step and, if the shard holds any
     /// resident sequences, prices and launches the next iteration.
-    fn start_iteration(&mut self, s: usize, now: f64) {
+    pub(crate) fn start_iteration(&mut self, s: usize, now: f64) {
         if self.shards[s].stepping {
             return;
         }
@@ -535,12 +594,14 @@ impl Sim<'_> {
         // (padded), so `resident.len()` is the formed batch size and the
         // rigid engine keeps paying for it; `live` counts the sequences
         // that actually emit a token this iteration.
-        let mut lens: Vec<usize> = self.shards[s]
-            .resident
-            .iter()
-            .filter(|sl| sl.is_new)
-            .map(|sl| self.trace[sl.req].prefill_len + self.emitted[sl.req])
-            .collect();
+        let mut lens = Vec::new();
+        for i in 0..self.shards[s].resident.len() {
+            let sl = self.shards[s].resident[i];
+            if sl.is_new {
+                lens.push(self.trace[sl.req].prefill_len + self.emitted[sl.req]);
+                self.prefill_passes[sl.req] += 1;
+            }
+        }
         let size = self.shards[s].resident.len();
         let live = self.shards[s]
             .resident
@@ -562,6 +623,7 @@ impl Sim<'_> {
         sh.stepping = true;
         sh.iterations += 1;
         sh.busy_time_s += cost;
+        sh.busy_until_s = done;
         sh.slot_integral += live as f64 * cost;
         sh.slot_steps += live as u64;
         sh.peak_resident = sh.peak_resident.max(size);
@@ -580,14 +642,18 @@ impl Sim<'_> {
         );
     }
 
-    /// Routes request `r` to a shard and returns the shard index.
-    fn admit_arrival(&mut self, r: usize, now: f64) -> usize {
+    /// Routes request `r` among accepting shards and queues it; returns
+    /// the destination shard. Used for fresh arrivals and for work a
+    /// retiring shard hands back (queued requests and migrated
+    /// residents).
+    pub(crate) fn route_request(&mut self, r: usize, now: f64) -> usize {
         let s = {
             let shards = &self.shards;
+            let accepting = &self.accepting;
             route(
                 self.dispatch,
                 self.designs,
-                &|_| true,
+                &|i| accepting[i],
                 &|i| shards[i].load(),
                 self.trace[r].prefill_len,
                 &mut self.rr_next,
@@ -600,9 +666,27 @@ impl Sim<'_> {
         s
     }
 
+    /// Schedules a [`DecodeController::on_control`] callback at `time`.
+    pub(crate) fn schedule_control(&mut self, time: f64) {
+        push_event(
+            &mut self.heap,
+            &mut self.seq,
+            time,
+            2,
+            DecodeEventKind::Control,
+        );
+    }
+
+    /// Requests completed so far across the fleet.
+    pub(crate) fn completed(&self) -> usize {
+        self.shards.iter().map(|sh| sh.completed).sum()
+    }
+
     /// One token emitted per live resident at the end of an iteration.
     /// Continuous schedulers free finished slots immediately; the static
     /// scheduler holds every slot (padded) until the whole batch drains.
+    /// Does NOT launch the next iteration — the run loop does, after the
+    /// controller's [`DecodeController::after_step`] hook.
     fn on_step_end(&mut self, s: usize, now: f64) {
         self.shards[s].tick(now);
         self.shards[s].stepping = false;
@@ -640,7 +724,239 @@ impl Sim<'_> {
                 .resident
                 .retain(|sl| emitted[sl.req] < trace[sl.req].output_len);
         }
-        self.start_iteration(s, now);
+    }
+}
+
+impl<'a> DecodeCore<'a> {
+    /// Validates the inputs and seeds the heap with every arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `trace` is empty, `cfg.max_slots == 0`,
+    /// `cfg.ttft_deadline_s < 0`, any `output_len`/`prefill_len` is zero,
+    /// the trace is unsorted / non-finite, or `accepting` has the wrong
+    /// length / no accepting shard.
+    pub(crate) fn new(
+        shards: &'a [AcceleratorDesign],
+        trace: &'a [DecodeRequest],
+        policy: SchedulingPolicy,
+        dispatch: DispatchPolicy,
+        scheduler: DecodeScheduler,
+        cfg: &'a DecodeConfig,
+        accepting: Vec<bool>,
+    ) -> Self {
+        assert!(!shards.is_empty(), "fleet needs at least one shard");
+        assert!(!trace.is_empty(), "empty arrival trace");
+        assert!(cfg.max_slots > 0, "max_slots must be >= 1");
+        assert!(cfg.ttft_deadline_s >= 0.0, "negative TTFT deadline");
+        assert!(
+            trace
+                .iter()
+                .all(|r| r.arrival_s.is_finite() && r.arrival_s >= 0.0),
+            "arrival times must be finite and non-negative"
+        );
+        assert!(
+            trace.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+            "trace must be sorted by arrival time"
+        );
+        assert!(
+            trace.iter().all(|r| r.output_len > 0 && r.prefill_len > 0),
+            "prefill_len and output_len must be >= 1"
+        );
+        assert_eq!(accepting.len(), shards.len(), "accepting mask length");
+        assert!(
+            accepting.iter().any(|&a| a),
+            "at least one shard must accept work"
+        );
+
+        let n = trace.len();
+        let mut heap: BinaryHeap<Event<DecodeEventKind>> = BinaryHeap::with_capacity(n * 2);
+        let mut seq = 0u64;
+        for (r, req) in trace.iter().enumerate() {
+            push_event(
+                &mut heap,
+                &mut seq,
+                req.arrival_s,
+                0,
+                DecodeEventKind::Arrival(r),
+            );
+        }
+        Self {
+            designs: shards,
+            trace,
+            policy,
+            scheduler,
+            cfg,
+            shards: (0..shards.len())
+                .map(|_| DecodeShard::new(cfg.max_slots))
+                .collect(),
+            accepting,
+            heap,
+            seq,
+            admit_seq: 0,
+            rr_next: 0,
+            dispatch,
+            emitted: vec![0; n],
+            last_emit_s: vec![f64::NAN; n],
+            ttft_s: vec![f64::NAN; n],
+            completion_s: vec![f64::NAN; n],
+            shard_of: vec![usize::MAX; n],
+            preempt_of: vec![0; n],
+            prefill_passes: vec![0; n],
+            arrivals_seen: 0,
+            itl_gaps: Vec::new(),
+            step_log: Vec::new(),
+        }
+    }
+
+    /// Runs the event loop to completion, calling `ctl`'s hooks.
+    pub(crate) fn run<C: DecodeController>(&mut self, ctl: &mut C) {
+        while let Some(ev) = self.heap.pop() {
+            match ev.kind {
+                DecodeEventKind::Arrival(r) => {
+                    // Admit ALL same-instant arrivals before any iteration
+                    // starts, so a simultaneous burst fills the batch slots
+                    // instead of launching a singleton iteration.
+                    self.arrivals_seen += 1;
+                    let mut touched = vec![self.route_request(r, ev.time)];
+                    while let Some(next) = self.heap.peek() {
+                        match next.kind {
+                            DecodeEventKind::Arrival(r2) if next.time == ev.time => {
+                                self.heap.pop();
+                                self.arrivals_seen += 1;
+                                let s = self.route_request(r2, ev.time);
+                                if !touched.contains(&s) {
+                                    touched.push(s);
+                                }
+                            }
+                            _ => break,
+                        }
+                    }
+                    for s in touched {
+                        self.start_iteration(s, ev.time);
+                    }
+                }
+                DecodeEventKind::StepEnd(s) => {
+                    self.on_step_end(s, ev.time);
+                    ctl.after_step(self, s, ev.time);
+                    self.start_iteration(s, ev.time);
+                }
+                DecodeEventKind::Control => ctl.on_control(self, ev.time),
+            }
+        }
+    }
+
+    /// Assembles the [`DecodeReport`] after the heap drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request never started or never completed (a
+    /// conservation bug).
+    pub(crate) fn into_report(self) -> DecodeReport {
+        let n = self.trace.len();
+        let cfg = self.cfg;
+        let makespan = self
+            .step_log
+            .iter()
+            .map(|b| b.completion_s)
+            .fold(0.0f64, f64::max);
+        let latencies: Vec<f64> = self
+            .completion_s
+            .iter()
+            .zip(self.trace)
+            .map(|(&c, req)| {
+                assert!(c.is_finite(), "request never completed");
+                c - req.arrival_s
+            })
+            .collect();
+        let ttfts: Vec<f64> = self.ttft_s.to_vec();
+        assert!(ttfts.iter().all(|t| t.is_finite()), "request never started");
+        let high_ttfts: Vec<f64> = self
+            .trace
+            .iter()
+            .zip(&ttfts)
+            .filter(|(r, _)| r.priority == Priority::High)
+            .map(|(_, &t)| t)
+            .collect();
+        let pct = |xs: &[f64], p: f64| percentile(xs, p).expect("non-empty samples");
+        let pct0 = |xs: &[f64], p: f64| percentile(xs, p).unwrap_or(0.0);
+        let total_iterations: usize = self.shards.iter().map(|sh| sh.iterations).sum();
+        let total_slot_steps: u64 = self.shards.iter().map(|sh| sh.slot_steps).sum();
+        let shard_reports: Vec<ShardReport> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, sh)| ShardReport {
+                shard: i,
+                tuned_length: self.designs[i].tuned_length(),
+                completed: sh.completed,
+                batches: sh.iterations,
+                mean_batch_size: if sh.iterations == 0 {
+                    0.0
+                } else {
+                    sh.slot_steps as f64 / sh.iterations as f64
+                },
+                utilization: sh.busy_time_s / makespan.max(1e-12),
+                mean_queue_depth: sh.queue_integral / makespan.max(1e-12),
+                max_queue_depth: sh.max_queue_depth,
+            })
+            .collect();
+        let decode_shards: Vec<DecodeShardReport> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, sh)| DecodeShardReport {
+                shard: i,
+                preemptions: sh.preemptions,
+                slot_utilization: sh.slot_integral / (makespan.max(1e-12) * cfg.max_slots as f64),
+                peak_resident: sh.peak_resident,
+            })
+            .collect();
+        let requests: Vec<RequestOutcome> = (0..n)
+            .map(|r| RequestOutcome {
+                shard: self.shard_of[r],
+                ttft_s: self.ttft_s[r],
+                completion_s: self.completion_s[r],
+                tokens: self.emitted[r],
+                preemptions: self.preempt_of[r],
+                re_prefills: self.prefill_passes[r].saturating_sub(1),
+            })
+            .collect();
+        let generated_tokens: u64 = self.trace.iter().map(|r| r.output_len as u64).sum();
+        let fleet = FleetReport {
+            completed: n,
+            mean_latency_s: latencies.iter().sum::<f64>() / n as f64,
+            p50_latency_s: pct(&latencies, 0.50),
+            p95_latency_s: pct(&latencies, 0.95),
+            p99_latency_s: pct(&latencies, 0.99),
+            throughput_seq_s: n as f64 / makespan.max(1e-12),
+            makespan_s: makespan,
+            mean_batch_size: if total_iterations == 0 {
+                0.0
+            } else {
+                total_slot_steps as f64 / total_iterations as f64
+            },
+            shards: shard_reports,
+            batch_log: self.step_log,
+        };
+        DecodeReport {
+            ttft_mean_s: ttfts.iter().sum::<f64>() / n as f64,
+            ttft_p50_s: pct(&ttfts, 0.50),
+            ttft_p95_s: pct(&ttfts, 0.95),
+            ttft_p99_s: pct(&ttfts, 0.99),
+            high_ttft_p95_s: percentile(&high_ttfts, 0.95),
+            itl_p50_s: pct0(&self.itl_gaps, 0.50),
+            itl_p95_s: pct0(&self.itl_gaps, 0.95),
+            itl_p99_s: pct0(&self.itl_gaps, 0.99),
+            generated_tokens,
+            goodput_tok_s: generated_tokens as f64 / makespan.max(1e-12),
+            slot_utilization: self.shards.iter().map(|sh| sh.slot_integral).sum::<f64>()
+                / (makespan.max(1e-12) * (cfg.max_slots * self.designs.len()) as f64),
+            preemptions: self.shards.iter().map(|sh| sh.preemptions).sum(),
+            shards: decode_shards,
+            requests,
+            fleet,
+        }
     }
 }
 
@@ -665,187 +981,17 @@ pub fn simulate_decode(
     scheduler: DecodeScheduler,
     cfg: &DecodeConfig,
 ) -> DecodeReport {
-    assert!(!shards.is_empty(), "fleet needs at least one shard");
-    assert!(!trace.is_empty(), "empty arrival trace");
-    assert!(cfg.max_slots > 0, "max_slots must be >= 1");
-    assert!(cfg.ttft_deadline_s >= 0.0, "negative TTFT deadline");
-    assert!(
-        trace
-            .iter()
-            .all(|r| r.arrival_s.is_finite() && r.arrival_s >= 0.0),
-        "arrival times must be finite and non-negative"
-    );
-    assert!(
-        trace.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
-        "trace must be sorted by arrival time"
-    );
-    assert!(
-        trace.iter().all(|r| r.output_len > 0 && r.prefill_len > 0),
-        "prefill_len and output_len must be >= 1"
-    );
-
-    let n = trace.len();
-    let mut sim = Sim {
-        designs: shards,
+    let mut core = DecodeCore::new(
+        shards,
         trace,
         policy,
+        dispatch,
         scheduler,
         cfg,
-        shards: (0..shards.len())
-            .map(|_| DecodeShard::new(cfg.max_slots))
-            .collect(),
-        heap: BinaryHeap::with_capacity(n * 2),
-        seq: 0,
-        admit_seq: 0,
-        rr_next: 0,
-        dispatch,
-        emitted: vec![0; n],
-        last_emit_s: vec![f64::NAN; n],
-        ttft_s: vec![f64::NAN; n],
-        completion_s: vec![f64::NAN; n],
-        shard_of: vec![usize::MAX; n],
-        preempt_of: vec![0; n],
-        itl_gaps: Vec::new(),
-        step_log: Vec::new(),
-    };
-    for (r, req) in trace.iter().enumerate() {
-        push_event(
-            &mut sim.heap,
-            &mut sim.seq,
-            req.arrival_s,
-            0,
-            DecodeEventKind::Arrival(r),
-        );
-    }
-
-    while let Some(ev) = sim.heap.pop() {
-        match ev.kind {
-            DecodeEventKind::Arrival(r) => {
-                // Admit ALL same-instant arrivals before any iteration
-                // starts, so a simultaneous burst fills the batch slots
-                // instead of launching a singleton iteration.
-                let mut touched = vec![sim.admit_arrival(r, ev.time)];
-                while let Some(next) = sim.heap.peek() {
-                    match next.kind {
-                        DecodeEventKind::Arrival(r2) if next.time == ev.time => {
-                            sim.heap.pop();
-                            let s = sim.admit_arrival(r2, ev.time);
-                            if !touched.contains(&s) {
-                                touched.push(s);
-                            }
-                        }
-                        _ => break,
-                    }
-                }
-                for s in touched {
-                    sim.start_iteration(s, ev.time);
-                }
-            }
-            DecodeEventKind::StepEnd(s) => sim.on_step_end(s, ev.time),
-        }
-    }
-
-    // ── Report assembly ─────────────────────────────────────────────────
-    let makespan = sim
-        .step_log
-        .iter()
-        .map(|b| b.completion_s)
-        .fold(0.0f64, f64::max);
-    let latencies: Vec<f64> = sim
-        .completion_s
-        .iter()
-        .zip(trace)
-        .map(|(&c, req)| {
-            assert!(c.is_finite(), "request never completed");
-            c - req.arrival_s
-        })
-        .collect();
-    let ttfts: Vec<f64> = sim.ttft_s.to_vec();
-    assert!(ttfts.iter().all(|t| t.is_finite()), "request never started");
-    let high_ttfts: Vec<f64> = trace
-        .iter()
-        .zip(&ttfts)
-        .filter(|(r, _)| r.priority == Priority::High)
-        .map(|(_, &t)| t)
-        .collect();
-    let pct = |xs: &[f64], p: f64| percentile(xs, p).expect("non-empty samples");
-    let pct0 = |xs: &[f64], p: f64| percentile(xs, p).unwrap_or(0.0);
-    let total_iterations: usize = sim.shards.iter().map(|sh| sh.iterations).sum();
-    let total_slot_steps: u64 = sim.shards.iter().map(|sh| sh.slot_steps).sum();
-    let shard_reports: Vec<ShardReport> = sim
-        .shards
-        .iter()
-        .enumerate()
-        .map(|(i, sh)| ShardReport {
-            shard: i,
-            tuned_length: shards[i].tuned_length(),
-            completed: sh.completed,
-            batches: sh.iterations,
-            mean_batch_size: if sh.iterations == 0 {
-                0.0
-            } else {
-                sh.slot_steps as f64 / sh.iterations as f64
-            },
-            utilization: sh.busy_time_s / makespan.max(1e-12),
-            mean_queue_depth: sh.queue_integral / makespan.max(1e-12),
-            max_queue_depth: sh.max_queue_depth,
-        })
-        .collect();
-    let decode_shards: Vec<DecodeShardReport> = sim
-        .shards
-        .iter()
-        .enumerate()
-        .map(|(i, sh)| DecodeShardReport {
-            shard: i,
-            preemptions: sh.preemptions,
-            slot_utilization: sh.slot_integral / (makespan.max(1e-12) * cfg.max_slots as f64),
-            peak_resident: sh.peak_resident,
-        })
-        .collect();
-    let requests: Vec<RequestOutcome> = (0..n)
-        .map(|r| RequestOutcome {
-            shard: sim.shard_of[r],
-            ttft_s: sim.ttft_s[r],
-            completion_s: sim.completion_s[r],
-            tokens: sim.emitted[r],
-            preemptions: sim.preempt_of[r],
-        })
-        .collect();
-    let generated_tokens: u64 = trace.iter().map(|r| r.output_len as u64).sum();
-    let fleet = FleetReport {
-        completed: n,
-        mean_latency_s: latencies.iter().sum::<f64>() / n as f64,
-        p50_latency_s: pct(&latencies, 0.50),
-        p95_latency_s: pct(&latencies, 0.95),
-        p99_latency_s: pct(&latencies, 0.99),
-        throughput_seq_s: n as f64 / makespan.max(1e-12),
-        makespan_s: makespan,
-        mean_batch_size: if total_iterations == 0 {
-            0.0
-        } else {
-            total_slot_steps as f64 / total_iterations as f64
-        },
-        shards: shard_reports,
-        batch_log: sim.step_log,
-    };
-    DecodeReport {
-        ttft_mean_s: ttfts.iter().sum::<f64>() / n as f64,
-        ttft_p50_s: pct(&ttfts, 0.50),
-        ttft_p95_s: pct(&ttfts, 0.95),
-        ttft_p99_s: pct(&ttfts, 0.99),
-        high_ttft_p95_s: percentile(&high_ttfts, 0.95),
-        itl_p50_s: pct0(&sim.itl_gaps, 0.50),
-        itl_p95_s: pct0(&sim.itl_gaps, 0.95),
-        itl_p99_s: pct0(&sim.itl_gaps, 0.99),
-        generated_tokens,
-        goodput_tok_s: generated_tokens as f64 / makespan.max(1e-12),
-        slot_utilization: sim.shards.iter().map(|sh| sh.slot_integral).sum::<f64>()
-            / (makespan.max(1e-12) * (cfg.max_slots * shards.len()) as f64),
-        preemptions: sim.shards.iter().map(|sh| sh.preemptions).sum(),
-        shards: decode_shards,
-        requests,
-        fleet,
-    }
+        vec![true; shards.len()],
+    );
+    core.run(&mut NullDecodeController);
+    core.into_report()
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! `AutoscaleReport` (mirrors `tests/fleet_props.rs` and
 //! `tests/decode_props.rs`).
 
-use lat_bench::scenarios::HARNESS_SEED;
+use lat_bench::scenarios::harness_seed;
 use lat_fpga::core::pipeline::SchedulingPolicy;
 use lat_fpga::hwsim::accelerator::AcceleratorDesign;
 use lat_fpga::hwsim::autoscale::{
@@ -42,7 +42,7 @@ fn retire_from_index(i: usize) -> RetirePolicy {
 
 /// A scaling policy that will actually act under the bursty test traffic.
 fn policy_from_index(i: usize, min_shards: usize, max_shards: usize) -> ScalePolicy {
-    match i % 3 {
+    match i % 4 {
         0 => ScalePolicy::Reactive {
             scale_up_depth: 6.0,
             scale_down_depth: 1.0,
@@ -51,7 +51,7 @@ fn policy_from_index(i: usize, min_shards: usize, max_shards: usize) -> ScalePol
             low: 0.2,
             high: 0.8,
         },
-        _ => ScalePolicy::Scheduled(vec![
+        2 => ScalePolicy::Scheduled(vec![
             SchedulePhase {
                 start_s: 0.3,
                 shards: max_shards,
@@ -61,6 +61,14 @@ fn policy_from_index(i: usize, min_shards: usize, max_shards: usize) -> ScalePol
                 shards: min_shards,
             },
         ]),
+        // Forecast-driven: the declared capacity is far below the burst
+        // rate, so the EWMA forecast drives both scale directions.
+        _ => ScalePolicy::Predictive {
+            shard_capacity: 500.0,
+            horizon_s: 0.1,
+            alpha: 0.5,
+            period_s: None,
+        },
     }
 }
 
@@ -177,7 +185,7 @@ proptest! {
     fn conservation_under_scaling_events(
         max_shards in 3usize..5,
         min_shards in 1usize..3,
-        policy_idx in 0usize..3,
+        policy_idx in 0usize..4,
         retire_idx in 0usize..2,
         dispatch_idx in 0usize..3,
         burst_rate in 1000.0f64..8000.0,
@@ -342,7 +350,7 @@ proptest! {
     #[test]
     fn drain_on_retire_never_drops_residents(
         max_shards in 2usize..5,
-        policy_idx in 0usize..3,
+        policy_idx in 0usize..4,
         burst_rate in 2000.0f64..8000.0,
         n in 60usize..140,
         seed in 0u64..1_000_000,
@@ -386,7 +394,7 @@ proptest! {
     #[test]
     fn deterministic_under_harness_seed(
         max_shards in 2usize..5,
-        policy_idx in 0usize..3,
+        policy_idx in 0usize..4,
         retire_idx in 0usize..2,
         dispatch_idx in 0usize..3,
         n in 40usize..100,
@@ -396,7 +404,7 @@ proptest! {
             &DatasetSpec::rte(),
             &bursty_profile(4000.0),
             n,
-            HARNESS_SEED,
+            harness_seed(),
         );
         let cfg = AutoscaleConfig {
             min_shards: 1,

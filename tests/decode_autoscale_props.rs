@@ -1,0 +1,489 @@
+//! Property-based tests of the decode autoscaling layer's invariants
+//! under nonstationary load: request/token conservation across scaling
+//! events with KV residents in flight, the pinned (and clamped) min==max
+//! autoscaler reproducing `simulate_decode` bit-for-bit, drain never
+//! dropping a resident, migration re-prefilling every evicted resident
+//! exactly once, warm-up never admitting work to a cold shard, and
+//! `HARNESS_SEED` determinism of the full `DecodeAutoscaleReport` —
+//! including the predictive policy, whose rate estimator must consume
+//! only the simulation-time observation path (mirrors
+//! `tests/autoscale_props.rs` on the decode engine).
+
+use lat_bench::scenarios::harness_seed;
+use lat_fpga::core::pipeline::SchedulingPolicy;
+use lat_fpga::hwsim::accelerator::AcceleratorDesign;
+use lat_fpga::hwsim::autoscale::{
+    simulate_decode_autoscale, DecodeAutoscaleConfig, DecodeAutoscaleReport, DecodeScaleDown,
+    ScaleEventKind, ScalePolicy, SchedulePhase,
+};
+use lat_fpga::hwsim::decode::{
+    nonstationary_decode_trace, simulate_decode, DecodeConfig, DecodeRequest, DecodeScheduler,
+};
+use lat_fpga::hwsim::fleet::{homogeneous_fleet, DispatchPolicy, RatePhase, RateProfile};
+use lat_fpga::hwsim::spec::FpgaSpec;
+use lat_fpga::model::config::ModelConfig;
+use lat_fpga::model::graph::AttentionMode;
+use lat_fpga::workloads::datasets::DatasetSpec;
+use proptest::prelude::*;
+
+fn tiny_design(s_avg: usize) -> AcceleratorDesign {
+    AcceleratorDesign::new(
+        &ModelConfig::tiny(),
+        AttentionMode::paper_sparse(),
+        FpgaSpec::alveo_u280(),
+        s_avg,
+    )
+}
+
+fn dispatch_from_index(i: usize) -> DispatchPolicy {
+    DispatchPolicy::ALL[i % DispatchPolicy::ALL.len()]
+}
+
+fn scheduler_from_index(i: usize) -> DecodeScheduler {
+    DecodeScheduler::ALL[i % DecodeScheduler::ALL.len()]
+}
+
+fn scale_down_from_index(i: usize) -> DecodeScaleDown {
+    [DecodeScaleDown::Drain, DecodeScaleDown::Migrate][i % 2]
+}
+
+/// A scaling policy that will actually act under the bursty test traffic
+/// (a tiny 4-slot shard sustains ~48k decode seq/s).
+fn policy_from_index(i: usize, min_shards: usize, max_shards: usize) -> ScalePolicy {
+    match i % 4 {
+        0 => ScalePolicy::Reactive {
+            scale_up_depth: 4.0,
+            scale_down_depth: 0.5,
+        },
+        1 => ScalePolicy::UtilizationTarget {
+            low: 0.2,
+            high: 0.8,
+        },
+        2 => ScalePolicy::Scheduled(vec![
+            SchedulePhase {
+                start_s: 0.102,
+                shards: max_shards,
+            },
+            SchedulePhase {
+                start_s: 0.2,
+                shards: min_shards,
+            },
+        ]),
+        _ => ScalePolicy::Predictive {
+            shard_capacity: 2000.0,
+            horizon_s: 0.004,
+            alpha: 0.5,
+            period_s: None,
+        },
+    }
+}
+
+/// Trickle → saturating burst → trickle: the burst phase dumps a backlog
+/// that spans many 2 ms controller ticks, so scaling decisions land while
+/// KV residents are mid-generation.
+fn burst_trace(n: usize, burst_rate: f64, seed: u64) -> Vec<DecodeRequest> {
+    let spec = DatasetSpec::mrpc();
+    nonstationary_decode_trace(
+        &spec,
+        &spec.decode_output(),
+        0.15,
+        &RateProfile::Piecewise(vec![
+            RatePhase {
+                duration_s: 0.1,
+                rate: 1000.0,
+            },
+            RatePhase {
+                duration_s: 0.005,
+                rate: burst_rate,
+            },
+            RatePhase {
+                duration_s: 1.0,
+                rate: 1000.0,
+            },
+        ]),
+        n,
+        seed,
+    )
+}
+
+/// Every iteration must run inside one of its shard's membership windows:
+/// initially-active shards are allowed until their first `Retired`, later
+/// shards only between `Join` and `Retired` — at once the "warm-up never
+/// admits work to a cold shard" and the "retired means retired"
+/// invariant.
+fn assert_iterations_within_membership(r: &DecodeAutoscaleReport, initial_shards: usize) {
+    for b in &r.decode.fleet.batch_log {
+        let mut allowed = b.shard < initial_shards;
+        for e in r.scale_events.iter().filter(|e| e.shard == b.shard) {
+            if e.time_s > b.start_s + 1e-12 {
+                break;
+            }
+            match e.kind {
+                ScaleEventKind::Join => allowed = true,
+                ScaleEventKind::Retired => allowed = false,
+                ScaleEventKind::Launch | ScaleEventKind::RetireStart => {}
+            }
+        }
+        assert!(
+            allowed,
+            "iteration on shard {} at t={} outside its membership windows",
+            b.shard, b.start_s
+        );
+    }
+}
+
+/// Per shard, the event log must be a well-formed lifecycle sequence
+/// (Launch → Join → RetireStart → Retired, with bare Joins as recalls of
+/// a retiring shard), in time order.
+fn assert_event_log_well_formed(
+    r: &DecodeAutoscaleReport,
+    initial_shards: usize,
+    max_shards: usize,
+) {
+    for s in 0..max_shards {
+        let mut state = if s < initial_shards { 2u8 } else { 0 };
+        for e in r.scale_events.iter().filter(|e| e.shard == s) {
+            state = match (state, e.kind) {
+                (0, ScaleEventKind::Launch) => 1,
+                (1, ScaleEventKind::Join) => 2,
+                (2, ScaleEventKind::RetireStart) => 3,
+                (3, ScaleEventKind::Retired) => 0,
+                (3, ScaleEventKind::Join) => 2, // recall of a retiring shard
+                _ => panic!("shard {s}: {:?} out of order (state {state})", e.kind),
+            };
+        }
+    }
+    assert!(
+        r.scale_events
+            .windows(2)
+            .all(|w| w[0].time_s <= w[1].time_s),
+        "scale events out of time order"
+    );
+}
+
+/// Replaying the event log, the count of shards committed going forward
+/// (warming or active) must never fall below `min_shards`.
+fn assert_min_floor(
+    r: &DecodeAutoscaleReport,
+    initial_shards: usize,
+    min_shards: usize,
+    max_shards: usize,
+) {
+    let mut state: Vec<u8> = (0..max_shards)
+        .map(|s| if s < initial_shards { 2 } else { 0 })
+        .collect();
+    for e in &r.scale_events {
+        state[e.shard] = match e.kind {
+            ScaleEventKind::Launch => 1,
+            ScaleEventKind::Join => 2,
+            ScaleEventKind::RetireStart => 3,
+            ScaleEventKind::Retired => 0,
+        };
+        let staying = state.iter().filter(|&&x| x == 1 || x == 2).count();
+        assert!(
+            staying >= min_shards,
+            "committed fleet fell to {staying} < min {min_shards} after {:?} of shard {} at t={}",
+            e.kind,
+            e.shard,
+            e.time_s
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Scaling events re-route, drain, or migrate work but never drop or
+    /// duplicate it: every request completes exactly once and generates
+    /// exactly its sampled tokens, whatever the policy, scale-down mode,
+    /// scheduler, dispatch, warm-up, or load shape — and every re-prefill
+    /// is accounted to a preemption or a migration.
+    #[test]
+    fn conservation_under_scaling_with_residents_in_flight(
+        max_shards in 3usize..5,
+        min_shards in 1usize..3,
+        policy_idx in 0usize..4,
+        scale_down_idx in 0usize..2,
+        scheduler_idx in 0usize..3,
+        dispatch_idx in 0usize..3,
+        burst_rate in 100_000.0f64..400_000.0,
+        warmup_s in 0.0f64..0.01,
+        n in 300usize..800,
+        seed in 0u64..1_000_000,
+    ) {
+        let fleet = homogeneous_fleet(&tiny_design(64), max_shards);
+        let trace = burst_trace(n, burst_rate, seed);
+        let cfg = DecodeAutoscaleConfig {
+            min_shards,
+            initial_shards: min_shards,
+            policy: policy_from_index(policy_idx, min_shards, max_shards),
+            scale_down: scale_down_from_index(scale_down_idx),
+            eval_interval_s: 0.002,
+            warmup_s,
+            cooldown_s: 0.0,
+            ..DecodeAutoscaleConfig::default()
+        };
+        let r = simulate_decode_autoscale(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            dispatch_from_index(dispatch_idx),
+            scheduler_from_index(scheduler_idx),
+            &DecodeConfig { max_slots: 4, ttft_deadline_s: 0.001 },
+            &cfg,
+        );
+        prop_assert_eq!(r.decode.fleet.completed, n);
+        prop_assert_eq!(
+            r.decode.fleet.shards.iter().map(|s| s.completed).sum::<usize>(),
+            n
+        );
+        prop_assert_eq!(
+            r.decode.generated_tokens,
+            trace.iter().map(|q| q.output_len as u64).sum::<u64>()
+        );
+        for (req, out) in trace.iter().zip(&r.decode.requests) {
+            prop_assert_eq!(out.tokens, req.output_len);
+            prop_assert!(out.ttft_s > 0.0);
+            prop_assert!(out.ttft_s <= out.completion_s - req.arrival_s + 1e-12);
+        }
+        // Every priced re-prefill pass traces back to a preemption or a
+        // migration — and with no migrations they match preemptions.
+        prop_assert_eq!(r.re_prefills, r.decode.preemptions + r.migrations);
+        if r.decode.preemptions == 0 {
+            prop_assert_eq!(r.re_prefills, r.migrations);
+        }
+        prop_assert!(r.peak_active_shards <= max_shards);
+        prop_assert!(r.mean_active_shards >= 1.0 - 1e-9);
+        prop_assert!(r.mean_active_shards <= max_shards as f64 + 1e-9);
+        prop_assert!(r.shard_seconds > 0.0);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&r.slo_attainment));
+        assert_event_log_well_formed(&r, min_shards, max_shards);
+        assert_iterations_within_membership(&r, min_shards);
+        assert_min_floor(&r, min_shards, min_shards, max_shards);
+    }
+
+    /// A pinned autoscaler at min == max == fleet size is bit-for-bit
+    /// `simulate_decode`: same decode report, no scale events, cost =
+    /// shards × makespan. Reactive AND predictive policies clamped by
+    /// min == max must coincide too — the clamp leaves them nothing to
+    /// do, and the predictive estimator must not perturb the engine.
+    #[test]
+    fn min_eq_max_reproduces_simulate_decode_bit_for_bit(
+        shards in 1usize..4,
+        scheduler_idx in 0usize..3,
+        dispatch_idx in 0usize..3,
+        burst_rate in 50_000.0f64..300_000.0,
+        n in 100usize..300,
+        seed in 0u64..1_000_000,
+    ) {
+        let fleet = homogeneous_fleet(&tiny_design(64), shards);
+        let trace = burst_trace(n, burst_rate, seed);
+        let dispatch = dispatch_from_index(dispatch_idx);
+        let scheduler = scheduler_from_index(scheduler_idx);
+        let decode_cfg = DecodeConfig { max_slots: 4, ttft_deadline_s: 0.001 };
+        let fixed = simulate_decode(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            dispatch,
+            scheduler,
+            &decode_cfg,
+        );
+        for policy in [
+            ScalePolicy::Pinned,
+            ScalePolicy::Reactive { scale_up_depth: 4.0, scale_down_depth: 1.0 },
+            ScalePolicy::Predictive {
+                shard_capacity: 1000.0,
+                horizon_s: 0.004,
+                alpha: 0.5,
+                period_s: Some(0.1),
+            },
+        ] {
+            let auto = simulate_decode_autoscale(
+                &fleet,
+                &trace,
+                SchedulingPolicy::LengthAware,
+                dispatch,
+                scheduler,
+                &decode_cfg,
+                &DecodeAutoscaleConfig {
+                    min_shards: shards,
+                    initial_shards: shards,
+                    policy,
+                    eval_interval_s: 0.002,
+                    ..DecodeAutoscaleConfig::default()
+                },
+            );
+            prop_assert_eq!(&auto.decode, &fixed);
+            prop_assert!(auto.scale_events.is_empty());
+            prop_assert_eq!(auto.migrations, 0);
+            prop_assert_eq!(auto.peak_active_shards, shards);
+            prop_assert!(
+                (auto.shard_seconds - shards as f64 * fixed.fleet.makespan_s).abs() < 1e-9
+            );
+        }
+    }
+
+    /// Scheduled scale-down lands mid-burst with residents in flight:
+    /// Drain never evicts (no migrations, no re-prefills beyond
+    /// preemptions) and the retiring shards' residents complete on the
+    /// retiring shard; Migrate evicts and re-prefills each evicted
+    /// resident exactly once. Either way nothing is dropped.
+    #[test]
+    fn drain_never_drops_and_migrate_re_prefills_exactly_once(
+        max_shards in 2usize..5,
+        scale_down_idx in 0usize..2,
+        burst_rate in 150_000.0f64..400_000.0,
+        n in 400usize..800,
+        seed in 0u64..1_000_000,
+    ) {
+        let scale_down = scale_down_from_index(scale_down_idx);
+        let fleet = homogeneous_fleet(&tiny_design(64), max_shards);
+        let trace = burst_trace(n, burst_rate, seed);
+        let r = simulate_decode_autoscale(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            DecodeScheduler::Continuous,
+            &DecodeConfig { max_slots: 4, ttft_deadline_s: 0.001 },
+            &DecodeAutoscaleConfig {
+                min_shards: 1,
+                initial_shards: max_shards, // start big: guarantees retires
+                policy: ScalePolicy::Scheduled(vec![SchedulePhase {
+                    start_s: 0.102, // mid-burst backlog: residents in flight
+                    shards: 1,
+                }]),
+                scale_down,
+                eval_interval_s: 0.002,
+                warmup_s: 0.004,
+                cooldown_s: 0.0,
+                ..DecodeAutoscaleConfig::default()
+            },
+        );
+        prop_assert_eq!(r.decode.fleet.completed, n);
+        prop_assert_eq!(
+            r.decode.generated_tokens,
+            trace.iter().map(|q| q.output_len as u64).sum::<u64>()
+        );
+        prop_assert_eq!(r.decode.preemptions, 0); // continuous never preempts
+        match scale_down {
+            DecodeScaleDown::Drain => {
+                prop_assert_eq!(r.migrations, 0);
+                prop_assert_eq!(r.re_prefills, 0);
+            }
+            DecodeScaleDown::Migrate => {
+                prop_assert_eq!(r.re_prefills, r.migrations);
+                let per_req: usize =
+                    r.decode.requests.iter().map(|q| q.re_prefills as usize).sum();
+                prop_assert_eq!(per_req, r.re_prefills);
+            }
+        }
+        assert_event_log_well_formed(&r, max_shards, max_shards);
+        assert_iterations_within_membership(&r, max_shards);
+    }
+
+    /// The warm-up delay is real: a launched shard runs no iteration
+    /// before its join, and every join trails its launch by exactly the
+    /// warm-up.
+    #[test]
+    fn warmup_never_admits_work_to_a_cold_shard(
+        max_shards in 2usize..5,
+        scale_down_idx in 0usize..2,
+        warmup_s in 0.002f64..0.01,
+        burst_rate in 150_000.0f64..400_000.0,
+        n in 400usize..800,
+        seed in 0u64..1_000_000,
+    ) {
+        let fleet = homogeneous_fleet(&tiny_design(64), max_shards);
+        let trace = burst_trace(n, burst_rate, seed);
+        let r = simulate_decode_autoscale(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            DecodeScheduler::Continuous,
+            &DecodeConfig { max_slots: 4, ttft_deadline_s: 0.001 },
+            &DecodeAutoscaleConfig {
+                min_shards: 1,
+                initial_shards: 1,
+                policy: ScalePolicy::Reactive { scale_up_depth: 4.0, scale_down_depth: 0.5 },
+                scale_down: scale_down_from_index(scale_down_idx),
+                eval_interval_s: 0.002,
+                warmup_s,
+                cooldown_s: 0.0,
+                ..DecodeAutoscaleConfig::default()
+            },
+        );
+        assert_iterations_within_membership(&r, 1);
+        let events = &r.scale_events;
+        for (i, e) in events.iter().enumerate() {
+            if e.kind != ScaleEventKind::Join {
+                continue;
+            }
+            let launch = events[..i]
+                .iter()
+                .rev()
+                .find(|l| l.shard == e.shard && l.kind == ScaleEventKind::Launch);
+            if let Some(launch) = launch {
+                // A bare Join with no preceding Launch is a recall of a
+                // retiring shard — no warm-up owed. A launched shard's
+                // join must trail by exactly the warm-up.
+                let retire_between = events[..i].iter().any(|x| {
+                    x.shard == e.shard
+                        && x.kind == ScaleEventKind::RetireStart
+                        && x.time_s >= launch.time_s
+                });
+                if !retire_between {
+                    prop_assert!(
+                        (e.time_s - launch.time_s - warmup_s).abs() < 1e-9,
+                        "join at {} after launch at {} != warm-up {}",
+                        e.time_s,
+                        launch.time_s,
+                        warmup_s
+                    );
+                }
+            }
+        }
+    }
+
+    /// Bit-identical `DecodeAutoscaleReport`s when re-run from
+    /// `HARNESS_SEED`-derived traces (the CI seed matrix overrides the
+    /// seed via the environment): no hidden nondeterminism in the
+    /// controller, the engine, or — the satellite pin — the predictive
+    /// policy's rate estimator, which consumes only the simulation-time
+    /// arrival stream (no wall clock).
+    #[test]
+    fn deterministic_under_harness_seed(
+        max_shards in 2usize..5,
+        policy_idx in 0usize..4,
+        scale_down_idx in 0usize..2,
+        scheduler_idx in 0usize..3,
+        dispatch_idx in 0usize..3,
+        n in 300usize..600,
+    ) {
+        let fleet = homogeneous_fleet(&tiny_design(64), max_shards);
+        let trace = burst_trace(n, 250_000.0, harness_seed());
+        let cfg = DecodeAutoscaleConfig {
+            min_shards: 1,
+            initial_shards: 2.min(max_shards),
+            policy: policy_from_index(policy_idx, 1, max_shards),
+            scale_down: scale_down_from_index(scale_down_idx),
+            eval_interval_s: 0.002,
+            warmup_s: 0.004,
+            cooldown_s: 0.002,
+            phase_bounds_s: vec![0.1, 0.2],
+            ..DecodeAutoscaleConfig::default()
+        };
+        let go = || simulate_decode_autoscale(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            dispatch_from_index(dispatch_idx),
+            scheduler_from_index(scheduler_idx),
+            &DecodeConfig { max_slots: 4, ttft_deadline_s: 0.001 },
+            &cfg,
+        );
+        prop_assert_eq!(go(), go());
+    }
+}

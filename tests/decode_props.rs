@@ -6,7 +6,7 @@
 //! cross-check that pins the decode engine to `simulate_fleet`'s cost
 //! model (mirrors `tests/fleet_props.rs`).
 
-use lat_bench::scenarios::HARNESS_SEED;
+use lat_bench::scenarios::harness_seed;
 use lat_fpga::core::pipeline::SchedulingPolicy;
 use lat_fpga::hwsim::accelerator::AcceleratorDesign;
 use lat_fpga::hwsim::decode::nonstationary_decode_trace;
@@ -172,7 +172,7 @@ proptest! {
             0.2,
             rate,
             n,
-            HARNESS_SEED,
+            harness_seed(),
         );
         let run = || simulate_decode(
             &fleet,

@@ -3,7 +3,7 @@
 //! agreement between the refactored serving simulator and the fleet
 //! engine's 1-shard join-shortest-queue case.
 
-use lat_bench::scenarios::HARNESS_SEED;
+use lat_bench::scenarios::harness_seed;
 use lat_fpga::core::pipeline::SchedulingPolicy;
 use lat_fpga::hwsim::accelerator::AcceleratorDesign;
 use lat_fpga::hwsim::fleet::{
@@ -77,7 +77,7 @@ proptest! {
         n in 10usize..40,
     ) {
         let fleet = homogeneous_fleet(&tiny_design(64), shards);
-        let trace = poisson_trace(&DatasetSpec::mrpc(), rate, n, HARNESS_SEED);
+        let trace = poisson_trace(&DatasetSpec::mrpc(), rate, n, harness_seed());
         let run = || simulate_fleet(
             &fleet,
             &trace,
