@@ -239,6 +239,113 @@ pub fn decode_autoscale_mix() -> MixedWorkload {
     MixedWorkload::paper_mix()
 }
 
+/// Largest fleet of the failure ablation (the healthy capacity a
+/// mid-peak crash subtracts one shard from).
+pub const FAILURE_MAX_SHARDS: usize = 4;
+
+/// Autoscaler floor of the failure ablation.
+pub const FAILURE_MIN_SHARDS: usize = 1;
+
+/// Arrival rate (seq/s) outside the flash-crowd window — comfortably
+/// inside two shards' capacity, well over one's.
+pub const FAILURE_BASE_RATE: f64 = 100.0;
+
+/// Flash-crowd rate (seq/s): needs all [`FAILURE_MAX_SHARDS`] shards
+/// (3 × ~68 seq/s < 240 < 4 × ~68), so the mid-peak crash puts the
+/// surviving fleet under water for the incident's duration.
+pub const FAILURE_BURST_RATE: f64 = 240.0;
+
+/// Flash-crowd onset in seconds.
+pub const FAILURE_BURST_START_S: f64 = 3.0;
+
+/// Flash-crowd length in seconds — the burst subsides at the crash's
+/// recovery instant, so the incident (flash crowd + mid-peak crash) has
+/// one well-defined end to judge recovery after.
+pub const FAILURE_BURST_DURATION_S: f64 = 2.5;
+
+/// Shard-crash instant — inside the burst window (mid-peak).
+pub const FAILURE_CRASH_S: f64 = 4.0;
+
+/// Crash-recovery instant; the shard then rejoins through the normal
+/// launch + warm-up path, so capacity returns one warm-up later.
+pub const FAILURE_RECOVER_S: f64 = 5.5;
+
+/// Requests per failure simulation point (~10.4 s horizon at the base
+/// rate plus the burst surcharge — several seconds of post-incident
+/// cruise to judge recovery against).
+pub const FAILURE_REQUESTS: usize = 1600;
+
+/// End-to-end latency SLO of the failure ablation (matches the
+/// autoscale ablation's).
+pub const FAILURE_SLO_LATENCY_S: f64 = AUTOSCALE_SLO_LATENCY_S;
+
+/// Warm-up of a (re)launched shard in the failure ablation (matches the
+/// autoscale ablation's — recovery claims are phrased "within one
+/// warm-up of the recovery instant").
+pub const FAILURE_WARMUP_S: f64 = AUTOSCALE_WARMUP_S;
+
+/// Headline-claim tolerance: post-incident SLO attainment (arrivals
+/// after recovery + one warm-up) must come within this much of the
+/// pre-incident level.
+pub const FAILURE_RECOVERY_TOLERANCE: f64 = 0.05;
+
+/// Per-attempt client patience — generously above the SLO, so a timeout
+/// marks a genuinely stuck request (crash-stranded or incident-buried),
+/// not an ordinary SLO miss.
+pub const FAILURE_TIMEOUT_S: f64 = 1.0;
+
+/// Client retry budget after the first attempt.
+pub const FAILURE_MAX_RETRIES: u32 = 3;
+
+/// Base client backoff before the first retry (doubles per attempt).
+pub const FAILURE_BACKOFF_S: f64 = 0.05;
+
+/// End-to-end client deadline from the original arrival — wide enough
+/// for the full retry ladder ([`FAILURE_TIMEOUT_S`] ×
+/// ([`FAILURE_MAX_RETRIES`] + 1) plus backoffs).
+pub const FAILURE_DEADLINE_S: f64 = 10.0;
+
+/// Per-shard sustainable rate on the mix — the predictive policy's
+/// capacity oracle (same figure the autoscale ablation's time-of-day
+/// table uses).
+pub const FAILURE_SHARD_CAPACITY: f64 = 68.0;
+
+/// Straggler slow-down factor of the decode migrate-vs-drain
+/// comparison — deep enough that draining residents in place on the
+/// slow shard is clearly worse than evicting and re-prefilling them on
+/// the survivors.
+pub const FAILURE_STRAGGLER_SLOWDOWN: f64 = 25.0;
+
+/// Decode fleet size of the migrate-vs-drain comparison.
+pub const FAILURE_DECODE_SHARDS: usize = 3;
+
+/// Output length of the migrate-vs-drain decode requests — long
+/// generations, so the straggler's residents are large and live (the
+/// regime where migrate's re-prefill cost pays for itself).
+pub const FAILURE_DECODE_OUTPUT: usize = 64;
+
+/// Prefill length of the migrate-vs-drain decode requests.
+pub const FAILURE_DECODE_PREFILL: usize = 128;
+
+/// Requests of the migrate-vs-drain comparison.
+pub const FAILURE_DECODE_REQUESTS: usize = 24;
+
+/// Arrival gap of the migrate-vs-drain comparison's steady trace.
+pub const FAILURE_DECODE_GAP_S: f64 = 0.01;
+
+/// Straggler window of the migrate-vs-drain comparison (opens once
+/// residents are seated, closes long after every victim finished).
+pub const FAILURE_STRAGGLER_WINDOW_S: (f64, f64) = (0.05, 60.0);
+
+/// TTFT SLO the decode failure runs report attainment against.
+pub const FAILURE_DECODE_SLO_TTFT_S: f64 = 0.5;
+
+/// Prompt mix served by the failure ablation (the Table 1 mix, matching
+/// the fleet and autoscale ablations).
+pub fn failure_mix() -> MixedWorkload {
+    MixedWorkload::paper_mix()
+}
+
 /// One model × dataset evaluation point.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -445,6 +552,61 @@ mod tests {
         assert!(duration >= 2.5 * DECODE_AUTOSCALE_PERIOD_S);
         assert!((0.0..1.0).contains(&DECODE_AUTOSCALE_COST_MARGIN));
         assert_eq!(decode_autoscale_mix().components().len(), 3);
+    }
+
+    #[test]
+    fn failure_constants_consistent() {
+        const {
+            assert!(FAILURE_MIN_SHARDS >= 1 && FAILURE_MIN_SHARDS < FAILURE_MAX_SHARDS);
+            assert!(FAILURE_BURST_RATE > FAILURE_BASE_RATE);
+            // The crash lands inside the burst window (mid-peak), the
+            // recovery strictly after it.
+            assert!(FAILURE_CRASH_S >= FAILURE_BURST_START_S);
+            assert!(FAILURE_CRASH_S < FAILURE_BURST_START_S + FAILURE_BURST_DURATION_S);
+            assert!(FAILURE_RECOVER_S > FAILURE_CRASH_S);
+            #[allow(clippy::manual_range_contains)] // not const-callable
+            {
+                assert!(FAILURE_RECOVERY_TOLERANCE > 0.0 && FAILURE_RECOVERY_TOLERANCE < 1.0);
+            }
+            // A timeout marks a stuck request, not an ordinary SLO miss.
+            assert!(FAILURE_TIMEOUT_S > FAILURE_SLO_LATENCY_S);
+            assert!(FAILURE_STRAGGLER_SLOWDOWN > 1.0);
+            assert!(FAILURE_STRAGGLER_WINDOW_S.0 < FAILURE_STRAGGLER_WINDOW_S.1);
+            assert!(FAILURE_DECODE_SHARDS >= 2 && FAILURE_DECODE_OUTPUT > 1);
+        }
+        // The burst needs every shard and a crash puts the survivors
+        // under water — otherwise "mid-peak crash" stresses nothing.
+        assert!(
+            FAILURE_BURST_RATE < FAILURE_SHARD_CAPACITY * FAILURE_MAX_SHARDS as f64,
+            "burst overwhelms even the healthy max fleet"
+        );
+        assert!(
+            FAILURE_BURST_RATE > FAILURE_SHARD_CAPACITY * (FAILURE_MAX_SHARDS - 1) as f64,
+            "burst fits the crashed fleet — the incident is painless"
+        );
+        assert!(
+            FAILURE_BASE_RATE > FAILURE_SHARD_CAPACITY * FAILURE_MIN_SHARDS as f64,
+            "base load fits the min fleet — the autoscaler never has to act"
+        );
+        // The deadline fits the full retry ladder (timeouts + doubled
+        // backoffs), so `attempt_bound()` is set by max_retries.
+        let ladder: f64 = (0..=FAILURE_MAX_RETRIES)
+            .map(|a| FAILURE_TIMEOUT_S + FAILURE_BACKOFF_S * f64::powi(2.0, a as i32))
+            .sum();
+        assert!(
+            FAILURE_DEADLINE_S > ladder,
+            "deadline truncates the retry ladder"
+        );
+        // The trace horizon leaves post-incident cruise: expected end =
+        // (requests − burst surcharge) / base rate.
+        let horizon = (FAILURE_REQUESTS as f64
+            - (FAILURE_BURST_RATE - FAILURE_BASE_RATE) * FAILURE_BURST_DURATION_S)
+            / FAILURE_BASE_RATE;
+        assert!(
+            FAILURE_RECOVER_S + FAILURE_WARMUP_S + 2.0 < horizon,
+            "no post-recovery arrivals left to judge recovery on"
+        );
+        assert_eq!(failure_mix().components().len(), 3);
     }
 
     #[test]

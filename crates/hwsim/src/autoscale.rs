@@ -604,6 +604,13 @@ pub enum ScaleEventKind {
     RetireStart,
     /// A retiring shard went idle and left the paid fleet.
     Retired,
+    /// The failure layer crashed the shard; it left the paid fleet
+    /// immediately (crashed capacity is not billed) and cannot be
+    /// relaunched until it recovers.
+    Failed,
+    /// The failure layer revived the shard; it is launchable again but
+    /// rejoins only through the normal launch/warm-up path.
+    Recovered,
 }
 
 impl fmt::Display for ScaleEventKind {
@@ -613,6 +620,8 @@ impl fmt::Display for ScaleEventKind {
             ScaleEventKind::Join => write!(f, "join"),
             ScaleEventKind::RetireStart => write!(f, "retire-start"),
             ScaleEventKind::Retired => write!(f, "retired"),
+            ScaleEventKind::Failed => write!(f, "failed"),
+            ScaleEventKind::Recovered => write!(f, "recovered"),
         }
     }
 }
@@ -685,28 +694,32 @@ enum Lifecycle {
     Retiring,
 }
 
-/// The policy-driven [`FleetController`].
-struct Autoscaler<'a> {
+/// The policy-driven [`FleetController`]. `pub(crate)` so the failure
+/// layer ([`crate::failure`]) can wrap it inside its fault injector.
+pub(crate) struct Autoscaler<'a> {
     cfg: &'a AutoscaleConfig,
     max_shards: usize,
     lifecycle: Vec<Lifecycle>,
     /// Time each non-[`Lifecycle::Off`] shard started being paid for.
     on_since: Vec<f64>,
     shard_seconds: f64,
-    events: Vec<ScaleEvent>,
+    pub(crate) events: Vec<ScaleEvent>,
     next_eval_s: f64,
     last_action_s: f64,
     engine: PolicyEngine,
     /// Committed (non-Off) shards right now.
     on_count: usize,
-    peak_on: usize,
+    pub(crate) peak_on: usize,
     on_integral: f64,
     last_on_change_s: f64,
     done_ticking: bool,
+    /// Shards currently crashed by the failure layer: never launch
+    /// targets until their [`ScaleEventKind::Recovered`] event.
+    failed: Vec<bool>,
 }
 
 impl<'a> Autoscaler<'a> {
-    fn new(cfg: &'a AutoscaleConfig, max_shards: usize) -> Self {
+    pub(crate) fn new(cfg: &'a AutoscaleConfig, max_shards: usize) -> Self {
         let lifecycle = (0..max_shards)
             .map(|s| {
                 if s < cfg.initial_shards {
@@ -731,7 +744,25 @@ impl<'a> Autoscaler<'a> {
             on_integral: 0.0,
             last_on_change_s: 0.0,
             done_ticking: false,
+            failed: vec![false; max_shards],
         }
+    }
+
+    /// Closes the cost books at `makespan`: Σ paid shard-seconds
+    /// (still-on shards charged to the makespan), time-averaged committed
+    /// shard count, and the committed peak. Shared by
+    /// [`simulate_autoscale`] and the failure layer's autoscaled entry
+    /// point so the two can never drift on billing arithmetic.
+    pub(crate) fn close_books(&self, makespan: f64) -> (f64, f64, usize) {
+        let mut shard_seconds = self.shard_seconds;
+        for s in 0..self.max_shards {
+            if self.lifecycle[s] != Lifecycle::Off {
+                shard_seconds += (makespan - self.on_since[s]).max(0.0);
+            }
+        }
+        let end = makespan.max(self.last_on_change_s).max(1e-12);
+        let on_integral = self.on_integral + self.on_count as f64 * (end - self.last_on_change_s);
+        (shard_seconds, on_integral / end, self.peak_on)
     }
 
     /// Advances the committed-shard integral and applies `delta`.
@@ -813,7 +844,9 @@ impl<'a> Autoscaler<'a> {
             core.state[s].window_scheduled_for = None;
             let mut touched = Vec::new();
             for r in evicted {
-                let s2 = core.admit(r, now);
+                // At least one shard keeps accepting during a retire (the
+                // evaluate() guard), so eviction never parks.
+                let s2 = core.admit(r, now).expect("survivor accepts evicted work");
                 if !touched.contains(&s2) {
                     touched.push(s2);
                 }
@@ -882,7 +915,7 @@ impl<'a> Autoscaler<'a> {
                 if need == 0 {
                     break;
                 }
-                if self.lifecycle[s] == Lifecycle::Off {
+                if self.lifecycle[s] == Lifecycle::Off && !self.failed[s] {
                     self.launch(core, s, now);
                     need -= 1;
                     acted = true;
@@ -928,8 +961,9 @@ impl FleetController for Autoscaler<'_> {
         if self.done_ticking || now + 1e-9 < self.next_eval_s {
             return;
         }
-        if core.completed() == core.trace.len() {
-            // Work is done: stop the tick chain so the heap can drain.
+        if core.completed() + core.abandoned == core.trace.len() {
+            // Work is done (completed or given up on by the client
+            // layer): stop the tick chain so the heap can drain.
             self.done_ticking = true;
             return;
         }
@@ -940,6 +974,28 @@ impl FleetController for Autoscaler<'_> {
 
     fn after_completion(&mut self, core: &mut FleetCore<'_>, shard: usize, now: f64) {
         self.maybe_finish_retire(core, shard, now);
+    }
+
+    fn on_shard_down(&mut self, _core: &mut FleetCore<'_>, s: usize, now: f64) {
+        // Crashed capacity stops billing immediately, whatever lifecycle
+        // stage it was in (a crash mid-warm-up or mid-retire also lands
+        // here; the pending warm-up control event finds no Warming state
+        // and is a no-op).
+        if self.lifecycle[s] != Lifecycle::Off {
+            self.change_on_count(now, -1);
+            self.shard_seconds += now - self.on_since[s];
+            self.lifecycle[s] = Lifecycle::Off;
+        }
+        self.failed[s] = true;
+        self.record(now, s, ScaleEventKind::Failed);
+    }
+
+    fn on_shard_up(&mut self, _core: &mut FleetCore<'_>, s: usize, now: f64) {
+        // Deliberately does NOT set `accepting`: a recovered shard is
+        // cold, so it rejoins through the policy's normal launch +
+        // warm-up path at the next evaluation that wants capacity.
+        self.failed[s] = false;
+        self.record(now, s, ScaleEventKind::Recovered);
     }
 }
 
@@ -986,14 +1042,7 @@ pub fn simulate_autoscale(
     let makespan = fleet.makespan_s;
 
     // Close the books on shards still committed at the end of the run.
-    let mut shard_seconds = ctl.shard_seconds;
-    for s in 0..shards.len() {
-        if ctl.lifecycle[s] != Lifecycle::Off {
-            shard_seconds += (makespan - ctl.on_since[s]).max(0.0);
-        }
-    }
-    let end = makespan.max(ctl.last_on_change_s).max(1e-12);
-    let on_integral = ctl.on_integral + ctl.on_count as f64 * (end - ctl.last_on_change_s);
+    let (shard_seconds, mean_active_shards, peak_active_shards) = ctl.close_books(makespan);
 
     let in_slo = |lat: f64| lat <= cfg.slo_latency_s;
     let slo_attainment =
@@ -1027,8 +1076,8 @@ pub fn simulate_autoscale(
     AutoscaleReport {
         fleet,
         shard_seconds,
-        mean_active_shards: on_integral / end,
-        peak_active_shards: ctl.peak_on,
+        mean_active_shards,
+        peak_active_shards,
         scale_events: ctl.events,
         slo_attainment,
         phases,
@@ -1465,8 +1514,9 @@ impl DecodeController for DecodeAutoscaler<'_> {
         if self.done_ticking || now + 1e-9 < self.next_eval_s {
             return;
         }
-        if core.completed() == core.trace.len() {
-            // Work is done: stop the tick chain so the heap can drain.
+        if core.completed() + core.abandoned == core.trace.len() {
+            // Work is done (completed or given up on by the client
+            // layer): stop the tick chain so the heap can drain.
             self.done_ticking = true;
             return;
         }
@@ -1777,9 +1827,9 @@ mod tests {
                         break;
                     }
                     match e.kind {
-                        ScaleEventKind::Retired => allowed = false,
+                        ScaleEventKind::Retired | ScaleEventKind::Failed => allowed = false,
                         ScaleEventKind::Launch | ScaleEventKind::Join => allowed = true,
-                        ScaleEventKind::RetireStart => {}
+                        ScaleEventKind::RetireStart | ScaleEventKind::Recovered => {}
                     }
                 }
                 assert!(allowed, "{retire}: batch on retired shard {}", b.shard);
@@ -2345,9 +2395,9 @@ mod tests {
                     break;
                 }
                 match e.kind {
-                    ScaleEventKind::Retired => allowed = false,
+                    ScaleEventKind::Retired | ScaleEventKind::Failed => allowed = false,
                     ScaleEventKind::Launch | ScaleEventKind::Join => allowed = true,
-                    ScaleEventKind::RetireStart => {}
+                    ScaleEventKind::RetireStart | ScaleEventKind::Recovered => {}
                 }
             }
             assert!(allowed, "iteration on retired shard {}", b.shard);

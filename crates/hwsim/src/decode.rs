@@ -247,11 +247,14 @@ impl Default for DecodeConfig {
 pub struct RequestOutcome {
     /// Shard the request completed on.
     pub shard: usize,
-    /// Time to first token (arrival → end of first prefill iteration).
+    /// Time to first token (arrival → end of first prefill iteration);
+    /// `f64::INFINITY` if the request never started (failure layer only).
     pub ttft_s: f64,
-    /// Completion time in seconds (absolute, not latency).
+    /// Completion time in seconds (absolute, not latency);
+    /// `f64::INFINITY` if the request never finished (failure layer only).
     pub completion_s: f64,
-    /// Output tokens generated (== the request's `output_len`).
+    /// Output tokens generated (== the request's `output_len` whenever it
+    /// completed).
     pub tokens: usize,
     /// Times this request was preempted.
     pub preemptions: u32,
@@ -303,7 +306,8 @@ pub struct DecodeReport {
     pub itl_p95_s: f64,
     /// 99th-percentile inter-token latency.
     pub itl_p99_s: f64,
-    /// Total output tokens generated (Σ `output_len`).
+    /// Total output tokens actually generated (Σ emitted; equals
+    /// Σ `output_len` whenever every request completes).
     pub generated_tokens: u64,
     /// Generated tokens per second of makespan — the goodput a generative
     /// deployment cares about (idle slots in a static batch lower it).
@@ -335,6 +339,10 @@ pub(crate) struct DecodeShard {
     pub(crate) resident: Vec<Slot>,
     /// An iteration is in flight (its `StepEnd` event is scheduled).
     pub(crate) stepping: bool,
+    /// Bumped whenever scheduled step-end events become invalid (crash,
+    /// straggler re-price); stale [`DecodeEventKind::StepEnd`] events
+    /// carry the old epoch and are dropped.
+    epoch: u64,
     iterations: usize,
     pub(crate) completed: usize,
     pub(crate) busy_time_s: f64,
@@ -362,6 +370,7 @@ impl DecodeShard {
             queue: VecDeque::new(),
             resident: Vec::new(),
             stepping: false,
+            epoch: 0,
             iterations: 0,
             completed: 0,
             busy_time_s: 0.0,
@@ -393,8 +402,10 @@ impl DecodeShard {
 enum DecodeEventKind {
     /// Request index arrives and is routed to a shard.
     Arrival(usize),
-    /// Shard finishes its in-flight iteration.
-    StepEnd(usize),
+    /// Shard finishes its in-flight iteration. `epoch` pins the event to
+    /// the shard state it was scheduled against; a crash or a mid-flight
+    /// re-price bumps the shard epoch and the stale event is dropped.
+    StepEnd { shard: usize, epoch: u64 },
     /// Controller callback ([`DecodeController::on_control`]); lowest
     /// same-instant priority so arrivals and step ends settle first.
     /// [`simulate_decode`] never schedules one.
@@ -412,6 +423,14 @@ pub(crate) trait DecodeController {
     /// finished residents released, but the next iteration has NOT been
     /// launched yet — the window in which scale-down may evict residents.
     fn after_step(&mut self, _core: &mut DecodeCore<'_>, _shard: usize, _now: f64) {}
+    /// The failure layer crashed `shard` (already marked dead and not
+    /// accepting; orphaned work is re-routed by the caller).
+    fn on_shard_down(&mut self, _core: &mut DecodeCore<'_>, _shard: usize, _now: f64) {}
+    /// The failure layer revived `shard`. The default is a plain rejoin:
+    /// the shard starts accepting routed work immediately.
+    fn on_shard_up(&mut self, core: &mut DecodeCore<'_>, shard: usize, _now: f64) {
+        core.accepting[shard] = true;
+    }
 }
 
 /// Controller that never intervenes — the fixed-membership decode fleet.
@@ -436,6 +455,18 @@ pub(crate) struct DecodeCore<'a> {
     cfg: &'a DecodeConfig,
     pub(crate) shards: Vec<DecodeShard>,
     pub(crate) accepting: Vec<bool>,
+    /// Crashed shards ([`DecodeCore::crash_shard`]): routing skips them
+    /// and `start_iteration` refuses to launch on them until revived.
+    pub(crate) dead: Vec<bool>,
+    /// Per-shard iteration-cost multiplier (1.0 = healthy). Applied when
+    /// an iteration launches; [`DecodeCore::set_slowdown`] also re-prices
+    /// an in-flight iteration. Multiplying by exactly 1.0 is an IEEE
+    /// identity, so healthy runs stay bit-identical.
+    pub(crate) slowdown: Vec<f64>,
+    /// Requests permanently given up on by a client layer (timed out with
+    /// an exhausted retry budget). Termination checks count
+    /// `completed() + abandoned` against the trace length.
+    pub(crate) abandoned: usize,
     heap: BinaryHeap<Event<DecodeEventKind>>,
     seq: u64,
     admit_seq: u64,
@@ -444,7 +475,7 @@ pub(crate) struct DecodeCore<'a> {
     pub(crate) emitted: Vec<usize>,
     last_emit_s: Vec<f64>,
     pub(crate) ttft_s: Vec<f64>,
-    completion_s: Vec<f64>,
+    pub(crate) completion_s: Vec<f64>,
     shard_of: Vec<usize>,
     preempt_of: Vec<u32>,
     /// Prefill passes actually priced per request (first admission +
@@ -559,7 +590,7 @@ impl DecodeCore<'_> {
     /// Runs the scheduler's admission step and, if the shard holds any
     /// resident sequences, prices and launches the next iteration.
     pub(crate) fn start_iteration(&mut self, s: usize, now: f64) {
-        if self.shards[s].stepping {
+        if self.dead[s] || self.shards[s].stepping {
             return;
         }
         match self.scheduler {
@@ -614,7 +645,7 @@ impl DecodeCore<'_> {
             self.decode_cost(s, old) // pure-decode iteration: cached
         } else {
             self.designs[s].run_batch(&lens, self.policy).seconds
-        };
+        } * self.slowdown[s];
         let done = now + cost;
         let sh = &mut self.shards[s];
         for slot in sh.resident.iter_mut() {
@@ -627,6 +658,7 @@ impl DecodeCore<'_> {
         sh.slot_integral += live as f64 * cost;
         sh.slot_steps += live as u64;
         sh.peak_resident = sh.peak_resident.max(size);
+        let epoch = sh.epoch;
         self.step_log.push(BatchRecord {
             shard: s,
             start_s: now,
@@ -638,7 +670,7 @@ impl DecodeCore<'_> {
             &mut self.seq,
             done,
             1,
-            DecodeEventKind::StepEnd(s),
+            DecodeEventKind::StepEnd { shard: s, epoch },
         );
     }
 
@@ -680,6 +712,141 @@ impl DecodeCore<'_> {
     /// Requests completed so far across the fleet.
     pub(crate) fn completed(&self) -> usize {
         self.shards.iter().map(|sh| sh.completed).sum()
+    }
+
+    /// Crashes shard `s` at `now`: marks it dead and non-accepting,
+    /// truncates the in-flight iteration (its destroyed tail never counts
+    /// as busy or occupied-slot time; tokens it would have emitted are
+    /// lost), and returns every orphaned request — the waiting queue plus
+    /// every *unfinished* KV resident, whose grown context re-prefills on
+    /// re-admission exactly like a preemption victim. Finished padded
+    /// residents of a static batch are simply dropped. The launch-time
+    /// `iterations`/`slot_steps` charges of the aborted iteration stay
+    /// (both sides of the mean-batch-size ratio keep counting it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is already dead.
+    pub(crate) fn crash_shard(&mut self, s: usize, now: f64) -> Vec<usize> {
+        assert!(!self.dead[s], "shard crashed twice");
+        self.dead[s] = true;
+        self.accepting[s] = false;
+        self.shards[s].tick(now);
+        if self.shards[s].stepping {
+            let rec_idx = self
+                .step_log
+                .iter()
+                .rposition(|b| b.shard == s)
+                .expect("stepping shard has a step record");
+            let size = self.step_log[rec_idx].size;
+            self.step_log[rec_idx].completion_s = now;
+            let sh = &mut self.shards[s];
+            let remaining = (sh.busy_until_s - now).max(0.0);
+            sh.stepping = false;
+            sh.epoch += 1;
+            sh.busy_time_s -= remaining;
+            sh.slot_integral -= size as f64 * remaining;
+            sh.busy_until_s = now;
+        }
+        let mut orphans: Vec<usize> = self.shards[s].queue.drain(..).collect();
+        let residents: Vec<Slot> = self.shards[s].resident.drain(..).collect();
+        for sl in residents {
+            if self.emitted[sl.req] < self.trace[sl.req].output_len {
+                orphans.push(sl.req);
+            }
+        }
+        orphans
+    }
+
+    /// Brings a crashed shard back. Routing eligibility is the
+    /// controller's call ([`DecodeController::on_shard_up`]).
+    pub(crate) fn revive_shard(&mut self, s: usize) {
+        assert!(self.dead[s], "revived a live shard");
+        self.dead[s] = false;
+    }
+
+    /// Sets shard `s`'s iteration-cost multiplier (straggler ×`factor`,
+    /// recovery back to 1.0). An in-flight iteration is re-priced on the
+    /// fly: its unexecuted remainder is scaled by `factor / old`, the
+    /// shard epoch bumps so the stale step-end event is dropped, and a new
+    /// one is scheduled at the re-priced completion time.
+    pub(crate) fn set_slowdown(&mut self, s: usize, factor: f64, now: f64) {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "slowdown factor must be positive and finite"
+        );
+        let old = self.slowdown[s];
+        self.slowdown[s] = factor;
+        if factor == old || !self.shards[s].stepping {
+            return;
+        }
+        let rec_idx = self
+            .step_log
+            .iter()
+            .rposition(|b| b.shard == s)
+            .expect("stepping shard has a step record");
+        let size = self.step_log[rec_idx].size;
+        let done;
+        let epoch;
+        {
+            let sh = &mut self.shards[s];
+            let remaining = (sh.busy_until_s - now).max(0.0);
+            let new_remaining = remaining * (factor / old);
+            sh.busy_time_s += new_remaining - remaining;
+            sh.slot_integral += size as f64 * (new_remaining - remaining);
+            sh.busy_until_s = now + new_remaining;
+            sh.epoch += 1;
+            done = sh.busy_until_s;
+            epoch = sh.epoch;
+        }
+        self.step_log[rec_idx].completion_s = done;
+        push_event(
+            &mut self.heap,
+            &mut self.seq,
+            done,
+            1,
+            DecodeEventKind::StepEnd { shard: s, epoch },
+        );
+    }
+
+    /// Schedules an arrival event for request `r` at `time` — the
+    /// re-entry path for client retries and for work orphaned by a crash.
+    /// Indistinguishable from a trace arrival when it pops, so it
+    /// re-counts in `arrivals_seen` (a retry *is* offered load).
+    pub(crate) fn schedule_arrival(&mut self, r: usize, time: f64) {
+        push_event(
+            &mut self.heap,
+            &mut self.seq,
+            time,
+            0,
+            DecodeEventKind::Arrival(r),
+        );
+    }
+
+    /// Removes request `r` from the shard queue it is waiting in so a
+    /// client layer can retry or abandon it. Returns `false` if the
+    /// request is not cancellable: already emitting tokens (its KV state
+    /// is live — a timeout mid-generation is not a client abandon in this
+    /// model), resident in a slot, or done.
+    pub(crate) fn cancel_waiting(&mut self, r: usize, now: f64) -> bool {
+        if self.emitted[r] > 0 || self.completion_s[r].is_finite() {
+            return false;
+        }
+        if self
+            .shards
+            .iter()
+            .any(|sh| sh.resident.iter().any(|sl| sl.req == r))
+        {
+            return false;
+        }
+        for s in 0..self.shards.len() {
+            if let Some(i) = self.shards[s].queue.iter().position(|&x| x == r) {
+                self.shards[s].tick(now);
+                self.shards[s].queue.remove(i);
+                return true;
+            }
+        }
+        false
     }
 
     /// One token emitted per live resident at the end of an iteration.
@@ -791,6 +958,9 @@ impl<'a> DecodeCore<'a> {
                 .map(|_| DecodeShard::new(cfg.max_slots))
                 .collect(),
             accepting,
+            dead: vec![false; shards.len()],
+            slowdown: vec![1.0; shards.len()],
+            abandoned: 0,
             heap,
             seq,
             admit_seq: 0,
@@ -836,7 +1006,12 @@ impl<'a> DecodeCore<'a> {
                         self.start_iteration(s, ev.time);
                     }
                 }
-                DecodeEventKind::StepEnd(s) => {
+                DecodeEventKind::StepEnd { shard: s, epoch } => {
+                    // Stale if the shard crashed or was re-priced after
+                    // this event was scheduled.
+                    if epoch != self.shards[s].epoch {
+                        continue;
+                    }
                     self.on_step_end(s, ev.time);
                     ctl.after_step(self, s, ev.time);
                     self.start_iteration(s, ev.time);
@@ -848,10 +1023,12 @@ impl<'a> DecodeCore<'a> {
 
     /// Assembles the [`DecodeReport`] after the heap drained.
     ///
-    /// # Panics
-    ///
-    /// Panics if any request never started or never completed (a
-    /// conservation bug).
+    /// Requests that never completed (timed out, lost to an unrecovered
+    /// outage) are absent from the latency/TTFT populations, and their
+    /// [`RequestOutcome`] carries `f64::INFINITY` sentinels (keeping the
+    /// report `PartialEq`-comparable for determinism tests). Conservation
+    /// is the *caller's* invariant — [`simulate_decode`] asserts it; the
+    /// failure layer accounts shortfalls through client dispositions.
     pub(crate) fn into_report(self) -> DecodeReport {
         let n = self.trace.len();
         let cfg = self.cfg;
@@ -864,22 +1041,24 @@ impl<'a> DecodeCore<'a> {
             .completion_s
             .iter()
             .zip(self.trace)
-            .map(|(&c, req)| {
-                assert!(c.is_finite(), "request never completed");
-                c - req.arrival_s
-            })
+            .filter(|(c, _)| c.is_finite())
+            .map(|(&c, req)| c - req.arrival_s)
             .collect();
-        let ttfts: Vec<f64> = self.ttft_s.to_vec();
-        assert!(ttfts.iter().all(|t| t.is_finite()), "request never started");
+        let ttfts: Vec<f64> = self
+            .ttft_s
+            .iter()
+            .copied()
+            .filter(|t| t.is_finite())
+            .collect();
         let high_ttfts: Vec<f64> = self
             .trace
             .iter()
-            .zip(&ttfts)
-            .filter(|(r, _)| r.priority == Priority::High)
+            .zip(&self.ttft_s)
+            .filter(|(r, t)| r.priority == Priority::High && t.is_finite())
             .map(|(_, &t)| t)
             .collect();
-        let pct = |xs: &[f64], p: f64| percentile(xs, p).expect("non-empty samples");
-        let pct0 = |xs: &[f64], p: f64| percentile(xs, p).unwrap_or(0.0);
+        let pct = |xs: &[f64], p: f64| percentile(xs, p).unwrap_or(0.0);
+        let pct0 = pct;
         let total_iterations: usize = self.shards.iter().map(|sh| sh.iterations).sum();
         let total_slot_steps: u64 = self.shards.iter().map(|sh| sh.slot_steps).sum();
         let shard_reports: Vec<ShardReport> = self
@@ -912,24 +1091,32 @@ impl<'a> DecodeCore<'a> {
                 peak_resident: sh.peak_resident,
             })
             .collect();
+        // INFINITY (not NaN) sentinels for never-started / never-finished
+        // requests keep the outcome vector PartialEq-comparable, which the
+        // determinism suites rely on (`NaN != NaN` would break them).
+        let finite_or_inf = |x: f64| if x.is_finite() { x } else { f64::INFINITY };
         let requests: Vec<RequestOutcome> = (0..n)
             .map(|r| RequestOutcome {
                 shard: self.shard_of[r],
-                ttft_s: self.ttft_s[r],
-                completion_s: self.completion_s[r],
+                ttft_s: finite_or_inf(self.ttft_s[r]),
+                completion_s: finite_or_inf(self.completion_s[r]),
                 tokens: self.emitted[r],
                 preemptions: self.preempt_of[r],
                 re_prefills: self.prefill_passes[r].saturating_sub(1),
             })
             .collect();
-        let generated_tokens: u64 = self.trace.iter().map(|r| r.output_len as u64).sum();
+        let generated_tokens: u64 = self.emitted.iter().map(|&e| e as u64).sum();
         let fleet = FleetReport {
-            completed: n,
-            mean_latency_s: latencies.iter().sum::<f64>() / n as f64,
+            completed: latencies.len(),
+            mean_latency_s: if latencies.is_empty() {
+                0.0
+            } else {
+                latencies.iter().sum::<f64>() / latencies.len() as f64
+            },
             p50_latency_s: pct(&latencies, 0.50),
             p95_latency_s: pct(&latencies, 0.95),
             p99_latency_s: pct(&latencies, 0.99),
-            throughput_seq_s: n as f64 / makespan.max(1e-12),
+            throughput_seq_s: latencies.len() as f64 / makespan.max(1e-12),
             makespan_s: makespan,
             mean_batch_size: if total_iterations == 0 {
                 0.0
@@ -940,7 +1127,11 @@ impl<'a> DecodeCore<'a> {
             batch_log: self.step_log,
         };
         DecodeReport {
-            ttft_mean_s: ttfts.iter().sum::<f64>() / n as f64,
+            ttft_mean_s: if ttfts.is_empty() {
+                0.0
+            } else {
+                ttfts.iter().sum::<f64>() / ttfts.len() as f64
+            },
             ttft_p50_s: pct(&ttfts, 0.50),
             ttft_p95_s: pct(&ttfts, 0.95),
             ttft_p99_s: pct(&ttfts, 0.99),
@@ -991,7 +1182,13 @@ pub fn simulate_decode(
         vec![true; shards.len()],
     );
     core.run(&mut NullDecodeController);
-    core.into_report()
+    let report = core.into_report();
+    assert_eq!(
+        report.fleet.completed,
+        trace.len(),
+        "request never completed (conservation bug in the healthy fleet)"
+    );
+    report
 }
 
 #[cfg(test)]
@@ -1394,5 +1591,25 @@ mod tests {
             DecodeScheduler::Continuous,
             &DecodeConfig::default(),
         );
+    }
+
+    /// Mirror of the fleet engine's zero-completion guard: every
+    /// empty-population metric of the decode report degrades to a defined
+    /// value, never NaN. Single-token outputs leave the inter-token-gap
+    /// population empty, and an all-Normal trace leaves the high-priority
+    /// TTFT population empty.
+    #[test]
+    fn empty_metric_populations_stay_defined_not_nan() {
+        let r = run(&burst(3, 0.0, 64, 1), DecodeScheduler::Continuous, 4, 1);
+        assert_eq!(r.fleet.completed, 3);
+        // No request decodes past its first token → no inter-token gaps.
+        assert_eq!(r.itl_p50_s, 0.0, "empty-ITL NaN regression");
+        assert_eq!(r.itl_p95_s, 0.0);
+        assert_eq!(r.itl_p99_s, 0.0);
+        // No high-priority requests → no high-priority tail to report.
+        assert_eq!(r.high_ttft_p95_s, None);
+        assert!(!r.ttft_mean_s.is_nan() && !r.fleet.mean_batch_size.is_nan());
+        assert!(!r.goodput_tok_s.is_nan() && !r.slot_utilization.is_nan());
+        assert!(r.shards.iter().all(|s| !s.slot_utilization.is_nan()));
     }
 }

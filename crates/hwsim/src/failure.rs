@@ -1,0 +1,1658 @@
+//! Failure-and-burst scenario layer over the fleet and decode engines.
+//!
+//! The serving engines ([`crate::fleet`], [`crate::decode`]) and the
+//! autoscaler ([`crate::autoscale`]) model a *healthy* deployment: every
+//! shard that is launched stays up, and every request eventually
+//! completes. Real fleets lose shards mid-peak, develop stragglers, and
+//! face clients that give up. This module injects exactly those events —
+//! deterministically, from a seed-free declarative [`FaultPlan`] — through
+//! the controller hooks the engines already expose
+//! ([`FleetController::on_shard_down`] and friends), so a dead shard's
+//! queued work and live KV residents re-route through the same
+//! drain/migrate machinery scale-down uses, and a straggler's in-flight
+//! batches are re-priced on the fly.
+//!
+//! Three layers compose here:
+//!
+//! - **Faults** ([`FaultPlan`]): shard crashes (with optional recovery)
+//!   and straggler windows (service ×`slowdown` between two instants).
+//!   Applied via control events, so a healthy run with an empty plan is
+//!   *bit-identical* to the plain engine (multiplying by a slowdown of
+//!   exactly 1.0 is an IEEE identity, and no extra events fire).
+//! - **Clients** ([`ClientConfig`]): per-request timeout, bounded retry
+//!   with exponential backoff, and an end-to-end deadline. A retried
+//!   request re-enters the arrival stream as a new event; every request
+//!   ends in a [`Disposition`] — completed, completed-after-retries, or
+//!   timed out — so nothing is ever silently dropped.
+//! - **Bursts**: flash crowds are a *trace* property, not a fault —
+//!   [`crate::fleet::RateProfile::Burst`] generates them; this module
+//!   reports how the fleet rode them out.
+//!
+//! Reporting slices the run into pre-incident / during-incident /
+//! post-incident [`IncidentPhase`]s along the plan's
+//! [`FaultPlan::incident_window`], each with SLO attainment, goodput, and
+//! (for the autoscaled entry point) the scale-event count — the
+//! time-to-recovery view the `ablate_failures` bin asserts on.
+//!
+//! Entry points: [`simulate_fleet_failure`] (fixed fleet),
+//! [`simulate_autoscale_failure`] (autoscaled fleet — crashed capacity
+//! stops billing immediately and recovered shards rejoin through the
+//! normal launch/warm-up path), and [`simulate_decode_failure`]
+//! (generative decode, with [`DecodeScaleDown`] choosing what happens to
+//! a straggler's KV residents).
+
+use crate::accelerator::AcceleratorDesign;
+use crate::autoscale::{AutoscaleConfig, Autoscaler, DecodeScaleDown, ScaleEvent};
+use crate::decode::{
+    DecodeConfig, DecodeController, DecodeCore, DecodeReport, DecodeRequest, DecodeScheduler,
+    NullDecodeController,
+};
+use crate::fleet::{
+    BatcherConfig, DispatchPolicy, FleetController, FleetCore, FleetReport, NullController, Request,
+};
+use lat_core::pipeline::SchedulingPolicy;
+use lat_tensor::stats::percentile;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+// ───────────────────────────── fault plans ─────────────────────────────
+
+/// What goes wrong with one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The shard dies at `at_s`: its queued work and in-flight batch are
+    /// orphaned and re-routed to survivors; with `recover_s` it comes
+    /// back (a plain fleet re-admits it immediately, an autoscaled one
+    /// relaunches it through warm-up), without it stays down forever.
+    Crash {
+        /// Crash instant in seconds.
+        at_s: f64,
+        /// Recovery instant, strictly after `at_s`; `None` = never.
+        recover_s: Option<f64>,
+    },
+    /// The shard serves ×`slowdown` slower over `[from_s, until_s)`; an
+    /// in-flight batch at either boundary is re-priced on the fly.
+    Straggler {
+        /// Slow-down onset in seconds.
+        from_s: f64,
+        /// Recovery instant, strictly after `from_s`.
+        until_s: f64,
+        /// Service-time multiplier while slow (e.g. `8.0`).
+        slowdown: f64,
+    },
+}
+
+/// One fault on one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fault {
+    /// Shard the fault hits.
+    pub shard: usize,
+    /// What happens to it.
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    /// The `[start, end)` interval the shard is unhealthy (end is
+    /// `f64::INFINITY` for an unrecovered crash).
+    fn interval(&self) -> (f64, f64) {
+        match self.kind {
+            FaultKind::Crash { at_s, recover_s } => (at_s, recover_s.unwrap_or(f64::INFINITY)),
+            FaultKind::Straggler {
+                from_s, until_s, ..
+            } => (from_s, until_s),
+        }
+    }
+}
+
+/// A deterministic failure scenario: every fault with its exact timing.
+/// No randomness lives here — plans are data, so a scenario replays
+/// bit-for-bit and property suites can perturb it systematically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultPlan {
+    /// The faults, in any order (applied in time order).
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults: the healthy baseline (runs bit-identical to
+    /// the plain engine).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Panics unless the plan is well-formed for a fleet of `max_shards`:
+    /// shards in range, times finite and ordered, and per-shard fault
+    /// intervals disjoint (a shard cannot crash while already down or
+    /// straggle twice at once).
+    pub fn validate(&self, max_shards: usize) {
+        let mut per_shard: Vec<Vec<(f64, f64)>> = vec![Vec::new(); max_shards];
+        for f in &self.faults {
+            assert!(f.shard < max_shards, "fault shard out of range");
+            match f.kind {
+                FaultKind::Crash { at_s, recover_s } => {
+                    assert!(
+                        at_s.is_finite() && at_s >= 0.0,
+                        "crash time must be finite and non-negative"
+                    );
+                    if let Some(rec) = recover_s {
+                        assert!(
+                            rec.is_finite() && rec > at_s,
+                            "recovery must be finite and after the crash"
+                        );
+                    }
+                }
+                FaultKind::Straggler {
+                    from_s,
+                    until_s,
+                    slowdown,
+                } => {
+                    assert!(
+                        from_s.is_finite() && from_s >= 0.0,
+                        "straggler start must be finite and non-negative"
+                    );
+                    assert!(
+                        until_s.is_finite() && until_s > from_s,
+                        "straggler window must be finite and non-empty"
+                    );
+                    assert!(
+                        slowdown.is_finite() && slowdown > 0.0,
+                        "slowdown factor must be positive and finite"
+                    );
+                }
+            }
+            per_shard[f.shard].push(f.interval());
+        }
+        for intervals in &mut per_shard {
+            intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fault starts"));
+            for w in intervals.windows(2) {
+                assert!(w[0].1 <= w[1].0, "overlapping fault intervals on one shard");
+            }
+        }
+    }
+
+    /// The `[start, end)` hull of every fault — the incident window the
+    /// per-phase report slices on. `None` for an empty plan; the end is
+    /// `f64::INFINITY` if any crash never recovers.
+    pub fn incident_window(&self) -> Option<(f64, f64)> {
+        let mut window: Option<(f64, f64)> = None;
+        for f in &self.faults {
+            let (lo, hi) = f.interval();
+            window = Some(match window {
+                None => (lo, hi),
+                Some((a, b)) => (a.min(lo), b.max(hi)),
+            });
+        }
+        window
+    }
+
+    /// The plan flattened into time-ordered injector actions (stable on
+    /// ties, so two same-instant faults apply in declaration order).
+    fn actions(&self) -> Vec<(f64, Action)> {
+        let mut actions = Vec::new();
+        for f in &self.faults {
+            match f.kind {
+                FaultKind::Crash { at_s, recover_s } => {
+                    actions.push((at_s, Action::Down(f.shard)));
+                    if let Some(rec) = recover_s {
+                        actions.push((rec, Action::Up(f.shard)));
+                    }
+                }
+                FaultKind::Straggler {
+                    from_s,
+                    until_s,
+                    slowdown,
+                } => {
+                    actions.push((
+                        from_s,
+                        Action::Slow {
+                            shard: f.shard,
+                            factor: slowdown,
+                        },
+                    ));
+                    actions.push((until_s, Action::Unslow(f.shard)));
+                }
+            }
+        }
+        actions.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite action times"));
+        actions
+    }
+}
+
+/// A fault's primitive effect, applied at one instant.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    Down(usize),
+    Up(usize),
+    Slow { shard: usize, factor: f64 },
+    Unslow(usize),
+}
+
+// ─────────────────────────────── clients ───────────────────────────────
+
+/// Client-side request semantics: how long a request waits before giving
+/// up on an attempt, how often it retries, and the end-to-end budget.
+///
+/// The timeout clock is checked once per attempt: a request still
+/// *waiting* (queued or outage-parked) at `arrival + timeout_s` is
+/// cancelled and either retried or abandoned; a request already executing
+/// is left to complete — in this model the client keeps the connection
+/// once service starts. A retry re-enters the arrival stream
+/// `backoff_s × 2^(attempt-1)` after the timeout fired, as a brand-new
+/// arrival event (so forecasters see retry load — a retry *is* offered
+/// load).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientConfig {
+    /// Per-attempt patience in seconds (`f64::INFINITY` = never time
+    /// out).
+    pub timeout_s: f64,
+    /// Retries after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Base backoff before the first retry; doubles per attempt.
+    pub backoff_s: f64,
+    /// End-to-end budget from the original arrival: a retry that would
+    /// start after `arrival + deadline_s` is abandoned instead
+    /// (`f64::INFINITY` = unbounded).
+    pub deadline_s: f64,
+}
+
+impl ClientConfig {
+    /// The infinitely patient client: no timeouts, no retries — every
+    /// request waits forever. The failure layer with this client and an
+    /// empty [`FaultPlan`] reproduces the plain engine bit-for-bit.
+    pub fn patient() -> Self {
+        Self {
+            timeout_s: f64::INFINITY,
+            max_retries: 0,
+            backoff_s: 0.0,
+            deadline_s: f64::INFINITY,
+        }
+    }
+
+    /// Panics unless the configuration is well-formed.
+    pub fn validate(&self) {
+        assert!(self.timeout_s > 0.0, "timeout must be positive");
+        assert!(
+            self.backoff_s.is_finite() && self.backoff_s >= 0.0,
+            "backoff must be finite and non-negative"
+        );
+        assert!(self.deadline_s > 0.0, "deadline must be positive");
+    }
+
+    /// Hard cap on attempts implied by the budget: `max_retries`, further
+    /// clamped by how many timeout periods fit in the deadline. Property
+    /// suites assert observed attempt counts against this.
+    pub fn attempt_bound(&self) -> u32 {
+        if self.timeout_s.is_infinite() {
+            return self.max_retries;
+        }
+        if self.deadline_s.is_infinite() {
+            return self.max_retries;
+        }
+        // Each retry only launches if it starts inside the deadline, and
+        // every attempt consumes at least one timeout period first.
+        let by_deadline = (self.deadline_s / self.timeout_s).ceil() as u32;
+        self.max_retries.min(by_deadline)
+    }
+}
+
+/// How one request's story ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Disposition {
+    /// Completed on the first attempt.
+    Completed,
+    /// Completed after this many retries.
+    Retried(u32),
+    /// Never completed: timed out with an exhausted retry budget, or
+    /// stranded by an unrecovered outage.
+    TimedOut,
+}
+
+impl fmt::Display for Disposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Disposition::Completed => write!(f, "completed"),
+            Disposition::Retried(n) => write!(f, "retried×{n}"),
+            Disposition::TimedOut => write!(f, "timed-out"),
+        }
+    }
+}
+
+/// Client-side outcome of one request (parallel to the trace).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientOutcome {
+    /// How the request ended.
+    pub disposition: Disposition,
+    /// Retries performed (0 = served, or gave up, on the first attempt).
+    pub attempts: u32,
+    /// Absolute completion time; `f64::INFINITY` if it never completed
+    /// (kept non-NaN so outcome vectors stay `PartialEq`-comparable).
+    pub completion_s: f64,
+    /// Completion − *original* arrival (retries included);
+    /// `f64::INFINITY` if it never completed.
+    pub latency_s: f64,
+}
+
+// ─────────────────────────────── reports ───────────────────────────────
+
+/// One slice of the run relative to the incident window: pre-incident,
+/// during, post-incident. Requests are bucketed by *original* arrival
+/// time; goodput by completion time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncidentPhase {
+    /// Phase start (inclusive).
+    pub start_s: f64,
+    /// Phase end (exclusive); `f64::INFINITY` for the last phase.
+    pub end_s: f64,
+    /// Requests that arrived in the phase.
+    pub arrivals: usize,
+    /// Of those, how many eventually completed (whenever that happened).
+    pub completed: usize,
+    /// Of those, how many never completed.
+    pub timed_out: usize,
+    /// Fraction of the phase's arrivals that completed inside the SLO
+    /// (timed-out requests count as misses); 1.0 for an empty phase.
+    pub slo_attainment: f64,
+    /// Completions landing *inside* the phase per second of phase (the
+    /// delivery rate through the window, whoever's requests they were).
+    pub goodput_seq_s: f64,
+    /// 95th-percentile latency of the phase's completed arrivals (0 when
+    /// none completed).
+    pub p95_latency_s: f64,
+    /// Autoscaler actions inside the phase (0 for fixed fleets).
+    pub scale_events: usize,
+}
+
+/// Result of [`simulate_fleet_failure`]: the engine-level report plus the
+/// client's view of every request.
+///
+/// Accounting invariant: `completed + timed_out == trace.len()` — a
+/// request is never lost, only completed or explicitly given up on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureReport {
+    /// Engine-level report (latency percentiles over the completed
+    /// population, per-shard stats, batch log).
+    pub fleet: FleetReport,
+    /// Per-request client outcomes in trace order.
+    pub outcomes: Vec<ClientOutcome>,
+    /// Requests that completed (on any attempt).
+    pub completed: usize,
+    /// Requests that never completed.
+    pub timed_out: usize,
+    /// Completed requests that needed at least one retry.
+    pub retried: usize,
+    /// Total retry events across all requests (including those that
+    /// still timed out).
+    pub retries: usize,
+    /// Fraction of *all* requests completed inside the SLO (timed-out
+    /// requests are misses).
+    pub slo_attainment: f64,
+    /// Completed requests per second of makespan.
+    pub goodput_seq_s: f64,
+    /// Pre / during / post incident slices ([`FaultPlan::incident_window`];
+    /// one all-run phase for an empty plan).
+    pub phases: Vec<IncidentPhase>,
+}
+
+/// Result of [`simulate_autoscale_failure`]: the failure view plus the
+/// autoscaler's cost books and event log. Crashed capacity is not billed
+/// (`shard_seconds` stops accruing at the crash), and recovery shows up
+/// as a `Recovered` scale event followed by a normal launch + warm-up.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoscaleFailureReport {
+    /// The failure-layer view ([`FailureReport`]).
+    pub failure: FailureReport,
+    /// Σ paid shard-seconds (same books as
+    /// [`crate::autoscale::AutoscaleReport::shard_seconds`]).
+    pub shard_seconds: f64,
+    /// Time-averaged committed shard count.
+    pub mean_active_shards: f64,
+    /// Peak committed shard count.
+    pub peak_active_shards: usize,
+    /// Every scaling action in time order, `Failed`/`Recovered`
+    /// included.
+    pub scale_events: Vec<ScaleEvent>,
+}
+
+/// Result of [`simulate_decode_failure`]: the decode report plus client
+/// outcomes. SLO attainment here is over *TTFT* (the user-facing latency
+/// of generative serving), and `affected_drain_s` is the
+/// time-to-recovery metric the migrate-vs-drain ablation compares.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodeFailureReport {
+    /// Engine-level decode report (TTFT/ITL percentiles over the
+    /// population that got tokens, goodput, per-shard stats).
+    pub decode: DecodeReport,
+    /// Per-request client outcomes in trace order.
+    pub outcomes: Vec<ClientOutcome>,
+    /// Requests that completed (on any attempt).
+    pub completed: usize,
+    /// Requests that never completed.
+    pub timed_out: usize,
+    /// Completed requests that needed at least one retry.
+    pub retried: usize,
+    /// Total retry events across all requests.
+    pub retries: usize,
+    /// Fraction of *all* requests whose TTFT met the SLO.
+    pub slo_attainment: f64,
+    /// Pre / during / post incident slices; the latency metric inside is
+    /// TTFT, matching `slo_attainment`.
+    pub phases: Vec<IncidentPhase>,
+    /// Latest completion time among requests that were KV-resident on a
+    /// faulty shard at fault onset (0 if none, `f64::INFINITY` if one
+    /// never finished) — how long the incident's victims lingered.
+    /// Migrating them off a straggler should beat draining in place.
+    pub affected_drain_s: f64,
+}
+
+// ─────────────────────────── fleet injector ────────────────────────────
+
+/// [`FleetController`] that applies a [`FaultPlan`] and enforces
+/// [`ClientConfig`] timeouts, wrapping an inner controller (the no-op one
+/// for fixed fleets, the [`Autoscaler`] for autoscaled ones) whose hooks
+/// it forwards.
+struct FleetFaultInjector<C: FleetController> {
+    inner: C,
+    actions: Vec<(f64, Action)>,
+    next_action: usize,
+    client: ClientConfig,
+    /// Pending timeout instant per request (`f64::INFINITY` = none).
+    timeout_at: Vec<f64>,
+    /// Retries performed per request.
+    attempts: Vec<u32>,
+    /// Total retry events.
+    retries: usize,
+}
+
+impl<C: FleetController> FleetFaultInjector<C> {
+    fn new(inner: C, plan: &FaultPlan, client: ClientConfig, n_requests: usize) -> Self {
+        Self {
+            inner,
+            actions: plan.actions(),
+            next_action: 0,
+            client,
+            timeout_at: vec![f64::INFINITY; n_requests],
+            attempts: vec![0; n_requests],
+            retries: 0,
+        }
+    }
+
+    /// Schedules a control event at every fault instant and every
+    /// first-attempt timeout. Call once before `core.run`.
+    fn prime(&mut self, core: &mut FleetCore<'_>) {
+        for &(t, _) in &self.actions {
+            core.schedule_control(t);
+        }
+        if self.client.timeout_s.is_finite() {
+            for r in 0..core.trace.len() {
+                self.timeout_at[r] = core.trace[r].arrival_s + self.client.timeout_s;
+                core.schedule_control(self.timeout_at[r]);
+            }
+        }
+    }
+
+    /// Applies every action due at `now` (crash / revive / re-price).
+    fn apply_due_actions(&mut self, core: &mut FleetCore<'_>, now: f64) {
+        while self.next_action < self.actions.len() && self.actions[self.next_action].0 <= now {
+            let action = self.actions[self.next_action].1;
+            self.next_action += 1;
+            match action {
+                Action::Down(s) => {
+                    let orphans = core.crash_shard(s, now);
+                    self.inner.on_shard_down(core, s, now);
+                    // Re-admit the dead shard's work among survivors; if
+                    // none accepts (total outage) `admit` parks it until
+                    // capacity returns. Orphans' batching windows have
+                    // long expired, so survivors dispatch them at once.
+                    let mut touched = Vec::new();
+                    for r in orphans {
+                        if let Some(s2) = core.admit(r, now) {
+                            if !touched.contains(&s2) {
+                                touched.push(s2);
+                            }
+                        }
+                    }
+                    for s2 in touched {
+                        core.try_dispatch(s2, now);
+                    }
+                }
+                Action::Up(s) => {
+                    core.revive_shard(s);
+                    self.inner.on_shard_up(core, s, now);
+                }
+                Action::Slow { shard, factor } => core.set_slowdown(shard, factor, now),
+                Action::Unslow(s) => core.set_slowdown(s, 1.0, now),
+            }
+        }
+    }
+
+    /// Fires every client timeout due at `now`: a still-waiting request
+    /// is cancelled, then retried (backoff-delayed, budget permitting) or
+    /// abandoned. Requests already executing are left alone — their
+    /// timeout simply lapses.
+    fn apply_due_timeouts(&mut self, core: &mut FleetCore<'_>, now: f64) {
+        for r in 0..self.timeout_at.len() {
+            if self.timeout_at[r] > now {
+                continue;
+            }
+            self.timeout_at[r] = f64::INFINITY;
+            if core.completion_s[r].is_finite() {
+                continue; // dispatched (or done): the client got service
+            }
+            if !core.cancel_waiting(r, now) {
+                continue; // not waiting anywhere: nothing to give up on
+            }
+            let retry_at = now + self.client.backoff_s * 2f64.powi(self.attempts[r] as i32);
+            let within_deadline = retry_at <= core.trace[r].arrival_s + self.client.deadline_s;
+            if self.attempts[r] < self.client.max_retries && within_deadline {
+                self.attempts[r] += 1;
+                self.retries += 1;
+                core.schedule_arrival(r, retry_at);
+                if self.client.timeout_s.is_finite() {
+                    self.timeout_at[r] = retry_at + self.client.timeout_s;
+                    core.schedule_control(self.timeout_at[r]);
+                }
+            } else {
+                core.abandoned += 1;
+            }
+        }
+    }
+
+    /// True when nothing can ever change again: every fault applied, no
+    /// pending timeout, *every* shard dead with no recovery coming,
+    /// nothing queued or in flight. Whatever is still parked is stranded
+    /// — counted abandoned so an inner autoscaler's evaluation tick chain
+    /// stops and the heap can drain (the
+    /// unrecovered-total-outage-with-a-patient-client end state). A
+    /// merely cold shard does NOT make a dead end: an autoscaler can
+    /// relaunch it, so the run must keep ticking.
+    fn fleet_dead_end(&self, core: &FleetCore<'_>) -> bool {
+        self.next_action >= self.actions.len()
+            && self.timeout_at.iter().all(|t| t.is_infinite())
+            && core.dead.iter().all(|&d| d)
+            && core.state.iter().all(|st| !st.busy && st.queue.is_empty())
+    }
+}
+
+impl<C: FleetController> FleetController for FleetFaultInjector<C> {
+    fn on_control(&mut self, core: &mut FleetCore<'_>, now: f64) {
+        self.apply_due_actions(core, now);
+        self.apply_due_timeouts(core, now);
+        if !core.parked.is_empty() && self.fleet_dead_end(core) {
+            core.abandoned = core.trace.len() - core.completed();
+        }
+        // The inner controller ticks after faults and timeouts settle, so
+        // an autoscaler's same-instant warm-up completions see the
+        // post-fault fleet …
+        self.inner.on_control(core, now);
+        // … and parked outage work re-enters as soon as any shard
+        // accepts again (a revival above, or a warm-up that just
+        // finished).
+        if !core.parked.is_empty() && core.accepting.iter().any(|&a| a) {
+            let parked = std::mem::take(&mut core.parked);
+            let mut touched = Vec::new();
+            for r in parked {
+                if let Some(s) = core.admit(r, now) {
+                    if !touched.contains(&s) {
+                        touched.push(s);
+                    }
+                }
+            }
+            for s in touched {
+                core.try_dispatch(s, now);
+            }
+        }
+    }
+
+    fn after_completion(&mut self, core: &mut FleetCore<'_>, shard: usize, now: f64) {
+        self.inner.after_completion(core, shard, now);
+    }
+
+    fn on_shard_down(&mut self, core: &mut FleetCore<'_>, shard: usize, now: f64) {
+        self.inner.on_shard_down(core, shard, now);
+    }
+
+    fn on_shard_up(&mut self, core: &mut FleetCore<'_>, shard: usize, now: f64) {
+        self.inner.on_shard_up(core, shard, now);
+    }
+}
+
+// ─────────────────────────── decode injector ───────────────────────────
+
+/// [`DecodeController`] twin of [`FleetFaultInjector`]. Two decode
+/// specifics: the engine cannot park work, so a plan must always leave a
+/// survivor; and a straggler's KV residents follow `straggler_response` —
+/// [`DecodeScaleDown::Drain`] decodes them in place at the slow rate,
+/// [`DecodeScaleDown::Migrate`] evicts them at the next iteration
+/// boundary to re-prefill on a healthy shard.
+struct DecodeFaultInjector<C: DecodeController> {
+    inner: C,
+    actions: Vec<(f64, Action)>,
+    next_action: usize,
+    client: ClientConfig,
+    timeout_at: Vec<f64>,
+    attempts: Vec<u32>,
+    retries: usize,
+    straggler_response: DecodeScaleDown,
+    /// Shards whose residents await eviction at the next step boundary.
+    migrate_from: Vec<bool>,
+    /// Requests KV-resident on a faulty shard at fault onset.
+    affected: Vec<usize>,
+}
+
+impl<C: DecodeController> DecodeFaultInjector<C> {
+    fn new(
+        inner: C,
+        plan: &FaultPlan,
+        client: ClientConfig,
+        n_requests: usize,
+        n_shards: usize,
+        straggler_response: DecodeScaleDown,
+    ) -> Self {
+        Self {
+            inner,
+            actions: plan.actions(),
+            next_action: 0,
+            client,
+            timeout_at: vec![f64::INFINITY; n_requests],
+            attempts: vec![0; n_requests],
+            retries: 0,
+            straggler_response,
+            migrate_from: vec![false; n_shards],
+            affected: Vec::new(),
+        }
+    }
+
+    /// Schedules a control event at every fault instant and every
+    /// first-attempt timeout. Call once before `core.run`.
+    fn prime(&mut self, core: &mut DecodeCore<'_>) {
+        for &(t, _) in &self.actions {
+            core.schedule_control(t);
+        }
+        if self.client.timeout_s.is_finite() {
+            for r in 0..core.trace.len() {
+                self.timeout_at[r] = core.trace[r].arrival_s + self.client.timeout_s;
+                core.schedule_control(self.timeout_at[r]);
+            }
+        }
+    }
+
+    /// Records the shard's unfinished residents as incident victims.
+    fn record_affected(&mut self, core: &DecodeCore<'_>, s: usize) {
+        for sl in &core.shards[s].resident {
+            if core.emitted[sl.req] < core.trace[sl.req].output_len
+                && !self.affected.contains(&sl.req)
+            {
+                self.affected.push(sl.req);
+            }
+        }
+    }
+
+    fn apply_due_actions(&mut self, core: &mut DecodeCore<'_>, now: f64) {
+        while self.next_action < self.actions.len() && self.actions[self.next_action].0 <= now {
+            let action = self.actions[self.next_action].1;
+            self.next_action += 1;
+            match action {
+                Action::Down(s) => {
+                    self.record_affected(core, s);
+                    let orphans = core.crash_shard(s, now);
+                    self.inner.on_shard_down(core, s, now);
+                    assert!(
+                        core.accepting.iter().any(|&a| a),
+                        "decode fault plan killed every accepting shard \
+                         (the decode engine cannot park work)"
+                    );
+                    let mut touched = Vec::new();
+                    for r in orphans {
+                        let s2 = core.route_request(r, now);
+                        if !touched.contains(&s2) {
+                            touched.push(s2);
+                        }
+                    }
+                    for s2 in touched {
+                        core.start_iteration(s2, now);
+                    }
+                }
+                Action::Up(s) => {
+                    core.revive_shard(s);
+                    self.inner.on_shard_up(core, s, now);
+                }
+                Action::Slow { shard: s, factor } => {
+                    self.record_affected(core, s);
+                    core.set_slowdown(s, factor, now);
+                    let has_other = core.accepting.iter().enumerate().any(|(i, &a)| a && i != s);
+                    if !has_other {
+                        continue; // sole shard: nowhere to shift work to
+                    }
+                    // Waiting work always flees a straggler; what happens
+                    // to its residents is the drain-vs-migrate choice.
+                    core.accepting[s] = false;
+                    core.shards[s].tick(now);
+                    let waiting: Vec<usize> = core.shards[s].queue.drain(..).collect();
+                    let mut touched = Vec::new();
+                    for r in waiting {
+                        let s2 = core.route_request(r, now);
+                        if !touched.contains(&s2) {
+                            touched.push(s2);
+                        }
+                    }
+                    if self.straggler_response == DecodeScaleDown::Migrate {
+                        if core.shards[s].stepping {
+                            self.migrate_from[s] = true; // evict at the boundary
+                        } else {
+                            self.evict_residents(core, s, now, &mut touched);
+                        }
+                    }
+                    for s2 in touched {
+                        core.start_iteration(s2, now);
+                    }
+                }
+                Action::Unslow(s) => {
+                    core.set_slowdown(s, 1.0, now);
+                    self.migrate_from[s] = false;
+                    if !core.dead[s] {
+                        core.accepting[s] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Moves shard `s`'s unfinished residents back into routing; each
+    /// re-prefills its grown context on re-admission (the scale-down
+    /// migrate move applied to a straggler).
+    fn evict_residents(
+        &mut self,
+        core: &mut DecodeCore<'_>,
+        s: usize,
+        now: f64,
+        touched: &mut Vec<usize>,
+    ) {
+        let evicted: Vec<usize> = core.shards[s].resident.drain(..).map(|sl| sl.req).collect();
+        for r in evicted {
+            if core.emitted[r] >= core.trace[r].output_len {
+                continue; // padded static slot: generation already done
+            }
+            let s2 = core.route_request(r, now);
+            if !touched.contains(&s2) {
+                touched.push(s2);
+            }
+        }
+    }
+
+    /// Decode twin of the fleet injector's timeout pass. A request that
+    /// already started emitting tokens is never abandoned — its KV state
+    /// is live, and mid-generation timeouts are not part of this client
+    /// model ([`DecodeCore::cancel_waiting`] refuses them).
+    fn apply_due_timeouts(&mut self, core: &mut DecodeCore<'_>, now: f64) {
+        for r in 0..self.timeout_at.len() {
+            if self.timeout_at[r] > now {
+                continue;
+            }
+            self.timeout_at[r] = f64::INFINITY;
+            if core.completion_s[r].is_finite() || !core.cancel_waiting(r, now) {
+                continue;
+            }
+            let retry_at = now + self.client.backoff_s * 2f64.powi(self.attempts[r] as i32);
+            let within_deadline = retry_at <= core.trace[r].arrival_s + self.client.deadline_s;
+            if self.attempts[r] < self.client.max_retries && within_deadline {
+                self.attempts[r] += 1;
+                self.retries += 1;
+                core.schedule_arrival(r, retry_at);
+                if self.client.timeout_s.is_finite() {
+                    self.timeout_at[r] = retry_at + self.client.timeout_s;
+                    core.schedule_control(self.timeout_at[r]);
+                }
+            } else {
+                core.abandoned += 1;
+            }
+        }
+    }
+}
+
+impl<C: DecodeController> DecodeController for DecodeFaultInjector<C> {
+    fn on_control(&mut self, core: &mut DecodeCore<'_>, now: f64) {
+        self.apply_due_actions(core, now);
+        self.apply_due_timeouts(core, now);
+        self.inner.on_control(core, now);
+    }
+
+    fn after_step(&mut self, core: &mut DecodeCore<'_>, shard: usize, now: f64) {
+        if self.migrate_from[shard] {
+            self.migrate_from[shard] = false;
+            let mut touched = Vec::new();
+            self.evict_residents(core, shard, now, &mut touched);
+            for s2 in touched {
+                core.start_iteration(s2, now);
+            }
+        }
+        self.inner.after_step(core, shard, now);
+    }
+
+    fn on_shard_down(&mut self, core: &mut DecodeCore<'_>, shard: usize, now: f64) {
+        self.inner.on_shard_down(core, shard, now);
+    }
+
+    fn on_shard_up(&mut self, core: &mut DecodeCore<'_>, shard: usize, now: f64) {
+        self.inner.on_shard_up(core, shard, now);
+    }
+}
+
+// ──────────────────────── outcome / phase assembly ─────────────────────
+
+/// Builds per-request client outcomes from final completion times and
+/// retry counts. `arrivals` are the *original* trace arrivals.
+fn assemble_outcomes(
+    arrivals: &[f64],
+    completion_s: &[f64],
+    attempts: &[u32],
+) -> Vec<ClientOutcome> {
+    (0..arrivals.len())
+        .map(|r| {
+            let done = completion_s[r].is_finite();
+            ClientOutcome {
+                disposition: if !done {
+                    Disposition::TimedOut
+                } else if attempts[r] > 0 {
+                    Disposition::Retried(attempts[r])
+                } else {
+                    Disposition::Completed
+                },
+                attempts: attempts[r],
+                completion_s: if done { completion_s[r] } else { f64::INFINITY },
+                latency_s: if done {
+                    completion_s[r] - arrivals[r]
+                } else {
+                    f64::INFINITY
+                },
+            }
+        })
+        .collect()
+}
+
+/// Slices the run into pre / during / post incident phases. With no
+/// window the whole run is one phase; an unrecovered incident leaves the
+/// post phase empty (`[∞, ∞)`), keeping the three-phase shape stable for
+/// downstream indexing.
+fn build_phases(
+    window: Option<(f64, f64)>,
+    arrivals: &[f64],
+    outcomes: &[ClientOutcome],
+    slo: f64,
+    makespan: f64,
+    scale_events: &[ScaleEvent],
+) -> Vec<IncidentPhase> {
+    let edges: Vec<f64> = match window {
+        None => vec![0.0, f64::INFINITY],
+        Some((w0, w1)) => vec![0.0, w0, w1, f64::INFINITY],
+    };
+    edges
+        .windows(2)
+        .map(|w| {
+            let (lo, hi) = (w[0], w[1]);
+            let in_phase: Vec<&ClientOutcome> = arrivals
+                .iter()
+                .zip(outcomes)
+                .filter(|(&a, _)| a >= lo && a < hi)
+                .map(|(_, o)| o)
+                .collect();
+            let completed_lat: Vec<f64> = in_phase
+                .iter()
+                .filter(|o| o.latency_s.is_finite())
+                .map(|o| o.latency_s)
+                .collect();
+            let delivered = outcomes
+                .iter()
+                .filter(|o| o.completion_s >= lo && o.completion_s < hi)
+                .count();
+            let hi_eff = if hi.is_finite() { hi } else { makespan.max(lo) };
+            IncidentPhase {
+                start_s: lo,
+                end_s: hi,
+                arrivals: in_phase.len(),
+                completed: completed_lat.len(),
+                timed_out: in_phase.len() - completed_lat.len(),
+                slo_attainment: if in_phase.is_empty() {
+                    1.0
+                } else {
+                    completed_lat.iter().filter(|&&l| l <= slo).count() as f64
+                        / in_phase.len() as f64
+                },
+                goodput_seq_s: delivered as f64 / (hi_eff - lo).max(1e-12),
+                p95_latency_s: percentile(&completed_lat, 0.95).unwrap_or(0.0),
+                scale_events: scale_events
+                    .iter()
+                    .filter(|e| e.time_s >= lo && e.time_s < hi)
+                    .count(),
+            }
+        })
+        .collect()
+}
+
+/// (completed, timed_out, retried) tallies over an outcome slice.
+fn tally(outcomes: &[ClientOutcome]) -> (usize, usize, usize) {
+    let completed = outcomes
+        .iter()
+        .filter(|o| o.completion_s.is_finite())
+        .count();
+    let retried = outcomes
+        .iter()
+        .filter(|o| matches!(o.disposition, Disposition::Retried(_)))
+        .count();
+    (completed, outcomes.len() - completed, retried)
+}
+
+// ───────────────────────────── entry points ────────────────────────────
+
+/// Runs `trace` over a *fixed* fleet under `plan` and `client`,
+/// reporting SLO attainment against `slo_latency_s` through the incident
+/// window.
+///
+/// With [`FaultPlan::none`] and [`ClientConfig::patient`] the run is
+/// bit-identical to [`crate::fleet::simulate_fleet`] (no extra events, no
+/// arithmetic difference).
+///
+/// # Panics
+///
+/// Panics on the [`crate::fleet::simulate_fleet`] input errors, a
+/// malformed plan or client, or a non-positive SLO.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_fleet_failure(
+    shards: &[AcceleratorDesign],
+    trace: &[Request],
+    policy: SchedulingPolicy,
+    dispatch: DispatchPolicy,
+    batcher: &BatcherConfig,
+    plan: &FaultPlan,
+    client: &ClientConfig,
+    slo_latency_s: f64,
+) -> FailureReport {
+    plan.validate(shards.len());
+    client.validate();
+    assert!(slo_latency_s > 0.0, "SLO latency must be positive");
+    let mut core = FleetCore::new(
+        shards,
+        trace,
+        policy,
+        dispatch,
+        batcher,
+        vec![true; shards.len()],
+    );
+    let mut injector = FleetFaultInjector::new(NullController, plan, *client, trace.len());
+    injector.prime(&mut core);
+    core.run(&mut injector);
+
+    let completion_s = core.completion_s.clone();
+    let fleet = core.into_report();
+    let arrivals: Vec<f64> = trace.iter().map(|r| r.arrival_s).collect();
+    let outcomes = assemble_outcomes(&arrivals, &completion_s, &injector.attempts);
+    let (completed, timed_out, retried) = tally(&outcomes);
+    let phases = build_phases(
+        plan.incident_window(),
+        &arrivals,
+        &outcomes,
+        slo_latency_s,
+        fleet.makespan_s,
+        &[],
+    );
+    let slo_attainment = outcomes
+        .iter()
+        .filter(|o| o.latency_s <= slo_latency_s)
+        .count() as f64
+        / trace.len() as f64;
+    FailureReport {
+        goodput_seq_s: completed as f64 / fleet.makespan_s.max(1e-12),
+        fleet,
+        outcomes,
+        completed,
+        timed_out,
+        retried,
+        retries: injector.retries,
+        slo_attainment,
+        phases,
+    }
+}
+
+/// Runs `trace` over an *autoscaled* fleet under `plan` and `client`.
+/// The policy keeps evaluating through the incident: a crash frees its
+/// billing immediately ([`crate::autoscale::ScaleEventKind::Failed`]),
+/// and a recovered shard is launchable again but only rejoins through
+/// the normal launch + warm-up path — so post-incident capacity, and
+/// with it SLO recovery, lags the recovery instant by about one warm-up.
+///
+/// # Panics
+///
+/// Panics on [`crate::autoscale::simulate_autoscale`] input errors or a
+/// malformed plan / client.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_autoscale_failure(
+    shards: &[AcceleratorDesign],
+    trace: &[Request],
+    policy: SchedulingPolicy,
+    dispatch: DispatchPolicy,
+    batcher: &BatcherConfig,
+    cfg: &AutoscaleConfig,
+    plan: &FaultPlan,
+    client: &ClientConfig,
+) -> AutoscaleFailureReport {
+    assert!(!shards.is_empty(), "fleet needs at least one shard");
+    cfg.validate(shards.len());
+    plan.validate(shards.len());
+    client.validate();
+    let accepting: Vec<bool> = (0..shards.len()).map(|s| s < cfg.initial_shards).collect();
+    let mut core = FleetCore::new(shards, trace, policy, dispatch, batcher, accepting);
+    let ctl = Autoscaler::new(cfg, shards.len());
+    let mut injector = FleetFaultInjector::new(ctl, plan, *client, trace.len());
+    injector.prime(&mut core);
+    // Unlike the healthy entry point, the controller always runs — even a
+    // pinned policy must observe crashes to keep its books truthful (for
+    // Pinned, `evaluate` is a no-op, so only the books differ).
+    core.schedule_control(cfg.eval_interval_s);
+    core.run(&mut injector);
+
+    let completion_s = core.completion_s.clone();
+    let fleet = core.into_report();
+    let (shard_seconds, mean_active_shards, peak_active_shards) =
+        injector.inner.close_books(fleet.makespan_s);
+    let arrivals: Vec<f64> = trace.iter().map(|r| r.arrival_s).collect();
+    let outcomes = assemble_outcomes(&arrivals, &completion_s, &injector.attempts);
+    let (completed, timed_out, retried) = tally(&outcomes);
+    let scale_events = std::mem::take(&mut injector.inner.events);
+    let phases = build_phases(
+        plan.incident_window(),
+        &arrivals,
+        &outcomes,
+        cfg.slo_latency_s,
+        fleet.makespan_s,
+        &scale_events,
+    );
+    let slo_attainment = outcomes
+        .iter()
+        .filter(|o| o.latency_s <= cfg.slo_latency_s)
+        .count() as f64
+        / trace.len() as f64;
+    AutoscaleFailureReport {
+        failure: FailureReport {
+            goodput_seq_s: completed as f64 / fleet.makespan_s.max(1e-12),
+            fleet,
+            outcomes,
+            completed,
+            timed_out,
+            retried,
+            retries: injector.retries,
+            slo_attainment,
+            phases,
+        },
+        shard_seconds,
+        mean_active_shards,
+        peak_active_shards,
+        scale_events,
+    }
+}
+
+/// Runs a decode `trace` over a fixed generative fleet under `plan` and
+/// `client`. `straggler_response` picks what happens to a straggler's KV
+/// residents (drain in place at the slow rate vs migrate-and-re-prefill);
+/// crashes always migrate, since a dead shard's KV is gone either way.
+/// SLO attainment is over TTFT against `slo_ttft_s`.
+///
+/// # Panics
+///
+/// Panics on the [`crate::decode::simulate_decode`] input errors, a
+/// malformed plan / client, a non-positive SLO, or a plan whose crashes
+/// ever leave no accepting shard (the decode engine cannot park work).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_decode_failure(
+    shards: &[AcceleratorDesign],
+    trace: &[DecodeRequest],
+    policy: SchedulingPolicy,
+    dispatch: DispatchPolicy,
+    scheduler: DecodeScheduler,
+    cfg: &DecodeConfig,
+    plan: &FaultPlan,
+    client: &ClientConfig,
+    straggler_response: DecodeScaleDown,
+    slo_ttft_s: f64,
+) -> DecodeFailureReport {
+    plan.validate(shards.len());
+    client.validate();
+    assert!(slo_ttft_s > 0.0, "SLO TTFT must be positive");
+    let mut core = DecodeCore::new(
+        shards,
+        trace,
+        policy,
+        dispatch,
+        scheduler,
+        cfg,
+        vec![true; shards.len()],
+    );
+    let mut injector = DecodeFaultInjector::new(
+        NullDecodeController,
+        plan,
+        *client,
+        trace.len(),
+        shards.len(),
+        straggler_response,
+    );
+    injector.prime(&mut core);
+    core.run(&mut injector);
+
+    let completion_s = core.completion_s.clone();
+    let ttft_s = core.ttft_s.clone();
+    let decode = core.into_report();
+    let arrivals: Vec<f64> = trace.iter().map(|r| r.arrival_s).collect();
+    let outcomes = assemble_outcomes(&arrivals, &completion_s, &injector.attempts);
+    let (completed, timed_out, retried) = tally(&outcomes);
+    // The phase / SLO latency metric for decode is TTFT, not end-to-end
+    // completion: it is what generative SLOs are written against.
+    let ttft_outcomes: Vec<ClientOutcome> = outcomes
+        .iter()
+        .enumerate()
+        .map(|(r, o)| ClientOutcome {
+            latency_s: if ttft_s[r].is_finite() {
+                ttft_s[r]
+            } else {
+                f64::INFINITY
+            },
+            ..*o
+        })
+        .collect();
+    let phases = build_phases(
+        plan.incident_window(),
+        &arrivals,
+        &ttft_outcomes,
+        slo_ttft_s,
+        decode.fleet.makespan_s,
+        &[],
+    );
+    let slo_attainment = ttft_outcomes
+        .iter()
+        .filter(|o| o.latency_s <= slo_ttft_s)
+        .count() as f64
+        / trace.len() as f64;
+    let affected_drain_s = injector
+        .affected
+        .iter()
+        .map(|&r| {
+            if completion_s[r].is_finite() {
+                completion_s[r]
+            } else {
+                f64::INFINITY
+            }
+        })
+        .fold(0.0f64, f64::max);
+    DecodeFailureReport {
+        decode,
+        outcomes,
+        completed,
+        timed_out,
+        retried,
+        retries: injector.retries,
+        slo_attainment,
+        phases,
+        affected_drain_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autoscale::{RetirePolicy, ScaleEventKind, ScalePolicy};
+    use crate::decode::Priority;
+    use crate::fleet::{homogeneous_fleet, simulate_fleet};
+    use crate::spec::FpgaSpec;
+    use lat_model::config::ModelConfig;
+    use lat_model::graph::AttentionMode;
+
+    fn tiny_design(s_avg: usize) -> AcceleratorDesign {
+        AcceleratorDesign::new(
+            &ModelConfig::tiny(),
+            AttentionMode::paper_sparse(),
+            FpgaSpec::alveo_u280(),
+            s_avg,
+        )
+    }
+
+    /// `n` requests, one every `gap` seconds.
+    fn steady_trace(n: usize, gap: f64, len: usize) -> Vec<Request> {
+        (0..n)
+            .map(|i| Request {
+                arrival_s: i as f64 * gap,
+                len,
+            })
+            .collect()
+    }
+
+    fn steady_decode_trace(
+        n: usize,
+        gap: f64,
+        prefill: usize,
+        output: usize,
+    ) -> Vec<DecodeRequest> {
+        (0..n)
+            .map(|i| DecodeRequest {
+                arrival_s: i as f64 * gap,
+                prefill_len: prefill,
+                output_len: output,
+                priority: Priority::Normal,
+            })
+            .collect()
+    }
+
+    fn batcher() -> BatcherConfig {
+        BatcherConfig {
+            max_batch: 4,
+            batch_window_s: 0.002,
+        }
+    }
+
+    #[test]
+    fn empty_plan_patient_client_matches_healthy_fleet_bit_for_bit() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 2);
+        let trace = steady_trace(40, 0.003, 64);
+        let healthy = simulate_fleet(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::RoundRobin,
+            &batcher(),
+        );
+        let report = simulate_fleet_failure(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::RoundRobin,
+            &batcher(),
+            &FaultPlan::none(),
+            &ClientConfig::patient(),
+            0.25,
+        );
+        assert_eq!(report.fleet, healthy);
+        assert_eq!(report.completed, trace.len());
+        assert_eq!(report.timed_out, 0);
+        assert_eq!(report.retries, 0);
+        assert!(report
+            .outcomes
+            .iter()
+            .all(|o| o.disposition == Disposition::Completed));
+        assert_eq!(report.phases.len(), 1);
+        assert_eq!(report.phases[0].arrivals, trace.len());
+    }
+
+    #[test]
+    fn crash_with_recovery_loses_nothing() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 3);
+        let trace = steady_trace(120, 0.002, 64);
+        let plan = FaultPlan {
+            faults: vec![Fault {
+                shard: 0,
+                kind: FaultKind::Crash {
+                    at_s: 0.05,
+                    recover_s: Some(0.15),
+                },
+            }],
+        };
+        let report = simulate_fleet_failure(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            &batcher(),
+            &plan,
+            &ClientConfig::patient(),
+            0.25,
+        );
+        // A patient client over a recovering fleet completes everything:
+        // the crash re-routes, never drops.
+        assert_eq!(report.completed, trace.len());
+        assert_eq!(report.timed_out, 0);
+        assert_eq!(report.completed + report.timed_out, trace.len());
+        assert_eq!(report.phases.len(), 3);
+        assert_eq!(
+            report.phases.iter().map(|p| p.arrivals).sum::<usize>(),
+            trace.len()
+        );
+        // The revived shard serves again after recovery.
+        assert!(report.fleet.shards[0].completed > 0);
+    }
+
+    #[test]
+    fn unrecovered_total_outage_produces_valid_zero_completion_report() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 1);
+        let trace = steady_trace(10, 0.01, 64);
+        let plan = FaultPlan {
+            faults: vec![Fault {
+                shard: 0,
+                kind: FaultKind::Crash {
+                    at_s: 0.0,
+                    recover_s: None,
+                },
+            }],
+        };
+        let report = simulate_fleet_failure(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::RoundRobin,
+            &batcher(),
+            &plan,
+            &ClientConfig::patient(),
+            0.25,
+        );
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.timed_out, trace.len());
+        assert!(report
+            .outcomes
+            .iter()
+            .all(|o| o.disposition == Disposition::TimedOut));
+        // The report stays NaN-free all the way down to zero completions.
+        assert_eq!(report.fleet.completed, 0);
+        assert_eq!(report.fleet.mean_latency_s, 0.0);
+        assert_eq!(report.fleet.p99_latency_s, 0.0);
+        assert_eq!(report.slo_attainment, 0.0);
+        assert!(report.goodput_seq_s == 0.0);
+        for p in &report.phases {
+            assert!(!p.slo_attainment.is_nan());
+            assert!(!p.goodput_seq_s.is_nan());
+        }
+    }
+
+    #[test]
+    fn timeouts_retry_then_abandon_within_budget() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 1);
+        let trace = steady_trace(8, 0.005, 64);
+        let plan = FaultPlan {
+            faults: vec![Fault {
+                shard: 0,
+                kind: FaultKind::Crash {
+                    at_s: 0.0,
+                    recover_s: None,
+                },
+            }],
+        };
+        let client = ClientConfig {
+            timeout_s: 0.02,
+            max_retries: 3,
+            backoff_s: 0.01,
+            deadline_s: f64::INFINITY,
+        };
+        let report = simulate_fleet_failure(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::RoundRobin,
+            &batcher(),
+            &plan,
+            &client,
+            0.25,
+        );
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.timed_out, trace.len());
+        // Everyone exhausts exactly the retry budget, no more.
+        assert!(report.outcomes.iter().all(|o| o.attempts == 3));
+        assert_eq!(report.retries, 3 * trace.len());
+    }
+
+    #[test]
+    fn deadline_caps_retries_before_max_retries() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 1);
+        let trace = steady_trace(4, 0.005, 64);
+        let plan = FaultPlan {
+            faults: vec![Fault {
+                shard: 0,
+                kind: FaultKind::Crash {
+                    at_s: 0.0,
+                    recover_s: None,
+                },
+            }],
+        };
+        let client = ClientConfig {
+            timeout_s: 0.02,
+            max_retries: 100,
+            backoff_s: 0.0,
+            deadline_s: 0.05, // fits ~2 timeout periods
+        };
+        let report = simulate_fleet_failure(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::RoundRobin,
+            &batcher(),
+            &plan,
+            &client,
+            0.25,
+        );
+        let bound = client.attempt_bound();
+        assert!(bound < 100);
+        assert!(report.outcomes.iter().all(|o| o.attempts <= bound));
+    }
+
+    #[test]
+    fn straggler_repricing_stretches_the_run_then_recovers() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 1);
+        let trace = steady_trace(30, 0.004, 64);
+        let healthy = simulate_fleet(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::RoundRobin,
+            &batcher(),
+        );
+        let plan = FaultPlan {
+            faults: vec![Fault {
+                shard: 0,
+                kind: FaultKind::Straggler {
+                    from_s: 0.01,
+                    until_s: 0.08,
+                    slowdown: 10.0,
+                },
+            }],
+        };
+        let report = simulate_fleet_failure(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::RoundRobin,
+            &batcher(),
+            &plan,
+            &ClientConfig::patient(),
+            0.25,
+        );
+        assert_eq!(report.completed, trace.len());
+        assert!(
+            report.fleet.mean_latency_s > healthy.mean_latency_s,
+            "batches dispatched inside a ×10 straggler window must cost \
+             latency (straggler {} vs healthy {})",
+            report.fleet.mean_latency_s,
+            healthy.mean_latency_s
+        );
+    }
+
+    #[test]
+    fn autoscaled_crash_stops_billing_and_relaunches_through_warmup() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 4);
+        let trace = steady_trace(400, 0.001, 64);
+        let cfg = AutoscaleConfig {
+            min_shards: 1,
+            initial_shards: 2,
+            policy: ScalePolicy::Reactive {
+                scale_up_depth: 4.0,
+                scale_down_depth: 0.5,
+            },
+            retire: RetirePolicy::Evict,
+            eval_interval_s: 0.01,
+            warmup_s: 0.02,
+            cooldown_s: 0.0,
+            slo_latency_s: 0.25,
+            phase_bounds_s: Vec::new(),
+        };
+        let plan = FaultPlan {
+            faults: vec![Fault {
+                shard: 0,
+                kind: FaultKind::Crash {
+                    at_s: 0.1,
+                    recover_s: Some(0.2),
+                },
+            }],
+        };
+        let report = simulate_autoscale_failure(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            &batcher(),
+            &cfg,
+            &plan,
+            &ClientConfig::patient(),
+        );
+        assert_eq!(report.failure.completed, trace.len());
+        let kinds: Vec<ScaleEventKind> = report.scale_events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&ScaleEventKind::Failed));
+        assert!(kinds.contains(&ScaleEventKind::Recovered));
+        // Crashed capacity is not billed: the books never exceed what an
+        // always-everything-on fleet would have paid.
+        assert!(report.shard_seconds < fleet.len() as f64 * report.failure.fleet.makespan_s);
+        assert!(report.shard_seconds > 0.0);
+        assert_eq!(report.failure.phases.len(), 3);
+    }
+
+    #[test]
+    fn decode_crash_reroutes_residents_and_finishes_generation() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 2);
+        let trace = steady_decode_trace(24, 0.002, 48, 12);
+        let plan = FaultPlan {
+            faults: vec![Fault {
+                shard: 0,
+                kind: FaultKind::Crash {
+                    at_s: 0.05,
+                    recover_s: Some(0.2),
+                },
+            }],
+        };
+        let report = simulate_decode_failure(
+            &fleet,
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::RoundRobin,
+            DecodeScheduler::Continuous,
+            &DecodeConfig::default(),
+            &plan,
+            &ClientConfig::patient(),
+            DecodeScaleDown::Migrate,
+            0.25,
+        );
+        assert_eq!(report.completed, trace.len());
+        assert_eq!(report.timed_out, 0);
+        // Every request generated its full output despite the crash.
+        let want: u64 = trace.iter().map(|r| r.output_len as u64).sum();
+        assert_eq!(report.decode.generated_tokens, want);
+        assert!(report.affected_drain_s.is_finite());
+    }
+
+    #[test]
+    fn decode_migrate_beats_drain_on_straggler_victims() {
+        let fleet = homogeneous_fleet(&tiny_design(64), 3);
+        // Long generations: the straggler's residents are the story.
+        let trace = steady_decode_trace(18, 0.001, 48, 60);
+        let plan = FaultPlan {
+            faults: vec![Fault {
+                shard: 0,
+                kind: FaultKind::Straggler {
+                    from_s: 0.02,
+                    until_s: 2.0,
+                    slowdown: 25.0,
+                },
+            }],
+        };
+        let run = |resp| {
+            simulate_decode_failure(
+                &fleet,
+                &trace,
+                SchedulingPolicy::LengthAware,
+                DispatchPolicy::RoundRobin,
+                DecodeScheduler::Continuous,
+                &DecodeConfig::default(),
+                &plan,
+                &ClientConfig::patient(),
+                resp,
+                0.25,
+            )
+        };
+        let migrate = run(DecodeScaleDown::Migrate);
+        let drain = run(DecodeScaleDown::Drain);
+        assert_eq!(migrate.completed, trace.len());
+        assert_eq!(drain.completed, trace.len());
+        assert!(
+            migrate.affected_drain_s <= drain.affected_drain_s,
+            "migrating victims off a ×25 straggler cannot be slower than \
+             decoding them in place (migrate {} vs drain {})",
+            migrate.affected_drain_s,
+            drain.affected_drain_s
+        );
+    }
+
+    #[test]
+    fn incident_window_is_the_fault_hull() {
+        let plan = FaultPlan {
+            faults: vec![
+                Fault {
+                    shard: 0,
+                    kind: FaultKind::Straggler {
+                        from_s: 1.0,
+                        until_s: 2.0,
+                        slowdown: 4.0,
+                    },
+                },
+                Fault {
+                    shard: 1,
+                    kind: FaultKind::Crash {
+                        at_s: 0.5,
+                        recover_s: Some(3.0),
+                    },
+                },
+            ],
+        };
+        plan.validate(2);
+        assert_eq!(plan.incident_window(), Some((0.5, 3.0)));
+        assert_eq!(FaultPlan::none().incident_window(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping fault intervals")]
+    fn overlapping_faults_on_one_shard_rejected() {
+        let plan = FaultPlan {
+            faults: vec![
+                Fault {
+                    shard: 0,
+                    kind: FaultKind::Crash {
+                        at_s: 1.0,
+                        recover_s: Some(2.0),
+                    },
+                },
+                Fault {
+                    shard: 0,
+                    kind: FaultKind::Straggler {
+                        from_s: 1.5,
+                        until_s: 2.5,
+                        slowdown: 2.0,
+                    },
+                },
+            ],
+        };
+        plan.validate(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault shard out of range")]
+    fn out_of_range_fault_shard_rejected() {
+        let plan = FaultPlan {
+            faults: vec![Fault {
+                shard: 2,
+                kind: FaultKind::Crash {
+                    at_s: 1.0,
+                    recover_s: None,
+                },
+            }],
+        };
+        plan.validate(2);
+    }
+}

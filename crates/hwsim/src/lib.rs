@@ -28,6 +28,10 @@
 //! - [`autoscale`] — runtime shard join/retire over the fleet engine:
 //!   reactive / utilization-target / scheduled policies, warm-up delays,
 //!   drain-vs-evict scale-down, and cost (shard-seconds) × SLO reporting.
+//! - [`failure`] — deterministic fault injection over both engines: shard
+//!   crashes and stragglers from a declarative [`failure::FaultPlan`],
+//!   client timeout/retry/deadline semantics, and pre/during/post-incident
+//!   SLO, goodput and scale-event reporting.
 //!
 //! # Example
 //!
@@ -57,6 +61,7 @@ pub mod autoscale;
 pub mod decode;
 pub mod dse;
 pub mod energy;
+pub mod failure;
 pub mod fleet;
 pub mod hbm;
 pub mod kernels;

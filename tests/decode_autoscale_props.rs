@@ -120,8 +120,10 @@ fn assert_iterations_within_membership(r: &DecodeAutoscaleReport, initial_shards
             }
             match e.kind {
                 ScaleEventKind::Join => allowed = true,
-                ScaleEventKind::Retired => allowed = false,
-                ScaleEventKind::Launch | ScaleEventKind::RetireStart => {}
+                ScaleEventKind::Retired | ScaleEventKind::Failed => allowed = false,
+                ScaleEventKind::Launch
+                | ScaleEventKind::RetireStart
+                | ScaleEventKind::Recovered => {}
             }
         }
         assert!(
@@ -177,7 +179,8 @@ fn assert_min_floor(
             ScaleEventKind::Launch => 1,
             ScaleEventKind::Join => 2,
             ScaleEventKind::RetireStart => 3,
-            ScaleEventKind::Retired => 0,
+            ScaleEventKind::Retired | ScaleEventKind::Failed => 0,
+            ScaleEventKind::Recovered => state[e.shard],
         };
         let staying = state.iter().filter(|&&x| x == 1 || x == 2).count();
         assert!(
