@@ -1,0 +1,13 @@
+// D1 clean fixture: BTreeMap aggregation — report order is a property of
+// the keys, not the hasher. Mentioning HashMap in a comment or a string
+// ("HashMap") must not fire either.
+use std::collections::BTreeMap;
+
+pub fn per_shard_counts(shards: &[usize]) -> Vec<(usize, usize)> {
+    let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+    for &s in shards {
+        *counts.entry(s).or_insert(0) += 1;
+    }
+    let _label = "HashMap-free by construction";
+    counts.into_iter().collect()
+}

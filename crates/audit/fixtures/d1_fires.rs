@@ -1,0 +1,13 @@
+// D1 firing fixture: hash collections in a sim/report crate. Iterating a
+// HashMap while building a report makes row order depend on hasher state.
+use std::collections::{HashMap, HashSet};
+
+pub fn per_shard_counts(shards: &[usize]) -> Vec<(usize, usize)> {
+    let mut counts: HashMap<usize, usize> = HashMap::new();
+    let mut seen: HashSet<usize> = HashSet::new();
+    for &s in shards {
+        *counts.entry(s).or_insert(0) += 1;
+        seen.insert(s);
+    }
+    counts.into_iter().collect() // unordered: report rows shuffle per run
+}

@@ -1,0 +1,6 @@
+// D2 clean fixture: durations derived from the simulated event clock only.
+// The word Instant in comments or "SystemTime" in strings must not fire.
+pub fn elapsed(now_s: f64, start_s: f64) -> f64 {
+    let _note = "no SystemTime here";
+    now_s - start_s
+}

@@ -1,0 +1,7 @@
+// D2 firing fixture: wall-clock reads outside crates/bench bins. Simulated
+// time must come from the event clock; host time diverges per run.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}

@@ -1,0 +1,6 @@
+// D3 clean fixture: RNG threaded from a seeded stream — the harness seed
+// fully determines the draw. `random` alone (not `rand::random`) is fine.
+pub fn jitter(rng: &mut SplitMix64) -> f64 {
+    let random = rng.next_f64();
+    random
+}

@@ -1,0 +1,8 @@
+// D3 firing fixture: ambient randomness. Each pattern draws entropy the
+// harness seed cannot reproduce.
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    let a: f64 = rand::random();
+    let _ = &mut rng;
+    a
+}

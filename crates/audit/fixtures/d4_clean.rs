@@ -1,0 +1,14 @@
+// D4 clean fixture: a thread-spawning file that collects results by index —
+// each worker writes its own slot, so output order is a property of the
+// plan, not of completion order (the ASM SweepPlan shape).
+use std::thread;
+
+pub fn fan_out(cells: Vec<u64>) -> Vec<u64> {
+    let mut results = vec![0u64; cells.len()];
+    thread::scope(|s| {
+        for (slot, cell) in results.iter_mut().zip(&cells) {
+            s.spawn(move || *slot = cell * 2);
+        }
+    });
+    results
+}

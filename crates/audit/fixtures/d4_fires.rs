@@ -1,0 +1,22 @@
+// D4 firing fixture: a thread-spawning file that drains a channel in
+// arrival order. Completion order is scheduler-dependent, so `results`
+// permutes across runs even with a fixed seed.
+use std::sync::mpsc;
+use std::thread;
+
+pub fn fan_out(cells: Vec<u64>) -> Vec<u64> {
+    let (tx, rx) = mpsc::channel();
+    for cell in cells {
+        let tx = tx.clone();
+        thread::spawn(move || tx.send(cell * 2));
+    }
+    drop(tx);
+    let mut results = Vec::new();
+    for msg in rx {
+        results.push(msg.clamp(0, u64::MAX));
+    }
+    while let Ok(late) = rx.recv() {
+        results.push(late);
+    }
+    results
+}

@@ -1,0 +1,28 @@
+// F1 clean fixture: total_cmp totalizes the float order (NaN sorts after
+// +inf), and a PartialOrd *definition* must not fire — only collapsing
+// call sites do. Keeping the Option (`if let`) is also fine.
+use std::cmp::Ordering;
+
+pub struct Event {
+    pub time: f64,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.time.partial_cmp(&other.time)
+    }
+}
+
+pub fn sort_latencies(xs: &mut Vec<f64>) {
+    xs.sort_by(f64::total_cmp);
+}
+
+pub fn maybe_less(a: f64, b: f64) -> bool {
+    matches!(a.partial_cmp(&b), Some(Ordering::Less))
+}

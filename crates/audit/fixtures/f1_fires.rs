@@ -1,0 +1,10 @@
+// F1 firing fixture: float comparators that collapse the partial order.
+// A NaN either panics the sort (expect/unwrap) or silently mis-orders it
+// (unwrap_or(Equal) breaks sort_by's total-order contract).
+use std::cmp::Ordering;
+
+pub fn sort_latencies(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    xs.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+}

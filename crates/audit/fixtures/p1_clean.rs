@@ -1,0 +1,12 @@
+// P1 fixture with zero panic surface: fallible access stays an Option,
+// iteration replaces indexing, and slice types / array literals / macro
+// brackets (`&[f64]`, `[0.0; 4]`, `vec![..]`) are not index expressions.
+pub fn total(xs: &[f64]) -> f64 {
+    let _buf = [0.0f64; 4];
+    let _v = vec![1.0, 2.0];
+    xs.iter().copied().sum()
+}
+
+pub fn first(xs: &[f64]) -> Option<f64> {
+    xs.first().copied()
+}

@@ -1,0 +1,22 @@
+// P1 fixture with a known panic surface: 2 unwraps, 1 expect, 3 index
+// expressions in production code. The #[cfg(test)] module's unwraps and
+// indexing must NOT count toward the ratchet.
+pub fn pick(xs: &[f64], order: &[usize]) -> f64 {
+    let first = xs.first().unwrap();
+    let last = xs.last().unwrap();
+    let mid = xs.get(order[0]).expect("in range");
+    first + last + mid + xs[1] + xs[order.len() - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_pick() {
+        let xs = vec![1.0, 2.0, 3.0];
+        let picked = pick(&xs, &[0, 1]);
+        assert!(picked.partial_cmp(&0.0).unwrap().is_gt());
+        assert_eq!(xs[0], 1.0);
+    }
+}

@@ -1,0 +1,7 @@
+// Suppression fixture: an audit:allow with no `-- reason` is itself a
+// finding AND does not silence the underlying one.
+use std::collections::HashMap; // audit:allow(d1)
+
+pub fn build(pairs: Vec<(u32, u32)>) -> HashMap<u32, u32> {
+    pairs.into_iter().collect()
+}

@@ -1,0 +1,8 @@
+// Suppression fixture: a justified audit:allow silences the finding on its
+// own line and from the line above.
+use std::collections::HashMap; // audit:allow(d1) -- fixture demonstrating justified suppression
+
+// audit:allow(d1) -- key order re-sorted into a Vec before any report sees it
+pub fn build(pairs: Vec<(u32, u32)>) -> HashMap<u32, u32> {
+    pairs.into_iter().collect()
+}

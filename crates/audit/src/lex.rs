@@ -1,0 +1,153 @@
+//! A minimal token stream over the stripped code view: identifiers, number
+//! literals, (blanked) string literals, and single punctuation characters,
+//! each tagged with its 1-based source line. Rules pattern-match on this
+//! stream — no grammar, no AST.
+
+/// Token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal (possibly with suffix / fractional part).
+    Num,
+    /// String literal (contents already blanked by the stripper).
+    Str,
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+}
+
+/// One token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// What the token is.
+    pub kind: TokKind,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Tok {
+    /// The identifier text, if this is an identifier token.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Lexes stripped code into tokens. Never fails: unexpected characters
+/// become punctuation tokens.
+pub fn lex(code: &str) -> Vec<Tok> {
+    let cs: Vec<char> = code.chars().collect();
+    let n = cs.len();
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    while i < n {
+        let c = cs[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '"' {
+            let start_line = line;
+            i += 1;
+            while i < n && cs[i] != '"' {
+                if cs[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i += 1; // past the closing quote (or EOF)
+            toks.push(Tok {
+                kind: TokKind::Str,
+                line: start_line,
+            });
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (cs[i].is_alphanumeric() || cs[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident(cs[start..i].iter().collect()),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            // digits (+ underscores), optional `.digits`, then any
+            // alphanumeric suffix (exponents, `u32`, hex digits, …).
+            while i < n && (cs[i].is_ascii_digit() || cs[i] == '_') {
+                i += 1;
+            }
+            if i + 1 < n && cs[i] == '.' && cs[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < n && (cs[i].is_ascii_digit() || cs[i] == '_') {
+                    i += 1;
+                }
+            }
+            while i < n && (cs[i].is_alphanumeric() || cs[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                line,
+            });
+            continue;
+        }
+        toks.push(Tok {
+            kind: TokKind::Punct(c),
+            line,
+        });
+        i += 1;
+    }
+
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tuple_field_access_keeps_method_ident() {
+        // `a.0.partial_cmp` must not fuse `0.partial_cmp` into one number.
+        let ks = kinds("a.0.partial_cmp(&b.0)");
+        assert!(
+            ks.contains(&TokKind::Ident("partial_cmp".to_string())),
+            "{ks:?}"
+        );
+    }
+
+    #[test]
+    fn ranges_and_floats() {
+        let ks = kinds("x[0..3] + 1.5e-2 + 0xff_u32");
+        // `0..3` is Num, '.', '.', Num — the dots survive as punctuation.
+        assert!(ks.iter().filter(|k| **k == TokKind::Punct('.')).count() >= 2);
+        assert_eq!(ks.iter().filter(|k| **k == TokKind::Num).count(), 5);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

@@ -1,0 +1,560 @@
+//! `lat-audit` — workspace determinism & numeric-safety static analysis.
+//!
+//! The workspace's headline guarantee is bit-for-bit `HARNESS_SEED`
+//! determinism across every engine. The property suites enforce that
+//! *dynamically*; this crate enforces the bug classes that break it
+//! *statically*, at lint time: unordered hash iteration leaking into
+//! results (D1), wall-clock reads inside simulated time (D2), ambient
+//! randomness outside the seeded streams (D3), arrival-order channel
+//! drains in parallel code (D4), NaN-unsafe float comparators (F1), and a
+//! panic-surface ratchet (P1) pinned to a committed baseline.
+//!
+//! The engine is std-only — no `syn`, no registry access. Files are
+//! stripped ([`strip`]), lexed ([`lex`]), and pattern-matched ([`rules`]).
+//! Findings can be suppressed inline with
+//! `// audit:allow(rule) -- <justification>`; an empty justification is
+//! itself a finding. Output is deterministic: stably sorted text plus
+//! canonical JSON via the vendored serde shim's [`serde::json`] writer.
+
+#![warn(missing_docs)]
+
+pub mod lex;
+pub mod rules;
+pub mod strip;
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rules::{FileClass, PanicCounts, RawFinding};
+use serde::json::Value;
+
+/// A finding after suppression processing, ready to report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`"d1"`… or `"suppress"` for bad suppressions).
+    pub rule: String,
+    /// Workspace-relative path (forward slashes); for P1 the crate label.
+    pub file: String,
+    /// 1-based line; 0 for crate-level (P1) findings.
+    pub line: usize,
+    /// Deterministic description.
+    pub message: String,
+}
+
+impl Finding {
+    fn sort_key(&self) -> (&str, usize, &str, &str) {
+        (&self.file, self.line, &self.rule, &self.message)
+    }
+}
+
+/// An inline `audit:allow(...)` suppression parsed from a comment.
+#[derive(Debug, Clone)]
+struct Suppression {
+    line: usize,
+    rules: Vec<String>,
+    /// Non-empty `-- reason` present.
+    justified: bool,
+}
+
+/// Parses every `audit:allow(rule, ...) -- reason` occurrence in a file's
+/// comments.
+fn parse_suppressions(comments: &BTreeMap<usize, String>) -> Vec<Suppression> {
+    const NEEDLE: &str = "audit:allow(";
+    let mut out = Vec::new();
+    for (&line, text) in comments {
+        let mut rest = text.as_str();
+        while let Some(pos) = rest.find(NEEDLE) {
+            rest = &rest[pos + NEEDLE.len()..];
+            let Some(close) = rest.find(')') else { break };
+            let rules: Vec<String> = rest[..close]
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect();
+            let after = rest[close + 1..].trim_start();
+            let justified = after
+                .strip_prefix("--")
+                .is_some_and(|reason| !reason.trim().is_empty());
+            out.push(Suppression {
+                line,
+                rules,
+                justified,
+            });
+            rest = &rest[close + 1..];
+        }
+    }
+    out
+}
+
+/// The audit of a single source file.
+#[derive(Debug, Clone)]
+pub struct FileAudit {
+    /// Findings that survived suppression (including `suppress` findings
+    /// for unjustified or unknown-rule allows).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a justified suppression.
+    pub suppressed: usize,
+    /// P1 counts (zero when the file is outside P1 scope).
+    pub panic: PanicCounts,
+}
+
+/// Audits one file's contents under its path classification.
+pub fn audit_source(rel_path: &str, class: &FileClass, src: &str) -> FileAudit {
+    let stripped = strip::strip(src);
+    let toks = lex::lex(&stripped.code);
+    let raw = rules::check_tokens(class, &toks);
+    let sups = parse_suppressions(&stripped.comments);
+
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+
+    for s in &sups {
+        if !s.justified {
+            findings.push(Finding {
+                rule: "suppress".to_string(),
+                file: rel_path.to_string(),
+                line: s.line,
+                message: format!(
+                    "audit:allow({}) without a justification — write \
+                     `audit:allow(rule) -- <why this is safe>`",
+                    s.rules.join(", ")
+                ),
+            });
+        }
+        for r in &s.rules {
+            if !rules::known_rule(r) {
+                findings.push(Finding {
+                    rule: "suppress".to_string(),
+                    file: rel_path.to_string(),
+                    line: s.line,
+                    message: format!("audit:allow names unknown rule `{r}`"),
+                });
+            }
+        }
+    }
+
+    for f in raw {
+        if is_suppressed(&f, &sups) {
+            suppressed += 1;
+        } else {
+            findings.push(Finding {
+                rule: f.rule.to_string(),
+                file: rel_path.to_string(),
+                line: f.line,
+                message: f.message,
+            });
+        }
+    }
+
+    let panic = if class.p1_scope {
+        rules::panic_surface(&toks)
+    } else {
+        PanicCounts::default()
+    };
+
+    FileAudit {
+        findings,
+        suppressed,
+        panic,
+    }
+}
+
+/// A justified suppression covers findings on its own line and the line
+/// directly below it (so a standalone comment can shield the next line).
+fn is_suppressed(f: &RawFinding, sups: &[Suppression]) -> bool {
+    sups.iter().any(|s| {
+        s.justified
+            && s.rules.iter().any(|r| r == f.rule)
+            && (s.line == f.line || s.line + 1 == f.line)
+    })
+}
+
+/// The audit of the whole workspace tree.
+#[derive(Debug, Clone)]
+pub struct WorkspaceAudit {
+    /// All surviving findings, stably sorted by (file, line, rule, message).
+    pub findings: Vec<Finding>,
+    /// Per-crate panic-surface counts (P1).
+    pub panic: BTreeMap<String, PanicCounts>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings silenced by justified suppressions.
+    pub suppressed: usize,
+}
+
+/// Directory names the walker never descends into: build outputs, VCS and
+/// editor metadata (any dot-dir), vendored API-subset shims that stand in
+/// for external crates, and rule fixtures (which violate rules on purpose).
+fn skip_dir(name: &str) -> bool {
+    name.starts_with('.') || matches!(name, "target" | "vendor" | "fixtures")
+}
+
+/// Discovers every auditable `.rs` file under `root`, returned as sorted
+/// workspace-relative paths (forward slashes) with their classification.
+pub fn discover(root: &Path) -> io::Result<Vec<(String, FileClass)>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if !skip_dir(name) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                if let Some(class) = rules::classify(&rel) {
+                    files.push((rel, class));
+                }
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Audits the workspace rooted at `root` (rules D1–F1 plus P1 counting;
+/// baseline comparison is [`ratchet_findings`]).
+pub fn audit_workspace(root: &Path) -> io::Result<WorkspaceAudit> {
+    let files = discover(root)?;
+    let mut findings = Vec::new();
+    let mut panic: BTreeMap<String, PanicCounts> = BTreeMap::new();
+    let mut suppressed = 0usize;
+    let files_scanned = files.len();
+
+    for (rel, class) in &files {
+        let src = fs::read_to_string(root.join(rel.replace('/', std::path::MAIN_SEPARATOR_STR)))?;
+        let fa = audit_source(rel, class, &src);
+        findings.extend(fa.findings);
+        suppressed += fa.suppressed;
+        if class.p1_scope {
+            panic
+                .entry(class.crate_name.clone())
+                .or_default()
+                .add(fa.panic);
+        }
+    }
+
+    findings.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    Ok(WorkspaceAudit {
+        findings,
+        panic,
+        files_scanned,
+        suppressed,
+    })
+}
+
+// ── P1 baseline ────────────────────────────────────────────────────────────
+
+/// Renders the panic-surface baseline file (deterministic text).
+pub fn baseline_text(panic: &BTreeMap<String, PanicCounts>) -> String {
+    let mut out = String::from(
+        "# lat-audit P1 panic-surface baseline: unwrap/expect/index counts per\n\
+         # library crate (test modules excluded). The ratchet only goes down —\n\
+         # regenerate with: cargo run -p lat-audit -- --write-baseline\n",
+    );
+    for (krate, c) in panic {
+        let _ = writeln!(
+            out,
+            "{krate} unwrap={} expect={} index={}",
+            c.unwrap, c.expect, c.index
+        );
+    }
+    out
+}
+
+/// Parses a committed baseline file.
+pub fn parse_baseline(text: &str) -> Result<BTreeMap<String, PanicCounts>, String> {
+    let mut map = BTreeMap::new();
+    for (n, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let krate = parts
+            .next()
+            .ok_or_else(|| format!("baseline line {}: missing crate", n + 1))?;
+        let mut counts = PanicCounts::default();
+        for p in parts {
+            let (key, val) = p
+                .split_once('=')
+                .ok_or_else(|| format!("baseline line {}: malformed `{p}`", n + 1))?;
+            let val: usize = val
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count `{val}`", n + 1))?;
+            match key {
+                "unwrap" => counts.unwrap = val,
+                "expect" => counts.expect = val,
+                "index" => counts.index = val,
+                other => return Err(format!("baseline line {}: unknown key `{other}`", n + 1)),
+            }
+        }
+        map.insert(krate.to_string(), counts);
+    }
+    Ok(map)
+}
+
+/// Compares current per-crate panic counts against the committed baseline:
+/// any growth is a P1 violation, any shrink demands the baseline be
+/// ratcheted down (so the committed file always matches the tree).
+pub fn ratchet_findings(
+    current: &BTreeMap<String, PanicCounts>,
+    baseline: &BTreeMap<String, PanicCounts>,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut push = |krate: &str, message: String| {
+        out.push(Finding {
+            rule: "p1".to_string(),
+            file: krate.to_string(),
+            line: 0,
+            message,
+        });
+    };
+    for (krate, cur) in current {
+        match baseline.get(krate) {
+            None => push(
+                krate,
+                format!(
+                    "crate missing from the panic-surface baseline \
+                     (unwrap={} expect={} index={}) — run --write-baseline",
+                    cur.unwrap, cur.expect, cur.index
+                ),
+            ),
+            Some(base) => {
+                for (kind, c, b) in [
+                    ("unwrap", cur.unwrap, base.unwrap),
+                    ("expect", cur.expect, base.expect),
+                    ("index", cur.index, base.index),
+                ] {
+                    if c > b {
+                        push(
+                            krate,
+                            format!(
+                                "panic surface grew: {kind} {c} > baseline {b} — remove the \
+                                 new {kind} or consciously ratchet with --write-baseline"
+                            ),
+                        );
+                    } else if c < b {
+                        push(
+                            krate,
+                            format!(
+                                "panic surface shrank: {kind} {c} < baseline {b} — lock in \
+                                 the win with --write-baseline"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    for krate in baseline.keys() {
+        if !current.contains_key(krate) {
+            push(
+                krate,
+                "crate in the baseline no longer exists — run --write-baseline".to_string(),
+            );
+        }
+    }
+    out.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    out
+}
+
+// ── rendering ──────────────────────────────────────────────────────────────
+
+/// Renders findings as stable, sorted, line-oriented text.
+pub fn render_text(audit: &WorkspaceAudit, extra: &[Finding]) -> String {
+    let mut all: Vec<&Finding> = audit.findings.iter().chain(extra).collect();
+    all.sort_by_key(|f| f.sort_key());
+    let mut out = String::new();
+    for f in &all {
+        if f.line == 0 {
+            let _ = writeln!(out, "{}: {}: {}", f.file, f.rule, f.message);
+        } else {
+            let _ = writeln!(out, "{}:{}: {}: {}", f.file, f.line, f.rule, f.message);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "lat-audit: {} finding(s), {} suppressed, {} file(s) scanned",
+        all.len(),
+        audit.suppressed,
+        audit.files_scanned
+    );
+    out
+}
+
+/// Renders the findings report as canonical JSON (sorted keys, sorted
+/// findings, no timestamps — byte-identical across runs on equal trees).
+pub fn render_json(audit: &WorkspaceAudit, extra: &[Finding]) -> String {
+    let mut all: Vec<&Finding> = audit.findings.iter().chain(extra).collect();
+    all.sort_by_key(|f| f.sort_key());
+    let findings = Value::Arr(
+        all.iter()
+            .map(|f| {
+                Value::obj([
+                    ("rule".to_string(), Value::Str(f.rule.clone())),
+                    ("file".to_string(), Value::Str(f.file.clone())),
+                    ("line".to_string(), Value::UInt(f.line as u64)),
+                    ("message".to_string(), Value::Str(f.message.clone())),
+                ])
+            })
+            .collect(),
+    );
+    let panic = Value::Obj(
+        audit
+            .panic
+            .iter()
+            .map(|(k, c)| {
+                (
+                    k.clone(),
+                    Value::obj([
+                        ("unwrap".to_string(), Value::UInt(c.unwrap as u64)),
+                        ("expect".to_string(), Value::UInt(c.expect as u64)),
+                        ("index".to_string(), Value::UInt(c.index as u64)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Value::obj([
+        ("schema".to_string(), Value::UInt(1)),
+        ("tool".to_string(), Value::Str("lat-audit".to_string())),
+        (
+            "files_scanned".to_string(),
+            Value::UInt(audit.files_scanned as u64),
+        ),
+        (
+            "suppressed".to_string(),
+            Value::UInt(audit.suppressed as u64),
+        ),
+        ("findings".to_string(), findings),
+        ("panic_surface".to_string(), panic),
+    ])
+    .to_pretty_string(2)
+}
+
+/// Walks upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]` — the audit root.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class() -> FileClass {
+        FileClass {
+            crate_name: "lat-hwsim".to_string(),
+            sim_scope: true,
+            bench_bin: false,
+            p1_scope: true,
+        }
+    }
+
+    #[test]
+    fn justified_suppression_silences_same_and_next_line() {
+        let same = "let m: HashMap<u32, u32> = x; // audit:allow(d1) -- test fixture map\n";
+        let fa = audit_source("f.rs", &class(), same);
+        assert!(fa.findings.is_empty(), "{:?}", fa.findings);
+        assert_eq!(fa.suppressed, 1);
+
+        let above = "// audit:allow(d1) -- aggregation is re-sorted before reporting\n\
+                     let m: HashMap<u32, u32> = x;\n";
+        let fa = audit_source("f.rs", &class(), above);
+        assert!(fa.findings.is_empty());
+        assert_eq!(fa.suppressed, 1);
+    }
+
+    #[test]
+    fn empty_reason_is_a_finding_and_does_not_suppress() {
+        let src = "let m: HashMap<u32, u32> = x; // audit:allow(d1)\n";
+        let fa = audit_source("f.rs", &class(), src);
+        let rules: Vec<&str> = fa.findings.iter().map(|f| f.rule.as_str()).collect();
+        assert!(rules.contains(&"suppress"), "{rules:?}");
+        assert!(rules.contains(&"d1"), "reasonless allow must not suppress");
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_a_finding() {
+        let src = "// audit:allow(nope) -- some reason\nlet x = 1;\n";
+        let fa = audit_source("f.rs", &class(), src);
+        assert_eq!(fa.findings.len(), 1);
+        assert_eq!(fa.findings[0].rule, "suppress");
+        assert!(fa.findings[0].message.contains("nope"));
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "lat-core".to_string(),
+            PanicCounts {
+                unwrap: 3,
+                expect: 1,
+                index: 40,
+            },
+        );
+        m.insert("lat-tensor".to_string(), PanicCounts::default());
+        let text = baseline_text(&m);
+        assert_eq!(parse_baseline(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn ratchet_fires_both_directions() {
+        let cur: BTreeMap<String, PanicCounts> = [(
+            "lat-core".to_string(),
+            PanicCounts {
+                unwrap: 2,
+                expect: 0,
+                index: 5,
+            },
+        )]
+        .into();
+        let base: BTreeMap<String, PanicCounts> = [(
+            "lat-core".to_string(),
+            PanicCounts {
+                unwrap: 1,
+                expect: 0,
+                index: 6,
+            },
+        )]
+        .into();
+        let f = ratchet_findings(&cur, &base);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().any(|f| f.message.contains("grew")));
+        assert!(f.iter().any(|f| f.message.contains("shrank")));
+        assert!(ratchet_findings(&base, &base).is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! `lat-audit` CLI: walk the workspace, run the rule catalog, compare the
+//! panic surface against the committed baseline, and emit deterministic
+//! text + canonical JSON findings.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lat_audit::rules::PanicCounts;
+use lat_audit::{
+    audit_workspace, baseline_text, find_workspace_root, parse_baseline, ratchet_findings,
+    render_json, render_text, Finding,
+};
+
+const USAGE: &str = "\
+lat-audit — workspace determinism & numeric-safety static analysis
+
+USAGE:
+    lat-audit [OPTIONS]
+
+OPTIONS:
+    --root <DIR>             workspace root (default: nearest [workspace] above cwd)
+    --baseline[=<FILE>]      check the P1 panic-surface ratchet against FILE
+                             (default: <root>/crates/audit/panic_baseline.txt)
+    --write-baseline[=<FILE>] regenerate the baseline from the current tree
+    --json[=<FILE>]          also write canonical JSON findings
+                             (default: <root>/audit_findings.json)
+    --help                   print this help
+
+Suppress a finding inline with `// audit:allow(rule) -- <justification>`;
+a missing justification is itself a finding. Rule catalog:
+crates/audit/README.md.";
+
+struct Opts {
+    root: Option<PathBuf>,
+    baseline: Option<Option<PathBuf>>,
+    write_baseline: Option<Option<PathBuf>>,
+    json: Option<Option<PathBuf>>,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Opts>, String> {
+    let mut opts = Opts {
+        root: None,
+        baseline: None,
+        write_baseline: None,
+        json: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        match flag {
+            "--help" | "-h" => return Ok(None),
+            "--root" => {
+                let v = inline
+                    .or_else(|| it.next().cloned())
+                    .ok_or("--root needs a directory")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--baseline" => opts.baseline = Some(inline.map(PathBuf::from)),
+            "--write-baseline" => opts.write_baseline = Some(inline.map(PathBuf::from)),
+            "--json" => opts.json = Some(inline.map(PathBuf::from)),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("lat-audit: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let root = match opts.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("lat-audit: no [workspace] Cargo.toml above the current directory");
+            return ExitCode::from(2);
+        }
+    };
+
+    let audit = match audit_workspace(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lat-audit: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let default_baseline = root.join("crates/audit/panic_baseline.txt");
+    let mut extra: Vec<Finding> = Vec::new();
+
+    if let Some(path) = &opts.write_baseline {
+        let path = path.clone().unwrap_or_else(|| default_baseline.clone());
+        if let Err(e) = std::fs::write(&path, baseline_text(&audit.panic)) {
+            eprintln!("lat-audit: writing baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote panic-surface baseline to {}", path.display());
+    } else if let Some(path) = &opts.baseline {
+        let path = path.clone().unwrap_or_else(|| default_baseline.clone());
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!(
+                    "lat-audit: reading baseline {}: {e} (generate one with --write-baseline)",
+                    path.display()
+                );
+                return ExitCode::from(2);
+            }
+        };
+        let baseline: BTreeMap<String, PanicCounts> = match parse_baseline(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("lat-audit: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        extra = ratchet_findings(&audit.panic, &baseline);
+    }
+
+    print!("{}", render_text(&audit, &extra));
+
+    if let Some(path) = &opts.json {
+        let path = path
+            .clone()
+            .unwrap_or_else(|| root.join("audit_findings.json"));
+        if let Err(e) = std::fs::write(&path, render_json(&audit, &extra)) {
+            eprintln!("lat-audit: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if audit.findings.is_empty() && extra.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

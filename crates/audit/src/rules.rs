@@ -1,0 +1,580 @@
+//! The rule catalog and the per-file checkers (see `crates/audit/README.md`
+//! for the rationale behind each rule).
+//!
+//! Rules D1–F1 emit per-line findings from the token stream; P1 (the
+//! panic-surface ratchet) is computed here as per-file counts and compared
+//! against the committed baseline by the caller.
+
+use crate::lex::{Tok, TokKind};
+
+/// Catalog entry: stable rule id (the name used in `audit:allow(...)`) and
+/// a one-line summary.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable id, e.g. `"d1"`.
+    pub id: &'static str,
+    /// Human-readable rule name.
+    pub title: &'static str,
+}
+
+/// Every suppressible rule, in catalog order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "d1",
+        title: "no hash collections in deterministic sim/report crates",
+    },
+    RuleInfo {
+        id: "d2",
+        title: "no wall-clock reads outside crates/bench bins",
+    },
+    RuleInfo {
+        id: "d3",
+        title: "no ambient (unseeded) randomness",
+    },
+    RuleInfo {
+        id: "d4",
+        title: "thread-spawning files must not drain channels in arrival order",
+    },
+    RuleInfo {
+        id: "f1",
+        title: "float comparators must use total_cmp, not partial_cmp().unwrap()",
+    },
+    RuleInfo {
+        id: "p1",
+        title: "panic surface (unwrap/expect/indexing) ratchets down per crate",
+    },
+];
+
+/// True if `id` names a rule in the catalog.
+pub fn known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// How a file participates in the audit, derived from its workspace path.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FileClass {
+    /// Owning crate label (`lat-hwsim`, …; the umbrella root is `lat-fpga`).
+    pub crate_name: String,
+    /// D1 applies: simulation/report crates whose iteration order can leak
+    /// into results.
+    pub sim_scope: bool,
+    /// D2 exempt: ablation/bench driver bins may read the wall clock.
+    pub bench_bin: bool,
+    /// P1 counts this file toward the crate's panic-surface baseline
+    /// (library source only — not tests/, examples/, benches/, bench bins).
+    pub p1_scope: bool,
+}
+
+/// Crates whose outputs are simulation results or reports — the D1 scope.
+const SIM_CRATES: &[&str] = &["tensor", "model", "core", "hwsim", "workloads"];
+
+/// Classifies a workspace-relative path (forward slashes). `None` means the
+/// file is outside the audit (vendored shims, fixtures, build outputs are
+/// already excluded by the walker).
+pub fn classify(rel_path: &str) -> Option<FileClass> {
+    if !rel_path.ends_with(".rs") {
+        return None;
+    }
+    if let Some(rest) = rel_path.strip_prefix("crates/") {
+        let dir = rest.split('/').next().unwrap_or("");
+        if dir.is_empty() {
+            return None;
+        }
+        let bench_bin = rel_path.starts_with("crates/bench/src/bin/");
+        return Some(FileClass {
+            crate_name: format!("lat-{dir}"),
+            sim_scope: SIM_CRATES.contains(&dir),
+            bench_bin,
+            p1_scope: rest.starts_with(&format!("{dir}/src/")) && !bench_bin,
+        });
+    }
+    // Umbrella crate: root src/, integration tests, examples.
+    if rel_path.starts_with("src/")
+        || rel_path.starts_with("tests/")
+        || rel_path.starts_with("examples/")
+    {
+        return Some(FileClass {
+            crate_name: "lat-fpga".to_string(),
+            sim_scope: false,
+            bench_bin: false,
+            p1_scope: rel_path.starts_with("src/"),
+        });
+    }
+    None
+}
+
+/// A rule hit before suppression processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFinding {
+    /// Rule id (`"d1"`…).
+    pub rule: &'static str,
+    /// 1-based source line.
+    pub line: usize,
+    /// Deterministic description of the hit.
+    pub message: String,
+}
+
+/// Runs the per-line rules (D1–F1) over one file's token stream.
+pub fn check_tokens(class: &FileClass, toks: &[Tok]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    d1_hash_collections(class, toks, &mut out);
+    d2_wall_clock(class, toks, &mut out);
+    d3_ambient_rng(toks, &mut out);
+    d4_unordered_drain(toks, &mut out);
+    f1_float_cmp(toks, &mut out);
+    out
+}
+
+// ── D1 ─────────────────────────────────────────────────────────────────────
+
+fn d1_hash_collections(class: &FileClass, toks: &[Tok], out: &mut Vec<RawFinding>) {
+    if !class.sim_scope {
+        return;
+    }
+    for t in toks {
+        if let Some(name @ ("HashMap" | "HashSet")) = t.ident() {
+            out.push(RawFinding {
+                rule: "d1",
+                line: t.line,
+                message: format!(
+                    "`{name}` in deterministic sim/report crate {}: unordered iteration \
+                     can leak into results — use BTreeMap/BTreeSet or an indexed Vec",
+                    class.crate_name
+                ),
+            });
+        }
+    }
+}
+
+// ── D2 ─────────────────────────────────────────────────────────────────────
+
+fn d2_wall_clock(class: &FileClass, toks: &[Tok], out: &mut Vec<RawFinding>) {
+    if class.bench_bin {
+        return;
+    }
+    for t in toks {
+        if let Some(name @ ("Instant" | "SystemTime")) = t.ident() {
+            out.push(RawFinding {
+                rule: "d2",
+                line: t.line,
+                message: format!(
+                    "wall-clock `{name}` outside crates/bench bins: simulated time must \
+                     come from the event clock, never the host"
+                ),
+            });
+        }
+    }
+}
+
+// ── D3 ─────────────────────────────────────────────────────────────────────
+
+fn d3_ambient_rng(toks: &[Tok], out: &mut Vec<RawFinding>) {
+    for (k, t) in toks.iter().enumerate() {
+        let hit = match t.ident() {
+            Some(name @ ("thread_rng" | "from_entropy" | "OsRng")) => Some(name),
+            Some("rand") => {
+                // `rand::random`
+                if toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(k + 2).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(k + 3).and_then(Tok::ident) == Some("random")
+                {
+                    Some("rand::random")
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some(name) = hit {
+            out.push(RawFinding {
+                rule: "d3",
+                line: t.line,
+                message: format!(
+                    "ambient randomness `{name}`: RNG must be threaded from a seeded \
+                     stream (lat_tensor::rng) so HARNESS_SEED reproduces the run"
+                ),
+            });
+        }
+    }
+}
+
+// ── D4 ─────────────────────────────────────────────────────────────────────
+
+/// Receiver-ish variable names the `for … in rx`-style drain check matches.
+fn receiver_ident(name: &str) -> bool {
+    name == "rx" || name == "receiver" || name.ends_with("_rx") || name.ends_with("_receiver")
+}
+
+fn d4_unordered_drain(toks: &[Tok], out: &mut Vec<RawFinding>) {
+    // Heuristic scope: only files that spawn threads (`…spawn(`).
+    let spawns = toks.iter().enumerate().any(|(k, t)| {
+        t.ident() == Some("spawn") && toks.get(k + 1).is_some_and(|t| t.is_punct('('))
+    });
+    if !spawns {
+        return;
+    }
+    for (k, t) in toks.iter().enumerate() {
+        // `.recv()` / `.try_recv()` / `.recv_timeout(..)` / `.try_iter()`
+        // on anything, and `.iter()` / `.into_iter()` on a receiver-ish name.
+        if let Some(m) = t.ident() {
+            let channel_method = matches!(m, "recv" | "try_recv" | "recv_timeout" | "try_iter");
+            let iter_method = matches!(m, "iter" | "into_iter")
+                && k >= 2
+                && toks[k - 2].ident().is_some_and(receiver_ident);
+            let called = toks.get(k + 1).is_some_and(|t| t.is_punct('('));
+            let on_dot = k >= 1 && toks[k - 1].is_punct('.');
+            if on_dot && called && (channel_method || iter_method) {
+                out.push(RawFinding {
+                    rule: "d4",
+                    line: t.line,
+                    message: format!(
+                        "unordered channel drain `.{m}(..)` in a thread-spawning file: \
+                         collect results by index (results[i] = ..) so completion order \
+                         cannot reorder output"
+                    ),
+                });
+            }
+        }
+        // `for pat in rx {` / `for pat in &rx {` — iterating a receiver.
+        if t.ident() == Some("in") {
+            let mut j = k + 1;
+            if toks.get(j).is_some_and(|t| t.is_punct('&')) {
+                j += 1;
+            }
+            if toks.get(j).and_then(Tok::ident).is_some_and(receiver_ident)
+                && toks.get(j + 1).is_some_and(|t| t.is_punct('{'))
+            {
+                out.push(RawFinding {
+                    rule: "d4",
+                    line: t.line,
+                    message: "unordered channel drain `for .. in rx` in a thread-spawning \
+                              file: collect results by index (results[i] = ..) so completion \
+                              order cannot reorder output"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+// ── F1 ─────────────────────────────────────────────────────────────────────
+
+fn f1_float_cmp(toks: &[Tok], out: &mut Vec<RawFinding>) {
+    for (k, t) in toks.iter().enumerate() {
+        if t.ident() != Some("partial_cmp") {
+            continue;
+        }
+        let Some(open) = toks.get(k + 1) else {
+            continue;
+        };
+        if !open.is_punct('(') {
+            continue; // e.g. the `fn partial_cmp` definition in a PartialOrd impl
+        }
+        // Balance the argument list, then look for `.unwrap(` / `.expect(` /
+        // `.unwrap_or(` — an Option collapsed at the comparison site.
+        let mut depth = 0usize;
+        let mut j = k + 1;
+        while j < toks.len() {
+            if toks[j].is_punct('(') {
+                depth += 1;
+            } else if toks[j].is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let collapse = toks.get(j + 1).is_some_and(|t| t.is_punct('.'))
+            && matches!(
+                toks.get(j + 2).and_then(Tok::ident),
+                Some("unwrap" | "expect" | "unwrap_or" | "unwrap_or_else" | "unwrap_or_default")
+            );
+        if collapse {
+            let method = toks[j + 2].ident().unwrap_or("unwrap");
+            out.push(RawFinding {
+                rule: "f1",
+                line: t.line,
+                message: format!(
+                    "float comparator `partial_cmp(..).{method}(..)`: NaN panics or \
+                     silently mis-orders — use f64/f32::total_cmp (or justify with \
+                     audit:allow(f1))"
+                ),
+            });
+        }
+    }
+}
+
+// ── P1: panic surface ──────────────────────────────────────────────────────
+
+/// Per-file (aggregated per-crate) panic-surface counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PanicCounts {
+    /// `.unwrap()` calls.
+    pub unwrap: usize,
+    /// `.expect(..)` calls.
+    pub expect: usize,
+    /// Index/slice expressions (`xs[i]`, `xs[a..b]`, `f()[0]`, `m[i][j]`).
+    pub index: usize,
+}
+
+impl PanicCounts {
+    /// Element-wise sum.
+    pub fn add(&mut self, other: PanicCounts) {
+        self.unwrap += other.unwrap;
+        self.expect += other.expect;
+        self.index += other.index;
+    }
+
+    /// Total panic surface.
+    pub fn total(&self) -> usize {
+        self.unwrap + self.expect + self.index
+    }
+}
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (`&mut [f64]`, `match [..]`, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "mut", "ref", "in", "return", "break", "continue", "else", "match", "if", "while", "loop",
+    "move", "dyn", "impl", "where", "as", "const", "static", "let", "unsafe", "use", "pub",
+];
+
+/// Counts the panic surface of one file's token stream, excluding
+/// `#[cfg(test)]` / `#[test]` items (test code may unwrap freely without
+/// moving the production ratchet).
+pub fn panic_surface(toks: &[Tok]) -> PanicCounts {
+    let masked = test_mask(toks);
+    let mut c = PanicCounts::default();
+    for (k, t) in toks.iter().enumerate() {
+        if masked[k] {
+            continue;
+        }
+        match &t.kind {
+            TokKind::Ident(name) if name == "unwrap" || name == "expect" => {
+                let called = toks.get(k + 1).is_some_and(|t| t.is_punct('('));
+                let method = k >= 1 && toks[k - 1].is_punct('.');
+                if called && method {
+                    if name == "unwrap" {
+                        c.unwrap += 1;
+                    } else {
+                        c.expect += 1;
+                    }
+                }
+            }
+            TokKind::Punct('[') if k >= 1 => {
+                let prev = &toks[k - 1];
+                let indexes = match &prev.kind {
+                    TokKind::Ident(name) => !NON_INDEX_KEYWORDS.contains(&name.as_str()),
+                    TokKind::Punct(')') | TokKind::Punct(']') => true,
+                    _ => false,
+                };
+                if indexes {
+                    c.index += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    c
+}
+
+/// Marks tokens inside `#[cfg(test)]`- or `#[test]`-attributed items
+/// (attribute through the item's closing brace). The attribute match is
+/// exact — `#[cfg(not(test))]` does not mask.
+fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut masked = vec![false; toks.len()];
+    let mut k = 0usize;
+    while k < toks.len() {
+        if !(toks[k].is_punct('#') && toks.get(k + 1).is_some_and(|t| t.is_punct('['))) {
+            k += 1;
+            continue;
+        }
+        // Find the attribute's closing bracket.
+        let mut depth = 0usize;
+        let mut end = k + 1;
+        while end < toks.len() {
+            if toks[end].is_punct('[') {
+                depth += 1;
+            } else if toks[end].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            end += 1;
+        }
+        let inner = &toks[k + 2..end.min(toks.len())];
+        let is_test_attr = matches!(
+            inner,
+            [t] if t.ident() == Some("test")
+        ) || matches!(
+            inner,
+            [c, o, t, cl]
+                if c.ident() == Some("cfg")
+                    && o.is_punct('(')
+                    && t.ident() == Some("test")
+                    && cl.is_punct(')')
+        );
+        if !is_test_attr {
+            k = end + 1;
+            continue;
+        }
+        // Skip any further attributes, then mask through the item body.
+        let mut j = end + 1;
+        while toks.get(j).is_some_and(|t| t.is_punct('#'))
+            && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            let mut depth = 0usize;
+            while j < toks.len() {
+                if toks[j].is_punct('[') {
+                    depth += 1;
+                } else if toks[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            j += 1;
+        }
+        // Scan to the item's opening brace (a `;` first means no body).
+        let mut open = None;
+        while j < toks.len() {
+            if toks[j].is_punct('{') {
+                open = Some(j);
+                break;
+            }
+            if toks[j].is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+        if let Some(open) = open {
+            let mut depth = 0usize;
+            let mut close = open;
+            while close < toks.len() {
+                if toks[close].is_punct('{') {
+                    depth += 1;
+                } else if toks[close].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                close += 1;
+            }
+            for m in masked
+                .iter_mut()
+                .take(close.min(toks.len() - 1) + 1)
+                .skip(k)
+            {
+                *m = true;
+            }
+            k = close + 1;
+        } else {
+            k = j + 1;
+        }
+    }
+    masked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+    use crate::strip::strip;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(&strip(src).code)
+    }
+
+    fn sim_class() -> FileClass {
+        FileClass {
+            crate_name: "lat-hwsim".to_string(),
+            sim_scope: true,
+            bench_bin: false,
+            p1_scope: true,
+        }
+    }
+
+    #[test]
+    fn classify_paths() {
+        let c = classify("crates/hwsim/src/fleet.rs").unwrap();
+        assert!(c.sim_scope && c.p1_scope && !c.bench_bin);
+        assert_eq!(c.crate_name, "lat-hwsim");
+
+        let b = classify("crates/bench/src/bin/ablate_fleet.rs").unwrap();
+        assert!(b.bench_bin && !b.sim_scope && !b.p1_scope);
+
+        let root = classify("tests/fleet_props.rs").unwrap();
+        assert_eq!(root.crate_name, "lat-fpga");
+        assert!(!root.p1_scope);
+
+        assert!(classify("crates/audit/src/lib.rs").unwrap().p1_scope);
+        assert!(classify("README.md").is_none());
+    }
+
+    #[test]
+    fn d1_only_in_sim_scope() {
+        let src = "use std::collections::HashMap;";
+        let hits = check_tokens(&sim_class(), &toks(src));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "d1");
+
+        let mut bench = sim_class();
+        bench.sim_scope = false;
+        assert!(check_tokens(&bench, &toks(src)).is_empty());
+    }
+
+    #[test]
+    fn d1_ignores_strings_and_comments() {
+        let src = "// HashMap here\nlet s = \"HashSet\";";
+        assert!(check_tokens(&sim_class(), &toks(src)).is_empty());
+    }
+
+    #[test]
+    fn f1_flags_collapse_not_definition() {
+        let hits = check_tokens(
+            &sim_class(),
+            &toks("v.sort_by(|a, b| a.0.partial_cmp(&b.0).expect(\"finite\"));"),
+        );
+        assert_eq!(hits.iter().filter(|h| h.rule == "f1").count(), 1);
+
+        // A PartialOrd impl's own `fn partial_cmp` must not fire.
+        let def =
+            "fn partial_cmp(&self, other: &Self) -> Option<Ordering> { Some(self.cmp(other)) }";
+        assert!(check_tokens(&sim_class(), &toks(def)).is_empty());
+
+        // total_cmp is the fix — clean.
+        assert!(check_tokens(&sim_class(), &toks("v.sort_by(f64::total_cmp);")).is_empty());
+    }
+
+    #[test]
+    fn d4_needs_spawning_file() {
+        let drain = "for msg in rx { out.push(msg); }";
+        assert!(check_tokens(&sim_class(), &toks(drain)).is_empty());
+
+        let spawning = format!("std::thread::spawn(|| {{}});\n{drain}");
+        let hits = check_tokens(&sim_class(), &toks(&spawning));
+        assert_eq!(hits.iter().filter(|h| h.rule == "d4").count(), 1);
+    }
+
+    #[test]
+    fn panic_surface_counts_and_test_mask() {
+        let src = r#"
+            fn f(xs: &[f64]) -> f64 { xs[0] + xs.first().unwrap() + g().expect("x") }
+            fn g(m: &Vec<Vec<f64>>) -> f64 { m[1][2] }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { let v = vec![1]; v.last().unwrap(); assert_eq!(v[0], 1); }
+            }
+        "#;
+        let c = panic_surface(&toks(src));
+        assert_eq!(c.unwrap, 1, "{c:?}");
+        assert_eq!(c.expect, 1);
+        // xs[0], m[1], [2] — `&[f64]` and `vec![..]`/test-mod indexing not counted
+        assert_eq!(c.index, 3);
+    }
+}

@@ -1,0 +1,304 @@
+//! Comment/literal stripping: turns Rust source into a "code-only" view
+//! (string/char literal contents and comments blanked, newlines preserved)
+//! plus a per-line record of comment text for suppression parsing.
+//!
+//! This is a hand-rolled scanner, not a parser: the audit engine is std-only
+//! (no `syn`, no registry access), so rules operate on a token stream lexed
+//! from the stripped view. The scanner understands line comments, nested
+//! block comments, string/byte-string literals with escapes, raw strings
+//! (`r"…"`, `r#"…"#`, `br#"…"#`), char/byte-char literals, and tells
+//! lifetimes (`'a`) apart from char literals (`'a'`).
+
+use std::collections::BTreeMap;
+
+/// A source file with comments and literal contents blanked out.
+#[derive(Debug, Clone)]
+pub struct Stripped {
+    /// Code-only text: comments and literal contents replaced by spaces
+    /// (string literals keep their delimiting quotes so the lexer can emit
+    /// a string token); every newline of the original survives, so line
+    /// numbers in `code` match the source.
+    pub code: String,
+    /// Comment text per 1-based source line (block comments contribute to
+    /// every line they span). Used to find `audit:allow(...)` suppressions.
+    pub comments: BTreeMap<usize, String>,
+}
+
+/// Strips `src` into its code-only view. Never panics on malformed input —
+/// unterminated literals/comments simply run to end of file.
+pub fn strip(src: &str) -> Stripped {
+    let cs: Vec<char> = src.chars().collect();
+    let n = cs.len();
+    let mut code = String::with_capacity(src.len());
+    let mut comments: BTreeMap<usize, String> = BTreeMap::new();
+    let mut line = 1usize;
+    // True when the previous code char continues an identifier — used to
+    // tell `r"..."` (raw string) from an identifier ending in `r` followed
+    // by a string, e.g. `var"` never happens but `stringify!(r)` might.
+    let mut prev_ident = false;
+    let mut i = 0usize;
+
+    while i < n {
+        let c = cs[i];
+        let c1 = if i + 1 < n { cs[i + 1] } else { '\0' };
+
+        // ── line comment ────────────────────────────────────────────────
+        if c == '/' && c1 == '/' {
+            // Doc comments (`///`, `//!`) are documentation, not directives:
+            // they are blanked but never parsed for suppressions (`////…`
+            // separators are plain comments).
+            let c2 = if i + 2 < n { cs[i + 2] } else { '\0' };
+            let c3 = if i + 3 < n { cs[i + 3] } else { '\0' };
+            let doc = c2 == '!' || (c2 == '/' && c3 != '/');
+            let mut text = String::new();
+            while i < n && cs[i] != '\n' {
+                text.push(cs[i]);
+                code.push(' ');
+                i += 1;
+            }
+            if !doc {
+                comments.entry(line).or_default().push_str(&text);
+            }
+            prev_ident = false;
+            continue;
+        }
+
+        // ── block comment (nested) ──────────────────────────────────────
+        if c == '/' && c1 == '*' {
+            // `/** … */` and `/*! … */` are doc comments — see above.
+            let c2 = if i + 2 < n { cs[i + 2] } else { '\0' };
+            let c3 = if i + 3 < n { cs[i + 3] } else { '\0' };
+            let doc = c2 == '!' || (c2 == '*' && c3 != '/' && c3 != '*');
+            let mut depth = 0usize;
+            let mut text = String::new();
+            while i < n {
+                let c = cs[i];
+                let c1 = if i + 1 < n { cs[i + 1] } else { '\0' };
+                if c == '/' && c1 == '*' {
+                    depth += 1;
+                    text.push_str("/*");
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '*' && c1 == '/' {
+                    depth = depth.saturating_sub(1);
+                    text.push_str("*/");
+                    code.push_str("  ");
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if c == '\n' {
+                    if !doc {
+                        comments.entry(line).or_default().push_str(&text);
+                    }
+                    text.clear();
+                    code.push('\n');
+                    line += 1;
+                    i += 1;
+                } else {
+                    text.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            if !doc && !text.is_empty() {
+                comments.entry(line).or_default().push_str(&text);
+            }
+            prev_ident = false;
+            continue;
+        }
+
+        // ── raw string: r"…", r#"…"#, br"…", br#"…"# ───────────────────
+        if !prev_ident && (c == 'r' || (c == 'b' && c1 == 'r')) {
+            let after_prefix = if c == 'b' { i + 2 } else { i + 1 };
+            let mut hashes = 0usize;
+            while after_prefix + hashes < n && cs[after_prefix + hashes] == '#' {
+                hashes += 1;
+            }
+            if after_prefix + hashes < n && cs[after_prefix + hashes] == '"' {
+                code.push('"');
+                i = after_prefix + hashes + 1;
+                while i < n {
+                    if cs[i] == '"' && (0..hashes).all(|k| cs.get(i + 1 + k) == Some(&'#')) {
+                        i += 1 + hashes;
+                        break;
+                    }
+                    if cs[i] == '\n' {
+                        code.push('\n');
+                        line += 1;
+                    } else {
+                        code.push(' ');
+                    }
+                    i += 1;
+                }
+                code.push('"');
+                prev_ident = false;
+                continue;
+            }
+            // `r#ident` raw identifier or a plain ident starting with r/b:
+            // fall through to the plain-char path.
+        }
+
+        // ── string / byte string ────────────────────────────────────────
+        if c == '"' || (!prev_ident && c == 'b' && c1 == '"') {
+            if c == 'b' {
+                code.push(' ');
+                i += 1;
+            }
+            code.push('"');
+            i += 1;
+            while i < n {
+                let c = cs[i];
+                if c == '\\' && i + 1 < n {
+                    code.push_str("  ");
+                    if cs[i + 1] == '\n' {
+                        // escaped newline continuation keeps the line count
+                        code.pop();
+                        code.push('\n');
+                        line += 1;
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    i += 1;
+                    break;
+                } else if c == '\n' {
+                    code.push('\n');
+                    line += 1;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            code.push('"');
+            prev_ident = false;
+            continue;
+        }
+
+        // ── char literal vs lifetime ────────────────────────────────────
+        if c == '\'' || (!prev_ident && c == 'b' && c1 == '\'') {
+            let q = if c == 'b' { i + 1 } else { i };
+            let after = if q + 1 < n { cs[q + 1] } else { '\0' };
+            let is_char_literal =
+                after == '\\' || (after != '\0' && q + 2 < n && cs[q + 2] == '\'');
+            if is_char_literal {
+                if c == 'b' {
+                    code.push(' ');
+                }
+                code.push(' '); // opening quote
+                let mut j = q + 1;
+                if after == '\\' {
+                    code.push_str("  ");
+                    j += 2;
+                    while j < n && cs[j] != '\'' {
+                        code.push(' ');
+                        j += 1;
+                    }
+                } else {
+                    code.push(' ');
+                    j += 1;
+                }
+                if j < n {
+                    code.push(' '); // closing quote
+                    j += 1;
+                }
+                i = j;
+            } else {
+                // lifetime or loop label: blank just the quote, keep the
+                // identifier (harmless to the rules).
+                if c == 'b' {
+                    code.push('b');
+                    i += 1;
+                }
+                code.push(' ');
+                i += 1;
+            }
+            prev_ident = false;
+            continue;
+        }
+
+        // ── plain code char ─────────────────────────────────────────────
+        if c == '\n' {
+            line += 1;
+            prev_ident = false;
+        } else {
+            prev_ident = c.is_alphanumeric() || c == '_';
+        }
+        code.push(c);
+        i += 1;
+    }
+
+    Stripped { code, comments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_blanked_and_captured() {
+        let s = strip("let x = 1; // uses HashMap\nlet y = 2;");
+        assert!(!s.code.contains("HashMap"));
+        assert!(s.code.contains("let y = 2;"));
+        assert_eq!(
+            s.comments.get(&1).map(String::as_str),
+            Some("// uses HashMap")
+        );
+    }
+
+    #[test]
+    fn doc_comments_are_blanked_but_not_captured() {
+        let s = strip("/// doc audit:allow(d1) -- nope\n//! inner doc\n// plain\nfn f() {}");
+        assert!(!s.code.contains("audit"));
+        assert_eq!(s.comments.get(&1), None);
+        assert_eq!(s.comments.get(&2), None);
+        assert_eq!(s.comments.get(&3).map(String::as_str), Some("// plain"));
+    }
+
+    #[test]
+    fn nested_block_comments_preserve_lines() {
+        let src = "a /* one /* two\nstill */ done */ b\nc";
+        let s = strip(src);
+        assert_eq!(s.code.matches('\n').count(), src.matches('\n').count());
+        assert!(s.code.contains('a') && s.code.contains('b') && s.code.contains('c'));
+        assert!(!s.code.contains("done"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_quotes_kept() {
+        let s = strip(r#"call("Instant::now inside string")"#);
+        assert!(!s.code.contains("Instant"));
+        assert!(s.code.contains("call(\""));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let s = strip(r###"let x = r#"thread_rng " quote"# ;"###);
+        assert!(!s.code.contains("thread_rng"));
+        assert!(s.code.ends_with(';'));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let s = strip("fn f<'a>(v: &'a str) { let c = 'Z'; let q = '\\''; }");
+        // lifetimes keep their identifier, char contents are blanked
+        assert!(s.code.contains("a>") && s.code.contains("a str"));
+        assert!(!s.code.contains('Z'));
+        assert!(!s.code.contains('\''));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let s = strip(r#"let a = "x\"HashSet\""; let b = 1;"#);
+        assert!(!s.code.contains("HashSet"));
+        assert!(s.code.contains("let b = 1;"));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let s = strip(r#"let a = b"SystemTime"; let c = b'Z'; ok"#);
+        assert!(!s.code.contains("SystemTime"));
+        assert!(!s.code.contains('Z'));
+        assert!(s.code.contains("ok"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Per-rule fixture tests: every rule has a firing fixture (produces that
+//! rule's findings and only that rule's) and a clean fixture (produces
+//! none). Fixtures live under `crates/audit/fixtures/` — a directory the
+//! workspace walker deliberately skips, since they violate rules on
+//! purpose.
+
+use lat_audit::audit_source;
+use lat_audit::rules::{classify, panic_surface, FileClass, PanicCounts};
+use lat_audit::{lex::lex, strip::strip};
+
+/// Fixtures are audited as if they lived in a sim-scope library crate —
+/// the strictest classification (D1 applies, D2 applies, P1 counts).
+fn sim_class() -> FileClass {
+    FileClass {
+        crate_name: "lat-hwsim".to_string(),
+        sim_scope: true,
+        bench_bin: false,
+        p1_scope: true,
+    }
+}
+
+fn rules_of(src: &str) -> Vec<String> {
+    let fa = audit_source("fixture.rs", &sim_class(), src);
+    fa.findings.into_iter().map(|f| f.rule).collect()
+}
+
+fn assert_fires(src: &str, rule: &str) {
+    let rules = rules_of(src);
+    assert!(
+        rules.iter().any(|r| r == rule),
+        "expected at least one `{rule}` finding, got {rules:?}"
+    );
+    assert!(
+        rules.iter().all(|r| r == rule),
+        "expected only `{rule}` findings, got {rules:?}"
+    );
+}
+
+fn assert_clean(src: &str) {
+    let rules = rules_of(src);
+    assert!(rules.is_empty(), "expected no findings, got {rules:?}");
+}
+
+#[test]
+fn d1_hash_collections() {
+    assert_fires(include_str!("../fixtures/d1_fires.rs"), "d1");
+    assert_clean(include_str!("../fixtures/d1_clean.rs"));
+}
+
+#[test]
+fn d2_wall_clock() {
+    assert_fires(include_str!("../fixtures/d2_fires.rs"), "d2");
+    assert_clean(include_str!("../fixtures/d2_clean.rs"));
+
+    // The same firing source is allowed inside a crates/bench bin.
+    let bench_bin = classify("crates/bench/src/bin/ablate_fleet.rs").unwrap();
+    let fa = audit_source(
+        "crates/bench/src/bin/ablate_fleet.rs",
+        &bench_bin,
+        include_str!("../fixtures/d2_fires.rs"),
+    );
+    assert!(fa.findings.is_empty(), "{:?}", fa.findings);
+}
+
+#[test]
+fn d3_ambient_randomness() {
+    assert_fires(include_str!("../fixtures/d3_fires.rs"), "d3");
+    assert_clean(include_str!("../fixtures/d3_clean.rs"));
+}
+
+#[test]
+fn d4_unordered_channel_drain() {
+    assert_fires(include_str!("../fixtures/d4_fires.rs"), "d4");
+    assert_clean(include_str!("../fixtures/d4_clean.rs"));
+
+    // Both drain shapes are flagged: `for .. in rx` and `rx.recv()`.
+    let fa = audit_source(
+        "fixture.rs",
+        &sim_class(),
+        include_str!("../fixtures/d4_fires.rs"),
+    );
+    assert_eq!(fa.findings.len(), 2, "{:?}", fa.findings);
+}
+
+#[test]
+fn f1_float_comparators() {
+    assert_fires(include_str!("../fixtures/f1_fires.rs"), "f1");
+    assert_clean(include_str!("../fixtures/f1_clean.rs"));
+
+    // All three collapse shapes fire: expect, unwrap, unwrap_or.
+    let fa = audit_source(
+        "fixture.rs",
+        &sim_class(),
+        include_str!("../fixtures/f1_fires.rs"),
+    );
+    assert_eq!(fa.findings.len(), 3, "{:?}", fa.findings);
+}
+
+#[test]
+fn p1_panic_surface_counts() {
+    let toks = lex(&strip(include_str!("../fixtures/p1_fires.rs")).code);
+    assert_eq!(
+        panic_surface(&toks),
+        PanicCounts {
+            unwrap: 2,
+            expect: 1,
+            index: 3
+        }
+    );
+
+    let toks = lex(&strip(include_str!("../fixtures/p1_clean.rs")).code);
+    assert_eq!(panic_surface(&toks), PanicCounts::default());
+}
+
+#[test]
+fn suppression_with_justification_silences() {
+    let fa = audit_source(
+        "fixture.rs",
+        &sim_class(),
+        include_str!("../fixtures/suppress_ok.rs"),
+    );
+    assert!(fa.findings.is_empty(), "{:?}", fa.findings);
+    assert_eq!(fa.suppressed, 2);
+}
+
+#[test]
+fn suppression_without_reason_is_a_finding() {
+    let fa = audit_source(
+        "fixture.rs",
+        &sim_class(),
+        include_str!("../fixtures/suppress_empty.rs"),
+    );
+    let rules: Vec<&str> = fa.findings.iter().map(|f| f.rule.as_str()).collect();
+    assert!(rules.contains(&"suppress"), "{rules:?}");
+    assert!(
+        rules.iter().filter(|r| **r == "d1").count() >= 2,
+        "reasonless allow must not suppress the underlying finding: {rules:?}"
+    );
+    assert_eq!(fa.suppressed, 0);
+}

@@ -1,0 +1,75 @@
+//! Workspace-level audit pins: the real tree is clean under the committed
+//! baseline, the committed baseline matches the tree exactly, and the
+//! audit's output is byte-identical across runs.
+
+use std::path::{Path, PathBuf};
+
+use lat_audit::{
+    audit_workspace, baseline_text, parse_baseline, ratchet_findings, render_json, render_text,
+};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/audit sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_clean() {
+    let audit = audit_workspace(&workspace_root()).expect("walk workspace");
+    assert!(
+        audit.findings.is_empty(),
+        "workspace must audit clean; findings:\n{}",
+        render_text(&audit, &[])
+    );
+    assert!(
+        audit.files_scanned > 50,
+        "walker saw {} files",
+        audit.files_scanned
+    );
+}
+
+#[test]
+fn committed_baseline_matches_tree() {
+    let root = workspace_root();
+    let audit = audit_workspace(&root).expect("walk workspace");
+    let committed = std::fs::read_to_string(root.join("crates/audit/panic_baseline.txt"))
+        .expect("committed panic_baseline.txt");
+
+    // Byte-exact: regenerating the baseline must be a no-op on a clean tree.
+    assert_eq!(
+        baseline_text(&audit.panic),
+        committed,
+        "panic_baseline.txt is stale — run: cargo run -p lat-audit -- --write-baseline"
+    );
+
+    // And the ratchet agrees: no growth, no unlocked shrink.
+    let baseline = parse_baseline(&committed).expect("parse committed baseline");
+    let findings = ratchet_findings(&audit.panic, &baseline);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn output_is_byte_identical_across_runs() {
+    let root = workspace_root();
+    let a = audit_workspace(&root).expect("walk workspace");
+    let b = audit_workspace(&root).expect("walk workspace");
+
+    assert_eq!(render_text(&a, &[]), render_text(&b, &[]));
+    assert_eq!(render_json(&a, &[]), render_json(&b, &[]));
+    assert_eq!(a.panic, b.panic);
+    assert_eq!(a.files_scanned, b.files_scanned);
+}
+
+#[test]
+fn json_report_shape() {
+    let audit = audit_workspace(&workspace_root()).expect("walk workspace");
+    let json = render_json(&audit, &[]);
+    assert!(json.contains("\"schema\": 1"));
+    assert!(json.contains("\"tool\": \"lat-audit\""));
+    assert!(json.contains("\"panic_surface\""));
+    // Canonical: keys arrive sorted, so "findings" precedes "panic_surface".
+    assert!(json.find("\"findings\"").unwrap() < json.find("\"panic_surface\"").unwrap());
+}

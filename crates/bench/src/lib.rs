@@ -17,7 +17,6 @@
 //! | `table2_energy` | Table 2 throughput & energy efficiency |
 //! | `ablate_fleet` | multi-shard fleet serving: scaling + dispatch policies |
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod scenarios;

@@ -150,10 +150,7 @@ pub fn top_k_f32(scores: &[f32], k: usize) -> Vec<usize> {
             (true, true) => a.cmp(&b),
             (true, false) => Ordering::Greater,
             (false, true) => Ordering::Less,
-            (false, false) => scores[b]
-                .partial_cmp(&scores[a])
-                .unwrap_or(Ordering::Equal)
-                .then_with(|| a.cmp(&b)),
+            (false, false) => scores[b].total_cmp(&scores[a]).then_with(|| a.cmp(&b)),
         }
     });
     idx.truncate(k.min(scores.len()));

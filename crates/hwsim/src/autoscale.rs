@@ -356,12 +356,7 @@ fn solve3(a: &[[f64; 3]; 3], b: &[f64; 3]) -> Option<[f64; 3]> {
         m[i][3] = b[i];
     }
     for col in 0..3 {
-        let pivot = (col..3).max_by(|&i, &j| {
-            m[i][col]
-                .abs()
-                .partial_cmp(&m[j][col].abs())
-                .expect("finite pivots")
-        })?;
+        let pivot = (col..3).max_by(|&i, &j| m[i][col].abs().total_cmp(&m[j][col].abs()))?;
         if m[pivot][col].abs() < 1e-9 {
             return None;
         }

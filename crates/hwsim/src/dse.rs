@@ -96,7 +96,7 @@ pub fn explore(
             }
         }
     }
-    points.sort_by(|a, b| a.seconds.partial_cmp(&b.seconds).expect("finite latencies"));
+    points.sort_by(|a, b| a.seconds.total_cmp(&b.seconds));
     points
 }
 

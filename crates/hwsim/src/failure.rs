@@ -163,7 +163,7 @@ impl FaultPlan {
             per_shard[f.shard].push(f.interval());
         }
         for intervals in &mut per_shard {
-            intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fault starts"));
+            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
             for w in intervals.windows(2) {
                 assert!(w[0].1 <= w[1].0, "overlapping fault intervals on one shard");
             }
@@ -213,7 +213,7 @@ impl FaultPlan {
                 }
             }
         }
-        actions.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite action times"));
+        actions.sort_by(|a, b| a.0.total_cmp(&b.0));
         actions
     }
 }

@@ -53,7 +53,6 @@
 //! assert!(report.stage_utilization.iter().all(|&u| u <= 1.0));
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod accelerator;

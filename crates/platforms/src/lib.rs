@@ -29,7 +29,6 @@
 //! assert!(gpu.batch_seconds(&cfg, &batch) < cpu.batch_seconds(&cfg, &batch));
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use lat_model::config::ModelConfig;

@@ -286,11 +286,7 @@ pub fn rank_correlation(a: &[f32], b: &[f32]) -> f32 {
 fn ranks(xs: &[f32]) -> Vec<f32> {
     let n = xs.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&i, &j| {
-        xs[i]
-            .partial_cmp(&xs[j])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    idx.sort_by(|&i, &j| xs[i].total_cmp(&xs[j]));
     let mut out = vec![0.0f32; n];
     let mut i = 0;
     while i < n {

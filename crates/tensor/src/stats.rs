@@ -34,18 +34,19 @@ pub fn summarize(xs: &[f64]) -> Option<Summary> {
 }
 
 /// `p`-th percentile (0.0–1.0) by nearest-rank on a copy of the data;
-/// `None` for an empty slice.
+/// `None` for an empty slice. NaN-bearing input never panics: `total_cmp`
+/// sorts NaNs after `+inf`, so they only surface at the top percentiles.
 ///
 /// # Panics
 ///
-/// Panics if `p` is outside `[0, 1]` or the data contains NaN.
+/// Panics if `p` is outside `[0, 1]`.
 pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
     assert!((0.0..=1.0).contains(&p), "percentile {p} outside [0,1]");
     if xs.is_empty() {
         return None;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in percentile data"));
+    sorted.sort_by(f64::total_cmp);
     let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
     Some(sorted[idx])
 }
@@ -102,6 +103,19 @@ mod tests {
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 4.0);
         assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn percentile_nan_input_does_not_panic() {
+        // Regression: the comparator used to be partial_cmp().expect(),
+        // which panicked the whole report path on a single NaN sample.
+        // total_cmp sorts NaNs after +inf, so low/mid percentiles of a
+        // mostly-finite sample stay finite and p100 surfaces the NaN.
+        let xs = [2.0, f64::NAN, 1.0, 3.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 0.5), Some(3.0));
+        assert!(percentile(&xs, 1.0).unwrap().is_nan());
+        assert!(percentile(&[f64::NAN], 0.5).unwrap().is_nan());
     }
 
     #[test]

@@ -18,7 +18,6 @@
 //!   accuracy, plus anchoring utilities to present results in the paper's
 //!   F1/accuracy units.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod accuracy;

@@ -63,8 +63,6 @@
 //! paper-vs-measured record and `DESIGN.md` for the substitution table
 //! (what replaced the FPGA, the datasets and the comparison hardware).
 
-#![forbid(unsafe_code)]
-
 pub use lat_core as core;
 pub use lat_hwsim as hwsim;
 pub use lat_model as model;

@@ -9,8 +9,6 @@
 //! regressions; swap back to crates.io `criterion` for real statistics when
 //! the build environment has network access (see `vendor/README.md`).
 
-#![forbid(unsafe_code)]
-
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};

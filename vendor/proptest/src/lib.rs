@@ -20,8 +20,6 @@
 //! crates.io `proptest` when the build environment has network access (see
 //! `vendor/README.md`).
 
-#![forbid(unsafe_code)]
-
 pub mod arbitrary;
 pub mod collection;
 pub mod num;

@@ -1,13 +1,16 @@
 //! Vendored API-subset stand-in for `serde`.
 //!
 //! The real crate cannot be fetched in this offline build environment. The
-//! workspace only *derives* `Serialize`/`Deserialize` (as forward-looking
-//! annotations — no serialization happens yet), so this shim provides the two
-//! marker traits and re-exports the no-op derive macros. Swap back to
-//! crates.io `serde` when the build environment has network access (see
-//! `vendor/README.md`).
-
-#![forbid(unsafe_code)]
+//! workspace *derives* `Serialize`/`Deserialize` (as forward-looking
+//! annotations), so this shim provides the two marker traits and re-exports
+//! the no-op derive macros. Swap back to crates.io `serde` when the build
+//! environment has network access (see `vendor/README.md`).
+//!
+//! Unlike the upstream markers, the shim also ships a small hand-rolled
+//! canonical-JSON writer ([`json`]) so harness artifacts (audit findings,
+//! bench reports) can be emitted as real, byte-stable JSON without registry
+//! access — the ROADMAP's "extend the vendored serde shim to actually
+//! serialize" note.
 
 /// Marker stand-in for `serde::Serialize`.
 pub trait Serialize {}
@@ -17,3 +20,174 @@ pub trait Deserialize<'de>: Sized {}
 
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
+
+/// Hand-rolled canonical JSON: a tiny value tree plus a writer that emits
+/// byte-stable output (object keys sorted, no insignificant whitespace
+/// variation, deterministic float formatting). This is the offline stand-in
+/// for `serde_json` limited to what the workspace's artifact writers need.
+pub mod json {
+    use std::collections::BTreeMap;
+
+    /// A JSON value. Objects use [`BTreeMap`] so key order — and therefore
+    /// the serialized byte stream — is canonical by construction.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Signed integer (serialized without a fractional part).
+        Int(i64),
+        /// Unsigned integer (serialized without a fractional part).
+        UInt(u64),
+        /// Finite float, formatted with Rust's shortest-roundtrip `Display`.
+        /// Non-finite values serialize as `null` (JSON has no NaN/inf).
+        Float(f64),
+        /// String (escaped per RFC 8259).
+        Str(String),
+        /// Array.
+        Arr(Vec<Value>),
+        /// Object with canonically (byte-wise) sorted keys.
+        Obj(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        /// Convenience: build an object from key/value pairs.
+        pub fn obj<I>(pairs: I) -> Value
+        where
+            I: IntoIterator<Item = (String, Value)>,
+        {
+            Value::Obj(pairs.into_iter().collect())
+        }
+
+        /// Serializes to the canonical compact form (no newlines, keys
+        /// sorted). Byte-identical for equal values, on every platform.
+        pub fn to_canonical_string(&self) -> String {
+            let mut out = String::new();
+            self.write(&mut out, None, 0);
+            out
+        }
+
+        /// Serializes to a human-readable pretty form with `indent`-space
+        /// indentation. Still canonical: keys sorted, floats deterministic.
+        pub fn to_pretty_string(&self, indent: usize) -> String {
+            let mut out = String::new();
+            self.write(&mut out, Some(indent), 0);
+            out.push('\n');
+            out
+        }
+
+        fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+            match self {
+                Value::Null => out.push_str("null"),
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Value::Int(i) => out.push_str(&i.to_string()),
+                Value::UInt(u) => out.push_str(&u.to_string()),
+                Value::Float(f) => {
+                    if f.is_finite() {
+                        // Shortest-roundtrip Display is deterministic and
+                        // re-parses to the same bits.
+                        let s = f.to_string();
+                        out.push_str(&s);
+                        // `1.0` displays as "1" — keep a fractional marker so
+                        // consumers see a float-typed field.
+                        if !s.contains('.') && !s.contains('e') && !s.contains("inf") {
+                            out.push_str(".0");
+                        }
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+                Value::Str(s) => write_escaped(out, s),
+                Value::Arr(items) => {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        newline_indent(out, indent, depth + 1);
+                        item.write(out, indent, depth + 1);
+                    }
+                    if !items.is_empty() {
+                        newline_indent(out, indent, depth);
+                    }
+                    out.push(']');
+                }
+                Value::Obj(map) => {
+                    out.push('{');
+                    for (i, (k, v)) in map.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        newline_indent(out, indent, depth + 1);
+                        write_escaped(out, k);
+                        out.push(':');
+                        if indent.is_some() {
+                            out.push(' ');
+                        }
+                        v.write(out, indent, depth + 1);
+                    }
+                    if !map.is_empty() {
+                        newline_indent(out, indent, depth);
+                    }
+                    out.push('}');
+                }
+            }
+        }
+    }
+
+    fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+        if let Some(n) = indent {
+            out.push('\n');
+            for _ in 0..n * depth {
+                out.push(' ');
+            }
+        }
+    }
+
+    fn write_escaped(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn keys_sort_and_escape() {
+            let v = Value::obj([
+                ("b".to_string(), Value::Int(-2)),
+                ("a".to_string(), Value::Str("x\"\n".to_string())),
+            ]);
+            assert_eq!(v.to_canonical_string(), r#"{"a":"x\"\n","b":-2}"#);
+        }
+
+        #[test]
+        fn floats_are_deterministic_and_marked() {
+            assert_eq!(Value::Float(1.0).to_canonical_string(), "1.0");
+            assert_eq!(Value::Float(0.25).to_canonical_string(), "0.25");
+            assert_eq!(Value::Float(f64::NAN).to_canonical_string(), "null");
+        }
+
+        #[test]
+        fn pretty_matches_compact_semantics() {
+            let v = Value::Arr(vec![Value::Bool(true), Value::Null]);
+            assert_eq!(v.to_canonical_string(), "[true,null]");
+            assert_eq!(v.to_pretty_string(2), "[\n  true,\n  null\n]\n");
+        }
+    }
+}
