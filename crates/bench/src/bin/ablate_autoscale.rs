@@ -24,6 +24,7 @@ use lat_bench::scenarios::{
 };
 use lat_bench::tables;
 use lat_core::pipeline::SchedulingPolicy;
+use lat_core::pool::Scheduler;
 use lat_hwsim::accelerator::AcceleratorDesign;
 use lat_hwsim::autoscale::{
     simulate_autoscale, AutoscaleConfig, AutoscaleReport, RetirePolicy, ScalePolicy, SchedulePhase,
@@ -107,74 +108,23 @@ fn main() {
         )
     };
 
+    let pool = Scheduler::from_env();
     println!(
         "Ablation — autoscaling (BERT-base, {} prompts, {} requests,\n\
-         diurnal {:.0}×{:.0} seq/s swing, period {:.0} s, SLO {:.0} ms, seed {HARNESS_SEED:#x})\n",
+         diurnal {:.0}×{:.0} seq/s swing, period {:.0} s, SLO {:.0} ms, seed {HARNESS_SEED:#x},\n\
+         {} workers)\n",
         autoscale_mix().label(),
         AUTOSCALE_REQUESTS,
         AUTOSCALE_SWING,
         AUTOSCALE_MEAN_RATE,
         AUTOSCALE_PERIOD_S,
         AUTOSCALE_SLO_LATENCY_S * 1e3,
+        pool.parallelism(),
     );
 
-    // ── Claim 3 first: the pinned min==max autoscaler IS simulate_fleet ─
-    let pinned = run(
-        &fleet,
-        &base_cfg(
-            ScalePolicy::Pinned,
-            AUTOSCALE_MAX_SHARDS,
-            AUTOSCALE_MAX_SHARDS,
-            bounds.clone(),
-        ),
-    );
-    let fixed_fleet = simulate_fleet(
-        &fleet,
-        &trace,
-        SchedulingPolicy::LengthAware,
-        DispatchPolicy::JoinShortestQueue,
-        &batcher,
-    );
-    assert_eq!(
-        pinned.fleet, fixed_fleet,
-        "pinned min==max autoscaling drifted from simulate_fleet"
-    );
-
-    // ── Policy comparison at the diurnal workload ───────────────────────
-    let fixed_min = run(
-        &fleet[..AUTOSCALE_MIN_SHARDS],
-        &base_cfg(
-            ScalePolicy::Pinned,
-            AUTOSCALE_MIN_SHARDS,
-            AUTOSCALE_MIN_SHARDS,
-            bounds.clone(),
-        ),
-    );
-    let fixed_max = pinned;
-    let reactive = run(
-        &fleet,
-        &base_cfg(
-            ScalePolicy::Reactive {
-                scale_up_depth: AUTOSCALE_UP_DEPTH,
-                scale_down_depth: AUTOSCALE_DOWN_DEPTH,
-            },
-            AUTOSCALE_MIN_SHARDS,
-            AUTOSCALE_MIN_SHARDS,
-            bounds.clone(),
-        ),
-    );
-    let utilization = run(
-        &fleet,
-        &base_cfg(
-            ScalePolicy::UtilizationTarget {
-                low: 0.35,
-                high: 0.8,
-            },
-            AUTOSCALE_MIN_SHARDS,
-            AUTOSCALE_MIN_SHARDS,
-            bounds.clone(),
-        ),
-    );
+    // ── The policy grid: every run is an independent, seed-deterministic
+    // cell — declare them all, fan them across the pool, then read the
+    // results back by index.
     // Time-of-day table: quarter-period entries sized from the known rate
     // curve (the oracle policy the feedback policies are measured
     // against).
@@ -191,15 +141,85 @@ fn main() {
             }
         })
         .collect();
-    let scheduled = run(
-        &fleet,
-        &base_cfg(
-            ScalePolicy::Scheduled(table),
-            AUTOSCALE_MIN_SHARDS,
-            2,
-            bounds.clone(),
+    // (shard-slice length, config) fully describes a run.
+    let mut jobs: Vec<(usize, AutoscaleConfig)> = vec![
+        (
+            AUTOSCALE_MAX_SHARDS,
+            base_cfg(
+                ScalePolicy::Pinned,
+                AUTOSCALE_MAX_SHARDS,
+                AUTOSCALE_MAX_SHARDS,
+                bounds.clone(),
+            ),
         ),
+        (
+            AUTOSCALE_MIN_SHARDS,
+            base_cfg(
+                ScalePolicy::Pinned,
+                AUTOSCALE_MIN_SHARDS,
+                AUTOSCALE_MIN_SHARDS,
+                bounds.clone(),
+            ),
+        ),
+        (
+            AUTOSCALE_MAX_SHARDS,
+            base_cfg(
+                ScalePolicy::Reactive {
+                    scale_up_depth: AUTOSCALE_UP_DEPTH,
+                    scale_down_depth: AUTOSCALE_DOWN_DEPTH,
+                },
+                AUTOSCALE_MIN_SHARDS,
+                AUTOSCALE_MIN_SHARDS,
+                bounds.clone(),
+            ),
+        ),
+        (
+            AUTOSCALE_MAX_SHARDS,
+            base_cfg(
+                ScalePolicy::UtilizationTarget {
+                    low: 0.35,
+                    high: 0.8,
+                },
+                AUTOSCALE_MIN_SHARDS,
+                AUTOSCALE_MIN_SHARDS,
+                bounds.clone(),
+            ),
+        ),
+        (
+            AUTOSCALE_MAX_SHARDS,
+            base_cfg(
+                ScalePolicy::Scheduled(table),
+                AUTOSCALE_MIN_SHARDS,
+                2,
+                bounds.clone(),
+            ),
+        ),
+    ];
+    // Cost × p95 frontier points ride in the same fan-out.
+    for k in 1..=AUTOSCALE_MAX_SHARDS {
+        jobs.push((k, base_cfg(ScalePolicy::Pinned, k, k, bounds.clone())));
+    }
+    let mut results = pool
+        .par_map_indexed(&jobs, |(k, cfg)| run(&fleet[..*k], cfg))
+        .into_iter();
+    let mut next = || results.next().expect("one result per job");
+    let (pinned, fixed_min, reactive, utilization, scheduled) =
+        (next(), next(), next(), next(), next());
+    let frontier_fixed: Vec<AutoscaleReport> = (1..=AUTOSCALE_MAX_SHARDS).map(|_| next()).collect();
+
+    // ── Claim 3: the pinned min==max autoscaler IS simulate_fleet ───────
+    let fixed_fleet = simulate_fleet(
+        &fleet,
+        &trace,
+        SchedulingPolicy::LengthAware,
+        DispatchPolicy::JoinShortestQueue,
+        &batcher,
     );
+    assert_eq!(
+        pinned.fleet, fixed_fleet,
+        "pinned min==max autoscaling drifted from simulate_fleet"
+    );
+    let fixed_max = pinned;
 
     let rows = vec![
         row(&format!("fixed-min ({AUTOSCALE_MIN_SHARDS})"), &fixed_min),
@@ -280,12 +300,8 @@ fn main() {
 
     // ── Cost × p95 frontier ─────────────────────────────────────────────
     let mut frontier = Vec::new();
-    for k in 1..=AUTOSCALE_MAX_SHARDS {
-        let r = run(
-            &fleet[..k],
-            &base_cfg(ScalePolicy::Pinned, k, k, bounds.clone()),
-        );
-        frontier.push((format!("fixed-{k}"), r));
+    for (k, r) in frontier_fixed.into_iter().enumerate() {
+        frontier.push((format!("fixed-{}", k + 1), r));
     }
     frontier.push(("reactive".into(), reactive));
     frontier.push(("utilization".into(), utilization));

@@ -20,6 +20,7 @@ use lat_bench::scenarios::{
 };
 use lat_bench::tables;
 use lat_core::pipeline::SchedulingPolicy;
+use lat_core::pool::Scheduler;
 use lat_hwsim::accelerator::AcceleratorDesign;
 use lat_hwsim::decode::{
     decode_trace, simulate_decode, DecodeConfig, DecodeReport, DecodeScheduler, Priority,
@@ -66,14 +67,16 @@ fn main() {
         max_slots: DECODE_SLOTS,
         ttft_deadline_s: DECODE_TTFT_DEADLINE_S,
     };
+    let pool = Scheduler::from_env();
     println!(
         "Ablation — generative decode (BERT-base, {} prompts, {} outputs,\n\
-         {} requests, {} slots/shard, {:.0}% high-priority, seed {HARNESS_SEED:#x})\n",
+         {} requests, {} slots/shard, {:.0}% high-priority, seed {HARNESS_SEED:#x}, {} workers)\n",
         prefill.label(),
         output.label(),
         DECODE_REQUESTS,
         DECODE_SLOTS,
-        DECODE_HIGH_FRACTION * 100.0
+        DECODE_HIGH_FRACTION * 100.0,
+        pool.parallelism(),
     );
     let base = design(99); // tuned near the prompt mix's expected average
 
@@ -86,19 +89,27 @@ fn main() {
         DECODE_REQUESTS,
         HARNESS_SEED,
     );
+    // shard-count × scheduler grid: every cell is independent — fan it
+    // across the pool, then make the cross-scheduler goodput claim
+    // serially over the index-ordered results.
+    let cells: Vec<(usize, DecodeScheduler)> = DECODE_SHARD_COUNTS
+        .iter()
+        .flat_map(|&n| DecodeScheduler::ALL.into_iter().map(move |s| (n, s)))
+        .collect();
+    let grid = pool.par_map_indexed(&cells, |&(n, scheduler)| {
+        simulate_decode(
+            &homogeneous_fleet(&base, n),
+            &trace,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            scheduler,
+            &cfg,
+        )
+    });
     let mut rows = Vec::new();
-    for &n in &DECODE_SHARD_COUNTS {
-        let fleet = homogeneous_fleet(&base, n);
-        let mut goodput_static = f64::NAN;
-        for scheduler in DecodeScheduler::ALL {
-            let r = simulate_decode(
-                &fleet,
-                &trace,
-                SchedulingPolicy::LengthAware,
-                DispatchPolicy::JoinShortestQueue,
-                scheduler,
-                &cfg,
-            );
+    let mut goodput_static = f64::NAN;
+    for (&(n, scheduler), r) in cells.iter().zip(&grid) {
+        {
             assert_eq!(r.fleet.completed, DECODE_REQUESTS);
             match scheduler {
                 DecodeScheduler::Static => goodput_static = r.goodput_tok_s,
@@ -145,8 +156,9 @@ fn main() {
 
     // ── 2. Priority classes: continuous vs continuous+preempt ──────────
     let fleet = homogeneous_fleet(&base, 1);
-    let mut rows = Vec::new();
-    for &rate in &DECODE_RATES {
+    // One pool cell per offered rate; each cell runs its two schedulers
+    // over the same trace (the trace build is part of the cell).
+    let priority_grid = pool.par_map_indexed(&DECODE_RATES, |&rate| {
         let trace = decode_trace(
             &prefill,
             &output,
@@ -167,8 +179,12 @@ fn main() {
         };
         let cont = run(DecodeScheduler::Continuous);
         let pre = run(DecodeScheduler::ContinuousPreempt);
-        let cont_high = high_ttft_p95(&cont);
-        let pre_high = high_ttft_p95(&pre);
+        (trace, cont, pre)
+    });
+    let mut rows = Vec::new();
+    for (&rate, (trace, cont, pre)) in DECODE_RATES.iter().zip(&priority_grid) {
+        let cont_high = high_ttft_p95(cont);
+        let pre_high = high_ttft_p95(pre);
         if rate == DECODE_SATURATING_RATE {
             assert!(
                 pre_high < cont_high,
@@ -181,8 +197,8 @@ fn main() {
             format!("{:.0}", cont_high * 1e3),
             format!("{:.0}", pre_high * 1e3),
             tables::speedup(cont_high / pre_high),
-            format!("{:.0}", normal_ttft_p95(&cont, &trace) * 1e3),
-            format!("{:.0}", normal_ttft_p95(&pre, &trace) * 1e3),
+            format!("{:.0}", normal_ttft_p95(cont, trace) * 1e3),
+            format!("{:.0}", normal_ttft_p95(pre, trace) * 1e3),
             format!("{}", pre.preemptions),
         ]);
     }

@@ -34,6 +34,7 @@ use lat_bench::scenarios::{
 };
 use lat_bench::tables;
 use lat_core::pipeline::SchedulingPolicy;
+use lat_core::pool::Scheduler;
 use lat_hwsim::accelerator::AcceleratorDesign;
 use lat_hwsim::autoscale::{
     simulate_decode_autoscale, DecodeAutoscaleConfig, DecodeAutoscaleReport, DecodeScaleDown,
@@ -186,18 +187,69 @@ fn main() {
         DECODE_AUTOSCALE_WARMUP_S,
         DECODE_AUTOSCALE_SLO_TTFT_S * 1e3,
     );
+    let pool = Scheduler::from_env();
+    println!("(sweep pool: {} workers)\n", pool.parallelism());
 
-    // ── Claim 3 first: pinned min==max IS simulate_decode ──────────────
-    let pinned = run(
-        &fleet,
-        &base_cfg(
-            ScalePolicy::Pinned,
-            DecodeScaleDown::Drain,
+    // ── The whole policy × scale-down grid (plus the two pinned
+    // baselines) is independent, seed-deterministic cells: declare every
+    // run, fan them across the pool, read back by index.
+    // Scalers start provisioned for the mean demand (2 shards at 30 seq/s
+    // against an 18 seq/s capacity) — the deployment-realistic initial
+    // state; the diurnal swing still forces both scale directions.
+    let initial = (DECODE_AUTOSCALE_MEAN_RATE / DECODE_AUTOSCALE_SHARD_CAPACITY).ceil() as usize;
+    let mut jobs: Vec<(usize, DecodeAutoscaleConfig)> = vec![
+        (
             DECODE_AUTOSCALE_MAX_SHARDS,
-            DECODE_AUTOSCALE_MAX_SHARDS,
-            bounds.clone(),
+            base_cfg(
+                ScalePolicy::Pinned,
+                DecodeScaleDown::Drain,
+                DECODE_AUTOSCALE_MAX_SHARDS,
+                DECODE_AUTOSCALE_MAX_SHARDS,
+                bounds.clone(),
+            ),
         ),
-    );
+        (
+            DECODE_AUTOSCALE_MIN_SHARDS,
+            base_cfg(
+                ScalePolicy::Pinned,
+                DecodeScaleDown::Drain,
+                DECODE_AUTOSCALE_MIN_SHARDS,
+                DECODE_AUTOSCALE_MIN_SHARDS,
+                bounds.clone(),
+            ),
+        ),
+    ];
+    let combos: Vec<(&str, DecodeScaleDown)> = [
+        ("reactive", reactive_policy()),
+        ("predictive", predictive_policy()),
+    ]
+    .into_iter()
+    .flat_map(|(name, policy)| {
+        [DecodeScaleDown::Drain, DecodeScaleDown::Migrate]
+            .into_iter()
+            .map(move |mode| (name, policy.clone(), mode))
+    })
+    .map(|(name, policy, mode)| {
+        jobs.push((
+            DECODE_AUTOSCALE_MAX_SHARDS,
+            base_cfg(
+                policy,
+                mode,
+                DECODE_AUTOSCALE_MIN_SHARDS,
+                initial,
+                bounds.clone(),
+            ),
+        ));
+        (name, mode)
+    })
+    .collect();
+    let mut results = pool
+        .par_map_indexed(&jobs, |(k, cfg)| run(&fleet[..*k], cfg))
+        .into_iter();
+    let mut next = || results.next().expect("one result per job");
+    let (pinned, fixed_min) = (next(), next());
+
+    // ── Claim 3: pinned min==max IS simulate_decode ────────────────────
     let fixed_decode = simulate_decode(
         &fleet,
         &trace,
@@ -209,18 +261,6 @@ fn main() {
     assert_eq!(
         pinned.decode, fixed_decode,
         "pinned min==max decode autoscaling drifted from simulate_decode"
-    );
-
-    // ── Policy × scale-down sweep at the diurnal workload ──────────────
-    let fixed_min = run(
-        &fleet[..DECODE_AUTOSCALE_MIN_SHARDS],
-        &base_cfg(
-            ScalePolicy::Pinned,
-            DecodeScaleDown::Drain,
-            DECODE_AUTOSCALE_MIN_SHARDS,
-            DECODE_AUTOSCALE_MIN_SHARDS,
-            bounds.clone(),
-        ),
     );
     let fixed_max = pinned;
     let mut rows = vec![
@@ -235,29 +275,11 @@ fn main() {
             &fixed_max,
         ),
     ];
-    // Scalers start provisioned for the mean demand (2 shards at 30 seq/s
-    // against an 18 seq/s capacity) — the deployment-realistic initial
-    // state; the diurnal swing still forces both scale directions.
-    let initial = (DECODE_AUTOSCALE_MEAN_RATE / DECODE_AUTOSCALE_SHARD_CAPACITY).ceil() as usize;
     let mut sweep: Vec<(String, DecodeScaleDown, DecodeAutoscaleReport)> = Vec::new();
-    for (name, policy) in [
-        ("reactive", reactive_policy()),
-        ("predictive", predictive_policy()),
-    ] {
-        for mode in [DecodeScaleDown::Drain, DecodeScaleDown::Migrate] {
-            let r = run(
-                &fleet,
-                &base_cfg(
-                    policy.clone(),
-                    mode,
-                    DECODE_AUTOSCALE_MIN_SHARDS,
-                    initial,
-                    bounds.clone(),
-                ),
-            );
-            rows.push(row(name, &mode.to_string(), &r));
-            sweep.push((name.to_string(), mode, r));
-        }
+    for (name, mode) in combos {
+        let r = next();
+        rows.push(row(name, &mode.to_string(), &r));
+        sweep.push((name.to_string(), mode, r));
     }
     println!(
         "Policy × scale-down (JSQ dispatch, continuous batching, capacity oracle\n\

@@ -19,10 +19,13 @@
 //!    live KV residents, evicting and re-prefilling the victims on the
 //!    survivors finishes them sooner than draining in place.
 //!
-//! Also emits `BENCH_fleet.json` (wall-time + events/s of the fixed
-//! fleet scenario) — the start of the perf trajectory ROADMAP.md asks
-//! for. Deterministic under `HARNESS_SEED` (the JSON's wall-clock fields
-//! are the one deliberate exception).
+//! Also maintains `BENCH_fleet.json` (schema 2): an append-style
+//! `entries` array of wall-time records — the fixed-fleet scenario plus a
+//! serial-vs-4-worker parallel sweep (asserted bit-identical) — so the
+//! file accumulates a PR-over-PR perf trajectory instead of overwriting a
+//! single snapshot. A pre-existing schema-1 record is migrated into the
+//! array on first run. Deterministic under `HARNESS_SEED` (the JSON's
+//! wall-clock fields are the one deliberate exception).
 
 use lat_bench::scenarios::{
     failure_mix, DECODE_SLOTS, FAILURE_BACKOFF_S, FAILURE_BASE_RATE, FAILURE_BURST_DURATION_S,
@@ -35,6 +38,7 @@ use lat_bench::scenarios::{
 };
 use lat_bench::tables;
 use lat_core::pipeline::SchedulingPolicy;
+use lat_core::pool::Scheduler;
 use lat_hwsim::accelerator::AcceleratorDesign;
 use lat_hwsim::autoscale::{AutoscaleConfig, DecodeScaleDown, RetirePolicy, ScalePolicy};
 use lat_hwsim::decode::{DecodeConfig, DecodeRequest, DecodeScheduler, Priority};
@@ -50,6 +54,7 @@ use lat_hwsim::spec::FpgaSpec;
 use lat_model::config::ModelConfig;
 use lat_model::graph::AttentionMode;
 use lat_workloads::datasets::LengthSampler;
+use serde::json::{self, Value};
 
 fn design(s_avg: usize) -> AcceleratorDesign {
     AcceleratorDesign::new(
@@ -193,11 +198,12 @@ fn main() {
     let fleet = homogeneous_fleet(&design(99), FAILURE_MAX_SHARDS);
     let batcher = BatcherConfig::default();
     let plan = incident_plan();
+    let pool = Scheduler::from_env();
 
     println!(
         "Ablation — failure & burst (BERT-base, {} prompts, {} requests,\n\
          burst {:.0}→{:.0} seq/s over [{:.1}, {:.1}) s, shard 0 crash {:.1} s → recover {:.1} s,\n\
-         SLO {:.0} ms, seed {HARNESS_SEED:#x})\n",
+         SLO {:.0} ms, seed {HARNESS_SEED:#x}, {} workers)\n",
         failure_mix().label(),
         FAILURE_REQUESTS,
         FAILURE_BASE_RATE,
@@ -207,19 +213,29 @@ fn main() {
         FAILURE_CRASH_S,
         FAILURE_RECOVER_S,
         FAILURE_SLO_LATENCY_S * 1e3,
+        pool.parallelism(),
     );
 
     // ── Claim 1: fixed fleet, patient client — the crash drops nothing ──
-    let patient = simulate_fleet_failure(
-        &fleet,
-        &trace,
-        SchedulingPolicy::LengthAware,
-        DispatchPolicy::JoinShortestQueue,
-        &batcher,
-        &plan,
-        &ClientConfig::patient(),
-        FAILURE_SLO_LATENCY_S,
-    );
+    // The patient and retrying runs share every input but the client
+    // policy: fan the pair across the pool, consume in index order.
+    let clients = [ClientConfig::patient(), retry_client()];
+    let mut client_runs = pool
+        .par_map_indexed(&clients, |client| {
+            simulate_fleet_failure(
+                &fleet,
+                &trace,
+                SchedulingPolicy::LengthAware,
+                DispatchPolicy::JoinShortestQueue,
+                &batcher,
+                &plan,
+                client,
+                FAILURE_SLO_LATENCY_S,
+            )
+        })
+        .into_iter();
+    let patient = client_runs.next().expect("patient report");
+    let fixed_retry = client_runs.next().expect("retry report");
     assert_conserved("fixed/patient", &patient, trace.len());
     assert_eq!(
         patient.completed,
@@ -234,49 +250,42 @@ fn main() {
         &patient.phases,
     );
 
-    // Same fleet under the retrying client: still conserved, retries are
-    // re-offered load, and timeouts (if any) are explicit dispositions.
-    let fixed_retry = simulate_fleet_failure(
-        &fleet,
-        &trace,
-        SchedulingPolicy::LengthAware,
-        DispatchPolicy::JoinShortestQueue,
-        &batcher,
-        &plan,
-        &retry_client(),
-        FAILURE_SLO_LATENCY_S,
-    );
+    // Same fleet under the retrying client (second pool slot above): still
+    // conserved, retries are re-offered load, and timeouts (if any) are
+    // explicit dispositions.
     assert_conserved("fixed/retry", &fixed_retry, trace.len());
 
     // ── Claim 2: autoscaled fleets recover their SLO post-incident ─────
-    let reactive = simulate_autoscale_failure(
-        &fleet,
-        &trace,
-        SchedulingPolicy::LengthAware,
-        DispatchPolicy::JoinShortestQueue,
-        &batcher,
-        &base_cfg(ScalePolicy::Reactive {
+    // Reactive vs predictive differ only in the scaling policy — another
+    // independent pair for the pool.
+    let scale_cfgs = [
+        base_cfg(ScalePolicy::Reactive {
             scale_up_depth: 8.0,
             scale_down_depth: 2.0,
         }),
-        &plan,
-        &retry_client(),
-    );
-    let predictive = simulate_autoscale_failure(
-        &fleet,
-        &trace,
-        SchedulingPolicy::LengthAware,
-        DispatchPolicy::JoinShortestQueue,
-        &batcher,
-        &base_cfg(ScalePolicy::Predictive {
+        base_cfg(ScalePolicy::Predictive {
             shard_capacity: FAILURE_SHARD_CAPACITY,
             horizon_s: FAILURE_WARMUP_S + 0.1,
             alpha: 0.4,
             period_s: None,
         }),
-        &plan,
-        &retry_client(),
-    );
+    ];
+    let mut scale_runs = pool
+        .par_map_indexed(&scale_cfgs, |cfg| {
+            simulate_autoscale_failure(
+                &fleet,
+                &trace,
+                SchedulingPolicy::LengthAware,
+                DispatchPolicy::JoinShortestQueue,
+                &batcher,
+                cfg,
+                &plan,
+                &retry_client(),
+            )
+        })
+        .into_iter();
+    let reactive = scale_runs.next().expect("reactive report");
+    let predictive = scale_runs.next().expect("predictive report");
 
     let rows: Vec<Vec<String>> = [
         ("fixed-max", &fixed_retry, None),
@@ -415,22 +424,27 @@ fn main() {
         max_slots: DECODE_SLOTS,
         ..DecodeConfig::default()
     };
-    let run_decode = |response: DecodeScaleDown| {
-        simulate_decode_failure(
-            &decode_fleet,
-            &decode_trace,
-            SchedulingPolicy::LengthAware,
-            DispatchPolicy::JoinShortestQueue,
-            DecodeScheduler::Continuous,
-            &decode_cfg,
-            &straggler_plan,
-            &ClientConfig::patient(),
-            response,
-            FAILURE_DECODE_SLO_TTFT_S,
-        )
-    };
-    let drain = run_decode(DecodeScaleDown::Drain);
-    let migrate = run_decode(DecodeScaleDown::Migrate);
+    // Drain vs migrate are independent given the same straggler plan —
+    // the last pool pair.
+    let responses = [DecodeScaleDown::Drain, DecodeScaleDown::Migrate];
+    let mut decode_runs = pool
+        .par_map_indexed(&responses, |&response| {
+            simulate_decode_failure(
+                &decode_fleet,
+                &decode_trace,
+                SchedulingPolicy::LengthAware,
+                DispatchPolicy::JoinShortestQueue,
+                DecodeScheduler::Continuous,
+                &decode_cfg,
+                &straggler_plan,
+                &ClientConfig::patient(),
+                response,
+                FAILURE_DECODE_SLO_TTFT_S,
+            )
+        })
+        .into_iter();
+    let drain = decode_runs.next().expect("drain report");
+    let migrate = decode_runs.next().expect("migrate report");
     for (name, r) in [("drain", &drain), ("migrate", &migrate)] {
         assert_eq!(
             r.completed,
@@ -475,7 +489,7 @@ fn main() {
         drain.affected_drain_s
     );
 
-    // ── Perf trajectory: wall-time of the fixed fleet scenario ──────────
+    // ── Perf trajectory: wall-times into BENCH_fleet.json (schema 2) ────
     let t0 = std::time::Instant::now();
     let timed = simulate_fleet_failure(
         &fleet,
@@ -491,16 +505,108 @@ fn main() {
     // Arrivals plus one dispatch and one completion per executed batch —
     // the heap traffic the engine actually processed.
     let events = trace.len() + 2 * timed.fleet.batch_log.len();
-    let json = format!(
-        "{{\n  \"schema\": 1,\n  \"bench\": \"fleet\",\n  \"scenario\": \"burst+crash {} shards, {} requests\",\n  \"requests\": {},\n  \"batches\": {},\n  \"wall_s\": {:.4},\n  \"events_per_s\": {:.0},\n  \"seed\": \"{HARNESS_SEED:#x}\"\n}}\n",
-        FAILURE_MAX_SHARDS,
-        FAILURE_REQUESTS,
-        trace.len(),
-        timed.fleet.batch_log.len(),
-        wall_s,
-        events as f64 / wall_s.max(1e-9),
+
+    // Multi-cell sweep timed serial vs 4 pool workers: the dispatch ×
+    // client grid of the incident scenario. The equality assert is the
+    // determinism contract — worker count must never change a report bit.
+    let sweep_cells: Vec<(DispatchPolicy, bool)> = DispatchPolicy::ALL
+        .iter()
+        .flat_map(|&d| [(d, false), (d, true)])
+        .collect();
+    let run_sweep = |sched: &Scheduler| {
+        let t = std::time::Instant::now();
+        let reports = sched.par_map_indexed(&sweep_cells, |&(dispatch, retrying)| {
+            let client = if retrying {
+                retry_client()
+            } else {
+                ClientConfig::patient()
+            };
+            simulate_fleet_failure(
+                &fleet,
+                &trace,
+                SchedulingPolicy::LengthAware,
+                dispatch,
+                &batcher,
+                &plan,
+                &client,
+                FAILURE_SLO_LATENCY_S,
+            )
+        });
+        (reports, t.elapsed().as_secs_f64())
+    };
+    let (sweep_serial, sweep_serial_s) = run_sweep(&Scheduler::serial());
+    let (sweep_parallel, sweep_parallel_s) = run_sweep(&Scheduler::new(4));
+    assert_eq!(
+        sweep_serial, sweep_parallel,
+        "4-worker sweep must be bit-identical to the serial sweep"
     );
-    match std::fs::write("BENCH_fleet.json", &json) {
+    println!(
+        "parallel sweep: {} cells, serial {sweep_serial_s:.3} s vs 4-worker \
+         {sweep_parallel_s:.3} s, bit-identical ✓",
+        sweep_cells.len(),
+    );
+
+    // Read-migrate-append: keep prior entries (wrapping a schema-1 record
+    // as the first entry) so the file accumulates a PR-over-PR trajectory.
+    let mut entries: Vec<Value> = match std::fs::read_to_string("BENCH_fleet.json")
+        .ok()
+        .and_then(|s| json::parse(&s).ok())
+    {
+        Some(Value::Obj(mut top)) => {
+            if let Some(Value::Arr(prior)) = top.remove("entries") {
+                prior
+            } else {
+                top.remove("schema");
+                vec![Value::Obj(top)]
+            }
+        }
+        _ => Vec::new(),
+    };
+    let seed_str = || Value::Str(format!("{HARNESS_SEED:#x}"));
+    entries.push(Value::obj([
+        ("bench".into(), Value::Str("fleet-failure".into())),
+        (
+            "scenario".into(),
+            Value::Str(format!(
+                "burst+crash {FAILURE_MAX_SHARDS} shards, {FAILURE_REQUESTS} requests"
+            )),
+        ),
+        ("requests".into(), Value::UInt(trace.len() as u64)),
+        (
+            "batches".into(),
+            Value::UInt(timed.fleet.batch_log.len() as u64),
+        ),
+        ("wall_s".into(), Value::Float(wall_s)),
+        (
+            "events_per_s".into(),
+            Value::Float((events as f64 / wall_s.max(1e-9)).round()),
+        ),
+        ("seed".into(), seed_str()),
+    ]));
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    entries.push(Value::obj([
+        ("bench".into(), Value::Str("parallel-sweep".into())),
+        (
+            "scenario".into(),
+            Value::Str("dispatch × client failure grid".into()),
+        ),
+        ("cells".into(), Value::UInt(sweep_cells.len() as u64)),
+        ("workers".into(), Value::UInt(4)),
+        ("host_parallelism".into(), Value::UInt(host as u64)),
+        ("wall_s_serial".into(), Value::Float(sweep_serial_s)),
+        ("wall_s_parallel".into(), Value::Float(sweep_parallel_s)),
+        (
+            "speedup".into(),
+            Value::Float(sweep_serial_s / sweep_parallel_s.max(1e-9)),
+        ),
+        ("seed".into(), seed_str()),
+    ]));
+    let doc = Value::obj([
+        ("schema".into(), Value::UInt(2)),
+        ("bench".into(), Value::Str("fleet".into())),
+        ("entries".into(), Value::Arr(entries)),
+    ]);
+    match std::fs::write("BENCH_fleet.json", doc.to_pretty_string(2)) {
         Ok(()) => println!("wrote BENCH_fleet.json ({events} events in {wall_s:.3} s)"),
         Err(e) => println!("BENCH_fleet.json not written: {e}"),
     }

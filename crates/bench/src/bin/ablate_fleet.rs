@@ -18,6 +18,7 @@ use lat_bench::scenarios::{
 };
 use lat_bench::tables;
 use lat_core::pipeline::SchedulingPolicy;
+use lat_core::pool::Scheduler;
 use lat_hwsim::accelerator::AcceleratorDesign;
 use lat_hwsim::fleet::{
     homogeneous_fleet, poisson_trace, simulate_fleet, BatcherConfig, DispatchPolicy,
@@ -37,26 +38,33 @@ fn design(s_avg: usize) -> AcceleratorDesign {
 
 fn main() {
     let mix = fleet_mix();
+    let pool = Scheduler::from_env();
     println!(
-        "Ablation — fleet serving (BERT-base, {} traffic, {} requests, seed {HARNESS_SEED:#x})\n",
+        "Ablation — fleet serving (BERT-base, {} traffic, {} requests, seed {HARNESS_SEED:#x}, \
+         {} workers)\n",
         lat_workloads::datasets::LengthSampler::label(&mix),
-        FLEET_REQUESTS
+        FLEET_REQUESTS,
+        pool.parallelism(),
     );
 
     // ── 1. Homogeneous scaling under saturating load ────────────────────
     let base = design(99); // tuned near the mix's expected average length
     let trace = poisson_trace(&mix, FLEET_SATURATING_RATE, FLEET_REQUESTS, HARNESS_SEED);
-    let mut rows = Vec::new();
-    let mut last_thr = 0.0f64;
-    for &n in &FLEET_SHARD_COUNTS {
-        let fleet = homogeneous_fleet(&base, n);
-        let r = simulate_fleet(
-            &fleet,
+    // Sweep cells are independent and seed-deterministic: fan them across
+    // the pool, then assert the cross-cell monotonicity claim serially
+    // over the index-ordered results.
+    let reports = pool.par_map_indexed(&FLEET_SHARD_COUNTS, |&n| {
+        simulate_fleet(
+            &homogeneous_fleet(&base, n),
             &trace,
             SchedulingPolicy::LengthAware,
             DispatchPolicy::JoinShortestQueue,
             &BatcherConfig::default(),
-        );
+        )
+    });
+    let mut rows = Vec::new();
+    let mut last_thr = 0.0f64;
+    for (&n, r) in FLEET_SHARD_COUNTS.iter().zip(&reports) {
         assert!(
             r.throughput_seq_s > last_thr,
             "throughput must scale monotonically with shards: {n} shards {} !> {last_thr}",
@@ -97,13 +105,19 @@ fn main() {
         "Heterogeneous fleet: shards tuned for s_avg {FLEET_BIN_TUNINGS:?} (1 short + 3 long bins)"
     );
     for policy in [SchedulingPolicy::LengthAware, SchedulingPolicy::PadToMax] {
-        let mut rows = Vec::new();
-        for &rate in &FLEET_DISPATCH_RATES {
+        // rate × dispatch grid: one pool cell per (rate, dispatch) pair.
+        let cells: Vec<(f64, DispatchPolicy)> = FLEET_DISPATCH_RATES
+            .iter()
+            .flat_map(|&rate| DispatchPolicy::ALL.iter().map(move |&d| (rate, d)))
+            .collect();
+        let grid = pool.par_map_indexed(&cells, |&(rate, d)| {
             let trace = poisson_trace(&mix, rate, FLEET_REQUESTS, HARNESS_SEED);
-            let reports: Vec<_> = DispatchPolicy::ALL
-                .iter()
-                .map(|&d| simulate_fleet(&fleet, &trace, policy, d, &BatcherConfig::default()))
-                .collect();
+            simulate_fleet(&fleet, &trace, policy, d, &BatcherConfig::default())
+        });
+        let mut rows = Vec::new();
+        for (ri, &rate) in FLEET_DISPATCH_RATES.iter().enumerate() {
+            let reports =
+                &grid[ri * DispatchPolicy::ALL.len()..(ri + 1) * DispatchPolicy::ALL.len()];
             let (rr, jsq, binned) = (&reports[0], &reports[1], &reports[2]);
             assert!(
                 binned.p95_latency_s < rr.p95_latency_s,

@@ -20,6 +20,11 @@
 //!    decreasing-length order, eliminating pipeline bubbles; padding and
 //!    micro-batching baselines are provided for comparison.
 //!
+//! Supporting infrastructure: [`pool`] is the deterministic scoped-thread
+//! work pool the evaluation harnesses fan their sweep grids across —
+//! results land in input order regardless of worker count, so parallelism
+//! never changes output.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -47,6 +52,7 @@ pub mod baselines;
 pub mod dag;
 pub mod fused;
 pub mod pipeline;
+pub mod pool;
 pub mod preselect;
 pub mod runtime;
 pub mod sparse;

@@ -1,0 +1,203 @@
+//! Deterministic scoped-thread work pool for embarrassingly parallel
+//! sweeps.
+//!
+//! Every `ablate_*` grid and property-test case loop in this workspace is a
+//! map over independent, seed-deterministic cells, so the only thing a
+//! thread pool may change is wall-clock time — never output. This module
+//! makes that guarantee structural:
+//!
+//! - [`Scheduler::par_map_indexed`] writes each result into a pre-sized
+//!   slot keyed by the *item's index*, so the output order is the input
+//!   order no matter which worker finished first (the `lat-audit` D4 rule:
+//!   collect by index, never drain a channel in arrival order).
+//! - Workers claim items through a shared atomic cursor; claiming order
+//!   affects only load balance, not placement.
+//! - `parallelism <= 1` (or a 0/1-item input) takes a plain serial loop —
+//!   the parallel path degenerates to it bit-for-bit.
+//!
+//! The worker count is a declared, reproducible property of the plan
+//! (the ASM exemplar's `Scheduler { parallelism }` shape), defaulted from
+//! the host but overridable with the `LAT_POOL_WORKERS` environment
+//! variable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding [`Scheduler::from_env`]'s worker count.
+pub const POOL_WORKERS_ENV: &str = "LAT_POOL_WORKERS";
+
+/// A declared parallelism plan: how many workers a sweep may use.
+///
+/// The scheduler is data, not a resident pool — threads are scoped to each
+/// [`Scheduler::par_map_indexed`] call and joined before it returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scheduler {
+    parallelism: usize,
+}
+
+impl Scheduler {
+    /// A plan using exactly `parallelism` workers (clamped to ≥ 1).
+    pub fn new(parallelism: usize) -> Self {
+        Self {
+            parallelism: parallelism.max(1),
+        }
+    }
+
+    /// The serial plan: `parallelism == 1`, no threads spawned.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// Worker count from `LAT_POOL_WORKERS` when set (must parse as a
+    /// positive integer), else the host's available parallelism, else 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `LAT_POOL_WORKERS` is set but not a positive integer —
+    /// a silently ignored knob would be worse than a loud one.
+    pub fn from_env() -> Self {
+        match std::env::var(POOL_WORKERS_ENV) {
+            Ok(s) => {
+                let n: usize = s.trim().parse().unwrap_or_else(|_| {
+                    panic!("{POOL_WORKERS_ENV} {s:?} is not a positive integer")
+                });
+                assert!(n > 0, "{POOL_WORKERS_ENV} must be >= 1, got {n}");
+                Self::new(n)
+            }
+            Err(_) => Self::new(
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1),
+            ),
+        }
+    }
+
+    /// Declared worker count.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Maps `f` over `items`, returning results in input order.
+    ///
+    /// The output is identical for every worker count — `Scheduler::new(8)`
+    /// and [`Scheduler::serial`] produce the same `Vec` bit-for-bit,
+    /// because result `i` always lands in slot `i` and `f` sees only the
+    /// item (never a worker id, never a timestamp).
+    ///
+    /// `f` must be `Sync` (shared by reference across workers) and the
+    /// items/results `Sync`/`Send` enough to cross the scope boundary;
+    /// plain data and pure closures qualify.
+    pub fn par_map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if self.parallelism <= 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let workers = self.parallelism.min(items.len());
+        let cursor = AtomicUsize::new(0);
+        // Each worker returns its (index, result) pairs through join();
+        // the scatter below places them by index — arrival order of the
+        // workers themselves is irrelevant (D4-clean by construction).
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(i) else { break };
+                            done.push((i, f(item)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let done = handle.join().expect("pool worker panicked");
+                for (i, r) in done {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("every index claimed exactly once"))
+            .collect()
+    }
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree_bit_for_bit() {
+        let items: Vec<u64> = (0..257).collect();
+        let f = |&x: &u64| {
+            // A result whose low bits depend on every input bit, so any
+            // misplacement or duplication would be visible.
+            let mut h = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h ^= h >> 29;
+            (x, h, (x as f64).sin())
+        };
+        let serial = Scheduler::serial().par_map_indexed(&items, f);
+        for workers in [2, 3, 4, 7, 64] {
+            let par = Scheduler::new(workers).par_map_indexed(&items, f);
+            assert_eq!(serial, par, "worker count {workers} changed the output");
+        }
+    }
+
+    #[test]
+    fn preserves_input_order_not_completion_order() {
+        // Earlier items do strictly more work, so later items finish
+        // first under any greedy scheduler — order must still hold.
+        let items: Vec<usize> = (0..64).collect();
+        let out = Scheduler::new(8).par_map_indexed(&items, |&i| {
+            let spins = (64 - i) * 1000;
+            let mut acc = 0u64;
+            for k in 0..spins {
+                acc = acc.wrapping_add(std::hint::black_box(k as u64));
+            }
+            (i, acc)
+        });
+        for (i, (idx, _)) in out.iter().enumerate() {
+            assert_eq!(i, *idx);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(Scheduler::new(4).par_map_indexed(&empty, |&x| x).is_empty());
+        assert_eq!(
+            Scheduler::new(4).par_map_indexed(&[41u32], |&x| x + 1),
+            vec![42]
+        );
+    }
+
+    #[test]
+    fn parallelism_is_clamped_to_one() {
+        assert_eq!(Scheduler::new(0).parallelism(), 1);
+        assert_eq!(Scheduler::serial().parallelism(), 1);
+    }
+
+    #[test]
+    fn borrows_environment_without_moving() {
+        // The closure may borrow sweep fixtures (traces, fleets) shared
+        // across workers.
+        let base = [10.0f64, 20.0, 30.0];
+        let items = [0usize, 1, 2];
+        let out = Scheduler::new(2).par_map_indexed(&items, |&i| base[i] * 2.0);
+        assert_eq!(out, vec![20.0, 40.0, 60.0]);
+    }
+}

@@ -129,14 +129,36 @@ pub fn merge_passes(n: usize) -> u32 {
 }
 
 /// Fraction of the reference set that a candidate set recovered
-/// (`|candidates ∩ reference| / |reference|`); 1.0 when the reference is
-/// empty. This is the *recall* metric used throughout the accuracy
-/// evaluation to measure pre-selection fidelity.
+/// (`|candidates ∩ reference| / |reference|`, both as *sets*); 1.0 when
+/// the reference is empty. This is the *recall* metric used throughout
+/// the accuracy evaluation to measure pre-selection fidelity.
+///
+/// Duplicate indices on either side are collapsed before counting, so a
+/// repeated reference index cannot be double-counted (recall is always in
+/// `[0, 1]`); the intersection is a sorted merge, O((n+m) log) instead of
+/// the old O(n·m) `contains` scan.
 pub fn recall(candidates: &[usize], reference: &[usize]) -> f64 {
+    let mut reference: Vec<usize> = reference.to_vec();
+    reference.sort_unstable();
+    reference.dedup();
     if reference.is_empty() {
         return 1.0;
     }
-    let hits = reference.iter().filter(|r| candidates.contains(r)).count();
+    let mut candidates: Vec<usize> = candidates.to_vec();
+    candidates.sort_unstable();
+    candidates.dedup();
+    let (mut i, mut j, mut hits) = (0usize, 0usize, 0usize);
+    while i < candidates.len() && j < reference.len() {
+        match candidates[i].cmp(&reference[j]) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                hits += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
     hits as f64 / reference.len() as f64
 }
 
@@ -231,6 +253,37 @@ mod tests {
         let with_nan = [f32::NAN, 1.0, 2.0];
         let got = top_k_f32(&with_nan, 2);
         assert_eq!(got, vec![2, 1]);
+    }
+
+    #[test]
+    fn recall_ignores_duplicates_on_both_sides() {
+        // Regression: a repeated reference index used to be counted once
+        // per occurrence, so recall([2], [2, 2]) read 1.0 while only one
+        // distinct index existed — and worse, [2, 2] vs reference [2, 9]
+        // still counts as a single hit, not two.
+        assert_eq!(recall(&[2], &[2, 2]), 1.0);
+        assert_eq!(recall(&[2, 2], &[2, 9]), 0.5);
+        assert_eq!(recall(&[7, 7, 7], &[7]), 1.0);
+        assert_eq!(recall(&[1, 1], &[2, 2, 3]), 0.0);
+        // Set semantics: order never matters.
+        assert_eq!(recall(&[3, 1, 2], &[2, 3]), recall(&[1, 2, 3], &[3, 2]));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(64))]
+        #[test]
+        fn recall_is_always_a_fraction(
+            candidates in proptest::collection::vec(0usize..32, 0..48),
+            reference in proptest::collection::vec(0usize..32, 0..48),
+        ) {
+            let r = recall(&candidates, &reference);
+            proptest::prop_assert!((0.0..=1.0).contains(&r), "recall {r} outside [0,1]");
+            // Supersetting the candidates can only help.
+            let mut superset = candidates.clone();
+            superset.extend_from_slice(&reference);
+            proptest::prop_assert!(recall(&superset, &reference) >= r);
+            proptest::prop_assert_eq!(recall(&superset, &reference), 1.0);
+        }
     }
 
     #[test]

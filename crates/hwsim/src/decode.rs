@@ -61,7 +61,7 @@ use crate::fleet::{
 };
 use lat_core::pipeline::SchedulingPolicy;
 use lat_tensor::rng::SplitMix64;
-use lat_tensor::stats::percentile;
+use lat_tensor::stats::{percentile, percentiles};
 use lat_workloads::datasets::LengthSampler;
 use serde::{Deserialize, Serialize};
 use std::collections::{BinaryHeap, VecDeque};
@@ -1057,8 +1057,13 @@ impl<'a> DecodeCore<'a> {
             .filter(|(r, t)| r.priority == Priority::High && t.is_finite())
             .map(|(_, &t)| t)
             .collect();
-        let pct = |xs: &[f64], p: f64| percentile(xs, p).unwrap_or(0.0);
-        let pct0 = pct;
+        // One sort per sample for each p50/p95/p99 triple (bit-identical
+        // to per-call `percentile`, which re-sorted the sample each time).
+        let pct3 =
+            |xs: &[f64]| percentiles(xs, &[0.50, 0.95, 0.99]).unwrap_or_else(|| vec![0.0; 3]);
+        let lat_pcts = pct3(&latencies);
+        let ttft_pcts = pct3(&ttfts);
+        let itl_pcts = pct3(&self.itl_gaps);
         let total_iterations: usize = self.shards.iter().map(|sh| sh.iterations).sum();
         let total_slot_steps: u64 = self.shards.iter().map(|sh| sh.slot_steps).sum();
         let shard_reports: Vec<ShardReport> = self
@@ -1113,9 +1118,9 @@ impl<'a> DecodeCore<'a> {
             } else {
                 latencies.iter().sum::<f64>() / latencies.len() as f64
             },
-            p50_latency_s: pct(&latencies, 0.50),
-            p95_latency_s: pct(&latencies, 0.95),
-            p99_latency_s: pct(&latencies, 0.99),
+            p50_latency_s: lat_pcts[0],
+            p95_latency_s: lat_pcts[1],
+            p99_latency_s: lat_pcts[2],
             throughput_seq_s: latencies.len() as f64 / makespan.max(1e-12),
             makespan_s: makespan,
             mean_batch_size: if total_iterations == 0 {
@@ -1132,13 +1137,13 @@ impl<'a> DecodeCore<'a> {
             } else {
                 ttfts.iter().sum::<f64>() / ttfts.len() as f64
             },
-            ttft_p50_s: pct(&ttfts, 0.50),
-            ttft_p95_s: pct(&ttfts, 0.95),
-            ttft_p99_s: pct(&ttfts, 0.99),
+            ttft_p50_s: ttft_pcts[0],
+            ttft_p95_s: ttft_pcts[1],
+            ttft_p99_s: ttft_pcts[2],
             high_ttft_p95_s: percentile(&high_ttfts, 0.95),
-            itl_p50_s: pct0(&self.itl_gaps, 0.50),
-            itl_p95_s: pct0(&self.itl_gaps, 0.95),
-            itl_p99_s: pct0(&self.itl_gaps, 0.99),
+            itl_p50_s: itl_pcts[0],
+            itl_p95_s: itl_pcts[1],
+            itl_p99_s: itl_pcts[2],
             generated_tokens,
             goodput_tok_s: generated_tokens as f64 / makespan.max(1e-12),
             slot_utilization: self.shards.iter().map(|sh| sh.slot_integral).sum::<f64>()

@@ -50,4 +50,4 @@ pub mod stats;
 pub mod tiled;
 
 pub use error::ShapeError;
-pub use matrix::Matrix;
+pub use matrix::{dot_unrolled, Matrix};

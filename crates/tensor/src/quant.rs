@@ -183,6 +183,29 @@ impl QuantizedMatrix {
     ///
     /// Returns [`ShapeError`] if the inner dimensions differ.
     pub fn matmul_transposed_i32(&self, rhs: &QuantizedMatrix) -> Result<Vec<i32>, ShapeError> {
+        let mut out = Vec::new();
+        self.matmul_transposed_i32_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::matmul_transposed_i32`] into a caller-owned buffer, so hot
+    /// loops (per-query scoring sweeps) can reuse one allocation instead
+    /// of allocating a fresh score matrix per call. The buffer is resized
+    /// to `self.rows() * rhs.rows()` and fully overwritten.
+    ///
+    /// The inner dot is unrolled four wide; `i32` addition is associative,
+    /// so the result is bit-identical to the scalar reference whatever the
+    /// lane order (unlike the float kernels, there is no rounding to
+    /// re-order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the inner dimensions differ.
+    pub fn matmul_transposed_i32_into(
+        &self,
+        rhs: &QuantizedMatrix,
+        out: &mut Vec<i32>,
+    ) -> Result<(), ShapeError> {
         if self.cols != rhs.cols {
             return Err(ShapeError::new(
                 "quant matmul_transposed",
@@ -190,19 +213,16 @@ impl QuantizedMatrix {
                 (rhs.rows, rhs.cols),
             ));
         }
-        let mut out = vec![0i32; self.rows * rhs.rows];
+        out.clear();
+        out.resize(self.rows * rhs.rows, 0);
         for i in 0..self.rows {
             let a = self.level_row(i);
-            for j in 0..rhs.rows {
-                let b = rhs.level_row(j);
-                let mut acc = 0i32;
-                for k in 0..a.len() {
-                    acc += a[k] as i32 * b[k] as i32;
-                }
-                out[i * rhs.rows + j] = acc;
+            let orow = &mut out[i * rhs.rows..(i + 1) * rhs.rows];
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o = dot_i8_unrolled(a, rhs.level_row(j));
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Memory footprint of the quantized representation in bits, accounting
@@ -222,6 +242,28 @@ pub struct QuantStats {
     /// Fraction of elements whose sign flipped (should be 0 for b ≥ 2 except
     /// rounding at 0).
     pub sign_flips: f32,
+}
+
+/// Four-accumulator `i8 × i8 → i32` dot product. Exact and lane-order
+/// independent (`i32` addition is associative); each term is at most
+/// `127² = 16129`, so a single lane holds > 130 000 terms before it could
+/// overflow — far beyond the row lengths this workspace uses.
+fn dot_i8_unrolled(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len(), "quant dot operands must match");
+    let mut acc = [0i32; 4];
+    let mut a_chunks = a.chunks_exact(4);
+    let mut b_chunks = b.chunks_exact(4);
+    for (ca, cb) in (&mut a_chunks).zip(&mut b_chunks) {
+        acc[0] += ca[0] as i32 * cb[0] as i32;
+        acc[1] += ca[1] as i32 * cb[1] as i32;
+        acc[2] += ca[2] as i32 * cb[2] as i32;
+        acc[3] += ca[3] as i32 * cb[3] as i32;
+    }
+    let mut tail = 0i32;
+    for (&x, &y) in a_chunks.remainder().iter().zip(b_chunks.remainder()) {
+        tail += x as i32 * y as i32;
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
 }
 
 /// Computes reconstruction-error statistics for `m` quantized at `bits`.
@@ -306,6 +348,39 @@ fn ranks(xs: &[f32]) -> Vec<f32> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn matmul_into_reuses_buffer_and_matches_scalar_reference() {
+        let mut rng = crate::rng::SplitMix64::new(23);
+        let q = QuantizedMatrix::quantize(&rng.gaussian_matrix(9, 13, 1.0), BitWidth::Four);
+        let k = QuantizedMatrix::quantize(&rng.gaussian_matrix(11, 13, 1.0), BitWidth::Four);
+        // Scalar reference: left-to-right accumulation.
+        let mut reference = vec![0i32; 9 * 11];
+        for i in 0..9 {
+            for j in 0..11 {
+                reference[i * 11 + j] = q
+                    .level_row(i)
+                    .iter()
+                    .zip(k.level_row(j))
+                    .map(|(&x, &y)| x as i32 * y as i32)
+                    .sum();
+            }
+        }
+        assert_eq!(q.matmul_transposed_i32(&k).unwrap(), reference);
+        // The _into variant overwrites stale contents and never
+        // reallocates when capacity suffices.
+        let mut buf = vec![i32::MIN; 9 * 11 + 7];
+        let cap = buf.capacity();
+        q.matmul_transposed_i32_into(&k, &mut buf).unwrap();
+        assert_eq!(buf, reference);
+        assert_eq!(buf.capacity(), cap);
+        assert!(q
+            .matmul_transposed_i32_into(
+                &QuantizedMatrix::quantize(&rng.gaussian_matrix(2, 5, 1.0), BitWidth::Four),
+                &mut buf
+            )
+            .is_err());
+    }
 
     #[test]
     fn bitwidth_levels() {

@@ -24,12 +24,35 @@ pub fn summarize(xs: &[f64]) -> Option<Summary> {
     let n = xs.len() as f64;
     let mean = xs.iter().sum::<f64>() / n;
     let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    // NaN must poison the whole summary uniformly. `f64::min`/`max` silently
+    // ignore NaN, which used to yield self-contradictory summaries (NaN
+    // mean/std beside finite min/max); a `total_cmp` fold keeps min/max
+    // NaN-free only when the data is.
+    let (min, max) = if xs.iter().any(|x| x.is_nan()) {
+        (f64::NAN, f64::NAN)
+    } else {
+        xs.iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+                (
+                    if x.total_cmp(&lo) == std::cmp::Ordering::Less {
+                        x
+                    } else {
+                        lo
+                    },
+                    if x.total_cmp(&hi) == std::cmp::Ordering::Greater {
+                        x
+                    } else {
+                        hi
+                    },
+                )
+            })
+    };
     Some(Summary {
         count: xs.len(),
         mean,
         std: var.sqrt(),
-        min: xs.iter().cloned().fold(f64::INFINITY, f64::min),
-        max: xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        min,
+        max,
     })
 }
 
@@ -47,8 +70,35 @@ pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
     }
     let mut sorted = xs.to_vec();
     sorted.sort_by(f64::total_cmp);
+    Some(rank(&sorted, p))
+}
+
+/// Several percentiles from a single sort — the report builders ask for
+/// p50/p95/p99 (and TTFT/ITL triples) of the same sample, and re-sorting
+/// per call dominated report construction. Each returned value is
+/// bit-identical to `percentile(xs, p)` for the corresponding `p`
+/// (same sort, same nearest-rank arithmetic); `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any `p` is outside `[0, 1]`.
+pub fn percentiles(xs: &[f64], ps: &[f64]) -> Option<Vec<f64>> {
+    for &p in ps {
+        assert!((0.0..=1.0).contains(&p), "percentile {p} outside [0,1]");
+    }
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Some(ps.iter().map(|&p| rank(&sorted, p)).collect())
+}
+
+/// Nearest-rank lookup in already-sorted data (shared by [`percentile`]
+/// and [`percentiles`] so the two can never drift).
+fn rank(sorted: &[f64], p: f64) -> f64 {
     let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    Some(sorted[idx])
+    sorted[idx]
 }
 
 /// Fixed-width histogram over `[lo, hi)` with `bins` buckets; values
@@ -116,6 +166,45 @@ mod tests {
         assert_eq!(percentile(&xs, 0.5), Some(3.0));
         assert!(percentile(&xs, 1.0).unwrap().is_nan());
         assert!(percentile(&[f64::NAN], 0.5).unwrap().is_nan());
+    }
+
+    #[test]
+    fn summarize_nan_poisons_uniformly() {
+        // Regression: min/max used f64::min/max, which skip NaN — a NaN
+        // sample produced NaN mean/std beside finite min/max. All four
+        // moments must now agree that the data is poisoned.
+        let s = summarize(&[1.0, f64::NAN, 3.0]).unwrap();
+        assert_eq!(s.count, 3);
+        assert!(s.mean.is_nan());
+        assert!(s.std.is_nan());
+        assert!(s.min.is_nan(), "min must surface NaN like mean does");
+        assert!(s.max.is_nan(), "max must surface NaN like mean does");
+        // And a clean sample stays clean, signed zeros ordered by total_cmp.
+        let s = summarize(&[-0.0, 0.0, 2.0]).unwrap();
+        assert_eq!(s.min.to_bits(), (-0.0f64).to_bits());
+        assert_eq!(s.max, 2.0);
+    }
+
+    #[test]
+    fn percentiles_match_percentile_bit_for_bit() {
+        let xs = [5.0, 1.0, 4.0, 2.0, 3.0, 2.5, 4.5, 0.5];
+        let ps = [0.0, 0.25, 0.5, 0.95, 0.99, 1.0];
+        let batch = percentiles(&xs, &ps).unwrap();
+        for (&p, &got) in ps.iter().zip(&batch) {
+            assert_eq!(
+                got.to_bits(),
+                percentile(&xs, p).unwrap().to_bits(),
+                "batch percentile p={p} drifted from the single-p path"
+            );
+        }
+        assert_eq!(percentiles(&[], &ps), None);
+        assert_eq!(percentiles(&xs, &[]), Some(Vec::new()));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn percentiles_range_checked() {
+        let _ = percentiles(&[1.0], &[0.5, 1.5]);
     }
 
     #[test]

@@ -35,12 +35,48 @@ use crate::{Matrix, ShapeError};
 /// # }
 /// ```
 pub fn matmul_tiled(a: &Matrix, b: &Matrix, tile: usize) -> Result<Matrix, ShapeError> {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    matmul_tiled_into(a, b, tile, &mut out)?;
+    Ok(out)
+}
+
+/// [`matmul_tiled`] into a caller-owned output matrix, so repeated
+/// products of one shape (the accelerator model's per-layer sweeps) reuse
+/// a single allocation. `out` is reshaped if needed (allocating once) and
+/// fully overwritten.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the inner dimensions differ.
+///
+/// # Panics
+///
+/// Panics if `tile == 0`.
+pub fn matmul_tiled_into(
+    a: &Matrix,
+    b: &Matrix,
+    tile: usize,
+    out: &mut Matrix,
+) -> Result<(), ShapeError> {
     assert!(tile > 0, "tile size must be >= 1");
     if a.cols() != b.rows() {
         return Err(ShapeError::new("matmul_tiled", a.shape(), b.shape()));
     }
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut out = Matrix::zeros(m, n);
+    if out.shape() != (m, n) {
+        *out = Matrix::zeros(m, n);
+    } else {
+        for i in 0..m {
+            out.row_mut(i).fill(0.0);
+        }
+    }
+    // Same finite gate as `Matrix::matmul`: zero entries of `a` may only
+    // skip fully-finite rows of `b`, so 0·inf / 0·NaN propagate here too
+    // and the tiled kernel stays exactly equal to the naive one on every
+    // input, not just finite ones.
+    let skippable: Vec<bool> = (0..k)
+        .map(|kk| b.row(kk).iter().all(|v| v.is_finite()))
+        .collect();
     for i0 in (0..m).step_by(tile) {
         for k0 in (0..k).step_by(tile) {
             for j0 in (0..n).step_by(tile) {
@@ -48,20 +84,26 @@ pub fn matmul_tiled(a: &Matrix, b: &Matrix, tile: usize) -> Result<Matrix, Shape
                 let k1 = (k0 + tile).min(k);
                 let j1 = (j0 + tile).min(n);
                 for i in i0..i1 {
+                    let arow = a.row(i);
                     for kk in k0..k1 {
-                        let av = a[(i, kk)];
-                        if av == 0.0 {
+                        let av = arow[kk];
+                        if av == 0.0 && skippable[kk] {
                             continue;
                         }
-                        for j in j0..j1 {
-                            out[(i, j)] += av * b[(kk, j)];
+                        // Row-slice AXPY over the tile instead of per-
+                        // element `Index` ops (which bounds-check each
+                        // access); accumulation order is unchanged.
+                        let brow = &b.row(kk)[j0..j1];
+                        let orow = &mut out.row_mut(i)[j0..j1];
+                        for (o, &bv) in orow.iter_mut().zip(brow) {
+                            *o += av * bv;
                         }
                     }
                 }
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Number of `tile × tile` block loads from each operand a blocked matmul

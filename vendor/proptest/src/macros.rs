@@ -29,17 +29,16 @@ macro_rules! __proptest_items {
                 __config,
                 concat!(module_path!(), "::", stringify!($name)),
             );
-            for __case in 0..__runner.cases() {
+            // `run_cases` may fan the case loop across worker threads;
+            // each case generates from its own RNG stream and results are
+            // reported in case order, so the outcome is identical to the
+            // old serial loop.
+            __runner.run_cases(|__case| {
                 let mut __rng = __runner.rng_for_case(__case);
                 $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut __rng);)+
-                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                    (move || {
-                        $body
-                        ::std::result::Result::Ok(())
-                    })();
-                __runner.report(__case, __result);
-            }
-            __runner.finish();
+                $body
+                ::std::result::Result::Ok(())
+            });
         }
         $crate::__proptest_items! { ($cfg) $($rest)* }
     };

@@ -1,6 +1,18 @@
 //! Deterministic test runner: configuration, RNG, and failure reporting.
+//!
+//! The case loop can fan out across scoped worker threads
+//! ([`TestRunner::run_cases`]) without changing any observable outcome:
+//! each case draws from its own independent RNG stream
+//! ([`TestRunner::rng_for_case`]), and results are reported on the
+//! calling thread in strict case order, so worker count never affects
+//! which case fails first, the failure message, or the rejection count.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Environment knob for the number of case-loop worker threads. Unset:
+/// the host's available parallelism. Must parse as a positive integer.
+pub const WORKERS_ENV: &str = "PROPTEST_WORKERS";
 
 /// Configuration for a `proptest!` block (API subset of the real crate).
 #[derive(Debug, Clone)]
@@ -105,7 +117,10 @@ pub struct TestRunner {
     config: ProptestConfig,
     base_seed: u64,
     name: &'static str,
-    rejects: std::cell::Cell<u32>,
+    // Atomic (not Cell) so the runner is `Sync` and workers can borrow it;
+    // in practice only the serial report pass on the calling thread
+    // touches it.
+    rejects: AtomicU32,
 }
 
 impl TestRunner {
@@ -125,8 +140,72 @@ impl TestRunner {
             config,
             base_seed: fnv1a(name.as_bytes()) ^ env_seed,
             name,
-            rejects: std::cell::Cell::new(0),
+            rejects: AtomicU32::new(0),
         }
+    }
+
+    /// Runs every case of the property: `f(case)` generates inputs from
+    /// [`Self::rng_for_case`] and executes the body, fanned across scoped
+    /// worker threads ([`WORKERS_ENV`]; serial when 1). Results are then
+    /// reported on the calling thread in strict case order and
+    /// [`Self::finish`] is applied — the exact behavior of the old serial
+    /// loop, whatever the worker count.
+    pub fn run_cases<F>(&self, f: F)
+    where
+        F: Fn(u32) -> Result<(), TestCaseError> + Sync,
+    {
+        self.run_cases_with(workers_from_env(), &f);
+    }
+
+    fn run_cases_with<F>(&self, workers: usize, f: &F)
+    where
+        F: Fn(u32) -> Result<(), TestCaseError> + Sync,
+    {
+        let cases = self.config.cases;
+        let results: Vec<Result<(), TestCaseError>> = if workers <= 1 || cases <= 1 {
+            (0..cases).map(f).collect()
+        } else {
+            // Same discipline as the workspace pool: an atomic cursor
+            // hands out case indices, workers keep (index, result) pairs
+            // local, and the calling thread scatters them back into
+            // index-ordered slots — no channels, no arrival-order state.
+            let next = AtomicU32::new(0);
+            let mut slots: Vec<Option<Result<(), TestCaseError>>> = Vec::new();
+            slots.resize_with(cases as usize, || None);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers.min(cases as usize))
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let case = next.fetch_add(1, Ordering::Relaxed);
+                                if case >= cases {
+                                    break;
+                                }
+                                local.push((case, f(case)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    let local = handle
+                        .join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+                    for (case, result) in local {
+                        slots[case as usize] = Some(result);
+                    }
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| slot.expect("every case executed exactly once"))
+                .collect()
+        };
+        for (case, result) in results.into_iter().enumerate() {
+            self.report(case as u32, result);
+        }
+        self.finish();
     }
 
     /// Number of cases to run.
@@ -147,7 +226,7 @@ impl TestRunner {
     pub fn report(&self, case: u32, result: Result<(), TestCaseError>) {
         if let Err(e) = result {
             if e.is_rejection() {
-                self.rejects.set(self.rejects.get() + 1);
+                self.rejects.fetch_add(1, Ordering::Relaxed);
                 return;
             }
             panic!(
@@ -167,7 +246,7 @@ impl TestRunner {
     /// equivalent of real proptest's global reject cap — this runner does
     /// not retry rejected cases).
     pub fn finish(&self) {
-        if self.config.cases > 0 && self.rejects.get() == self.config.cases {
+        if self.config.cases > 0 && self.rejects.load(Ordering::Relaxed) == self.config.cases {
             panic!(
                 "proptest property '{}' rejected all {} cases (base seed {:#x}) — \
                  the prop_assume! condition never held, nothing was verified",
@@ -184,4 +263,100 @@ fn fnv1a(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x1_0000_0000_01B3);
     }
     h
+}
+
+fn workers_from_env() -> usize {
+    match std::env::var(WORKERS_ENV) {
+        Ok(raw) => raw
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| panic!("{WORKERS_ENV} must be a positive integer, got {raw:?}")),
+        Err(_) => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runner(cases: u32) -> TestRunner {
+        TestRunner::new(ProptestConfig::with_cases(cases), "runner::probe")
+    }
+
+    fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default()
+    }
+
+    /// The per-case RNG draw, recorded at (case, draw) so ordering and
+    /// stream independence are both visible.
+    fn draws(r: &TestRunner, workers: usize) -> Vec<(u32, u64)> {
+        let log = std::sync::Mutex::new(Vec::new());
+        r.run_cases_with(workers, &|case| {
+            let v = r.rng_for_case(case).next_u64();
+            log.lock().expect("log").push((case, v));
+            Ok(())
+        });
+        let mut out = log.into_inner().expect("log");
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn worker_count_never_changes_case_streams() {
+        let r = runner(97);
+        let serial = draws(&r, 1);
+        for workers in [2usize, 3, 4, 8] {
+            assert_eq!(draws(&r, workers), serial, "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_failure_reports_the_first_failing_case() {
+        // Cases 5 and 11 fail; whatever order workers finish in, the
+        // serial report pass must name case 6 (1-based) first.
+        let r = runner(16);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.run_cases_with(4, &|case| {
+                if case == 5 || case == 11 {
+                    Err(TestCaseError::fail("boom"))
+                } else {
+                    Ok(())
+                }
+            });
+        }))
+        .expect_err("a failing case must panic");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("case 6/16"), "wrong case reported: {msg}");
+    }
+
+    #[test]
+    fn parallel_all_rejected_still_fails_loudly() {
+        let r = runner(12);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.run_cases_with(3, &|_| Err(TestCaseError::reject("never holds")));
+        }))
+        .expect_err("all-rejected must panic");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("rejected all 12"), "wrong message: {msg}");
+    }
+
+    #[test]
+    fn worker_panic_propagates_payload() {
+        let r = runner(8);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.run_cases_with(2, &|case| {
+                assert!(case != 3, "raw body panic");
+                Ok(())
+            });
+        }))
+        .expect_err("body panic must propagate");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("raw body panic"), "payload lost: {msg}");
+    }
 }

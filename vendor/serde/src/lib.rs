@@ -136,6 +136,232 @@ pub mod json {
         }
     }
 
+    /// Error from [`parse`]: byte offset plus a short message.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct ParseError {
+        /// Byte offset into the input where parsing failed.
+        pub offset: usize,
+        /// What was expected or found.
+        pub message: String,
+    }
+
+    impl std::fmt::Display for ParseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(
+                f,
+                "JSON parse error at byte {}: {}",
+                self.offset, self.message
+            )
+        }
+    }
+
+    impl std::error::Error for ParseError {}
+
+    /// Parses RFC 8259 JSON text into a [`Value`] — the reader half the
+    /// artifact pipeline needs (e.g. `BENCH_*.json` read-migrate-append).
+    /// Round-trips everything the writer emits: numbers without `.`/`e`
+    /// parse as `Int`/`UInt`, everything else as `Float`; escape sequences
+    /// per the writer plus `\/`, `\b`, `\f` and `\uXXXX` (no surrogate
+    /// pairing — artifacts are ASCII).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] on malformed input or trailing garbage.
+    pub fn parse(s: &str) -> Result<Value, ParseError> {
+        let bytes = s.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(err(pos, "trailing characters after value"));
+        }
+        Ok(v)
+    }
+
+    fn err(offset: usize, message: &str) -> ParseError {
+        ParseError {
+            offset,
+            message: message.to_string(),
+        }
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), ParseError> {
+        if bytes[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(())
+        } else {
+            Err(err(*pos, "invalid literal"))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            None => Err(err(*pos, "unexpected end of input")),
+            Some(b'n') => expect(bytes, pos, "null").map(|()| Value::Null),
+            Some(b't') => expect(bytes, pos, "true").map(|()| Value::Bool(true)),
+            Some(b'f') => expect(bytes, pos, "false").map(|()| Value::Bool(false)),
+            Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(err(*pos, "expected ',' or ']' in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut map = BTreeMap::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let key = parse_string(bytes, pos)?;
+                    skip_ws(bytes, pos);
+                    if bytes.get(*pos) != Some(&b':') {
+                        return Err(err(*pos, "expected ':' after object key"));
+                    }
+                    *pos += 1;
+                    map.insert(key, parse_value(bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(map));
+                        }
+                        _ => return Err(err(*pos, "expected ',' or '}' in object")),
+                    }
+                }
+            }
+            Some(_) => parse_number(bytes, pos),
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(err(*pos, "expected '\"'"));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err(err(*pos, "unterminated string")),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            let hex = s_slice(bytes, *pos + 1, 4)
+                                .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| err(*pos, "invalid \\u escape"))?;
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| err(*pos, "\\u escape is not a scalar"))?,
+                            );
+                            *pos += 4;
+                        }
+                        _ => return Err(err(*pos, "invalid escape")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Advance one UTF-8 scalar (input is a &str, so byte
+                    // boundaries are valid).
+                    let rest = &bytes[*pos..];
+                    let ch_len = std::str::from_utf8(rest)
+                        .ok()
+                        .and_then(|t| t.chars().next())
+                        .map(char::len_utf8)
+                        .ok_or_else(|| err(*pos, "invalid UTF-8"))?;
+                    out.push_str(std::str::from_utf8(&rest[..ch_len]).expect("checked"));
+                    *pos += ch_len;
+                }
+            }
+        }
+    }
+
+    fn s_slice(bytes: &[u8], start: usize, len: usize) -> Option<&str> {
+        bytes
+            .get(start..start + len)
+            .and_then(|b| std::str::from_utf8(b).ok())
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+        let start = *pos;
+        if bytes.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        let mut float = false;
+        while let Some(&b) = bytes.get(*pos) {
+            match b {
+                b'0'..=b'9' => *pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    *pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = s_slice(bytes, start, *pos - start).ok_or_else(|| err(start, "bad number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(err(start, "expected a value"));
+        }
+        if !float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(if i >= 0 {
+                    // The writer emits unsigned fields as UInt; fold
+                    // non-negative integers there so round-trips compare
+                    // equal structurally.
+                    Value::UInt(i as u64)
+                } else {
+                    Value::Int(i)
+                });
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| err(start, "invalid number"))
+    }
+
     fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
         if let Some(n) = indent {
             out.push('\n');
@@ -188,6 +414,63 @@ pub mod json {
             let v = Value::Arr(vec![Value::Bool(true), Value::Null]);
             assert_eq!(v.to_canonical_string(), "[true,null]");
             assert_eq!(v.to_pretty_string(2), "[\n  true,\n  null\n]\n");
+        }
+
+        #[test]
+        fn parse_round_trips_writer_output() {
+            let v = Value::obj([
+                (
+                    "arr".to_string(),
+                    Value::Arr(vec![Value::UInt(3), Value::Float(0.5)]),
+                ),
+                ("neg".to_string(), Value::Int(-7)),
+                (
+                    "s".to_string(),
+                    Value::Str("tab\there \"q\" \\".to_string()),
+                ),
+                ("t".to_string(), Value::Bool(true)),
+                ("z".to_string(), Value::Null),
+            ]);
+            for text in [v.to_canonical_string(), v.to_pretty_string(2)] {
+                assert_eq!(parse(&text).unwrap(), v, "failed on {text}");
+            }
+        }
+
+        #[test]
+        fn parse_accepts_escapes_and_number_forms() {
+            assert_eq!(
+                parse(r#""A\/\b\f""#).unwrap(),
+                Value::Str("A/\u{8}\u{c}".into())
+            );
+            assert_eq!(parse("1e3").unwrap(), Value::Float(1000.0));
+            assert_eq!(parse("-0.5").unwrap(), Value::Float(-0.5));
+            assert_eq!(
+                parse("18446744073709551615").unwrap(),
+                Value::UInt(u64::MAX)
+            );
+            assert_eq!(parse("12").unwrap(), Value::UInt(12));
+            assert_eq!(parse("-12").unwrap(), Value::Int(-12));
+        }
+
+        #[test]
+        fn parse_rejects_malformed_input() {
+            for bad in [
+                "",
+                "{",
+                "[1,",
+                "{\"a\"}",
+                "tru",
+                "1 2",
+                "\"unterminated",
+                "nul",
+            ] {
+                assert!(parse(bad).is_err(), "accepted {bad:?}");
+            }
+            // Surrounding whitespace is fine; only trailing garbage errors.
+            assert_eq!(
+                parse("  [1, 2]  ").unwrap(),
+                Value::Arr(vec![Value::UInt(1), Value::UInt(2)])
+            );
         }
     }
 }
