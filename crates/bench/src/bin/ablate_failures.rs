@@ -36,7 +36,7 @@ use lat_bench::scenarios::{
     FAILURE_SHARD_CAPACITY, FAILURE_SLO_LATENCY_S, FAILURE_STRAGGLER_SLOWDOWN,
     FAILURE_STRAGGLER_WINDOW_S, FAILURE_TIMEOUT_S, FAILURE_WARMUP_S, HARNESS_SEED,
 };
-use lat_bench::tables;
+use lat_bench::{benchfile, tables};
 use lat_core::pipeline::SchedulingPolicy;
 use lat_core::pool::Scheduler;
 use lat_hwsim::accelerator::AcceleratorDesign;
@@ -54,7 +54,7 @@ use lat_hwsim::spec::FpgaSpec;
 use lat_model::config::ModelConfig;
 use lat_model::graph::AttentionMode;
 use lat_workloads::datasets::LengthSampler;
-use serde::json::{self, Value};
+use serde::json::Value;
 
 fn design(s_avg: usize) -> AcceleratorDesign {
     AcceleratorDesign::new(
@@ -546,22 +546,10 @@ fn main() {
         sweep_cells.len(),
     );
 
-    // Read-migrate-append: keep prior entries (wrapping a schema-1 record
-    // as the first entry) so the file accumulates a PR-over-PR trajectory.
-    let mut entries: Vec<Value> = match std::fs::read_to_string("BENCH_fleet.json")
-        .ok()
-        .and_then(|s| json::parse(&s).ok())
-    {
-        Some(Value::Obj(mut top)) => {
-            if let Some(Value::Arr(prior)) = top.remove("entries") {
-                prior
-            } else {
-                top.remove("schema");
-                vec![Value::Obj(top)]
-            }
-        }
-        _ => Vec::new(),
-    };
+    // Read-migrate-append (shared helper): keep prior entries so the file
+    // accumulates a PR-over-PR trajectory, scrubbing legacy single-core
+    // speedup records along the way.
+    let mut entries: Vec<Value> = benchfile::read_entries("BENCH_fleet.json");
     let seed_str = || Value::Str(format!("{HARNESS_SEED:#x}"));
     entries.push(Value::obj([
         ("bench".into(), Value::Str("fleet-failure".into())),
@@ -584,29 +572,39 @@ fn main() {
         ("seed".into(), seed_str()),
     ]));
     let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    entries.push(Value::obj([
-        ("bench".into(), Value::Str("parallel-sweep".into())),
+    let mut sweep_entry = vec![
+        ("bench".to_string(), Value::Str("parallel-sweep".into())),
         (
-            "scenario".into(),
+            "scenario".to_string(),
             Value::Str("dispatch × client failure grid".into()),
         ),
-        ("cells".into(), Value::UInt(sweep_cells.len() as u64)),
-        ("workers".into(), Value::UInt(4)),
-        ("host_parallelism".into(), Value::UInt(host as u64)),
-        ("wall_s_serial".into(), Value::Float(sweep_serial_s)),
-        ("wall_s_parallel".into(), Value::Float(sweep_parallel_s)),
+        ("cells".to_string(), Value::UInt(sweep_cells.len() as u64)),
+        ("workers".to_string(), Value::UInt(4)),
+        ("host_parallelism".to_string(), Value::UInt(host as u64)),
+        ("wall_s_serial".to_string(), Value::Float(sweep_serial_s)),
         (
-            "speedup".into(),
-            Value::Float(sweep_serial_s / sweep_parallel_s.max(1e-9)),
+            "wall_s_parallel".to_string(),
+            Value::Float(sweep_parallel_s),
         ),
-        ("seed".into(), seed_str()),
-    ]));
-    let doc = Value::obj([
-        ("schema".into(), Value::UInt(2)),
-        ("bench".into(), Value::Str("fleet".into())),
-        ("entries".into(), Value::Arr(entries)),
-    ]);
-    match std::fs::write("BENCH_fleet.json", doc.to_pretty_string(2)) {
+        ("seed".to_string(), seed_str()),
+    ];
+    // A speedup figure only means something when the host can actually
+    // run the workers side by side; on a single core the "parallel" run
+    // just adds scheduling overhead, so record a note instead of a
+    // misleading sub-1.0 ratio.
+    if host > 1 {
+        sweep_entry.push((
+            "speedup".to_string(),
+            Value::Float(sweep_serial_s / sweep_parallel_s.max(1e-9)),
+        ));
+    } else {
+        sweep_entry.push((
+            "speedup_note".to_string(),
+            Value::Str(benchfile::SPEEDUP_NOTE.into()),
+        ));
+    }
+    entries.push(Value::obj(sweep_entry));
+    match benchfile::write("BENCH_fleet.json", "fleet", entries) {
         Ok(()) => println!("wrote BENCH_fleet.json ({events} events in {wall_s:.3} s)"),
         Err(e) => println!("BENCH_fleet.json not written: {e}"),
     }

@@ -1,0 +1,188 @@
+//! Million-request streaming smoke: the bounded-memory serving claim,
+//! measured.
+//!
+//! Runs a 1M-request Poisson trace through the fleet engine twice — once
+//! under `ReportMode::Streaming` (P² sketches, no per-request retention)
+//! and once under `ReportMode::Exact` (the full latency vector) — and
+//! asserts the PR's contract on the pair:
+//!
+//! 1. **Bounded memory**: the streaming run retains zero per-request
+//!    latency samples and zero batch records; its tracked-allocation
+//!    proxy must come in far below the exact run's.
+//! 2. **Bit-identical counters**: completed, makespan, throughput and
+//!    mean batch size match the exact run exactly.
+//! 3. **ε-pinned percentiles**: sketch p50/p95/p99 within
+//!    [`QUANTILE_EPS`] (relative) of the exact ranks.
+//!
+//! Wall time, event rate and the allocation-counter peak-RSS proxy are
+//! appended to `BENCH_fleet.json` (schema 2). The request count is
+//! `SMOKE_REQUESTS` unless the `SMOKE_MILLION_REQUESTS` env var
+//! overrides it (useful for a quick local pass); the recorded entry
+//! carries whichever count ran.
+
+use lat_bench::benchfile;
+use lat_bench::scenarios::harness_seed;
+use lat_core::pipeline::SchedulingPolicy;
+use lat_core::sketch::ReportMode;
+use lat_hwsim::accelerator::AcceleratorDesign;
+use lat_hwsim::fleet::{
+    homogeneous_fleet, poisson_trace, simulate_fleet_instrumented, BatcherConfig, DispatchPolicy,
+    FleetReport, FleetRunStats,
+};
+use lat_hwsim::spec::FpgaSpec;
+use lat_model::config::ModelConfig;
+use lat_model::graph::AttentionMode;
+use lat_workloads::datasets::DatasetSpec;
+use serde::json::Value;
+
+/// Default trace length — the million-request target.
+const SMOKE_REQUESTS: usize = 1_000_000;
+/// Arrival rate: high enough that the simulated span stays ~20 s and
+/// batches actually fill.
+const SMOKE_RATE_SEQ_S: f64 = 50_000.0;
+/// Fleet width for the smoke.
+const SMOKE_SHARDS: usize = 4;
+/// Relative tolerance pinned on each sketch percentile vs the exact rank.
+const QUANTILE_EPS: f64 = 0.25;
+
+fn requests() -> usize {
+    match std::env::var("SMOKE_MILLION_REQUESTS") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("SMOKE_MILLION_REQUESTS {s:?} is not a usize")),
+        Err(_) => SMOKE_REQUESTS,
+    }
+}
+
+fn run(mode: ReportMode, trace_len: usize) -> (FleetReport, FleetRunStats, f64) {
+    let design = AcceleratorDesign::new(
+        &ModelConfig::tiny(),
+        AttentionMode::paper_sparse(),
+        FpgaSpec::alveo_u280(),
+        64,
+    );
+    let fleet = homogeneous_fleet(&design, SMOKE_SHARDS);
+    let trace = poisson_trace(
+        &DatasetSpec::rte(),
+        SMOKE_RATE_SEQ_S,
+        trace_len,
+        harness_seed(),
+    );
+    let cfg = BatcherConfig::default();
+    let t0 = std::time::Instant::now();
+    let (report, stats) = simulate_fleet_instrumented(
+        &fleet,
+        &trace,
+        SchedulingPolicy::LengthAware,
+        DispatchPolicy::JoinShortestQueue,
+        &cfg,
+        mode,
+    );
+    (report, stats, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let n = requests();
+    let seed = harness_seed();
+    println!(
+        "Million-request streaming smoke ({n} requests @ {SMOKE_RATE_SEQ_S:.0} seq/s, \
+         {SMOKE_SHARDS} shards, seed {seed:#x})\n"
+    );
+
+    let (stream, stream_stats, stream_wall_s) = run(ReportMode::Streaming, n);
+    let (exact, exact_stats, exact_wall_s) = run(ReportMode::Exact, n);
+
+    // 1. Bounded memory: nothing per-request survives the streaming run.
+    assert_eq!(
+        stream_stats.retained_latency_samples, 0,
+        "streaming run retained per-request latencies"
+    );
+    assert_eq!(
+        stream_stats.retained_batch_records, 0,
+        "streaming run retained batch records"
+    );
+    let (stream_bytes, exact_bytes) = (
+        stream_stats.peak_tracked_bytes(),
+        exact_stats.peak_tracked_bytes(),
+    );
+    // Both modes share the pre-seeded O(n) arrival heap (the engine's
+    // dominant transient); what streaming eliminates is everything
+    // *retained past the run* — the per-request latency vector and the
+    // batch log. That retention is the entire proxy gap.
+    assert!(
+        stream_bytes < exact_bytes,
+        "streaming proxy {stream_bytes} B is not below exact {exact_bytes} B"
+    );
+    let retention_avoided = exact_bytes - stream_bytes;
+    assert!(
+        retention_avoided as usize >= 8 * n,
+        "retention cut {retention_avoided} B is smaller than the latency vector alone"
+    );
+
+    // 2. Counters are bit-identical: streaming changes representation,
+    // never events.
+    assert_eq!(stream.completed, exact.completed);
+    assert_eq!(stream.makespan_s.to_bits(), exact.makespan_s.to_bits());
+    assert_eq!(
+        stream.throughput_seq_s.to_bits(),
+        exact.throughput_seq_s.to_bits()
+    );
+    assert_eq!(
+        stream.mean_batch_size.to_bits(),
+        exact.mean_batch_size.to_bits()
+    );
+    assert_eq!(stream_stats.events_processed, exact_stats.events_processed);
+
+    // 3. ε-pinned percentiles.
+    for (tag, s, e) in [
+        ("p50", stream.p50_latency_s, exact.p50_latency_s),
+        ("p95", stream.p95_latency_s, exact.p95_latency_s),
+        ("p99", stream.p99_latency_s, exact.p99_latency_s),
+    ] {
+        let tol = e.abs().max(1e-9) * QUANTILE_EPS + 1e-9;
+        assert!(
+            (s - e).abs() <= tol,
+            "{tag}: sketch {s} vs exact {e} exceeds ε {QUANTILE_EPS}"
+        );
+        println!("{tag}: sketch {:.6} s vs exact {:.6} s ✓", s, e);
+    }
+
+    let events = stream_stats.events_processed;
+    let events_per_s = events as f64 / stream_wall_s.max(1e-9);
+    println!(
+        "\nstreaming: {events} events in {stream_wall_s:.3} s ({events_per_s:.0} ev/s), \
+         peak tracked {stream_bytes} B (heap {} events)\n\
+         exact:     {:.3} s, peak tracked {exact_bytes} B \
+         ({retention_avoided} B of report retention avoided)\n",
+        stream_stats.peak_heap_events, exact_wall_s,
+    );
+
+    // Perf trajectory: append the streaming record (wall-clock fields are
+    // the deliberate nondeterminism of BENCH files).
+    let mut entries = benchfile::read_entries("BENCH_fleet.json");
+    entries.push(Value::obj([
+        ("bench".into(), Value::Str("fleet-streaming-1m".into())),
+        (
+            "scenario".into(),
+            Value::Str(format!(
+                "{n} requests @ {SMOKE_RATE_SEQ_S:.0} seq/s, {SMOKE_SHARDS} shards, streaming sketches"
+            )),
+        ),
+        ("requests".into(), Value::UInt(n as u64)),
+        ("wall_s".into(), Value::Float(stream_wall_s)),
+        ("wall_s_exact".into(), Value::Float(exact_wall_s)),
+        ("events_per_s".into(), Value::Float(events_per_s.round())),
+        ("peak_tracked_bytes".into(), Value::UInt(stream_bytes)),
+        ("peak_tracked_bytes_exact".into(), Value::UInt(exact_bytes)),
+        (
+            "peak_heap_events".into(),
+            Value::UInt(stream_stats.peak_heap_events as u64),
+        ),
+        ("seed".into(), Value::Str(format!("{seed:#x}"))),
+    ]));
+    match benchfile::write("BENCH_fleet.json", "fleet", entries) {
+        Ok(()) => println!("wrote BENCH_fleet.json"),
+        Err(e) => println!("BENCH_fleet.json not written: {e}"),
+    }
+}

@@ -19,5 +19,6 @@
 
 #![warn(missing_docs)]
 
+pub mod benchfile;
 pub mod scenarios;
 pub mod tables;

@@ -23,7 +23,10 @@
 //! Supporting infrastructure: [`pool`] is the deterministic scoped-thread
 //! work pool the evaluation harnesses fan their sweep grids across —
 //! results land in input order regardless of worker count, so parallelism
-//! never changes output.
+//! never changes output. [`sketch`] provides the streaming (O(1)-state)
+//! percentile and moment accumulators the serving engines use under
+//! `ReportMode::Streaming` to survive million-request traces in bounded
+//! memory.
 //!
 //! # Quickstart
 //!
@@ -55,6 +58,7 @@ pub mod pipeline;
 pub mod pool;
 pub mod preselect;
 pub mod runtime;
+pub mod sketch;
 pub mod sparse;
 pub mod stage_alloc;
 pub mod topk;

@@ -1,0 +1,113 @@
+//! Canonical-JSON artifacts sealed with a stable content fingerprint.
+//!
+//! The fingerprint is FNV-1a-64 over the canonical serialization of the
+//! document *without* its `fingerprint` field, rendered as
+//! `fnv1a64:<16 hex digits>`. Canonical JSON (sorted keys, deterministic
+//! float formatting, no insignificant whitespace) makes the fingerprint a
+//! content address: equal documents fingerprint equal, on every platform.
+
+use serde::json::Value;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit over `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Content fingerprint of a document body (must not already contain a
+/// `fingerprint` field — seal once).
+pub fn fingerprint(body: &Value) -> String {
+    format!(
+        "fnv1a64:{:016x}",
+        fnv1a64(body.to_canonical_string().as_bytes())
+    )
+}
+
+/// Seals a document: computes the fingerprint of `body` and inserts it
+/// as the top-level `fingerprint` field.
+///
+/// # Panics
+///
+/// Panics if `body` is not an object or is already sealed — both are
+/// harness bugs, not data conditions.
+pub fn seal(body: Value) -> Value {
+    let fp = fingerprint(&body);
+    match body {
+        Value::Obj(mut map) => {
+            assert!(
+                map.insert("fingerprint".into(), Value::Str(fp)).is_none(),
+                "document already sealed"
+            );
+            Value::Obj(map)
+        }
+        _ => panic!("artifact body must be a JSON object"),
+    }
+}
+
+/// Verifies a sealed document: strips the `fingerprint` field, recomputes
+/// it over the rest, and compares.
+///
+/// # Errors
+///
+/// Returns a description of the mismatch (missing field, wrong type, or
+/// stale fingerprint).
+pub fn verify_seal(doc: &Value) -> Result<(), String> {
+    let Value::Obj(map) = doc else {
+        return Err("artifact is not a JSON object".into());
+    };
+    let mut body = map.clone();
+    let Some(Value::Str(claimed)) = body.remove("fingerprint") else {
+        return Err("artifact has no string `fingerprint` field".into());
+    };
+    let actual = fingerprint(&Value::Obj(body));
+    if claimed == actual {
+        Ok(())
+    } else {
+        Err(format!(
+            "fingerprint {claimed} does not match content {actual}"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn seal_then_verify_round_trips() {
+        let body = Value::obj([
+            ("plan".to_string(), Value::Str("x".into())),
+            ("cells".to_string(), Value::Arr(vec![Value::UInt(1)])),
+        ]);
+        let sealed = seal(body);
+        verify_seal(&sealed).expect("fresh seal verifies");
+        // Tampering breaks the seal.
+        if let Value::Obj(mut map) = sealed {
+            map.insert("cells".into(), Value::Arr(vec![Value::UInt(2)]));
+            assert!(verify_seal(&Value::Obj(map)).is_err());
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_whitespace_insensitive() {
+        let body = Value::obj([("k".to_string(), Value::Float(0.5))]);
+        let pretty = body.to_pretty_string(2);
+        let reparsed = serde::json::parse(&pretty).expect("writer output parses");
+        assert_eq!(fingerprint(&body), fingerprint(&reparsed));
+    }
+}

@@ -1,0 +1,180 @@
+//! Figure-table renderer and golden-pack gate for the experiment harness.
+//!
+//! ```text
+//! analyze                      # run every builtin plan, print its table
+//! analyze --plan NAME          # restrict to one plan
+//! analyze --out DIR            # also write DIR/<plan>.json (pretty canonical)
+//! analyze --check DIR          # regenerate and diff against DIR/<plan>.json;
+//!                              # exit 1 on the first byte of divergence
+//! ```
+//!
+//! `--check` is the CI contract: artifacts carry no wall-clock values, so
+//! a committed golden pack (`crates/exp/expected/`) must reproduce
+//! byte-for-byte on any machine at any worker count. A mismatch means an
+//! engine's observable behavior changed — regenerate with `--out` only
+//! after deciding that change is intended.
+
+use std::path::{Path, PathBuf};
+
+use lat_bench::tables;
+use lat_core::pool::Scheduler;
+use lat_exp::artifact::verify_seal;
+use lat_exp::plan::{builtin_plans, SweepPlan};
+use lat_exp::runner::run_plan;
+use serde::json::{self, Value};
+
+struct Args {
+    check_dir: Option<PathBuf>,
+    out_dir: Option<PathBuf>,
+    only_plan: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        check_dir: None,
+        out_dir: None,
+        only_plan: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value_for = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--check" => args.check_dir = Some(PathBuf::from(value_for("--check"))),
+            "--out" => args.out_dir = Some(PathBuf::from(value_for("--out"))),
+            "--plan" => args.only_plan = Some(value_for("--plan")),
+            "--help" | "-h" => {
+                println!("usage: analyze [--plan NAME] [--out DIR] [--check DIR]");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("analyze: {msg}");
+    std::process::exit(1)
+}
+
+fn main() {
+    let args = parse_args();
+    let plans: Vec<SweepPlan> = builtin_plans()
+        .into_iter()
+        .filter(|p| args.only_plan.as_deref().is_none_or(|n| n == p.name))
+        .collect();
+    if plans.is_empty() {
+        die("no plan matches --plan filter");
+    }
+    let pool = Scheduler::from_env();
+    let mut failures = 0usize;
+    for plan in &plans {
+        let doc = run_plan(plan, &pool);
+        verify_seal(&doc)
+            .unwrap_or_else(|e| die(&format!("{}: fresh seal invalid: {e}", plan.name)));
+        print_table(plan, &doc);
+        if let Some(dir) = &args.out_dir {
+            let path = dir.join(format!("{}.json", plan.name));
+            std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(&path, doc.to_pretty_string(2)))
+                .unwrap_or_else(|e| die(&format!("writing {}: {e}", path.display())));
+            println!("wrote {}", path.display());
+        }
+        if let Some(dir) = &args.check_dir {
+            if let Err(msg) = check_against(plan, &doc, dir) {
+                eprintln!("analyze: CHECK FAILED for {}: {msg}", plan.name);
+                failures += 1;
+            } else {
+                println!("check ok: {} matches {}", plan.name, dir.display());
+            }
+        }
+        println!();
+    }
+    if failures > 0 {
+        die(&format!(
+            "{failures} plan(s) diverged from the golden pack — if intended, \
+             regenerate with `analyze --out <dir>`"
+        ));
+    }
+}
+
+/// Compares a freshly generated artifact against the committed golden
+/// file, structurally (so pretty whitespace is irrelevant) and then by
+/// fingerprint for the error message.
+fn check_against(plan: &SweepPlan, fresh: &Value, dir: &Path) -> Result<(), String> {
+    let path = dir.join(format!("{}.json", plan.name));
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let golden = json::parse(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
+    verify_seal(&golden).map_err(|e| format!("{} is corrupt: {e}", path.display()))?;
+    if golden == *fresh {
+        return Ok(());
+    }
+    let fp = |v: &Value| match v {
+        Value::Obj(m) => match m.get("fingerprint") {
+            Some(Value::Str(s)) => s.clone(),
+            _ => "<unsealed>".into(),
+        },
+        _ => "<not an object>".into(),
+    };
+    Err(format!(
+        "artifact content diverged (golden {}, regenerated {})",
+        fp(&golden),
+        fp(fresh)
+    ))
+}
+
+fn print_table(plan: &SweepPlan, doc: &Value) {
+    let Value::Obj(map) = doc else { return };
+    let Some(Value::Arr(cells)) = map.get("cells") else {
+        return;
+    };
+    let streaming = matches!(map.get("mode"), Some(Value::Str(m)) if m == "streaming");
+    println!("{} — {}", plan.name, plan.description);
+    let mut header = vec![
+        "dispatch",
+        "scheduling",
+        "rate/s",
+        "completed",
+        "makespan (s)",
+        "mean batch",
+        "p95 (ms)",
+        "peak heap ev.",
+    ];
+    if streaming {
+        header.push("sketch |Δp95| (ms)");
+    }
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .filter_map(|c| {
+            let Value::Obj(c) = c else { return None };
+            let s = |k: &str| match c.get(k) {
+                Some(Value::Str(v)) => v.clone(),
+                _ => "?".into(),
+            };
+            let f = |k: &str| match c.get(k) {
+                Some(Value::Float(v)) => *v,
+                Some(Value::UInt(v)) => *v as f64,
+                _ => f64::NAN,
+            };
+            let mut row = vec![
+                s("dispatch"),
+                s("scheduling"),
+                format!("{:.0}", f("rate_seq_s")),
+                format!("{:.0}", f("completed")),
+                format!("{:.3}", f("makespan_s")),
+                format!("{:.2}", f("mean_batch_size")),
+                format!("{:.2}", f("p95_latency_s") * 1e3),
+                format!("{:.0}", f("peak_heap_events")),
+            ];
+            if streaming {
+                row.push(format!("{:.3}", f("sketch_abs_err_p95") * 1e3));
+            }
+            Some(row)
+        })
+        .collect();
+    println!("{}", tables::render(&header, &rows));
+}

@@ -1,0 +1,16 @@
+//! Declarative experiment harness over the serving engines.
+//!
+//! A [`plan::SweepPlan`] names a grid of engine configurations; the
+//! [`runner`] expands it into cells in a fixed order, fans the cells over
+//! the deterministic worker pool ([`lat_core::pool::Scheduler`]), and
+//! renders the results as a canonical-JSON artifact sealed with a stable
+//! content fingerprint ([`artifact`]). Artifacts carry **no wall-clock
+//! values** — two runs of the same plan on any machine, at any worker
+//! count, produce byte-identical documents, which is what makes the
+//! committed golden pack (`crates/exp/expected/`) a meaningful CI gate:
+//! `analyze --check expected/` regenerates every plan and fails on the
+//! first divergent byte.
+
+pub mod artifact;
+pub mod plan;
+pub mod runner;

@@ -60,6 +60,7 @@ use crate::fleet::{
     push_event, route, BatchRecord, DispatchPolicy, Event, FleetReport, RateProfile, ShardReport,
 };
 use lat_core::pipeline::SchedulingPolicy;
+use lat_core::sketch::{P2Quantile, QuantileSketch, ReportMode};
 use lat_tensor::rng::SplitMix64;
 use lat_tensor::stats::{percentile, percentiles};
 use lat_workloads::datasets::LengthSampler;
@@ -339,6 +340,11 @@ pub(crate) struct DecodeShard {
     pub(crate) resident: Vec<Slot>,
     /// An iteration is in flight (its `StepEnd` event is scheduled).
     pub(crate) stepping: bool,
+    /// Live count of the in-flight iteration (stale once `stepping`
+    /// drops). Crash truncation and straggler re-pricing read the size
+    /// from here rather than from the step log, which
+    /// [`ReportMode::Streaming`] does not retain.
+    stepping_live: usize,
     /// Bumped whenever scheduled step-end events become invalid (crash,
     /// straggler re-price); stale [`DecodeEventKind::StepEnd`] events
     /// carry the old epoch and are dropped.
@@ -370,6 +376,7 @@ impl DecodeShard {
             queue: VecDeque::new(),
             resident: Vec::new(),
             stepping: false,
+            stepping_live: 0,
             epoch: 0,
             iterations: 0,
             completed: 0,
@@ -486,6 +493,19 @@ pub(crate) struct DecodeCore<'a> {
     pub(crate) arrivals_seen: usize,
     itl_gaps: Vec<f64>,
     step_log: Vec<BatchRecord>,
+    /// Report assembly mode. Under [`ReportMode::Streaming`] the
+    /// token-proportional populations (`itl_gaps`, `step_log`) and the
+    /// per-request outcome vector are never materialized; the sketches
+    /// below absorb each observation as it happens.
+    mode: ReportMode,
+    lat_sketch: QuantileSketch,
+    ttft_sketch: QuantileSketch,
+    itl_sketch: QuantileSketch,
+    high_ttft: P2Quantile,
+    /// Running makespan under streaming: max over valid step-end pops and
+    /// crash-truncation instants — exactly the final `completion_s`
+    /// population the exact step-log fold reduces.
+    stream_makespan_s: f64,
 }
 
 impl DecodeCore<'_> {
@@ -652,6 +672,7 @@ impl DecodeCore<'_> {
             slot.is_new = false;
         }
         sh.stepping = true;
+        sh.stepping_live = live;
         sh.iterations += 1;
         sh.busy_time_s += cost;
         sh.busy_until_s = done;
@@ -659,12 +680,14 @@ impl DecodeCore<'_> {
         sh.slot_steps += live as u64;
         sh.peak_resident = sh.peak_resident.max(size);
         let epoch = sh.epoch;
-        self.step_log.push(BatchRecord {
-            shard: s,
-            start_s: now,
-            completion_s: done,
-            size: live,
-        });
+        if self.mode == ReportMode::Exact {
+            self.step_log.push(BatchRecord {
+                shard: s,
+                start_s: now,
+                completion_s: done,
+                size: live,
+            });
+        }
         push_event(
             &mut self.heap,
             &mut self.seq,
@@ -733,13 +756,22 @@ impl DecodeCore<'_> {
         self.accepting[s] = false;
         self.shards[s].tick(now);
         if self.shards[s].stepping {
-            let rec_idx = self
-                .step_log
-                .iter()
-                .rposition(|b| b.shard == s)
-                .expect("stepping shard has a step record");
-            let size = self.step_log[rec_idx].size;
-            self.step_log[rec_idx].completion_s = now;
+            let size = self.shards[s].stepping_live;
+            match self.mode {
+                ReportMode::Exact => {
+                    let rec_idx = self
+                        .step_log
+                        .iter()
+                        .rposition(|b| b.shard == s)
+                        .expect("stepping shard has a step record");
+                    self.step_log[rec_idx].completion_s = now;
+                }
+                // The truncated record would have contributed `now` to the
+                // makespan fold; fold it into the running max instead.
+                ReportMode::Streaming => {
+                    self.stream_makespan_s = self.stream_makespan_s.max(now);
+                }
+            }
             let sh = &mut self.shards[s];
             let remaining = (sh.busy_until_s - now).max(0.0);
             sh.stepping = false;
@@ -780,12 +812,7 @@ impl DecodeCore<'_> {
         if factor == old || !self.shards[s].stepping {
             return;
         }
-        let rec_idx = self
-            .step_log
-            .iter()
-            .rposition(|b| b.shard == s)
-            .expect("stepping shard has a step record");
-        let size = self.step_log[rec_idx].size;
+        let size = self.shards[s].stepping_live;
         let done;
         let epoch;
         {
@@ -799,7 +826,14 @@ impl DecodeCore<'_> {
             done = sh.busy_until_s;
             epoch = sh.epoch;
         }
-        self.step_log[rec_idx].completion_s = done;
+        if self.mode == ReportMode::Exact {
+            let rec_idx = self
+                .step_log
+                .iter()
+                .rposition(|b| b.shard == s)
+                .expect("stepping shard has a step record");
+            self.step_log[rec_idx].completion_s = done;
+        }
         push_event(
             &mut self.heap,
             &mut self.seq,
@@ -857,6 +891,12 @@ impl DecodeCore<'_> {
     fn on_step_end(&mut self, s: usize, now: f64) {
         self.shards[s].tick(now);
         self.shards[s].stepping = false;
+        if self.mode == ReportMode::Streaming {
+            // A valid (non-stale) step-end pops at its record's final
+            // completion time, so this running max sees exactly the
+            // values the exact step-log fold reduces.
+            self.stream_makespan_s = self.stream_makespan_s.max(now);
+        }
         let residents: Vec<usize> = self.shards[s].resident.iter().map(|sl| sl.req).collect();
         for r in residents {
             if self.emitted[r] >= self.trace[r].output_len {
@@ -864,9 +904,20 @@ impl DecodeCore<'_> {
             }
             self.emitted[r] += 1;
             if self.emitted[r] == 1 {
-                self.ttft_s[r] = now - self.trace[r].arrival_s;
+                let ttft = now - self.trace[r].arrival_s;
+                self.ttft_s[r] = ttft;
+                if self.mode == ReportMode::Streaming {
+                    self.ttft_sketch.observe(ttft);
+                    if self.trace[r].priority == Priority::High {
+                        self.high_ttft.observe(ttft);
+                    }
+                }
             } else {
-                self.itl_gaps.push(now - self.last_emit_s[r]);
+                let gap = now - self.last_emit_s[r];
+                match self.mode {
+                    ReportMode::Exact => self.itl_gaps.push(gap),
+                    ReportMode::Streaming => self.itl_sketch.observe(gap),
+                }
             }
             self.last_emit_s[r] = now;
             if self.emitted[r] == self.trace[r].output_len {
@@ -874,6 +925,9 @@ impl DecodeCore<'_> {
                 self.completion_s[r] = now;
                 self.shard_of[r] = s;
                 self.shards[s].completed += 1;
+                if self.mode == ReportMode::Streaming {
+                    self.lat_sketch.observe(now - self.trace[r].arrival_s);
+                }
             }
         }
         let emitted = &self.emitted;
@@ -976,7 +1030,20 @@ impl<'a> DecodeCore<'a> {
             arrivals_seen: 0,
             itl_gaps: Vec::new(),
             step_log: Vec::new(),
+            mode: ReportMode::Exact,
+            lat_sketch: QuantileSketch::p50_p95_p99(),
+            ttft_sketch: QuantileSketch::p50_p95_p99(),
+            itl_sketch: QuantileSketch::p50_p95_p99(),
+            high_ttft: P2Quantile::new(0.95),
+            stream_makespan_s: 0.0,
         }
+    }
+
+    /// Switches report assembly to `mode`. Call before [`DecodeCore::run`]
+    /// — the streaming sketches only see observations made after the
+    /// switch.
+    pub(crate) fn set_mode(&mut self, mode: ReportMode) {
+        self.mode = mode;
     }
 
     /// Runs the event loop to completion, calling `ctl`'s hooks.
@@ -1032,38 +1099,87 @@ impl<'a> DecodeCore<'a> {
     pub(crate) fn into_report(self) -> DecodeReport {
         let n = self.trace.len();
         let cfg = self.cfg;
-        let makespan = self
-            .step_log
-            .iter()
-            .map(|b| b.completion_s)
-            .fold(0.0f64, f64::max);
-        let latencies: Vec<f64> = self
-            .completion_s
-            .iter()
-            .zip(self.trace)
-            .filter(|(c, _)| c.is_finite())
-            .map(|(&c, req)| c - req.arrival_s)
-            .collect();
-        let ttfts: Vec<f64> = self
-            .ttft_s
-            .iter()
-            .copied()
-            .filter(|t| t.is_finite())
-            .collect();
-        let high_ttfts: Vec<f64> = self
-            .trace
-            .iter()
-            .zip(&self.ttft_s)
-            .filter(|(r, t)| r.priority == Priority::High && t.is_finite())
-            .map(|(_, &t)| t)
-            .collect();
+        let makespan = match self.mode {
+            ReportMode::Exact => self
+                .step_log
+                .iter()
+                .map(|b| b.completion_s)
+                .fold(0.0f64, f64::max),
+            // Bit-identical to the fold above: the running max saw every
+            // record's final completion time (valid step-end pops plus
+            // crash truncations), just in event order.
+            ReportMode::Streaming => self.stream_makespan_s,
+        };
         // One sort per sample for each p50/p95/p99 triple (bit-identical
         // to per-call `percentile`, which re-sorted the sample each time).
         let pct3 =
             |xs: &[f64]| percentiles(xs, &[0.50, 0.95, 0.99]).unwrap_or_else(|| vec![0.0; 3]);
-        let lat_pcts = pct3(&latencies);
-        let ttft_pcts = pct3(&ttfts);
-        let itl_pcts = pct3(&self.itl_gaps);
+        let sketch3 = |sk: &QuantileSketch| {
+            if sk.count() == 0 {
+                vec![0.0; 3]
+            } else {
+                sk.quantiles()
+            }
+        };
+        let sketch_mean = |sk: &QuantileSketch| if sk.count() == 0 { 0.0 } else { sk.mean() };
+        let (completed_n, lat_mean, lat_pcts) = match self.mode {
+            ReportMode::Exact => {
+                let latencies: Vec<f64> = self
+                    .completion_s
+                    .iter()
+                    .zip(self.trace)
+                    .filter(|(c, _)| c.is_finite())
+                    .map(|(&c, req)| c - req.arrival_s)
+                    .collect();
+                let mean = if latencies.is_empty() {
+                    0.0
+                } else {
+                    latencies.iter().sum::<f64>() / latencies.len() as f64
+                };
+                (latencies.len(), mean, pct3(&latencies))
+            }
+            ReportMode::Streaming => (
+                self.lat_sketch.count() as usize,
+                sketch_mean(&self.lat_sketch),
+                sketch3(&self.lat_sketch),
+            ),
+        };
+        let (ttft_mean, ttft_pcts, high_ttft_p95_s) = match self.mode {
+            ReportMode::Exact => {
+                let ttfts: Vec<f64> = self
+                    .ttft_s
+                    .iter()
+                    .copied()
+                    .filter(|t| t.is_finite())
+                    .collect();
+                let high_ttfts: Vec<f64> = self
+                    .trace
+                    .iter()
+                    .zip(&self.ttft_s)
+                    .filter(|(r, t)| r.priority == Priority::High && t.is_finite())
+                    .map(|(_, &t)| t)
+                    .collect();
+                let mean = if ttfts.is_empty() {
+                    0.0
+                } else {
+                    ttfts.iter().sum::<f64>() / ttfts.len() as f64
+                };
+                (mean, pct3(&ttfts), percentile(&high_ttfts, 0.95))
+            }
+            ReportMode::Streaming => (
+                sketch_mean(&self.ttft_sketch),
+                sketch3(&self.ttft_sketch),
+                if self.high_ttft.count() == 0 {
+                    None
+                } else {
+                    Some(self.high_ttft.quantile())
+                },
+            ),
+        };
+        let itl_pcts = match self.mode {
+            ReportMode::Exact => pct3(&self.itl_gaps),
+            ReportMode::Streaming => sketch3(&self.itl_sketch),
+        };
         let total_iterations: usize = self.shards.iter().map(|sh| sh.iterations).sum();
         let total_slot_steps: u64 = self.shards.iter().map(|sh| sh.slot_steps).sum();
         let shard_reports: Vec<ShardReport> = self
@@ -1100,28 +1216,29 @@ impl<'a> DecodeCore<'a> {
         // requests keep the outcome vector PartialEq-comparable, which the
         // determinism suites rely on (`NaN != NaN` would break them).
         let finite_or_inf = |x: f64| if x.is_finite() { x } else { f64::INFINITY };
-        let requests: Vec<RequestOutcome> = (0..n)
-            .map(|r| RequestOutcome {
-                shard: self.shard_of[r],
-                ttft_s: finite_or_inf(self.ttft_s[r]),
-                completion_s: finite_or_inf(self.completion_s[r]),
-                tokens: self.emitted[r],
-                preemptions: self.preempt_of[r],
-                re_prefills: self.prefill_passes[r].saturating_sub(1),
-            })
-            .collect();
+        let requests: Vec<RequestOutcome> = match self.mode {
+            ReportMode::Exact => (0..n)
+                .map(|r| RequestOutcome {
+                    shard: self.shard_of[r],
+                    ttft_s: finite_or_inf(self.ttft_s[r]),
+                    completion_s: finite_or_inf(self.completion_s[r]),
+                    tokens: self.emitted[r],
+                    preemptions: self.preempt_of[r],
+                    re_prefills: self.prefill_passes[r].saturating_sub(1),
+                })
+                .collect(),
+            // Streaming drops the per-request outcome vector — the whole
+            // point of the mode is not materializing O(n) report state.
+            ReportMode::Streaming => Vec::new(),
+        };
         let generated_tokens: u64 = self.emitted.iter().map(|&e| e as u64).sum();
         let fleet = FleetReport {
-            completed: latencies.len(),
-            mean_latency_s: if latencies.is_empty() {
-                0.0
-            } else {
-                latencies.iter().sum::<f64>() / latencies.len() as f64
-            },
+            completed: completed_n,
+            mean_latency_s: lat_mean,
             p50_latency_s: lat_pcts[0],
             p95_latency_s: lat_pcts[1],
             p99_latency_s: lat_pcts[2],
-            throughput_seq_s: latencies.len() as f64 / makespan.max(1e-12),
+            throughput_seq_s: completed_n as f64 / makespan.max(1e-12),
             makespan_s: makespan,
             mean_batch_size: if total_iterations == 0 {
                 0.0
@@ -1132,15 +1249,11 @@ impl<'a> DecodeCore<'a> {
             batch_log: self.step_log,
         };
         DecodeReport {
-            ttft_mean_s: if ttfts.is_empty() {
-                0.0
-            } else {
-                ttfts.iter().sum::<f64>() / ttfts.len() as f64
-            },
+            ttft_mean_s: ttft_mean,
             ttft_p50_s: ttft_pcts[0],
             ttft_p95_s: ttft_pcts[1],
             ttft_p99_s: ttft_pcts[2],
-            high_ttft_p95_s: percentile(&high_ttfts, 0.95),
+            high_ttft_p95_s,
             itl_p50_s: itl_pcts[0],
             itl_p95_s: itl_pcts[1],
             itl_p99_s: itl_pcts[2],
@@ -1177,6 +1290,41 @@ pub fn simulate_decode(
     scheduler: DecodeScheduler,
     cfg: &DecodeConfig,
 ) -> DecodeReport {
+    simulate_decode_mode(
+        shards,
+        trace,
+        policy,
+        dispatch,
+        scheduler,
+        cfg,
+        ReportMode::Exact,
+    )
+}
+
+/// [`simulate_decode`] with an explicit [`ReportMode`].
+///
+/// `Exact` is [`simulate_decode`] verbatim. `Streaming` runs the
+/// identical event sequence but feeds TTFT / inter-token gaps / latencies
+/// into P² sketches as tokens are emitted instead of retaining the
+/// token-proportional populations: the report's percentile fields are
+/// sketch estimates (within the ε the property suites pin), its
+/// `requests` and `fleet.batch_log` vectors are empty, and the counters,
+/// makespan, throughput, and per-shard stats are bit-identical to
+/// `Exact`.
+///
+/// # Panics
+///
+/// Same panics as [`simulate_decode`], including the conservation assert.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_decode_mode(
+    shards: &[AcceleratorDesign],
+    trace: &[DecodeRequest],
+    policy: SchedulingPolicy,
+    dispatch: DispatchPolicy,
+    scheduler: DecodeScheduler,
+    cfg: &DecodeConfig,
+    mode: ReportMode,
+) -> DecodeReport {
     let mut core = DecodeCore::new(
         shards,
         trace,
@@ -1186,6 +1334,7 @@ pub fn simulate_decode(
         cfg,
         vec![true; shards.len()],
     );
+    core.set_mode(mode);
     core.run(&mut NullDecodeController);
     let report = core.into_report();
     assert_eq!(

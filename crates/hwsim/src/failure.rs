@@ -51,6 +51,7 @@ use crate::fleet::{
     BatcherConfig, DispatchPolicy, FleetController, FleetCore, FleetReport, NullController, Request,
 };
 use lat_core::pipeline::SchedulingPolicy;
+use lat_core::sketch::{P2Quantile, ReportMode};
 use lat_tensor::stats::percentile;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -278,6 +279,32 @@ impl ClientConfig {
         assert!(self.deadline_s > 0.0, "deadline must be positive");
     }
 
+    /// The client's verdict when attempt number `attempts` (0-based)
+    /// times out at `now` for a request that originally arrived at
+    /// `arrival_s`: retry after exponential backoff if both the retry cap
+    /// and the end-to-end deadline permit, else abandon.
+    ///
+    /// This is the *single* source of retry/timeout scheduling — the
+    /// fleet and decode fault injectors both route through it, so the two
+    /// client layers cannot drift apart (they once carried verbatim
+    /// copies of this arithmetic).
+    pub fn on_timeout(&self, now: f64, arrival_s: f64, attempts: u32) -> RetryDecision {
+        let retry_at = now + self.backoff_s * 2f64.powi(attempts as i32);
+        let within_deadline = retry_at <= arrival_s + self.deadline_s;
+        if attempts < self.max_retries && within_deadline {
+            RetryDecision::Retry {
+                retry_at,
+                timeout_at: if self.timeout_s.is_finite() {
+                    retry_at + self.timeout_s
+                } else {
+                    f64::INFINITY
+                },
+            }
+        } else {
+            RetryDecision::Abandon
+        }
+    }
+
     /// Hard cap on attempts implied by the budget: `max_retries`, further
     /// clamped by how many timeout periods fit in the deadline. Property
     /// suites assert observed attempt counts against this.
@@ -293,6 +320,23 @@ impl ClientConfig {
         let by_deadline = (self.deadline_s / self.timeout_s).ceil() as u32;
         self.max_retries.min(by_deadline)
     }
+}
+
+/// What a [`ClientConfig`] does about one timed-out attempt
+/// ([`ClientConfig::on_timeout`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetryDecision {
+    /// Re-issue the request at `retry_at`; the next per-attempt timeout
+    /// fires at `timeout_at` (`f64::INFINITY` for a client that never
+    /// times out).
+    Retry {
+        /// Backoff-delayed re-arrival instant.
+        retry_at: f64,
+        /// When the re-issued attempt times out.
+        timeout_at: f64,
+    },
+    /// Retry cap or deadline exhausted: give up on the request.
+    Abandon,
 }
 
 /// How one request's story ended.
@@ -541,18 +585,23 @@ impl<C: FleetController> FleetFaultInjector<C> {
             if !core.cancel_waiting(r, now) {
                 continue; // not waiting anywhere: nothing to give up on
             }
-            let retry_at = now + self.client.backoff_s * 2f64.powi(self.attempts[r] as i32);
-            let within_deadline = retry_at <= core.trace[r].arrival_s + self.client.deadline_s;
-            if self.attempts[r] < self.client.max_retries && within_deadline {
-                self.attempts[r] += 1;
-                self.retries += 1;
-                core.schedule_arrival(r, retry_at);
-                if self.client.timeout_s.is_finite() {
-                    self.timeout_at[r] = retry_at + self.client.timeout_s;
-                    core.schedule_control(self.timeout_at[r]);
+            match self
+                .client
+                .on_timeout(now, core.trace[r].arrival_s, self.attempts[r])
+            {
+                RetryDecision::Retry {
+                    retry_at,
+                    timeout_at,
+                } => {
+                    self.attempts[r] += 1;
+                    self.retries += 1;
+                    core.schedule_arrival(r, retry_at);
+                    if timeout_at.is_finite() {
+                        self.timeout_at[r] = timeout_at;
+                        core.schedule_control(timeout_at);
+                    }
                 }
-            } else {
-                core.abandoned += 1;
+                RetryDecision::Abandon => core.abandoned += 1,
             }
         }
     }
@@ -792,18 +841,23 @@ impl<C: DecodeController> DecodeFaultInjector<C> {
             if core.completion_s[r].is_finite() || !core.cancel_waiting(r, now) {
                 continue;
             }
-            let retry_at = now + self.client.backoff_s * 2f64.powi(self.attempts[r] as i32);
-            let within_deadline = retry_at <= core.trace[r].arrival_s + self.client.deadline_s;
-            if self.attempts[r] < self.client.max_retries && within_deadline {
-                self.attempts[r] += 1;
-                self.retries += 1;
-                core.schedule_arrival(r, retry_at);
-                if self.client.timeout_s.is_finite() {
-                    self.timeout_at[r] = retry_at + self.client.timeout_s;
-                    core.schedule_control(self.timeout_at[r]);
+            match self
+                .client
+                .on_timeout(now, core.trace[r].arrival_s, self.attempts[r])
+            {
+                RetryDecision::Retry {
+                    retry_at,
+                    timeout_at,
+                } => {
+                    self.attempts[r] += 1;
+                    self.retries += 1;
+                    core.schedule_arrival(r, retry_at);
+                    if timeout_at.is_finite() {
+                        self.timeout_at[r] = timeout_at;
+                        core.schedule_control(timeout_at);
+                    }
                 }
-            } else {
-                core.abandoned += 1;
+                RetryDecision::Abandon => core.abandoned += 1,
             }
         }
     }
@@ -941,6 +995,104 @@ fn tally(outcomes: &[ClientOutcome]) -> (usize, usize, usize) {
     (completed, outcomes.len() - completed, retried)
 }
 
+/// Everything the exact path derives from a materialized
+/// [`ClientOutcome`] vector, computed in streaming passes over the
+/// engine's per-request state instead. `latency_of(r)` is the SLO/phase
+/// latency metric (end-to-end for the fleet client, TTFT for the decode
+/// client), `f64::INFINITY` when the request never got there.
+struct StreamingAssembly {
+    completed: usize,
+    timed_out: usize,
+    retried: usize,
+    slo_attainment: f64,
+    phases: Vec<IncidentPhase>,
+}
+
+/// Streaming twin of the [`assemble_outcomes`] / [`tally`] /
+/// [`build_phases`] / SLO-fold chain: identical counting, but per-phase
+/// p95 latency comes from a P² sketch fed in one pass, and no outcome
+/// vector is ever materialized.
+#[allow(clippy::too_many_arguments)]
+fn assemble_streaming(
+    window: Option<(f64, f64)>,
+    arrivals: &[f64],
+    completion_s: &[f64],
+    attempts: &[u32],
+    latency_of: &dyn Fn(usize) -> f64,
+    slo: f64,
+    makespan: f64,
+    scale_events: &[ScaleEvent],
+) -> StreamingAssembly {
+    let n = arrivals.len();
+    let completed = completion_s.iter().filter(|c| c.is_finite()).count();
+    let retried = (0..n)
+        .filter(|&r| completion_s[r].is_finite() && attempts[r] > 0)
+        .count();
+    let slo_attainment = (0..n).filter(|&r| latency_of(r) <= slo).count() as f64 / n.max(1) as f64;
+    let edges: Vec<f64> = match window {
+        None => vec![0.0, f64::INFINITY],
+        Some((w0, w1)) => vec![0.0, w0, w1, f64::INFINITY],
+    };
+    let phases = edges
+        .windows(2)
+        .map(|w| {
+            let (lo, hi) = (w[0], w[1]);
+            let mut phase_arrivals = 0usize;
+            let mut phase_completed = 0usize;
+            let mut slo_hits = 0usize;
+            let mut delivered = 0usize;
+            let mut p95 = P2Quantile::new(0.95);
+            for r in 0..n {
+                let done = completion_s[r].is_finite();
+                if done && completion_s[r] >= lo && completion_s[r] < hi {
+                    delivered += 1;
+                }
+                if arrivals[r] >= lo && arrivals[r] < hi {
+                    phase_arrivals += 1;
+                    let l = latency_of(r);
+                    if l.is_finite() {
+                        phase_completed += 1;
+                        p95.observe(l);
+                        if l <= slo {
+                            slo_hits += 1;
+                        }
+                    }
+                }
+            }
+            let hi_eff = if hi.is_finite() { hi } else { makespan.max(lo) };
+            IncidentPhase {
+                start_s: lo,
+                end_s: hi,
+                arrivals: phase_arrivals,
+                completed: phase_completed,
+                timed_out: phase_arrivals - phase_completed,
+                slo_attainment: if phase_arrivals == 0 {
+                    1.0
+                } else {
+                    slo_hits as f64 / phase_arrivals as f64
+                },
+                goodput_seq_s: delivered as f64 / (hi_eff - lo).max(1e-12),
+                p95_latency_s: if p95.count() == 0 {
+                    0.0
+                } else {
+                    p95.quantile()
+                },
+                scale_events: scale_events
+                    .iter()
+                    .filter(|e| e.time_s >= lo && e.time_s < hi)
+                    .count(),
+            }
+        })
+        .collect();
+    StreamingAssembly {
+        completed,
+        timed_out: n - completed,
+        retried,
+        slo_attainment,
+        phases,
+    }
+}
+
 // ───────────────────────────── entry points ────────────────────────────
 
 /// Runs `trace` over a *fixed* fleet under `plan` and `client`,
@@ -966,6 +1118,40 @@ pub fn simulate_fleet_failure(
     client: &ClientConfig,
     slo_latency_s: f64,
 ) -> FailureReport {
+    simulate_fleet_failure_mode(
+        shards,
+        trace,
+        policy,
+        dispatch,
+        batcher,
+        plan,
+        client,
+        slo_latency_s,
+        ReportMode::Exact,
+    )
+}
+
+/// [`simulate_fleet_failure`] with an explicit [`ReportMode`]. `Exact`
+/// is the original verbatim; `Streaming` suppresses the per-request
+/// `outcomes` vector and the engine's batch log, computing tallies, SLO
+/// attainment, and per-phase p95 latencies in streaming passes (the p95s
+/// are P² estimates within the pinned ε).
+///
+/// # Panics
+///
+/// Same panics as [`simulate_fleet_failure`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_fleet_failure_mode(
+    shards: &[AcceleratorDesign],
+    trace: &[Request],
+    policy: SchedulingPolicy,
+    dispatch: DispatchPolicy,
+    batcher: &BatcherConfig,
+    plan: &FaultPlan,
+    client: &ClientConfig,
+    slo_latency_s: f64,
+    mode: ReportMode,
+) -> FailureReport {
     plan.validate(shards.len());
     client.validate();
     assert!(slo_latency_s > 0.0, "SLO latency must be positive");
@@ -977,6 +1163,7 @@ pub fn simulate_fleet_failure(
         batcher,
         vec![true; shards.len()],
     );
+    core.set_mode(mode);
     let mut injector = FleetFaultInjector::new(NullController, plan, *client, trace.len());
     injector.prime(&mut core);
     core.run(&mut injector);
@@ -984,31 +1171,65 @@ pub fn simulate_fleet_failure(
     let completion_s = core.completion_s.clone();
     let fleet = core.into_report();
     let arrivals: Vec<f64> = trace.iter().map(|r| r.arrival_s).collect();
-    let outcomes = assemble_outcomes(&arrivals, &completion_s, &injector.attempts);
-    let (completed, timed_out, retried) = tally(&outcomes);
-    let phases = build_phases(
-        plan.incident_window(),
-        &arrivals,
-        &outcomes,
-        slo_latency_s,
-        fleet.makespan_s,
-        &[],
-    );
-    let slo_attainment = outcomes
-        .iter()
-        .filter(|o| o.latency_s <= slo_latency_s)
-        .count() as f64
-        / trace.len() as f64;
-    FailureReport {
-        goodput_seq_s: completed as f64 / fleet.makespan_s.max(1e-12),
-        fleet,
-        outcomes,
-        completed,
-        timed_out,
-        retried,
-        retries: injector.retries,
-        slo_attainment,
-        phases,
+    match mode {
+        ReportMode::Exact => {
+            let outcomes = assemble_outcomes(&arrivals, &completion_s, &injector.attempts);
+            let (completed, timed_out, retried) = tally(&outcomes);
+            let phases = build_phases(
+                plan.incident_window(),
+                &arrivals,
+                &outcomes,
+                slo_latency_s,
+                fleet.makespan_s,
+                &[],
+            );
+            let slo_attainment = outcomes
+                .iter()
+                .filter(|o| o.latency_s <= slo_latency_s)
+                .count() as f64
+                / trace.len() as f64;
+            FailureReport {
+                goodput_seq_s: completed as f64 / fleet.makespan_s.max(1e-12),
+                fleet,
+                outcomes,
+                completed,
+                timed_out,
+                retried,
+                retries: injector.retries,
+                slo_attainment,
+                phases,
+            }
+        }
+        ReportMode::Streaming => {
+            let latency_of = |r: usize| {
+                if completion_s[r].is_finite() {
+                    completion_s[r] - arrivals[r]
+                } else {
+                    f64::INFINITY
+                }
+            };
+            let asm = assemble_streaming(
+                plan.incident_window(),
+                &arrivals,
+                &completion_s,
+                &injector.attempts,
+                &latency_of,
+                slo_latency_s,
+                fleet.makespan_s,
+                &[],
+            );
+            FailureReport {
+                goodput_seq_s: asm.completed as f64 / fleet.makespan_s.max(1e-12),
+                fleet,
+                outcomes: Vec::new(),
+                completed: asm.completed,
+                timed_out: asm.timed_out,
+                retried: asm.retried,
+                retries: injector.retries,
+                slo_attainment: asm.slo_attainment,
+                phases: asm.phases,
+            }
+        }
     }
 }
 
@@ -1034,12 +1255,46 @@ pub fn simulate_autoscale_failure(
     plan: &FaultPlan,
     client: &ClientConfig,
 ) -> AutoscaleFailureReport {
+    simulate_autoscale_failure_mode(
+        shards,
+        trace,
+        policy,
+        dispatch,
+        batcher,
+        cfg,
+        plan,
+        client,
+        ReportMode::Exact,
+    )
+}
+
+/// [`simulate_autoscale_failure`] with an explicit [`ReportMode`] —
+/// same `Exact`/`Streaming` contract as
+/// [`simulate_fleet_failure_mode`]; the autoscaler's books and event log
+/// are unaffected by the mode.
+///
+/// # Panics
+///
+/// Same panics as [`simulate_autoscale_failure`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_autoscale_failure_mode(
+    shards: &[AcceleratorDesign],
+    trace: &[Request],
+    policy: SchedulingPolicy,
+    dispatch: DispatchPolicy,
+    batcher: &BatcherConfig,
+    cfg: &AutoscaleConfig,
+    plan: &FaultPlan,
+    client: &ClientConfig,
+    mode: ReportMode,
+) -> AutoscaleFailureReport {
     assert!(!shards.is_empty(), "fleet needs at least one shard");
     cfg.validate(shards.len());
     plan.validate(shards.len());
     client.validate();
     let accepting: Vec<bool> = (0..shards.len()).map(|s| s < cfg.initial_shards).collect();
     let mut core = FleetCore::new(shards, trace, policy, dispatch, batcher, accepting);
+    core.set_mode(mode);
     let ctl = Autoscaler::new(cfg, shards.len());
     let mut injector = FleetFaultInjector::new(ctl, plan, *client, trace.len());
     injector.prime(&mut core);
@@ -1054,34 +1309,69 @@ pub fn simulate_autoscale_failure(
     let (shard_seconds, mean_active_shards, peak_active_shards) =
         injector.inner.close_books(fleet.makespan_s);
     let arrivals: Vec<f64> = trace.iter().map(|r| r.arrival_s).collect();
-    let outcomes = assemble_outcomes(&arrivals, &completion_s, &injector.attempts);
-    let (completed, timed_out, retried) = tally(&outcomes);
     let scale_events = std::mem::take(&mut injector.inner.events);
-    let phases = build_phases(
-        plan.incident_window(),
-        &arrivals,
-        &outcomes,
-        cfg.slo_latency_s,
-        fleet.makespan_s,
-        &scale_events,
-    );
-    let slo_attainment = outcomes
-        .iter()
-        .filter(|o| o.latency_s <= cfg.slo_latency_s)
-        .count() as f64
-        / trace.len() as f64;
+    let failure = match mode {
+        ReportMode::Exact => {
+            let outcomes = assemble_outcomes(&arrivals, &completion_s, &injector.attempts);
+            let (completed, timed_out, retried) = tally(&outcomes);
+            let phases = build_phases(
+                plan.incident_window(),
+                &arrivals,
+                &outcomes,
+                cfg.slo_latency_s,
+                fleet.makespan_s,
+                &scale_events,
+            );
+            let slo_attainment = outcomes
+                .iter()
+                .filter(|o| o.latency_s <= cfg.slo_latency_s)
+                .count() as f64
+                / trace.len() as f64;
+            FailureReport {
+                goodput_seq_s: completed as f64 / fleet.makespan_s.max(1e-12),
+                fleet,
+                outcomes,
+                completed,
+                timed_out,
+                retried,
+                retries: injector.retries,
+                slo_attainment,
+                phases,
+            }
+        }
+        ReportMode::Streaming => {
+            let latency_of = |r: usize| {
+                if completion_s[r].is_finite() {
+                    completion_s[r] - arrivals[r]
+                } else {
+                    f64::INFINITY
+                }
+            };
+            let asm = assemble_streaming(
+                plan.incident_window(),
+                &arrivals,
+                &completion_s,
+                &injector.attempts,
+                &latency_of,
+                cfg.slo_latency_s,
+                fleet.makespan_s,
+                &scale_events,
+            );
+            FailureReport {
+                goodput_seq_s: asm.completed as f64 / fleet.makespan_s.max(1e-12),
+                fleet,
+                outcomes: Vec::new(),
+                completed: asm.completed,
+                timed_out: asm.timed_out,
+                retried: asm.retried,
+                retries: injector.retries,
+                slo_attainment: asm.slo_attainment,
+                phases: asm.phases,
+            }
+        }
+    };
     AutoscaleFailureReport {
-        failure: FailureReport {
-            goodput_seq_s: completed as f64 / fleet.makespan_s.max(1e-12),
-            fleet,
-            outcomes,
-            completed,
-            timed_out,
-            retried,
-            retries: injector.retries,
-            slo_attainment,
-            phases,
-        },
+        failure,
         shard_seconds,
         mean_active_shards,
         peak_active_shards,
@@ -1113,6 +1403,42 @@ pub fn simulate_decode_failure(
     straggler_response: DecodeScaleDown,
     slo_ttft_s: f64,
 ) -> DecodeFailureReport {
+    simulate_decode_failure_mode(
+        shards,
+        trace,
+        policy,
+        dispatch,
+        scheduler,
+        cfg,
+        plan,
+        client,
+        straggler_response,
+        slo_ttft_s,
+        ReportMode::Exact,
+    )
+}
+
+/// [`simulate_decode_failure`] with an explicit [`ReportMode`] — same
+/// `Exact`/`Streaming` contract as [`simulate_fleet_failure_mode`], with
+/// TTFT as the phase/SLO latency metric either way.
+///
+/// # Panics
+///
+/// Same panics as [`simulate_decode_failure`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_decode_failure_mode(
+    shards: &[AcceleratorDesign],
+    trace: &[DecodeRequest],
+    policy: SchedulingPolicy,
+    dispatch: DispatchPolicy,
+    scheduler: DecodeScheduler,
+    cfg: &DecodeConfig,
+    plan: &FaultPlan,
+    client: &ClientConfig,
+    straggler_response: DecodeScaleDown,
+    slo_ttft_s: f64,
+    mode: ReportMode,
+) -> DecodeFailureReport {
     plan.validate(shards.len());
     client.validate();
     assert!(slo_ttft_s > 0.0, "SLO TTFT must be positive");
@@ -1125,6 +1451,7 @@ pub fn simulate_decode_failure(
         cfg,
         vec![true; shards.len()],
     );
+    core.set_mode(mode);
     let mut injector = DecodeFaultInjector::new(
         NullDecodeController,
         plan,
@@ -1140,35 +1467,6 @@ pub fn simulate_decode_failure(
     let ttft_s = core.ttft_s.clone();
     let decode = core.into_report();
     let arrivals: Vec<f64> = trace.iter().map(|r| r.arrival_s).collect();
-    let outcomes = assemble_outcomes(&arrivals, &completion_s, &injector.attempts);
-    let (completed, timed_out, retried) = tally(&outcomes);
-    // The phase / SLO latency metric for decode is TTFT, not end-to-end
-    // completion: it is what generative SLOs are written against.
-    let ttft_outcomes: Vec<ClientOutcome> = outcomes
-        .iter()
-        .enumerate()
-        .map(|(r, o)| ClientOutcome {
-            latency_s: if ttft_s[r].is_finite() {
-                ttft_s[r]
-            } else {
-                f64::INFINITY
-            },
-            ..*o
-        })
-        .collect();
-    let phases = build_phases(
-        plan.incident_window(),
-        &arrivals,
-        &ttft_outcomes,
-        slo_ttft_s,
-        decode.fleet.makespan_s,
-        &[],
-    );
-    let slo_attainment = ttft_outcomes
-        .iter()
-        .filter(|o| o.latency_s <= slo_ttft_s)
-        .count() as f64
-        / trace.len() as f64;
     let affected_drain_s = injector
         .affected
         .iter()
@@ -1180,16 +1478,80 @@ pub fn simulate_decode_failure(
             }
         })
         .fold(0.0f64, f64::max);
-    DecodeFailureReport {
-        decode,
-        outcomes,
-        completed,
-        timed_out,
-        retried,
-        retries: injector.retries,
-        slo_attainment,
-        phases,
-        affected_drain_s,
+    match mode {
+        ReportMode::Exact => {
+            let outcomes = assemble_outcomes(&arrivals, &completion_s, &injector.attempts);
+            let (completed, timed_out, retried) = tally(&outcomes);
+            // The phase / SLO latency metric for decode is TTFT, not
+            // end-to-end completion: it is what generative SLOs are
+            // written against.
+            let ttft_outcomes: Vec<ClientOutcome> = outcomes
+                .iter()
+                .enumerate()
+                .map(|(r, o)| ClientOutcome {
+                    latency_s: if ttft_s[r].is_finite() {
+                        ttft_s[r]
+                    } else {
+                        f64::INFINITY
+                    },
+                    ..*o
+                })
+                .collect();
+            let phases = build_phases(
+                plan.incident_window(),
+                &arrivals,
+                &ttft_outcomes,
+                slo_ttft_s,
+                decode.fleet.makespan_s,
+                &[],
+            );
+            let slo_attainment = ttft_outcomes
+                .iter()
+                .filter(|o| o.latency_s <= slo_ttft_s)
+                .count() as f64
+                / trace.len() as f64;
+            DecodeFailureReport {
+                decode,
+                outcomes,
+                completed,
+                timed_out,
+                retried,
+                retries: injector.retries,
+                slo_attainment,
+                phases,
+                affected_drain_s,
+            }
+        }
+        ReportMode::Streaming => {
+            let latency_of = |r: usize| {
+                if ttft_s[r].is_finite() {
+                    ttft_s[r]
+                } else {
+                    f64::INFINITY
+                }
+            };
+            let asm = assemble_streaming(
+                plan.incident_window(),
+                &arrivals,
+                &completion_s,
+                &injector.attempts,
+                &latency_of,
+                slo_ttft_s,
+                decode.fleet.makespan_s,
+                &[],
+            );
+            DecodeFailureReport {
+                decode,
+                outcomes: Vec::new(),
+                completed: asm.completed,
+                timed_out: asm.timed_out,
+                retried: asm.retried,
+                retries: injector.retries,
+                slo_attainment: asm.slo_attainment,
+                phases: asm.phases,
+                affected_drain_s,
+            }
+        }
     }
 }
 
