@@ -9,7 +9,7 @@
 //!
 //! [`read_entries`] loads the prior entries (wrapping a legacy schema-1
 //! single-record file as the first entry) and applies in-place
-//! migrations; [`write`] re-seals the document. Entries deliberately
+//! migrations; [`write()`] re-seals the document. Entries deliberately
 //! carry wall-clock fields — they are the one non-deterministic part of
 //! the repo's committed artifacts.
 

@@ -346,6 +346,76 @@ pub fn failure_mix() -> MixedWorkload {
     MixedWorkload::paper_mix()
 }
 
+/// Prefill-pool width of the disaggregated-serving ablation.
+pub const DISAGG_PREFILL_SHARDS: usize = 2;
+
+/// Decode-pool width of the disaggregated-serving ablation; the
+/// colocated baseline serves the combined width, so both arms spend the
+/// same hardware.
+pub const DISAGG_DECODE_SHARDS: usize = 2;
+
+/// Fleet width of the colocated baseline — by construction the two
+/// pools combined, so the comparison is iso-hardware.
+pub const DISAGG_COLOCATED_SHARDS: usize = DISAGG_PREFILL_SHARDS + DISAGG_DECODE_SHARDS;
+
+/// Requests per disaggregation cell.
+pub const DISAGG_REQUESTS: usize = 240;
+
+/// Offered load of the disaggregation cells (sequences/s) — just past
+/// the colocated baseline's saturation knee (~56 seq/s on this
+/// workload), where decode-slot contention visibly taxes its prompt
+/// queue, yet low enough that the full-price 2-shard prefill pool
+/// (~64 seq/s) still clears its backlog before the run ends.
+pub const DISAGG_RATE: f64 = 68.0;
+
+/// Decode slots per shard in the disaggregation cells.
+pub const DISAGG_SLOTS: usize = 16;
+
+/// Distinct shared prefixes (system prompts) in circulation.
+pub const DISAGG_PREFIX_GROUPS: usize = 4;
+
+/// Shared-prefix length in tokens — most of an average SQuAD prompt, so
+/// a warm cache hit skips the bulk of prefill.
+pub const DISAGG_PREFIX_LEN: usize = 128;
+
+/// Fraction of requests that carry some shared prefix.
+pub const DISAGG_GROUPED_FRACTION: f64 = 0.9;
+
+/// Prefix-cache capacity (entries) of the warm-cache cells — every
+/// group fits, so the only misses are compulsory.
+pub const DISAGG_CACHE_CAPACITY: usize = DISAGG_PREFIX_GROUPS;
+
+/// NVLink-class KV interconnect: fixed handshake cost per handoff.
+pub const DISAGG_CHEAP_BASE_S: f64 = 2e-5;
+
+/// NVLink-class per-context-token copy cost.
+pub const DISAGG_CHEAP_PER_TOKEN_S: f64 = 5e-8;
+
+/// Congested-Ethernet-class handshake cost — comparable to a whole
+/// request's service time, so each handoff stalls the decode pool.
+pub const DISAGG_COSTLY_BASE_S: f64 = 8e-2;
+
+/// Congested-Ethernet-class per-context-token copy cost.
+pub const DISAGG_COSTLY_PER_TOKEN_S: f64 = 5e-4;
+
+/// Prompt distribution of the disaggregation cells: SQuAD's long
+/// prompts make the workload prefill-heavy, the regime disaggregation
+/// targets.
+pub fn disagg_prompts() -> DatasetSpec {
+    DatasetSpec::squad_v1()
+}
+
+/// Output distribution of the disaggregation cells: short continuations
+/// (QA-style answers), keeping prefill the dominant cost.
+pub fn disagg_outputs() -> DatasetSpec {
+    DatasetSpec {
+        name: "short continuation".into(),
+        min_len: 1,
+        avg_len: 24,
+        max_len: 96,
+    }
+}
+
 /// One model × dataset evaluation point.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -432,6 +502,33 @@ pub fn geomean(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn disagg_constants_consistent() {
+        // Iso-hardware comparison: the colocated baseline spends exactly
+        // the two pools' combined width.
+        assert_eq!(
+            DISAGG_COLOCATED_SHARDS,
+            DISAGG_PREFILL_SHARDS + DISAGG_DECODE_SHARDS
+        );
+        // The warm cache holds every circulating group, so after the
+        // compulsory misses the hit rate equals the grouped fraction.
+        const { assert!(DISAGG_CACHE_CAPACITY >= DISAGG_PREFIX_GROUPS) };
+        assert!((0.0..=1.0).contains(&DISAGG_GROUPED_FRACTION));
+        // A hit skips the bulk — but never all — of an average prompt.
+        let prompts = disagg_prompts();
+        assert!(DISAGG_PREFIX_LEN < prompts.avg_len);
+        assert!(2 * DISAGG_PREFIX_LEN > prompts.avg_len);
+        // Outputs stay short relative to prompts: the workload is
+        // prefill-dominant, the regime disaggregation targets.
+        let outputs = disagg_outputs();
+        assert!(outputs.min_len <= outputs.avg_len && outputs.avg_len <= outputs.max_len);
+        assert!(4 * outputs.avg_len < prompts.avg_len + prompts.avg_len / 2);
+        // The two interconnect classes sit on opposite sides of the
+        // crossover: orders of magnitude apart on both cost axes.
+        const { assert!(DISAGG_CHEAP_BASE_S * 100.0 <= DISAGG_COSTLY_BASE_S) };
+        const { assert!(DISAGG_CHEAP_PER_TOKEN_S * 100.0 <= DISAGG_COSTLY_PER_TOKEN_S) };
+    }
 
     #[test]
     fn hardware_eval_has_four_scenarios() {

@@ -179,7 +179,7 @@ const MARKERS: usize = 5;
 /// whose heights approximate the empirical quantile function; each
 /// observation moves marker positions by O(1) work.
 ///
-/// While fewer than [`MARKERS`] samples have been observed the estimate is
+/// While fewer than `MARKERS` samples have been observed the estimate is
 /// *exact* — nearest-rank over the buffered samples, bit-identical to
 /// `lat_tensor::stats::percentile`.
 ///
@@ -315,7 +315,7 @@ impl P2Quantile {
     }
 
     /// The current estimate; NaN when empty or poisoned. Exact
-    /// (nearest-rank) below [`MARKERS`] samples, P² beyond.
+    /// (nearest-rank) below `MARKERS` samples, P² beyond.
     pub fn quantile(&self) -> f64 {
         if self.poisoned || self.n == 0 {
             return f64::NAN;

@@ -19,8 +19,8 @@ use std::path::{Path, PathBuf};
 use lat_bench::tables;
 use lat_core::pool::Scheduler;
 use lat_exp::artifact::verify_seal;
-use lat_exp::plan::{builtin_plans, SweepPlan};
-use lat_exp::runner::run_plan;
+use lat_exp::plan::{builtin_disagg_plans, builtin_plans, DisaggPlan, SweepPlan};
+use lat_exp::runner::{run_disagg_plan, run_plan};
 use serde::json::{self, Value};
 
 struct Args {
@@ -62,36 +62,51 @@ fn die(msg: &str) -> ! {
 
 fn main() {
     let args = parse_args();
+    let name_matches = |name: &str| args.only_plan.as_deref().is_none_or(|n| n == name);
     let plans: Vec<SweepPlan> = builtin_plans()
         .into_iter()
-        .filter(|p| args.only_plan.as_deref().is_none_or(|n| n == p.name))
+        .filter(|p| name_matches(p.name))
         .collect();
-    if plans.is_empty() {
+    let disagg_plans: Vec<DisaggPlan> = builtin_disagg_plans()
+        .into_iter()
+        .filter(|p| name_matches(p.name))
+        .collect();
+    if plans.is_empty() && disagg_plans.is_empty() {
         die("no plan matches --plan filter");
     }
     let pool = Scheduler::from_env();
     let mut failures = 0usize;
-    for plan in &plans {
-        let doc = run_plan(plan, &pool);
-        verify_seal(&doc)
-            .unwrap_or_else(|e| die(&format!("{}: fresh seal invalid: {e}", plan.name)));
-        print_table(plan, &doc);
+    let handle = |name: &str, doc: &Value, failures: &mut usize| {
         if let Some(dir) = &args.out_dir {
-            let path = dir.join(format!("{}.json", plan.name));
+            let path = dir.join(format!("{name}.json"));
             std::fs::create_dir_all(dir)
                 .and_then(|()| std::fs::write(&path, doc.to_pretty_string(2)))
                 .unwrap_or_else(|e| die(&format!("writing {}: {e}", path.display())));
             println!("wrote {}", path.display());
         }
         if let Some(dir) = &args.check_dir {
-            if let Err(msg) = check_against(plan, &doc, dir) {
-                eprintln!("analyze: CHECK FAILED for {}: {msg}", plan.name);
-                failures += 1;
+            if let Err(msg) = check_against(name, doc, dir) {
+                eprintln!("analyze: CHECK FAILED for {name}: {msg}");
+                *failures += 1;
             } else {
-                println!("check ok: {} matches {}", plan.name, dir.display());
+                println!("check ok: {name} matches {}", dir.display());
             }
         }
         println!();
+    };
+    for plan in &plans {
+        let doc = run_plan(plan, &pool);
+        verify_seal(&doc)
+            .unwrap_or_else(|e| die(&format!("{}: fresh seal invalid: {e}", plan.name)));
+        print_table(plan, &doc);
+        handle(plan.name, &doc, &mut failures);
+    }
+    for plan in &disagg_plans {
+        let doc = run_disagg_plan(plan, &pool);
+        verify_seal(&doc)
+            .unwrap_or_else(|e| die(&format!("{}: fresh seal invalid: {e}", plan.name)));
+        print_disagg_table(plan, &doc);
+        handle(plan.name, &doc, &mut failures);
     }
     if failures > 0 {
         die(&format!(
@@ -104,8 +119,8 @@ fn main() {
 /// Compares a freshly generated artifact against the committed golden
 /// file, structurally (so pretty whitespace is irrelevant) and then by
 /// fingerprint for the error message.
-fn check_against(plan: &SweepPlan, fresh: &Value, dir: &Path) -> Result<(), String> {
-    let path = dir.join(format!("{}.json", plan.name));
+fn check_against(name: &str, fresh: &Value, dir: &Path) -> Result<(), String> {
+    let path = dir.join(format!("{name}.json"));
     let text =
         std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
     let golden = json::parse(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
@@ -125,6 +140,50 @@ fn check_against(plan: &SweepPlan, fresh: &Value, dir: &Path) -> Result<(), Stri
         fp(&golden),
         fp(fresh)
     ))
+}
+
+fn print_disagg_table(plan: &DisaggPlan, doc: &Value) {
+    let Value::Obj(map) = doc else { return };
+    let Some(Value::Arr(cells)) = map.get("cells") else {
+        return;
+    };
+    println!("{} — {}", plan.name, plan.description);
+    let header = [
+        "transfer",
+        "capacity",
+        "goodput (tok/s)",
+        "p95 TTFT (ms)",
+        "makespan (s)",
+        "handoffs",
+        "hits",
+        "tokens saved",
+    ];
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .filter_map(|c| {
+            let Value::Obj(c) = c else { return None };
+            let s = |k: &str| match c.get(k) {
+                Some(Value::Str(v)) => v.clone(),
+                _ => "?".into(),
+            };
+            let f = |k: &str| match c.get(k) {
+                Some(Value::Float(v)) => *v,
+                Some(Value::UInt(v)) => *v as f64,
+                _ => f64::NAN,
+            };
+            Some(vec![
+                s("transfer"),
+                format!("{:.0}", f("capacity")),
+                format!("{:.0}", f("goodput_tok_s")),
+                format!("{:.2}", f("ttft_p95_s") * 1e3),
+                format!("{:.3}", f("makespan_s")),
+                format!("{:.0}", f("transfers")),
+                format!("{:.0}", f("hits")),
+                format!("{:.0}", f("tokens_saved")),
+            ])
+        })
+        .collect();
+    println!("{}", tables::render(&header, &rows));
 }
 
 fn print_table(plan: &SweepPlan, doc: &Value) {

@@ -10,6 +10,35 @@
 //! committed golden pack (`crates/exp/expected/`) a meaningful CI gate:
 //! `analyze --check expected/` regenerates every plan and fails on the
 //! first divergent byte.
+//!
+//! # Example
+//!
+//! A one-cell plan run to a sealed artifact, and the invariance that
+//! makes the golden pack possible — worker count never changes a byte:
+//!
+//! ```
+//! use lat_core::pipeline::SchedulingPolicy;
+//! use lat_core::pool::Scheduler;
+//! use lat_core::sketch::ReportMode;
+//! use lat_exp::artifact::verify_seal;
+//! use lat_exp::plan::SweepPlan;
+//! use lat_exp::runner::run_plan;
+//! use lat_hwsim::fleet::DispatchPolicy;
+//!
+//! let plan = SweepPlan {
+//!     name: "doc_smoke",
+//!     description: "one-cell docs example",
+//!     requests: 16,
+//!     shards: 1,
+//!     dispatch: vec![DispatchPolicy::JoinShortestQueue],
+//!     scheduling: vec![SchedulingPolicy::LengthAware],
+//!     rates_seq_s: vec![400.0],
+//!     mode: ReportMode::Exact,
+//! };
+//! let serial = run_plan(&plan, &Scheduler::serial());
+//! verify_seal(&serial).expect("fresh artifact carries a valid seal");
+//! assert_eq!(serial, run_plan(&plan, &Scheduler::new(2)));
+//! ```
 
 pub mod artifact;
 pub mod plan;

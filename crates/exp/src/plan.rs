@@ -8,7 +8,9 @@
 
 use lat_core::pipeline::SchedulingPolicy;
 use lat_core::sketch::ReportMode;
+use lat_hwsim::decode::KvTransfer;
 use lat_hwsim::fleet::DispatchPolicy;
+use lat_workloads::prefix::PrefixProfile;
 
 /// A declarative sweep: the cartesian product of the three axes, run on
 /// a homogeneous fleet of `shards` shards fed `requests` Poisson
@@ -89,6 +91,66 @@ pub fn scheduling_label(s: SchedulingPolicy) -> String {
     }
 }
 
+/// A declarative disaggregation sweep: the cartesian product of the
+/// KV-interconnect axis (outermost) and the prefix-cache capacity axis
+/// (innermost), each cell a split prefill/decode fleet serving the same
+/// Poisson trace and prefix assignment.
+#[derive(Debug, Clone)]
+pub struct DisaggPlan {
+    /// Plan name — doubles as the artifact file stem.
+    pub name: &'static str,
+    /// One-line description rendered in the artifact and table header.
+    pub description: &'static str,
+    /// Requests per cell.
+    pub requests: usize,
+    /// Prefill-pool width.
+    pub prefill_shards: usize,
+    /// Decode-pool width.
+    pub decode_shards: usize,
+    /// Poisson arrival rate, sequences per second.
+    pub rate_seq_s: f64,
+    /// KV-interconnect axis: `(stable label, transfer pricing)`.
+    pub transfers: Vec<(&'static str, KvTransfer)>,
+    /// Prefix-cache capacity axis, in entries (0 = caching disabled).
+    pub capacities: Vec<usize>,
+    /// Shared-prefix workload profile all cells draw their assignment
+    /// from.
+    pub prefix: PrefixProfile,
+}
+
+/// One expanded grid point of a [`DisaggPlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DisaggCell {
+    /// Position in the plan's fixed expansion order.
+    pub index: usize,
+    /// Stable artifact label of the transfer pricing.
+    pub transfer_label: &'static str,
+    /// KV-transfer pricing for this cell.
+    pub transfer: KvTransfer,
+    /// Prefix-cache capacity for this cell.
+    pub capacity: usize,
+}
+
+impl DisaggPlan {
+    /// Expands the grid in the documented fixed order (transfer-major).
+    /// Deterministic: the same plan always yields the same cells at the
+    /// same indices.
+    pub fn cells(&self) -> Vec<DisaggCell> {
+        let mut out = Vec::with_capacity(self.transfers.len() * self.capacities.len());
+        for &(transfer_label, transfer) in &self.transfers {
+            for &capacity in &self.capacities {
+                out.push(DisaggCell {
+                    index: out.len(),
+                    transfer_label,
+                    transfer,
+                    capacity,
+                });
+            }
+        }
+        out
+    }
+}
+
 /// The committed plan set: every plan here has a golden artifact under
 /// `crates/exp/expected/` and is regenerated by `analyze --check`.
 pub fn builtin_plans() -> Vec<SweepPlan> {
@@ -120,6 +182,42 @@ pub fn builtin_plans() -> Vec<SweepPlan> {
     ]
 }
 
+/// The committed disaggregation plan set — same golden-pack contract as
+/// [`builtin_plans`].
+pub fn builtin_disagg_plans() -> Vec<DisaggPlan> {
+    vec![DisaggPlan {
+        name: "disagg_transfer_grid",
+        description: "KV-interconnect pricing × prefix-cache capacity on a split 2P+2D fleet",
+        requests: 240,
+        prefill_shards: 2,
+        decode_shards: 2,
+        rate_seq_s: 600.0,
+        transfers: vec![
+            (
+                "cheap-copy",
+                KvTransfer::Copy {
+                    base_s: 1e-5,
+                    per_token_s: 1e-8,
+                },
+            ),
+            (
+                "costly-copy",
+                KvTransfer::Copy {
+                    base_s: 5e-3,
+                    per_token_s: 1e-5,
+                },
+            ),
+            ("reprefill", KvTransfer::Reprefill),
+        ],
+        capacities: vec![0, 4],
+        prefix: PrefixProfile {
+            num_groups: 4,
+            prefix_len: 48,
+            grouped_fraction: 0.8,
+        },
+    }]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +236,27 @@ mod tests {
         }
         // Expansion is a pure function of the plan.
         assert_eq!(grid.cells(), cells);
+    }
+
+    #[test]
+    fn disagg_cell_expansion_is_fixed_order() {
+        let plans = builtin_disagg_plans();
+        let grid = &plans[0];
+        let cells = grid.cells();
+        assert_eq!(cells.len(), grid.transfers.len() * grid.capacities.len());
+        // Transfer-major: the first capacity-axis stride shares pricing.
+        assert_eq!(cells[0].transfer, cells[1].transfer);
+        assert_ne!(cells[0].capacity, cells[1].capacity);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+        assert_eq!(grid.cells(), cells);
+        // Every committed cell must be well-formed: engine validation on
+        // both axes plus the prefix profile.
+        grid.prefix.validate();
+        for &(_, t) in &grid.transfers {
+            t.validate();
+        }
     }
 
     #[test]

@@ -8,20 +8,25 @@
 //! byte, which the merge-invariance test below pins.
 
 use lat_bench::scenarios::harness_seed;
+use lat_core::pipeline::SchedulingPolicy;
 use lat_core::pool::Scheduler;
 use lat_core::sketch::ReportMode;
 use lat_hwsim::accelerator::AcceleratorDesign;
+use lat_hwsim::decode::{decode_trace, DecodeConfig, DecodeRequest, DecodeScheduler};
+use lat_hwsim::disagg::{simulate_disaggregated, DisaggConfig};
 use lat_hwsim::fleet::{
-    homogeneous_fleet, poisson_trace, simulate_fleet_instrumented, FleetReport, FleetRunStats,
+    homogeneous_fleet, poisson_trace, simulate_fleet_instrumented, DispatchPolicy, FleetReport,
+    FleetRunStats,
 };
 use lat_hwsim::spec::FpgaSpec;
 use lat_model::config::ModelConfig;
 use lat_model::graph::AttentionMode;
 use lat_workloads::datasets::DatasetSpec;
+use lat_workloads::prefix::PrefixGroup;
 use serde::json::Value;
 
 use crate::artifact::seal;
-use crate::plan::{dispatch_label, scheduling_label, Cell, SweepPlan};
+use crate::plan::{dispatch_label, scheduling_label, Cell, DisaggCell, DisaggPlan, SweepPlan};
 
 /// Artifact schema version for every plan document.
 pub const ARTIFACT_SCHEMA: u64 = 1;
@@ -132,6 +137,132 @@ fn report_fields(r: &FleetReport, stats: &FleetRunStats) -> Vec<(String, Value)>
     ]
 }
 
+/// Runs one disaggregation plan to a sealed artifact document. Same
+/// determinism contract as [`run_plan`]: the document is a pure function
+/// of the plan and the harness seed.
+pub fn run_disagg_plan(plan: &DisaggPlan, pool: &Scheduler) -> Value {
+    let design = AcceleratorDesign::new(
+        &ModelConfig::tiny(),
+        AttentionMode::paper_sparse(),
+        FpgaSpec::alveo_u280(),
+        64,
+    );
+    let prefill_pool = homogeneous_fleet(&design, plan.prefill_shards);
+    let decode_pool = homogeneous_fleet(&design, plan.decode_shards);
+    let prompts = DatasetSpec::rte();
+    let outputs = prompts.decode_output();
+    let trace = decode_trace(
+        &prompts,
+        &outputs,
+        0.0,
+        plan.rate_seq_s,
+        plan.requests,
+        harness_seed(),
+    );
+    let prefixes = plan.prefix.assign(trace.len(), harness_seed());
+    let cells = plan.cells();
+    let rows = pool.par_map_indexed(&cells, |cell| {
+        run_disagg_cell(cell, &prefill_pool, &decode_pool, &trace, &prefixes)
+    });
+    let body = Value::obj([
+        ("schema".into(), Value::UInt(ARTIFACT_SCHEMA)),
+        ("plan".into(), Value::Str(plan.name.into())),
+        ("description".into(), Value::Str(plan.description.into())),
+        ("seed".into(), Value::Str(format!("{:#x}", harness_seed()))),
+        ("requests".into(), Value::UInt(plan.requests as u64)),
+        (
+            "prefill_shards".into(),
+            Value::UInt(plan.prefill_shards as u64),
+        ),
+        (
+            "decode_shards".into(),
+            Value::UInt(plan.decode_shards as u64),
+        ),
+        ("rate_seq_s".into(), Value::Float(plan.rate_seq_s)),
+        ("cells".into(), Value::Arr(rows)),
+    ]);
+    seal(body)
+}
+
+fn run_disagg_cell(
+    cell: &DisaggCell,
+    prefill_pool: &[AcceleratorDesign],
+    decode_pool: &[AcceleratorDesign],
+    trace: &[DecodeRequest],
+    prefixes: &[Option<PrefixGroup>],
+) -> Value {
+    let r = simulate_disaggregated(
+        prefill_pool,
+        decode_pool,
+        trace,
+        prefixes,
+        SchedulingPolicy::LengthAware,
+        DispatchPolicy::JoinShortestQueue,
+        DecodeScheduler::Continuous,
+        &DecodeConfig::default(),
+        &DisaggConfig {
+            transfer: cell.transfer,
+            prefix_cache_capacity: cell.capacity,
+        },
+    );
+    Value::obj([
+        ("cell".to_string(), Value::UInt(cell.index as u64)),
+        (
+            "transfer".to_string(),
+            Value::Str(cell.transfer_label.into()),
+        ),
+        ("capacity".to_string(), Value::UInt(cell.capacity as u64)),
+        (
+            "completed".to_string(),
+            Value::UInt(r.decode.fleet.completed as u64),
+        ),
+        (
+            "makespan_s".to_string(),
+            Value::Float(r.decode.fleet.makespan_s),
+        ),
+        (
+            "goodput_tok_s".to_string(),
+            Value::Float(r.decode.goodput_tok_s),
+        ),
+        ("ttft_p95_s".to_string(), Value::Float(r.decode.ttft_p95_s)),
+        ("transfers".to_string(), Value::UInt(r.transfers as u64)),
+        (
+            "transferred_tokens".to_string(),
+            Value::UInt(r.transferred_tokens),
+        ),
+        (
+            "transfer_time_s".to_string(),
+            Value::Float(r.transfer_time_s),
+        ),
+        ("hits".to_string(), Value::UInt(r.prefix.hits as u64)),
+        ("misses".to_string(), Value::UInt(r.prefix.misses as u64)),
+        (
+            "evictions".to_string(),
+            Value::UInt(r.prefix.evictions as u64),
+        ),
+        (
+            "tokens_saved".to_string(),
+            Value::UInt(r.prefix.tokens_saved),
+        ),
+        (
+            "prefill_utilization".to_string(),
+            Value::Float(r.prefill_pool.utilization),
+        ),
+        (
+            "decode_utilization".to_string(),
+            Value::Float(r.decode_pool.utilization),
+        ),
+        (
+            "prefill_iterations".to_string(),
+            Value::UInt(r.prefill_pool.iterations as u64),
+        ),
+        (
+            "decode_iterations".to_string(),
+            Value::UInt(r.decode_pool.iterations as u64),
+        ),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +284,59 @@ mod tests {
                 plan.name
             );
             verify_seal(&serial).expect("sealed artifact verifies");
+        }
+        for plan in crate::plan::builtin_disagg_plans() {
+            let serial = run_disagg_plan(&plan, &Scheduler::serial());
+            let parallel = run_disagg_plan(&plan, &Scheduler::new(4));
+            assert_eq!(
+                serial.to_canonical_string(),
+                parallel.to_canonical_string(),
+                "disagg plan {} diverged across worker counts",
+                plan.name
+            );
+            verify_seal(&serial).expect("sealed disagg artifact verifies");
+        }
+    }
+
+    /// Structural pins on the committed disaggregation grid: every cell
+    /// conserves requests, capacity-0 cells never hit, and warm cells
+    /// save tokens — so the golden artifact gates live counters, not
+    /// vacuous zeros.
+    #[test]
+    fn disagg_cells_conserve_and_cache_counters_are_live() {
+        let plan = crate::plan::builtin_disagg_plans()
+            .into_iter()
+            .find(|p| p.name == "disagg_transfer_grid")
+            .expect("builtin disagg plan");
+        let doc = run_disagg_plan(&plan, &Scheduler::serial());
+        let Value::Obj(map) = &doc else {
+            panic!("artifact is an object")
+        };
+        let Some(Value::Arr(cells)) = map.get("cells") else {
+            panic!("artifact has cells")
+        };
+        assert_eq!(cells.len(), plan.cells().len());
+        for cell in cells {
+            let Value::Obj(c) = cell else {
+                panic!("cell is an object")
+            };
+            assert_eq!(
+                c.get("completed"),
+                Some(&Value::UInt(plan.requests as u64)),
+                "cell lost requests"
+            );
+            let uint = |k: &str| match c.get(k) {
+                Some(Value::UInt(v)) => *v,
+                other => panic!("{k} missing or mistyped: {other:?}"),
+            };
+            if uint("capacity") == 0 {
+                assert_eq!(uint("hits"), 0, "capacity-0 cell hit");
+                assert_eq!(uint("tokens_saved"), 0, "capacity-0 cell saved tokens");
+            } else {
+                assert!(uint("hits") > 0, "warm cell never hit");
+                assert!(uint("tokens_saved") > 0, "warm cell saved nothing");
+            }
+            assert!(uint("transfers") > 0, "cell never handed off");
         }
     }
 

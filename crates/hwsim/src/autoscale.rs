@@ -5,11 +5,11 @@
 //! ([`crate::decode`]) simulate a *fixed* shard count, which wastes
 //! shard-seconds in the trough of a diurnal load curve and blows latency
 //! SLOs at its peak. This module drives the same event-driven core
-//! ([`crate::fleet::FleetCore`]) with a controller that changes fleet
+//! (`FleetCore`) with a controller that changes fleet
 //! membership at runtime:
 //!
 //! - [`ScalePolicy::Pinned`] — never scales; with `min == max` shards this
-//!   reproduces [`simulate_fleet`] **bit-for-bit** (it is literally the
+//!   reproduces [`simulate_fleet`](crate::fleet::simulate_fleet) **bit-for-bit** (it is literally the
 //!   same code path), which `tests/autoscale_props.rs` pins.
 //! - [`ScalePolicy::Reactive`] — queue-depth threshold with hysteresis:
 //!   scale up one shard when mean waiting depth per accepting shard
@@ -70,6 +70,56 @@
 //! request is ever dropped, and a pinned `min == max` decode autoscaler
 //! reproduces [`crate::decode::simulate_decode`] bit-for-bit (same
 //! `DecodeCore` code path, zero control events).
+//!
+//! # Example
+//!
+//! The containment pin, runnable: a pinned autoscaler holding the full
+//! fleet drives the identical code path as [`simulate_fleet`](crate::fleet::simulate_fleet), so the
+//! two reports agree bit-for-bit and the event log stays empty.
+//!
+//! ```
+//! use lat_core::pipeline::SchedulingPolicy;
+//! use lat_hwsim::accelerator::AcceleratorDesign;
+//! use lat_hwsim::autoscale::{simulate_autoscale, AutoscaleConfig, ScalePolicy};
+//! use lat_hwsim::fleet::{
+//!     homogeneous_fleet, poisson_trace, simulate_fleet, BatcherConfig, DispatchPolicy,
+//! };
+//! use lat_hwsim::spec::FpgaSpec;
+//! use lat_model::config::ModelConfig;
+//! use lat_model::graph::AttentionMode;
+//! use lat_workloads::datasets::DatasetSpec;
+//!
+//! let design = AcceleratorDesign::new(
+//!     &ModelConfig::tiny(),
+//!     AttentionMode::paper_sparse(),
+//!     FpgaSpec::alveo_u280(),
+//!     64,
+//! );
+//! let fleet = homogeneous_fleet(&design, 2);
+//! let trace = poisson_trace(&DatasetSpec::rte(), 600.0, 12, 7);
+//! let plain = simulate_fleet(
+//!     &fleet,
+//!     &trace,
+//!     SchedulingPolicy::LengthAware,
+//!     DispatchPolicy::JoinShortestQueue,
+//!     &BatcherConfig::default(),
+//! );
+//! let pinned = simulate_autoscale(
+//!     &fleet,
+//!     &trace,
+//!     SchedulingPolicy::LengthAware,
+//!     DispatchPolicy::JoinShortestQueue,
+//!     &BatcherConfig::default(),
+//!     &AutoscaleConfig {
+//!         min_shards: 2,
+//!         initial_shards: 2,
+//!         policy: ScalePolicy::Pinned,
+//!         ..AutoscaleConfig::default()
+//!     },
+//! );
+//! assert_eq!(pinned.fleet, plain);
+//! assert!(pinned.scale_events.is_empty());
+//! ```
 
 use crate::accelerator::AcceleratorDesign;
 use crate::decode::{
@@ -99,7 +149,7 @@ pub struct SchedulePhase {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ScalePolicy {
     /// Never scale: the fleet stays at `initial_shards`. With
-    /// `min_shards == max shards` this is [`simulate_fleet`] bit-for-bit.
+    /// `min_shards == max shards` this is [`simulate_fleet`](crate::fleet::simulate_fleet) bit-for-bit.
     Pinned,
     /// Queue-depth threshold with hysteresis: scale up by one shard when
     /// the mean waiting depth per accepting shard exceeds
@@ -152,7 +202,7 @@ impl ScalePolicy {
     /// between `min_shards` and `max_shards` shards. Shared by the
     /// request-level ([`AutoscaleConfig`]) and decode
     /// ([`DecodeAutoscaleConfig`]) configurations.
-    fn validate(&self, min_shards: usize, max_shards: usize) {
+    pub(crate) fn validate(&self, min_shards: usize, max_shards: usize) {
         match self {
             ScalePolicy::Pinned => {}
             ScalePolicy::Reactive {
@@ -211,7 +261,7 @@ impl ScalePolicy {
     }
 
     /// Whether the policy is a ±1 feedback loop subject to the cooldown.
-    fn is_feedback(&self) -> bool {
+    pub(crate) fn is_feedback(&self) -> bool {
         matches!(
             self,
             ScalePolicy::Reactive { .. } | ScalePolicy::UtilizationTarget { .. }
@@ -383,31 +433,31 @@ fn solve3(a: &[[f64; 3]; 3], b: &[f64; 3]) -> Option<[f64; 3]> {
 /// One evaluation tick's observed inputs to [`PolicyEngine::desired`]:
 /// engine-agnostic numbers both the fleet and decode autoscalers can
 /// produce. All of them are simulation-state reads — no RNG, no clock.
-struct Observation {
+pub(crate) struct Observation {
     /// Shards committed going forward (active + warming, not retiring).
-    staying: usize,
+    pub(crate) staying: usize,
     /// The engine's backlog metric, in requests. The encoder fleet counts
     /// requests waiting in queues; the decode engine counts waiting +
     /// KV-resident requests (slot-pool pressure) — a held slot is as much
     /// a capacity commitment as a queued request, and counting only the
     /// queue would read a fully-occupied-but-unqueued fleet as idle and
     /// flap it down.
-    waiting: usize,
+    pub(crate) waiting: usize,
     /// Shards currently accepting routed work.
-    accepting: usize,
+    pub(crate) accepting: usize,
     /// Paid (committed) shards right now.
-    paid: usize,
+    pub(crate) paid: usize,
     /// Fleet busy time actually elapsed by now.
-    busy_elapsed: f64,
+    pub(crate) busy_elapsed: f64,
     /// Trace arrivals observed by now.
-    arrivals: usize,
+    pub(crate) arrivals: usize,
 }
 
 /// Policy evaluation shared by the request-level and decode autoscalers:
 /// one source of truth for what each [`ScalePolicy`] does with the
 /// observed state, so the two engines cannot drift apart in policy
 /// semantics.
-struct PolicyEngine {
+pub(crate) struct PolicyEngine {
     policy: ScalePolicy,
     initial_shards: usize,
     eval_interval_s: f64,
@@ -418,7 +468,7 @@ struct PolicyEngine {
 }
 
 impl PolicyEngine {
-    fn new(policy: &ScalePolicy, initial_shards: usize, eval_interval_s: f64) -> Self {
+    pub(crate) fn new(policy: &ScalePolicy, initial_shards: usize, eval_interval_s: f64) -> Self {
         let forecaster = match policy {
             ScalePolicy::Predictive {
                 alpha, period_s, ..
@@ -439,7 +489,7 @@ impl PolicyEngine {
     /// policies, absolute for scheduled/predictive. Also advances the
     /// utilization window and the rate estimator — call exactly once per
     /// evaluation tick.
-    fn desired(&mut self, now: f64, obs: &Observation) -> usize {
+    pub(crate) fn desired(&mut self, now: f64, obs: &Observation) -> usize {
         if let Some(f) = &mut self.forecaster {
             f.observe(now, obs.arrivals);
         }
@@ -675,7 +725,7 @@ pub struct AutoscaleReport {
 
 /// Lifecycle of one shard under the autoscaler.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Lifecycle {
+pub(crate) enum Lifecycle {
     /// Cold: not paid, not dispatched to.
     Off,
     /// Launched, streaming weights; paid but not yet dispatched to.
@@ -996,14 +1046,14 @@ impl FleetController for Autoscaler<'_> {
 
 /// Simulates `trace` over a fleet of up to `shards.len()` shards whose
 /// membership the autoscaling controller drives at runtime; batching,
-/// dispatch and the cost model are exactly [`simulate_fleet`]'s.
+/// dispatch and the cost model are exactly [`simulate_fleet`](crate::fleet::simulate_fleet)'s.
 ///
 /// Every request completes exactly once — scaling events re-route or delay
 /// work but never drop it.
 ///
 /// # Panics
 ///
-/// Panics on the [`simulate_fleet`] input errors or a malformed
+/// Panics on the [`simulate_fleet`](crate::fleet::simulate_fleet) input errors or a malformed
 /// [`AutoscaleConfig`] (see [`AutoscaleConfig::validate`]).
 pub fn simulate_autoscale(
     shards: &[AcceleratorDesign],
@@ -1228,7 +1278,7 @@ pub struct DecodeAutoscaleReport {
     pub re_prefills: usize,
 }
 
-/// The policy-driven [`DecodeController`].
+/// The policy-driven `DecodeController`.
 struct DecodeAutoscaler<'a> {
     cfg: &'a DecodeAutoscaleConfig,
     max_shards: usize,
@@ -1344,11 +1394,9 @@ impl<'a> DecodeAutoscaler<'a> {
     }
 
     /// Evicts shard `s`'s *unfinished* residents back into the accepting
-    /// shards' queues (the Migrate move); each re-prefills its grown
-    /// context on re-admission. Finished sequences that the static
-    /// scheduler still holds as padded slots have nothing left to
-    /// generate — they are simply released, never migrated or re-priced.
-    /// Collects touched survivor shards into `touched`.
+    /// shards' queues (the Migrate move, i.e. the shared
+    /// [`crate::decode::KvTransfer::Reprefill`] primitive); each
+    /// re-prefills its grown context on re-admission.
     fn evict_residents(
         &mut self,
         core: &mut DecodeCore<'_>,
@@ -1356,21 +1404,7 @@ impl<'a> DecodeAutoscaler<'a> {
         now: f64,
         touched: &mut Vec<usize>,
     ) {
-        let evicted: Vec<usize> = core.shards[s]
-            .resident
-            .drain(..)
-            .map(|slot| slot.req)
-            .collect();
-        for r in evicted {
-            if core.emitted[r] >= core.trace[r].output_len {
-                continue; // padded static slot: generation already complete
-            }
-            self.migrations += 1;
-            let s2 = core.route_request(r, now);
-            if !touched.contains(&s2) {
-                touched.push(s2);
-            }
-        }
+        self.migrations += core.evict_unfinished(s, now, touched);
     }
 
     /// Removes shard `s` from dispatch. Both scale-down modes hand the

@@ -42,18 +42,68 @@
 //! into. Every resident emits exactly one token per iteration. With
 //! `output_len == 1` the engine degenerates to the encoder fleet's
 //! per-batch cost, which `tests/decode_props.rs` cross-checks against
-//! [`simulate_fleet`].
+//! [`simulate_fleet`](crate::fleet::simulate_fleet).
 //!
 //! ## Controller hooks
 //!
 //! Mirroring the encoder fleet's `FleetCore`/`FleetController` split, the
-//! engine's mutable state lives in a [`DecodeCore`] driven by a
-//! [`DecodeController`]: [`simulate_decode`] runs the no-op
-//! [`NullDecodeController`], and
+//! engine's mutable state lives in a `DecodeCore` driven by a
+//! `DecodeController`: [`simulate_decode`] runs the no-op
+//! `NullDecodeController`, and
 //! [`crate::autoscale::simulate_decode_autoscale`] drives the IDENTICAL
 //! code path with a policy controller that joins/retires shards at
 //! runtime — which is why a pinned `min == max` decode autoscaler
 //! reproduces [`simulate_decode`] bit-for-bit.
+//!
+//! ## KV transfer
+//!
+//! Whenever a resident sequence leaves its shard mid-generation
+//! (preemption, scale-down migration, straggler eviction, or a
+//! prefill→decode pool handoff in [`crate::disagg`]), what happens to its
+//! KV cache is a [`KvTransfer`]: [`KvTransfer::Reprefill`] discards the
+//! cache and re-prefills the grown context at the destination (the PR 5
+//! `Migrate` semantics, now the named default), while
+//! [`KvTransfer::Copy`] models a wire copy whose latency grows with the
+//! resident context length and lets the destination resume decoding
+//! without a re-prefill.
+//!
+//! # Example
+//!
+//! A four-request burst through one shard under continuous batching:
+//!
+//! ```
+//! use lat_core::pipeline::SchedulingPolicy;
+//! use lat_hwsim::accelerator::AcceleratorDesign;
+//! use lat_hwsim::decode::{decode_trace, simulate_decode, DecodeConfig, DecodeScheduler};
+//! use lat_hwsim::fleet::{homogeneous_fleet, DispatchPolicy};
+//! use lat_hwsim::spec::FpgaSpec;
+//! use lat_model::config::ModelConfig;
+//! use lat_model::graph::AttentionMode;
+//! use lat_workloads::datasets::DatasetSpec;
+//!
+//! let design = AcceleratorDesign::new(
+//!     &ModelConfig::tiny(),
+//!     AttentionMode::paper_sparse(),
+//!     FpgaSpec::alveo_u280(),
+//!     64,
+//! );
+//! let fleet = homogeneous_fleet(&design, 1);
+//! let spec = DatasetSpec::rte();
+//! let trace = decode_trace(&spec, &spec.decode_output(), 0.25, 200.0, 4, 7);
+//! let report = simulate_decode(
+//!     &fleet,
+//!     &trace,
+//!     SchedulingPolicy::LengthAware,
+//!     DispatchPolicy::JoinShortestQueue,
+//!     DecodeScheduler::Continuous,
+//!     &DecodeConfig::default(),
+//! );
+//! assert_eq!(report.fleet.completed, 4);
+//! assert_eq!(
+//!     report.generated_tokens,
+//!     trace.iter().map(|r| r.output_len as u64).sum::<u64>(),
+//! );
+//! ```
 
 use crate::accelerator::AcceleratorDesign;
 use crate::fleet::{
@@ -243,6 +293,74 @@ impl Default for DecodeConfig {
     }
 }
 
+/// How a resident sequence's KV cache moves when the sequence leaves its
+/// shard mid-generation — the first-class generalization of the scale-down
+/// `Migrate` move (preemption, migration and straggler eviction all
+/// behave as [`KvTransfer::Reprefill`]); [`crate::disagg`] prices its
+/// prefill→decode pool handoffs with [`KvTransfer::Copy`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KvTransfer {
+    /// Discard the KV cache; the destination re-prefills the grown
+    /// context (prompt + tokens emitted so far) on re-admission. Zero
+    /// wire latency, one re-prefill pass of compute.
+    Reprefill,
+    /// Copy the KV cache over the interconnect. The modeled latency is
+    /// `base_s + context_tokens * per_token_s` — linear in the resident
+    /// context length, the KV footprint actually on the wire — and the
+    /// destination resumes decoding without a re-prefill. An infinite
+    /// cost means "never transfer": [`crate::disagg`] keeps such
+    /// residents decoding in place, which is exactly the colocated
+    /// engine.
+    Copy {
+        /// Fixed per-transfer setup latency in seconds (≥ 0).
+        base_s: f64,
+        /// Seconds per context token of KV state moved (≥ 0).
+        per_token_s: f64,
+    },
+}
+
+impl KvTransfer {
+    /// Modeled transfer latency for a resident holding `context_tokens`
+    /// of KV state (prompt length + tokens emitted so far).
+    /// [`KvTransfer::Reprefill`] moves no KV, so its wire latency is 0 —
+    /// the cost it pays is the re-prefill pass at the destination.
+    pub fn latency_s(&self, context_tokens: usize) -> f64 {
+        match self {
+            KvTransfer::Reprefill => 0.0,
+            KvTransfer::Copy {
+                base_s,
+                per_token_s,
+            } => base_s + context_tokens as f64 * per_token_s,
+        }
+    }
+
+    /// Whether the destination can resume decoding without a re-prefill
+    /// (the KV cache survives the move).
+    pub fn preserves_kv(&self) -> bool {
+        matches!(self, KvTransfer::Copy { .. })
+    }
+
+    /// Panics unless the cost model is well-formed: both [`KvTransfer::Copy`]
+    /// terms must be ≥ 0 and not NaN (`f64::INFINITY` is legal — it means
+    /// "never transfer").
+    pub fn validate(&self) {
+        if let KvTransfer::Copy {
+            base_s,
+            per_token_s,
+        } = self
+        {
+            assert!(
+                *base_s >= 0.0 && !base_s.is_nan(),
+                "negative or NaN KV-transfer base latency"
+            );
+            assert!(
+                *per_token_s >= 0.0 && !per_token_s.is_nan(),
+                "negative or NaN KV-transfer per-token latency"
+            );
+        }
+    }
+}
+
 /// Outcome of one request (diagnostics / property tests).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RequestOutcome {
@@ -420,12 +538,16 @@ enum DecodeEventKind {
 }
 
 /// Hooks a controller drives the decode engine through;
-/// [`simulate_decode`] runs with the no-op [`NullDecodeController`], the
+/// [`simulate_decode`] runs with the no-op `NullDecodeController`, the
 /// decode autoscaler ([`crate::autoscale`]) with a policy-driven one.
 pub(crate) trait DecodeController {
     /// A control event scheduled via [`DecodeCore::schedule_control`]
     /// fired.
     fn on_control(&mut self, _core: &mut DecodeCore<'_>, _now: f64) {}
+    /// Request `r` popped as an arrival event (trace arrival or retry),
+    /// before it is routed — the window in which [`crate::disagg`] looks
+    /// up its shared-prefix group and sets the prefill discount.
+    fn on_arrival(&mut self, _core: &mut DecodeCore<'_>, _r: usize, _now: f64) {}
     /// Shard `shard` finished an iteration: tokens are emitted and
     /// finished residents released, but the next iteration has NOT been
     /// launched yet — the window in which scale-down may evict residents.
@@ -491,6 +613,19 @@ pub(crate) struct DecodeCore<'a> {
     /// Trace arrivals processed so far — the RNG-free, wall-clock-free
     /// observation stream predictive scaling policies consume.
     pub(crate) arrivals_seen: usize,
+    /// Per-request one-shot "KV cache already materialized" flag: the next
+    /// admission of a flagged request resumes decoding instead of
+    /// re-prefilling (a completed [`KvTransfer::Copy`] handoff). Cleared
+    /// at admission and whenever the KV state is lost (crash orphaning,
+    /// eviction). All-false (the default) is bit-identical to the
+    /// pre-transfer engine.
+    pub(crate) kv_warm: Vec<bool>,
+    /// Per-request prefill discount in tokens (shared-prefix cache hit):
+    /// every prefill pass of request `r` is priced over
+    /// `prefill_len - prefill_skip[r] + emitted` tokens (clamped to ≥ 1
+    /// fresh token). All-zero (the default) prices exactly the full
+    /// context.
+    pub(crate) prefill_skip: Vec<usize>,
     itl_gaps: Vec<f64>,
     step_log: Vec<BatchRecord>,
     /// Report assembly mode. Under [`ReportMode::Streaming`] the
@@ -524,6 +659,9 @@ impl DecodeCore<'_> {
     }
 
     /// Moves the request at `queue[idx]` of shard `s` into a free slot.
+    /// A KV-warm request (completed [`KvTransfer::Copy`]) resumes
+    /// decoding; everyone else (re-)prefills. The warmth flag is one-shot:
+    /// any later re-admission pays the re-prefill again.
     fn admit_at(&mut self, s: usize, idx: usize) {
         let req = self.shards[s]
             .queue
@@ -531,9 +669,11 @@ impl DecodeCore<'_> {
             .expect("admit index in bounds");
         let admit_seq = self.admit_seq;
         self.admit_seq += 1;
+        let is_new = !self.kv_warm[req];
+        self.kv_warm[req] = false;
         self.shards[s].resident.push(Slot {
             req,
-            is_new: true,
+            is_new,
             admit_seq,
         });
     }
@@ -599,9 +739,11 @@ impl DecodeCore<'_> {
             self.preempt_of[victim.req] += 1;
             let admit_seq = self.admit_seq;
             self.admit_seq += 1;
+            let is_new = !self.kv_warm[high];
+            self.kv_warm[high] = false;
             self.shards[s].resident.push(Slot {
                 req: high,
-                is_new: true,
+                is_new,
                 admit_seq,
             });
         }
@@ -649,7 +791,11 @@ impl DecodeCore<'_> {
         for i in 0..self.shards[s].resident.len() {
             let sl = self.shards[s].resident[i];
             if sl.is_new {
-                lens.push(self.trace[sl.req].prefill_len + self.emitted[sl.req]);
+                // A shared-prefix cache hit discounts the prompt by the
+                // cached prefix (at least one fresh token always runs);
+                // skip == 0 prices exactly `prefill_len + emitted`.
+                let skip = self.prefill_skip[sl.req].min(self.trace[sl.req].prefill_len - 1);
+                lens.push(self.trace[sl.req].prefill_len - skip + self.emitted[sl.req]);
                 self.prefill_passes[sl.req] += 1;
             }
         }
@@ -721,6 +867,70 @@ impl DecodeCore<'_> {
         s
     }
 
+    /// Routes request `r` among the shards `eligible` marks true, with the
+    /// caller's own round-robin cursor — how [`crate::disagg`] lands
+    /// completed handoffs in the decode pool while `accepting` keeps fresh
+    /// arrivals in the prefill pool. Same dispatch policy and queueing as
+    /// [`DecodeCore::route_request`], different shard mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics (inside [`route`]) if no eligible shard exists.
+    pub(crate) fn route_request_into(
+        &mut self,
+        r: usize,
+        now: f64,
+        eligible: &[bool],
+        rr_next: &mut usize,
+    ) -> usize {
+        let s = {
+            let shards = &self.shards;
+            route(
+                self.dispatch,
+                self.designs,
+                &|i| eligible[i],
+                &|i| shards[i].load(),
+                self.trace[r].prefill_len,
+                rr_next,
+            )
+        };
+        self.shards[s].tick(now);
+        self.shards[s].queue.push_back(r);
+        let depth = self.shards[s].queue.len();
+        self.shards[s].max_queue_depth = self.shards[s].max_queue_depth.max(depth);
+        s
+    }
+
+    /// Evicts shard `s`'s *unfinished* residents back into the accepting
+    /// shards' queues and returns how many were evicted — the shared
+    /// KV-transfer move ([`KvTransfer::Reprefill`] semantics: the KV cache
+    /// is discarded, so each victim re-prefills its grown context on
+    /// re-admission). Finished sequences a static batch still holds as
+    /// padded slots have nothing left to generate — they are released,
+    /// never migrated or re-priced. Touched survivor shards are collected
+    /// into `touched` (deduplicated) for the caller to kick.
+    pub(crate) fn evict_unfinished(
+        &mut self,
+        s: usize,
+        now: f64,
+        touched: &mut Vec<usize>,
+    ) -> usize {
+        let evicted: Vec<usize> = self.shards[s].resident.drain(..).map(|sl| sl.req).collect();
+        let mut moved = 0;
+        for r in evicted {
+            if self.emitted[r] >= self.trace[r].output_len {
+                continue; // padded static slot: generation already complete
+            }
+            self.kv_warm[r] = false;
+            moved += 1;
+            let s2 = self.route_request(r, now);
+            if !touched.contains(&s2) {
+                touched.push(s2);
+            }
+        }
+        moved
+    }
+
     /// Schedules a [`DecodeController::on_control`] callback at `time`.
     pub(crate) fn schedule_control(&mut self, time: f64) {
         push_event(
@@ -786,6 +996,12 @@ impl DecodeCore<'_> {
             if self.emitted[sl.req] < self.trace[sl.req].output_len {
                 orphans.push(sl.req);
             }
+        }
+        for &r in &orphans {
+            // Any KV state the crash destroyed (including a queued warm
+            // handoff that never got admitted) is gone: the orphan
+            // re-prefills wherever it lands.
+            self.kv_warm[r] = false;
         }
         orphans
     }
@@ -1028,6 +1244,8 @@ impl<'a> DecodeCore<'a> {
             preempt_of: vec![0; n],
             prefill_passes: vec![0; n],
             arrivals_seen: 0,
+            kv_warm: vec![false; n],
+            prefill_skip: vec![0; n],
             itl_gaps: Vec::new(),
             step_log: Vec::new(),
             mode: ReportMode::Exact,
@@ -1055,12 +1273,14 @@ impl<'a> DecodeCore<'a> {
                     // starts, so a simultaneous burst fills the batch slots
                     // instead of launching a singleton iteration.
                     self.arrivals_seen += 1;
+                    ctl.on_arrival(self, r, ev.time);
                     let mut touched = vec![self.route_request(r, ev.time)];
                     while let Some(next) = self.heap.peek() {
                         match next.kind {
                             DecodeEventKind::Arrival(r2) if next.time == ev.time => {
                                 self.heap.pop();
                                 self.arrivals_seen += 1;
+                                ctl.on_arrival(self, r2, ev.time);
                                 let s = self.route_request(r2, ev.time);
                                 if !touched.contains(&s) {
                                     touched.push(s);

@@ -7,7 +7,7 @@
 //! face clients that give up. This module injects exactly those events —
 //! deterministically, from a seed-free declarative [`FaultPlan`] — through
 //! the controller hooks the engines already expose
-//! ([`FleetController::on_shard_down`] and friends), so a dead shard's
+//! (`FleetController::on_shard_down` and friends), so a dead shard's
 //! queued work and live KV residents re-route through the same
 //! drain/migrate machinery scale-down uses, and a straggler's in-flight
 //! batches are re-priced on the fly.
@@ -37,9 +37,61 @@
 //! Entry points: [`simulate_fleet_failure`] (fixed fleet),
 //! [`simulate_autoscale_failure`] (autoscaled fleet — crashed capacity
 //! stops billing immediately and recovered shards rejoin through the
-//! normal launch/warm-up path), and [`simulate_decode_failure`]
+//! normal launch/warm-up path), [`simulate_decode_failure`]
 //! (generative decode, with [`DecodeScaleDown`] choosing what happens to
-//! a straggler's KV residents).
+//! a straggler's KV residents), and [`simulate_disagg_failure`]
+//! (disaggregated prefill/decode serving — faults may hit either pool;
+//! a crashed decode shard's residents re-prefill on the prefill pool and
+//! hand off again).
+//!
+//! # Example
+//!
+//! The containment pin, runnable: an empty [`FaultPlan`] with the
+//! infinitely patient client adds no events and re-prices nothing, so
+//! the engine-level report is bit-identical to the plain fleet and every
+//! disposition is a zero-retry completion.
+//!
+//! ```
+//! use lat_core::pipeline::SchedulingPolicy;
+//! use lat_hwsim::accelerator::AcceleratorDesign;
+//! use lat_hwsim::failure::{simulate_fleet_failure, ClientConfig, FaultPlan};
+//! use lat_hwsim::fleet::{
+//!     homogeneous_fleet, poisson_trace, simulate_fleet, BatcherConfig, DispatchPolicy,
+//! };
+//! use lat_hwsim::spec::FpgaSpec;
+//! use lat_model::config::ModelConfig;
+//! use lat_model::graph::AttentionMode;
+//! use lat_workloads::datasets::DatasetSpec;
+//!
+//! let design = AcceleratorDesign::new(
+//!     &ModelConfig::tiny(),
+//!     AttentionMode::paper_sparse(),
+//!     FpgaSpec::alveo_u280(),
+//!     64,
+//! );
+//! let fleet = homogeneous_fleet(&design, 2);
+//! let trace = poisson_trace(&DatasetSpec::rte(), 600.0, 10, 5);
+//! let plain = simulate_fleet(
+//!     &fleet,
+//!     &trace,
+//!     SchedulingPolicy::LengthAware,
+//!     DispatchPolicy::JoinShortestQueue,
+//!     &BatcherConfig::default(),
+//! );
+//! let healthy = simulate_fleet_failure(
+//!     &fleet,
+//!     &trace,
+//!     SchedulingPolicy::LengthAware,
+//!     DispatchPolicy::JoinShortestQueue,
+//!     &BatcherConfig::default(),
+//!     &FaultPlan::none(),
+//!     &ClientConfig::patient(),
+//!     0.25, // SLO used only for attainment reporting
+//! );
+//! assert_eq!(healthy.fleet, plain);
+//! assert_eq!(healthy.completed, trace.len());
+//! assert_eq!(healthy.timed_out + healthy.retried + healthy.retries, 0);
+//! ```
 
 use crate::accelerator::AcceleratorDesign;
 use crate::autoscale::{AutoscaleConfig, Autoscaler, DecodeScaleDown, ScaleEvent};
@@ -47,6 +99,7 @@ use crate::decode::{
     DecodeConfig, DecodeController, DecodeCore, DecodeReport, DecodeRequest, DecodeScheduler,
     NullDecodeController,
 };
+use crate::disagg::{combined_fleet, DisaggConfig, DisaggController, DisaggReport};
 use crate::fleet::{
     BatcherConfig, DispatchPolicy, FleetController, FleetCore, FleetReport, NullController, Request,
 };
@@ -667,7 +720,7 @@ impl<C: FleetController> FleetController for FleetFaultInjector<C> {
 
 // ─────────────────────────── decode injector ───────────────────────────
 
-/// [`DecodeController`] twin of [`FleetFaultInjector`]. Two decode
+/// `DecodeController` twin of `FleetFaultInjector`. Two decode
 /// specifics: the engine cannot park work, so a plan must always leave a
 /// survivor; and a straggler's KV residents follow `straggler_response` —
 /// [`DecodeScaleDown::Drain`] decodes them in place at the slow rate,
@@ -788,7 +841,7 @@ impl<C: DecodeController> DecodeFaultInjector<C> {
                         if core.shards[s].stepping {
                             self.migrate_from[s] = true; // evict at the boundary
                         } else {
-                            self.evict_residents(core, s, now, &mut touched);
+                            core.evict_unfinished(s, now, &mut touched);
                         }
                     }
                     for s2 in touched {
@@ -802,28 +855,6 @@ impl<C: DecodeController> DecodeFaultInjector<C> {
                         core.accepting[s] = true;
                     }
                 }
-            }
-        }
-    }
-
-    /// Moves shard `s`'s unfinished residents back into routing; each
-    /// re-prefills its grown context on re-admission (the scale-down
-    /// migrate move applied to a straggler).
-    fn evict_residents(
-        &mut self,
-        core: &mut DecodeCore<'_>,
-        s: usize,
-        now: f64,
-        touched: &mut Vec<usize>,
-    ) {
-        let evicted: Vec<usize> = core.shards[s].resident.drain(..).map(|sl| sl.req).collect();
-        for r in evicted {
-            if core.emitted[r] >= core.trace[r].output_len {
-                continue; // padded static slot: generation already done
-            }
-            let s2 = core.route_request(r, now);
-            if !touched.contains(&s2) {
-                touched.push(s2);
             }
         }
     }
@@ -864,6 +895,10 @@ impl<C: DecodeController> DecodeFaultInjector<C> {
 }
 
 impl<C: DecodeController> DecodeController for DecodeFaultInjector<C> {
+    fn on_arrival(&mut self, core: &mut DecodeCore<'_>, r: usize, now: f64) {
+        self.inner.on_arrival(core, r, now);
+    }
+
     fn on_control(&mut self, core: &mut DecodeCore<'_>, now: f64) {
         self.apply_due_actions(core, now);
         self.apply_due_timeouts(core, now);
@@ -874,7 +909,7 @@ impl<C: DecodeController> DecodeController for DecodeFaultInjector<C> {
         if self.migrate_from[shard] {
             self.migrate_from[shard] = false;
             let mut touched = Vec::new();
-            self.evict_residents(core, shard, now, &mut touched);
+            core.evict_unfinished(shard, now, &mut touched);
             for s2 in touched {
                 core.start_iteration(s2, now);
             }
@@ -1555,6 +1590,221 @@ pub fn simulate_decode_failure_mode(
     }
 }
 
+/// Result of a disaggregated failure simulation: the full
+/// [`DisaggReport`] plus the same client-disposition and incident-phase
+/// view as [`DecodeFailureReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisaggFailureReport {
+    /// Disaggregated-serving view (pools, transfers, prefix cache).
+    pub disagg: DisaggReport,
+    /// Per-request client outcomes in trace order (empty under
+    /// [`ReportMode::Streaming`]).
+    pub outcomes: Vec<ClientOutcome>,
+    /// Requests that completed (on any attempt).
+    pub completed: usize,
+    /// Requests that never completed.
+    pub timed_out: usize,
+    /// Completed requests that needed at least one retry.
+    pub retried: usize,
+    /// Total retry events across all requests.
+    pub retries: usize,
+    /// Fraction of *all* requests whose TTFT met the SLO.
+    pub slo_attainment: f64,
+    /// Pre / during / post incident slices (TTFT as the latency metric).
+    pub phases: Vec<IncidentPhase>,
+    /// Latest completion time among the incident's KV-resident victims.
+    pub affected_drain_s: f64,
+}
+
+/// [`simulate_disaggregated`](crate::disagg::simulate_disaggregated)
+/// under a [`FaultPlan`] and a retrying client. Shard indices in the plan
+/// are combined-fleet indices: `0..prefill_shards.len()` hits the prefill
+/// pool, the rest the decode pool. A crashed decode shard's orphans (and
+/// a straggler's migrated residents) lose their KV state, re-prefill on
+/// the prefill pool, and hand off again; the controller re-closes the
+/// decode pool to fresh arrivals after every recovery.
+///
+/// # Panics
+///
+/// Panics on the [`crate::disagg::simulate_disaggregated`] input errors,
+/// a malformed plan / client, a non-positive SLO, or a plan whose crashes
+/// leave no accepting prefill shard.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_disagg_failure(
+    prefill_shards: &[AcceleratorDesign],
+    decode_shards: &[AcceleratorDesign],
+    trace: &[DecodeRequest],
+    prefixes: &[Option<lat_workloads::prefix::PrefixGroup>],
+    policy: SchedulingPolicy,
+    dispatch: DispatchPolicy,
+    scheduler: DecodeScheduler,
+    cfg: &DecodeConfig,
+    dcfg: &DisaggConfig,
+    plan: &FaultPlan,
+    client: &ClientConfig,
+    straggler_response: DecodeScaleDown,
+    slo_ttft_s: f64,
+) -> DisaggFailureReport {
+    simulate_disagg_failure_mode(
+        prefill_shards,
+        decode_shards,
+        trace,
+        prefixes,
+        policy,
+        dispatch,
+        scheduler,
+        cfg,
+        dcfg,
+        plan,
+        client,
+        straggler_response,
+        slo_ttft_s,
+        ReportMode::Exact,
+    )
+}
+
+/// [`simulate_disagg_failure`] with an explicit [`ReportMode`] — same
+/// `Exact`/`Streaming` contract as [`simulate_decode_failure_mode`].
+///
+/// # Panics
+///
+/// Same panics as [`simulate_disagg_failure`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_disagg_failure_mode(
+    prefill_shards: &[AcceleratorDesign],
+    decode_shards: &[AcceleratorDesign],
+    trace: &[DecodeRequest],
+    prefixes: &[Option<lat_workloads::prefix::PrefixGroup>],
+    policy: SchedulingPolicy,
+    dispatch: DispatchPolicy,
+    scheduler: DecodeScheduler,
+    cfg: &DecodeConfig,
+    dcfg: &DisaggConfig,
+    plan: &FaultPlan,
+    client: &ClientConfig,
+    straggler_response: DecodeScaleDown,
+    slo_ttft_s: f64,
+    mode: ReportMode,
+) -> DisaggFailureReport {
+    let designs = combined_fleet(prefill_shards, decode_shards, trace, prefixes, dcfg);
+    let n_prefill = prefill_shards.len();
+    plan.validate(designs.len());
+    client.validate();
+    assert!(slo_ttft_s > 0.0, "SLO TTFT must be positive");
+    let accepting: Vec<bool> = (0..designs.len()).map(|s| s < n_prefill).collect();
+    let mut core = DecodeCore::new(&designs, trace, policy, dispatch, scheduler, cfg, accepting);
+    core.set_mode(mode);
+    let ctl = DisaggController::new(
+        designs.len(),
+        n_prefill,
+        decode_shards.len(),
+        prefixes,
+        trace.len(),
+        dcfg,
+    );
+    let mut injector = DecodeFaultInjector::new(
+        ctl,
+        plan,
+        *client,
+        trace.len(),
+        designs.len(),
+        straggler_response,
+    );
+    injector.prime(&mut core);
+    core.run(&mut injector);
+
+    let completion_s = core.completion_s.clone();
+    let ttft_s = core.ttft_s.clone();
+    let decode = core.into_report();
+    let arrivals: Vec<f64> = trace.iter().map(|r| r.arrival_s).collect();
+    let affected_drain_s = injector
+        .affected
+        .iter()
+        .map(|&r| {
+            if completion_s[r].is_finite() {
+                completion_s[r]
+            } else {
+                f64::INFINITY
+            }
+        })
+        .fold(0.0f64, f64::max);
+    let retries = injector.retries;
+    let attempts = injector.attempts.clone();
+    let disagg = injector.inner.into_report(decode);
+    match mode {
+        ReportMode::Exact => {
+            let outcomes = assemble_outcomes(&arrivals, &completion_s, &attempts);
+            let (completed, timed_out, retried) = tally(&outcomes);
+            let ttft_outcomes: Vec<ClientOutcome> = outcomes
+                .iter()
+                .enumerate()
+                .map(|(r, o)| ClientOutcome {
+                    latency_s: if ttft_s[r].is_finite() {
+                        ttft_s[r]
+                    } else {
+                        f64::INFINITY
+                    },
+                    ..*o
+                })
+                .collect();
+            let phases = build_phases(
+                plan.incident_window(),
+                &arrivals,
+                &ttft_outcomes,
+                slo_ttft_s,
+                disagg.decode.fleet.makespan_s,
+                &[],
+            );
+            let slo_attainment = ttft_outcomes
+                .iter()
+                .filter(|o| o.latency_s <= slo_ttft_s)
+                .count() as f64
+                / trace.len() as f64;
+            DisaggFailureReport {
+                disagg,
+                outcomes,
+                completed,
+                timed_out,
+                retried,
+                retries,
+                slo_attainment,
+                phases,
+                affected_drain_s,
+            }
+        }
+        ReportMode::Streaming => {
+            let latency_of = |r: usize| {
+                if ttft_s[r].is_finite() {
+                    ttft_s[r]
+                } else {
+                    f64::INFINITY
+                }
+            };
+            let asm = assemble_streaming(
+                plan.incident_window(),
+                &arrivals,
+                &completion_s,
+                &attempts,
+                &latency_of,
+                slo_ttft_s,
+                disagg.decode.fleet.makespan_s,
+                &[],
+            );
+            DisaggFailureReport {
+                disagg,
+                outcomes: Vec::new(),
+                completed: asm.completed,
+                timed_out: asm.timed_out,
+                retried: asm.retried,
+                retries,
+                slo_attainment: asm.slo_attainment,
+                phases: asm.phases,
+                affected_drain_s,
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2016,5 +2266,116 @@ mod tests {
             }],
         };
         plan.validate(2);
+    }
+
+    fn disagg_cfg() -> DisaggConfig {
+        DisaggConfig {
+            transfer: crate::decode::KvTransfer::Copy {
+                base_s: 1e-5,
+                per_token_s: 1e-8,
+            },
+            prefix_cache_capacity: 0,
+        }
+    }
+
+    fn run_disagg_failure(
+        n_prefill: usize,
+        n_decode: usize,
+        trace: &[DecodeRequest],
+        plan: &FaultPlan,
+    ) -> DisaggFailureReport {
+        let fleet = homogeneous_fleet(&tiny_design(64), n_prefill.max(n_decode));
+        simulate_disagg_failure(
+            &fleet[..n_prefill],
+            &fleet[..n_decode],
+            trace,
+            &[],
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            DecodeScheduler::Continuous,
+            &DecodeConfig::default(),
+            &disagg_cfg(),
+            plan,
+            &ClientConfig::patient(),
+            DecodeScaleDown::Migrate,
+            0.25,
+        )
+    }
+
+    /// Empty plan + infinitely patient client: the failure layer adds no
+    /// events, so the disagg run is bit-identical to the plain engine.
+    #[test]
+    fn disagg_healthy_failure_run_is_bit_identical_to_plain() {
+        let trace = steady_decode_trace(20, 0.002, 48, 12);
+        let healthy = run_disagg_failure(2, 2, &trace, &FaultPlan::none());
+        let fleet = homogeneous_fleet(&tiny_design(64), 2);
+        let plain = crate::disagg::simulate_disaggregated(
+            &fleet,
+            &fleet,
+            &trace,
+            &[],
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            DecodeScheduler::Continuous,
+            &DecodeConfig::default(),
+            &disagg_cfg(),
+        );
+        assert_eq!(healthy.disagg, plain);
+        assert_eq!(healthy.completed, trace.len());
+        assert_eq!(healthy.timed_out, 0);
+        assert_eq!(healthy.retries, 0);
+    }
+
+    /// A decode-pool crash orphans in-flight generations; they re-prefill
+    /// on the prefill pool, hand off again, and still all complete.
+    #[test]
+    fn disagg_decode_pool_crash_recovers_and_completes() {
+        // Few, very long generations: the crash lands mid-decode for
+        // certain instead of racing the (sub-millisecond) decode dwell.
+        let trace = steady_decode_trace(4, 0.0002, 48, 4000);
+        let plan = FaultPlan {
+            faults: vec![Fault {
+                shard: 2, // first decode shard of a 2+2 fleet
+                kind: FaultKind::Crash {
+                    at_s: 0.001,
+                    recover_s: Some(0.05),
+                },
+            }],
+        };
+        let r = run_disagg_failure(2, 2, &trace, &plan);
+        assert_eq!(r.completed, trace.len());
+        assert_eq!(r.timed_out, 0);
+        let want: u64 = trace.iter().map(|q| q.output_len as u64).sum();
+        assert_eq!(r.disagg.decode.generated_tokens, want);
+        // Orphaned generations crossed the interconnect a second time.
+        assert!(r.disagg.transfers > trace.len());
+        // The revived decode shard must NOT accept fresh arrivals: all
+        // completions belong to a pool, none to a stray admission path.
+        assert_eq!(
+            r.disagg.prefill_pool.completed + r.disagg.decode_pool.completed,
+            trace.len()
+        );
+        assert!(r.affected_drain_s.is_finite() && r.affected_drain_s > 0.0);
+    }
+
+    /// A prefill-pool crash re-routes queued prompts to the surviving
+    /// prefill shard; nothing lands on the decode pool early.
+    #[test]
+    fn disagg_prefill_pool_crash_completes_on_survivor() {
+        let trace = steady_decode_trace(14, 0.002, 48, 10);
+        let plan = FaultPlan {
+            faults: vec![Fault {
+                shard: 0,
+                kind: FaultKind::Crash {
+                    at_s: 0.01,
+                    recover_s: None,
+                },
+            }],
+        };
+        let r = run_disagg_failure(2, 2, &trace, &plan);
+        assert_eq!(r.completed, trace.len());
+        assert_eq!(r.timed_out, 0);
+        let multi = trace.iter().filter(|q| q.output_len > 1).count();
+        assert!(r.disagg.transfers >= multi);
     }
 }

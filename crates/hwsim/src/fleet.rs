@@ -13,6 +13,41 @@
 //! deterministic tie-breaking, so every run is bit-reproducible for a given
 //! trace. [`crate::serving::simulate_serving`] is reimplemented as the
 //! 1-shard special case of this engine.
+//!
+//! # Example
+//!
+//! A short Poisson burst through a two-shard fleet under
+//! join-shortest-queue dispatch:
+//!
+//! ```
+//! use lat_core::pipeline::SchedulingPolicy;
+//! use lat_hwsim::accelerator::AcceleratorDesign;
+//! use lat_hwsim::fleet::{
+//!     homogeneous_fleet, poisson_trace, simulate_fleet, BatcherConfig, DispatchPolicy,
+//! };
+//! use lat_hwsim::spec::FpgaSpec;
+//! use lat_model::config::ModelConfig;
+//! use lat_model::graph::AttentionMode;
+//! use lat_workloads::datasets::DatasetSpec;
+//!
+//! let design = AcceleratorDesign::new(
+//!     &ModelConfig::tiny(),
+//!     AttentionMode::paper_sparse(),
+//!     FpgaSpec::alveo_u280(),
+//!     64,
+//! );
+//! let trace = poisson_trace(&DatasetSpec::rte(), 400.0, 8, 11);
+//! let report = simulate_fleet(
+//!     &homogeneous_fleet(&design, 2),
+//!     &trace,
+//!     SchedulingPolicy::LengthAware,
+//!     DispatchPolicy::JoinShortestQueue,
+//!     &BatcherConfig::default(),
+//! );
+//! // Conservation: every request completes exactly once.
+//! assert_eq!(report.completed, 8);
+//! assert!(report.p95_latency_s >= report.p50_latency_s);
+//! ```
 
 use crate::accelerator::AcceleratorDesign;
 use lat_core::pipeline::SchedulingPolicy;

@@ -32,6 +32,10 @@
 //!   crashes and stragglers from a declarative [`failure::FaultPlan`],
 //!   client timeout/retry/deadline semantics, and pre/during/post-incident
 //!   SLO, goodput and scale-event reporting.
+//! - [`disagg`] — disaggregated prefill/decode serving on the decode
+//!   engine: independent pools joined by a priced
+//!   [`decode::KvTransfer`] handoff, a deterministic shared-prefix
+//!   cache, and per-pool autoscaling.
 //!
 //! # Example
 //!
@@ -58,6 +62,7 @@
 pub mod accelerator;
 pub mod autoscale;
 pub mod decode;
+pub mod disagg;
 pub mod dse;
 pub mod energy;
 pub mod failure;

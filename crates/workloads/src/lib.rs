@@ -7,6 +7,9 @@
 //!
 //! - [`datasets`]: sequence-*length* distributions matched to Table 1
 //!   (avg/max per dataset) — lengths are all the hardware evaluation needs;
+//! - [`prefix`]: trace-declared shared-prefix groups (chat-style system
+//!   prompts) consumed by the disaggregated serving simulator's
+//!   deterministic prefix cache;
 //! - [`task`]: a synthetic *attention-retrieval* classification task whose
 //!   labels are decided by which keys a query attends to. Full attention
 //!   solves it near-perfectly by construction; truncating attention to the
@@ -22,4 +25,5 @@
 
 pub mod accuracy;
 pub mod datasets;
+pub mod prefix;
 pub mod task;

@@ -1,0 +1,149 @@
+//! Trace-declared shared-prefix groups for chat-style workloads.
+//!
+//! Chat and agent traffic reuses long system prompts: many requests share
+//! a common prefix whose KV state a serving system can cache and skip
+//! re-prefilling (RadixAttention-style prefix caching). This module
+//! assigns each request of a trace to a *declared* prefix group — the
+//! assignment is part of the workload, not something the engine infers —
+//! so the disaggregated serving simulator
+//! (`lat_hwsim::disagg`) can model cache hits deterministically.
+//!
+//! The assignment stream is an auxiliary RNG derived from the trace seed,
+//! mirroring how decode traces draw output lengths: adding prefix groups
+//! to a trace never perturbs its arrival process.
+
+use lat_tensor::rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// XOR'd into the trace seed to derive the prefix-assignment stream,
+/// keeping it independent of both the primary (arrival) stream and the
+/// decode auxiliary (output-length) stream.
+const PREFIX_STREAM: u64 = 0xA076_1D64_78BD_642F;
+
+/// One request's declared membership in a shared-prefix group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefixGroup {
+    /// Group identifier (`0..num_groups`); requests with equal `group`
+    /// share one cacheable prefix.
+    pub group: u64,
+    /// Length of the shared prefix in tokens. A serving-side cache hit
+    /// can skip at most this much of the request's prefill (engines clamp
+    /// to the request's own prompt length).
+    pub prefix_len: usize,
+}
+
+/// Workload-level description of prefix sharing: how many distinct
+/// system prompts circulate, how long each is, and what fraction of
+/// requests carry one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrefixProfile {
+    /// Number of distinct shared prefixes in circulation (≥ 1).
+    pub num_groups: usize,
+    /// Shared-prefix length in tokens (≥ 1).
+    pub prefix_len: usize,
+    /// Fraction of requests that belong to *some* group; the rest have a
+    /// unique, uncacheable prompt (`None` in the assignment).
+    pub grouped_fraction: f64,
+}
+
+impl PrefixProfile {
+    /// Panics unless the profile is well-formed.
+    pub fn validate(&self) {
+        assert!(self.num_groups >= 1, "prefix profile needs >= 1 group");
+        assert!(self.prefix_len >= 1, "prefix length must be >= 1 token");
+        assert!(
+            (0.0..=1.0).contains(&self.grouped_fraction),
+            "grouped_fraction outside [0, 1]"
+        );
+    }
+
+    /// Deterministically assigns `n` requests to prefix groups. The
+    /// result is aligned with a trace of the same length and seed:
+    /// request `r` of the trace carries `assignments[r]`. Grouped
+    /// requests draw a uniform group id; ungrouped requests get `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is malformed (see
+    /// [`PrefixProfile::validate`]).
+    pub fn assign(&self, n: usize, seed: u64) -> Vec<Option<PrefixGroup>> {
+        self.validate();
+        let mut rng = SplitMix64::new(seed ^ PREFIX_STREAM);
+        (0..n)
+            .map(|_| {
+                // Draw both values unconditionally so each request
+                // consumes a fixed number of draws: request r's group
+                // never depends on earlier grouped/ungrouped outcomes.
+                let grouped = rng.next_f64() < self.grouped_fraction;
+                let group = rng.next_below(self.num_groups) as u64;
+                grouped.then_some(PrefixGroup {
+                    group,
+                    prefix_len: self.prefix_len,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_deterministic_and_aligned() {
+        let p = PrefixProfile {
+            num_groups: 4,
+            prefix_len: 64,
+            grouped_fraction: 0.75,
+        };
+        let a = p.assign(200, 42);
+        let b = p.assign(200, 42);
+        assert_eq!(a, b, "same seed must reproduce the same assignment");
+        assert_eq!(a.len(), 200);
+        assert!(a.iter().flatten().all(|g| g.group < 4));
+        assert!(a.iter().flatten().all(|g| g.prefix_len == 64));
+        // 75% grouped with 200 draws: both populations must be present.
+        assert!(a.iter().any(|g| g.is_some()) && a.iter().any(|g| g.is_none()));
+        assert_ne!(a, p.assign(200, 43), "seed must matter");
+    }
+
+    #[test]
+    fn fraction_extremes_are_total() {
+        let all = PrefixProfile {
+            num_groups: 2,
+            prefix_len: 32,
+            grouped_fraction: 1.0,
+        };
+        assert!(all.assign(50, 7).iter().all(|g| g.is_some()));
+        let none = PrefixProfile {
+            grouped_fraction: 0.0,
+            ..all
+        };
+        assert!(none.assign(50, 7).iter().all(|g| g.is_none()));
+    }
+
+    #[test]
+    #[should_panic(expected = "grouped_fraction")]
+    fn out_of_range_fraction_rejected() {
+        PrefixProfile {
+            num_groups: 1,
+            prefix_len: 8,
+            grouped_fraction: 1.5,
+        }
+        .assign(1, 0);
+    }
+
+    /// Fixed draws per request: truncating the assignment is a prefix of
+    /// the longer one (stability under trace growth).
+    #[test]
+    fn assignment_is_prefix_stable() {
+        let p = PrefixProfile {
+            num_groups: 3,
+            prefix_len: 16,
+            grouped_fraction: 0.5,
+        };
+        let long = p.assign(120, 9);
+        let short = p.assign(40, 9);
+        assert_eq!(&long[..40], &short[..]);
+    }
+}

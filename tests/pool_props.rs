@@ -13,7 +13,10 @@ use lat_fpga::hwsim::autoscale::{
     simulate_autoscale, simulate_decode_autoscale, AutoscaleConfig, DecodeAutoscaleConfig,
     DecodeScaleDown, RetirePolicy, ScalePolicy,
 };
-use lat_fpga::hwsim::decode::{decode_trace, simulate_decode, DecodeConfig, DecodeScheduler};
+use lat_fpga::hwsim::decode::{
+    decode_trace, simulate_decode, DecodeConfig, DecodeScheduler, KvTransfer,
+};
+use lat_fpga::hwsim::disagg::{simulate_disaggregated, DisaggConfig};
 use lat_fpga::hwsim::failure::{simulate_fleet_failure, ClientConfig, Fault, FaultKind, FaultPlan};
 use lat_fpga::hwsim::fleet::{
     homogeneous_fleet, poisson_trace, simulate_fleet, BatcherConfig, DispatchPolicy,
@@ -22,6 +25,7 @@ use lat_fpga::hwsim::spec::FpgaSpec;
 use lat_fpga::model::config::ModelConfig;
 use lat_fpga::model::graph::AttentionMode;
 use lat_fpga::workloads::datasets::DatasetSpec;
+use lat_fpga::workloads::prefix::PrefixProfile;
 use proptest::prelude::*;
 
 fn tiny_design(s_avg: usize) -> AcceleratorDesign {
@@ -239,4 +243,51 @@ fn failure_sweep_is_identical_serial_and_parallel() {
     for r in &serial {
         assert_eq!(r.phases.iter().map(|p| p.arrivals).sum::<usize>(), 60);
     }
+}
+
+#[test]
+fn disagg_sweep_is_identical_serial_and_parallel() {
+    let design = tiny_design(64);
+    let prefill = homogeneous_fleet(&design, 2);
+    let decode_pool = homogeneous_fleet(&design, 2);
+    let mix = DatasetSpec::rte();
+    let trace = decode_trace(&mix, &mix.decode_output(), 0.0, 800.0, 48, harness_seed());
+    let prefixes = PrefixProfile {
+        num_groups: 3,
+        prefix_len: 32,
+        grouped_fraction: 0.8,
+    }
+    .assign(trace.len(), harness_seed());
+    let cheap = KvTransfer::Copy {
+        base_s: 1e-5,
+        per_token_s: 1e-8,
+    };
+    let costly = KvTransfer::Copy {
+        base_s: 5e-3,
+        per_token_s: 1e-5,
+    };
+    let cells: Vec<DisaggConfig> = [cheap, costly, KvTransfer::Reprefill]
+        .iter()
+        .flat_map(|&transfer| {
+            [0usize, 3].iter().map(move |&capacity| DisaggConfig {
+                transfer,
+                prefix_cache_capacity: capacity,
+            })
+        })
+        .collect();
+    let (serial, parallel) = run_with(&cells, |dcfg| {
+        simulate_disaggregated(
+            &prefill,
+            &decode_pool,
+            &trace,
+            &prefixes,
+            SchedulingPolicy::LengthAware,
+            DispatchPolicy::JoinShortestQueue,
+            DecodeScheduler::Continuous,
+            &DecodeConfig::default(),
+            dcfg,
+        )
+    });
+    assert_eq!(serial, parallel, "disagg sweep diverged under 4 workers");
+    assert!(serial.iter().all(|r| r.decode.fleet.completed == 48));
 }
